@@ -1,0 +1,1 @@
+bin/dufs_bench.ml: Arg Cmd Cmdliner List Manpage Printf Scenarios String Term

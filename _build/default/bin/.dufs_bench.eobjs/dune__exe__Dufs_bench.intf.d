@@ -1,0 +1,1 @@
+bin/dufs_bench.mli:

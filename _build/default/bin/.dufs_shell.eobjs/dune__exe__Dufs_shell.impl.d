@@ -1,0 +1,1 @@
+bin/dufs_shell.ml: Array Dufs Format Fuselike In_channel Int64 List Printf String Unix Zk

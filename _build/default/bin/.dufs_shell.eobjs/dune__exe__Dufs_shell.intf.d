@@ -1,0 +1,1 @@
+bin/dufs_shell.mli:

@@ -1,0 +1,1 @@
+bin/smoke.ml: Array Dufs Fuselike Int64 List Mdtest Pfs Printf Simkit String Zk

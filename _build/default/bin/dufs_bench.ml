@@ -1,0 +1,66 @@
+(* Command-line driver: run any single experiment from the paper's
+   evaluation (or the extensions) by id. `dune exec bin/dufs_bench.exe -- --help` *)
+
+let experiments =
+  [ ("fig7", "ZooKeeper raw op throughput vs ensemble size",
+     fun () -> Scenarios.Figures.fig7 ());
+    ("fig8", "DUFS op throughput vs number of ZooKeeper servers",
+     Scenarios.Figures.fig8);
+    ("fig9", "DUFS file ops with 2 vs 4 Lustre backends", Scenarios.Figures.fig9);
+    ("fig10", "DUFS vs Basic Lustre and Basic PVFS2", Scenarios.Figures.fig10);
+    ("headline", "§V-D headline ratios at 256 procs", Scenarios.Figures.headline);
+    ("fig11", "memory usage vs directories created",
+     fun () -> Scenarios.Figures.fig11 ());
+    ("ablation-mapping", "MD5-mod-N vs consistent hashing",
+     Scenarios.Figures.ablation_mapping);
+    ("ablation-cmd", "DUFS vs hypothetical Lustre Clustered MDS",
+     Scenarios.Figures.ablation_cmd);
+    ("ablation-unique", "shared vs unique working directories (mdtest -u)",
+     Scenarios.Figures.ablation_unique);
+    ("ablation-async", "synchronous vs pipelined coordination API",
+     Scenarios.Figures.ablation_async);
+    ("ablation-cache", "client-side metadata cache with watch invalidation",
+     Scenarios.Figures.ablation_cache);
+    ("ablation-giga", "GIGA+ directory indexing vs DUFS vs Lustre",
+     Scenarios.Figures.ablation_giga);
+    ("ablation-observers", "non-voting observers: reads scale, writes unaffected",
+     Scenarios.Figures.ablation_observers);
+    ("ablation-faults", "ensemble fault injection timeline",
+     Scenarios.Figures.ablation_faults);
+    ("all", "every experiment in order", Scenarios.Figures.all) ]
+
+open Cmdliner
+
+let experiment =
+  let doc =
+    "Experiment to run: " ^ String.concat ", " (List.map (fun (n, _, _) -> n) experiments)
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+
+let run name =
+  match List.find_opt (fun (n, _, _) -> n = name) experiments with
+  | Some (_, _, f) ->
+    f ();
+    `Ok ()
+  | None ->
+    `Error
+      (false,
+       Printf.sprintf "unknown experiment %S; available: %s" name
+         (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)))
+
+let cmd =
+  let doc = "Regenerate the DUFS paper's tables and figures" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Each experiment rebuilds the corresponding figure of 'Can a \
+         Decentralized Metadata Service Layer benefit Parallel Filesystems?' \
+         (CLUSTER 2011) on the discrete-event simulator.";
+      `S "EXPERIMENTS" ]
+    @ List.map (fun (n, d, _) -> `P (Printf.sprintf "$(b,%s): %s" n d)) experiments
+  in
+  Cmd.v
+    (Cmd.info "dufs_bench" ~doc ~man)
+    Term.(ret (const run $ experiment))
+
+let () = exit (Cmd.eval cmd)

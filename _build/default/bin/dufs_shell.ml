@@ -1,0 +1,159 @@
+(* An interactive shell over a DUFS mount (immediate mode): a local
+   coordination service plus N in-memory back-ends. Useful for poking at
+   the filesystem semantics by hand, or scripted:
+
+       dune exec bin/dufs_shell.exe            # interactive
+       echo "mkdir /a
+       touch /a/f
+       write /a/f hello
+       ls /a
+       fsck" | dune exec bin/dufs_shell.exe    # scripted *)
+
+module Vfs = Fuselike.Vfs
+module Errno = Fuselike.Errno
+module Inode = Fuselike.Inode
+
+type shell = {
+  coord : Zk.Zk_client.handle;
+  backends : Vfs.ops array;
+  fs : Vfs.ops;
+}
+
+let make_shell ~backends:n =
+  let service = Zk.Zk_local.create () in
+  let backends =
+    Array.init n (fun _ -> Fuselike.Memfs.ops (Fuselike.Memfs.create ~clock:Unix.gettimeofday ()))
+  in
+  Array.iter
+    (fun ops ->
+      match Dufs.Physical.format Dufs.Physical.default_layout ops with
+      | Ok () -> ()
+      | Error e -> failwith (Errno.to_string e))
+    backends;
+  let coord = Zk.Zk_local.session service in
+  let client = Dufs.Client.mount ~coord ~backends ~clock:Unix.gettimeofday () in
+  { coord; backends; fs = Dufs.Client.ops client }
+
+let report label = function
+  | Ok () -> ()
+  | Error e -> Printf.printf "%s: %s\n" label (Errno.to_string e)
+
+let print_attr path (attr : Inode.attr) =
+  Printf.printf "%-6s %6o %8Ld  %s\n"
+    (Inode.kind_to_string attr.Inode.kind)
+    attr.Inode.mode attr.Inode.size path
+
+let help () =
+  print_string
+    "commands:\n\
+    \  ls [path]            list a directory\n\
+    \  mkdir <path>         create a directory\n\
+    \  rmdir <path>         remove an empty directory\n\
+    \  touch <path>         create an empty file\n\
+    \  rm <path>            remove a file or symlink\n\
+    \  mv <src> <dst>       rename (metadata only; data never moves)\n\
+    \  ln <target> <path>   create a symlink\n\
+    \  readlink <path>      print a symlink's target\n\
+    \  stat <path>          print attributes\n\
+    \  write <path> <text>  overwrite file contents\n\
+    \  cat <path>           print file contents\n\
+    \  chmod <octal> <path> change permission bits\n\
+    \  truncate <path> <n>  set file size\n\
+    \  df                   aggregate statistics per backend\n\
+    \  fsck                 cross-check namespace vs backends\n\
+    \  help                 this text\n\
+    \  quit                 exit\n"
+
+let run_command shell line =
+  let fs = shell.fs in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] | [] -> ()
+  | [ "help" ] -> help ()
+  | [ "ls" ] | [ "ls"; "/" ] | "ls" :: [ "" ] -> (
+    match fs.Vfs.readdir "/" with
+    | Ok entries ->
+      List.iter (fun e -> Printf.printf "%s\n" e.Vfs.name) entries
+    | Error e -> Printf.printf "ls: %s\n" (Errno.to_string e))
+  | [ "ls"; path ] -> (
+    match fs.Vfs.readdir path with
+    | Ok entries ->
+      List.iter
+        (fun e ->
+          Printf.printf "%-9s %s\n" (Inode.kind_to_string e.Vfs.kind) e.Vfs.name)
+        entries
+    | Error e -> Printf.printf "ls: %s\n" (Errno.to_string e))
+  | [ "mkdir"; path ] -> report "mkdir" (fs.Vfs.mkdir path ~mode:0o755)
+  | [ "rmdir"; path ] -> report "rmdir" (fs.Vfs.rmdir path)
+  | [ "touch"; path ] -> report "touch" (fs.Vfs.create path ~mode:0o644)
+  | [ "rm"; path ] -> report "rm" (fs.Vfs.unlink path)
+  | [ "mv"; src; dst ] -> report "mv" (fs.Vfs.rename src dst)
+  | [ "ln"; target; path ] -> report "ln" (fs.Vfs.symlink ~target path)
+  | [ "readlink"; path ] -> (
+    match fs.Vfs.readlink path with
+    | Ok target -> Printf.printf "%s\n" target
+    | Error e -> Printf.printf "readlink: %s\n" (Errno.to_string e))
+  | [ "stat"; path ] -> (
+    match fs.Vfs.getattr path with
+    | Ok attr -> print_attr path attr
+    | Error e -> Printf.printf "stat: %s\n" (Errno.to_string e))
+  | "write" :: path :: rest ->
+    let text = String.concat " " rest in
+    (match fs.Vfs.truncate path ~size:0L with
+     | Ok () | Error _ -> ());
+    (match fs.Vfs.write path ~off:0 text with
+     | Ok n -> Printf.printf "%d bytes\n" n
+     | Error e -> Printf.printf "write: %s\n" (Errno.to_string e))
+  | [ "cat"; path ] -> (
+    match fs.Vfs.getattr path with
+    | Error e -> Printf.printf "cat: %s\n" (Errno.to_string e)
+    | Ok attr -> (
+      match fs.Vfs.read path ~off:0 ~len:(Int64.to_int attr.Inode.size) with
+      | Ok contents -> Printf.printf "%s\n" contents
+      | Error e -> Printf.printf "cat: %s\n" (Errno.to_string e)))
+  | [ "chmod"; mode; path ] -> (
+    match int_of_string_opt ("0o" ^ mode) with
+    | Some mode -> report "chmod" (fs.Vfs.chmod path ~mode)
+    | None -> print_endline "chmod: bad mode (want octal digits)")
+  | [ "truncate"; path; n ] -> (
+    match Int64.of_string_opt n with
+    | Some size -> report "truncate" (fs.Vfs.truncate path ~size)
+    | None -> print_endline "truncate: bad size")
+  | [ "df" ] ->
+    Array.iteri
+      (fun i ops ->
+        let s = ops.Vfs.statfs () in
+        Printf.printf "backend %d: %d files, %d dirs, %Ld bytes\n" i s.Vfs.files
+          s.Vfs.directories s.Vfs.bytes_used)
+      shell.backends;
+    let s = fs.Vfs.statfs () in
+    Printf.printf "total    : %d files, %Ld bytes\n" s.Vfs.files s.Vfs.bytes_used
+  | [ "fsck" ] -> (
+    match Dufs.Fsck.scan ~coord:shell.coord ~backends:shell.backends () with
+    | Ok r ->
+      if Dufs.Fsck.is_clean r then
+        Printf.printf "clean: %d files, %d dirs, %d physicals\n" r.Dufs.Fsck.files_checked
+          r.Dufs.Fsck.dirs_checked r.Dufs.Fsck.physicals_checked
+      else
+        List.iter
+          (fun issue -> Format.printf "%a@." Dufs.Fsck.pp_issue issue)
+          r.Dufs.Fsck.issues
+    | Error e -> Printf.printf "fsck: %s\n" (Zk.Zerror.to_string e))
+  | [ "quit" ] | [ "exit" ] -> raise Exit
+  | cmd :: _ -> Printf.printf "unknown command %S (try: help)\n" cmd
+
+let () =
+  let interactive = Unix.isatty Unix.stdin in
+  let shell = make_shell ~backends:2 in
+  if interactive then begin
+    print_endline "DUFS shell — 2 in-memory backends, local coordination service";
+    print_endline "type 'help' for commands"
+  end;
+  (try
+     while true do
+       if interactive then (print_string "dufs> "; flush stdout);
+       match In_channel.input_line stdin with
+       | None -> raise Exit
+       | Some line -> run_command shell line
+     done
+   with Exit -> ());
+  if interactive then print_endline "bye."

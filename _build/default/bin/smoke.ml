@@ -1,0 +1,87 @@
+(* Quick end-to-end exercise of the whole stack; not part of the test
+   suite, just a development aid: `dune exec bin/smoke.exe`. *)
+
+module Vfs = Fuselike.Vfs
+
+let check label = function
+  | Ok _ -> Printf.printf "  ok   %s\n%!" label
+  | Error e -> Printf.printf "  FAIL %s: %s\n%!" label (Fuselike.Errno.to_string e)
+
+let local_mode () =
+  print_endline "== local mode ==";
+  let zk = Zk.Zk_local.create () in
+  let backends =
+    Array.init 2 (fun _ -> Fuselike.Memfs.create ~clock:(fun () -> 0.) ())
+  in
+  let backend_ops = Array.map Fuselike.Memfs.ops backends in
+  Array.iter
+    (fun ops ->
+      match Dufs.Physical.format Dufs.Physical.default_layout ops with
+      | Ok () -> ()
+      | Error e -> failwith (Fuselike.Errno.to_string e))
+    backend_ops;
+  let client =
+    Dufs.Client.mount ~coord:(Zk.Zk_local.session zk) ~backends:backend_ops ()
+  in
+  let fs = Dufs.Client.ops client in
+  check "mkdir /a" (fs.Vfs.mkdir "/a" ~mode:0o755);
+  check "mkdir /a/b" (fs.Vfs.mkdir "/a/b" ~mode:0o755);
+  check "create /a/b/f" (fs.Vfs.create "/a/b/f" ~mode:0o644);
+  check "getattr /a/b/f" (fs.Vfs.getattr "/a/b/f");
+  check "write" (fs.Vfs.write "/a/b/f" ~off:0 "hello");
+  (match fs.Vfs.read "/a/b/f" ~off:0 ~len:5 with
+   | Ok "hello" -> print_endline "  ok   read back"
+   | Ok other -> Printf.printf "  FAIL read: %S\n" other
+   | Error e -> Printf.printf "  FAIL read: %s\n" (Fuselike.Errno.to_string e));
+  check "rename /a/b/f -> /a/g" (fs.Vfs.rename "/a/b/f" "/a/g");
+  (match fs.Vfs.read "/a/g" ~off:0 ~len:5 with
+   | Ok "hello" -> print_endline "  ok   data survived rename"
+   | _ -> print_endline "  FAIL data after rename");
+  check "rmdir /a/b" (fs.Vfs.rmdir "/a/b");
+  (match fs.Vfs.readdir "/a" with
+   | Ok entries ->
+     Printf.printf "  ok   readdir /a = [%s]\n"
+       (String.concat "; " (List.map (fun e -> e.Vfs.name) entries))
+   | Error e -> Printf.printf "  FAIL readdir: %s\n" (Fuselike.Errno.to_string e));
+  check "unlink /a/g" (fs.Vfs.unlink "/a/g")
+
+let sim_mode () =
+  print_endline "== simulated mode (8 procs, 2 Lustre backends, 3 zk) ==";
+  let engine = Simkit.Engine.create () in
+  let ensemble = Zk.Ensemble.start engine (Zk.Ensemble.default_config ~servers:3) in
+  let backends =
+    Array.init 2 (fun _ ->
+        Pfs.Lustre_sim.create engine ~config:(Pfs.Lustre_sim.backend_config ()) ())
+  in
+  Array.iter
+    (fun b ->
+      match Dufs.Physical.format Dufs.Physical.default_layout (Pfs.Lustre_sim.local_ops b) with
+      | Ok () -> ()
+      | Error e -> failwith (Fuselike.Errno.to_string e))
+    backends;
+  let cfg = Mdtest.Workload.config ~procs:8 ~dirs_per_proc:50 ~files_per_proc:50 () in
+  let ops_for_proc proc =
+    let coord = Zk.Ensemble.session ensemble () in
+    let backend_ops =
+      Array.mapi (fun i b -> Pfs.Lustre_sim.client b ~client_id:((proc * 10) + i)) backends
+    in
+    let client =
+      Dufs.Client.mount ~coord ~backends:backend_ops
+        ~client_id:(Int64.of_int (proc + 1))
+        ~clock:(fun () -> Simkit.Engine.now engine)
+        ~delay:Simkit.Process.sleep ()
+    in
+    Dufs.Client.ops client
+  in
+  let results = Mdtest.Runner.run engine cfg ~ops_for_proc in
+  Printf.printf "  errors: %d  wall: %.3fs (virtual)\n" results.Mdtest.Runner.errors
+    results.Mdtest.Runner.wall;
+  List.iter
+    (fun (phase, rate) ->
+      Printf.printf "  %-12s %10.0f ops/s\n" (Mdtest.Runner.phase_to_string phase) rate)
+    results.Mdtest.Runner.rates;
+  Printf.printf "  engine events: %d\n" (Simkit.Engine.executed_events engine)
+
+let () =
+  local_mode ();
+  sim_mode ()

@@ -1,0 +1,1 @@
+examples/checkpoint_workload.ml: Array Dufs Fuselike Int64 List Pfs Printf Simkit String Zk

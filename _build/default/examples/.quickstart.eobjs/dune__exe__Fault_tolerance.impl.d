@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Dufs Fuselike List Pfs Printf Simkit String Zk

@@ -1,0 +1,1 @@
+examples/metadata_scaling.ml: Array Dufs Fuselike Int64 List Mdtest Pfs Printf Simkit Zk

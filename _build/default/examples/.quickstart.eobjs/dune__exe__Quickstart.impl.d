@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dufs Fuselike List Printf String Zk

@@ -1,0 +1,1 @@
+examples/rebalance.ml: Array Dufs Fuselike List Printf Zk

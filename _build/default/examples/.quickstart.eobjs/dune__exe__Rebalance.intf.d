@@ -1,0 +1,1 @@
+examples/rebalance.mli:

@@ -1,0 +1,74 @@
+(* Fault tolerance: the reliability story of §IV-I. A DUFS namespace stays
+   available while coordination-service replicas fail, because metadata is
+   replicated with quorum commit; losing the quorum blocks updates (not
+   reads of surviving replicas' state) until servers return.
+
+       dune exec examples/fault_tolerance.exe *)
+
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+module Vfs = Fuselike.Vfs
+
+let () =
+  let engine = Engine.create () in
+  let ensemble =
+    Zk.Ensemble.start engine
+      { (Zk.Ensemble.default_config ~servers:5) with
+        Zk.Ensemble.election_timeout = 0.25;
+        request_timeout = 0.4 }
+  in
+  let layout = Dufs.Physical.default_layout in
+  let mount = Pfs.Lustre_sim.create engine ~config:(Pfs.Lustre_sim.backend_config ()) () in
+  (match Dufs.Physical.format layout (Pfs.Lustre_sim.local_ops mount) with
+  | Ok () -> ()
+  | Error e -> failwith (Fuselike.Errno.to_string e));
+
+  let log fmt =
+    Printf.ksprintf
+      (fun msg -> Printf.printf "[t=%6.2fs] %s\n%!" (Engine.now engine) msg)
+      fmt
+  in
+
+  Process.spawn engine (fun () ->
+      let fs =
+        Dufs.Client.ops
+          (Dufs.Client.mount
+             ~coord:(Zk.Ensemble.session ensemble ())
+             ~backends:[| Pfs.Lustre_sim.client mount ~client_id:0 |]
+             ~clock:(fun () -> Engine.now engine)
+             ~delay:Process.sleep ())
+      in
+      let attempt label op =
+        match op () with
+        | Ok _ -> log "%-34s -> ok" label
+        | Error e -> log "%-34s -> %s" label (Fuselike.Errno.to_string e)
+      in
+      attempt "mkdir /data (all 5 up)" (fun () -> fs.Vfs.mkdir "/data" ~mode:0o755);
+      attempt "create /data/f" (fun () -> fs.Vfs.create "/data/f" ~mode:0o644);
+
+      log "crashing the coordination leader (server 0)";
+      Zk.Ensemble.crash ensemble 0;
+      attempt "mkdir /data/after-leader-crash" (fun () ->
+          fs.Vfs.mkdir "/data/after-leader-crash" ~mode:0o755);
+      (match Zk.Ensemble.leader_id ensemble with
+       | Some id -> log "new leader elected: server %d" id
+       | None -> log "no leader yet");
+
+      log "crashing two more servers (quorum lost: 2/5 alive)";
+      Zk.Ensemble.crash ensemble 1;
+      Zk.Ensemble.crash ensemble 2;
+      attempt "mkdir /data/no-quorum (must fail)" (fun () ->
+          fs.Vfs.mkdir "/data/no-quorum" ~mode:0o755);
+      attempt "stat /data/f (reads still served)" (fun () -> fs.Vfs.getattr "/data/f");
+
+      log "restarting servers 1 and 2 (quorum restored)";
+      Zk.Ensemble.restart ensemble 1;
+      Zk.Ensemble.restart ensemble 2;
+      Process.sleep 0.5;
+      attempt "mkdir /data/recovered" (fun () -> fs.Vfs.mkdir "/data/recovered" ~mode:0o755);
+      attempt "stat /data/recovered" (fun () -> fs.Vfs.getattr "/data/recovered");
+
+      log "alive servers: %s"
+        (String.concat ", " (List.map string_of_int (Zk.Ensemble.alive_ids ensemble))));
+  Engine.run engine;
+  print_endline "fault_tolerance done."

@@ -1,0 +1,66 @@
+(* Metadata scaling sweep: run the mdtest workload over DUFS and Basic
+   Lustre at increasing client counts and watch the crossover the paper
+   reports — Lustre wins small, DUFS wins big.
+
+       dune exec examples/metadata_scaling.exe
+
+   This drives the same [Mdtest.Runner] harness the benchmarks use, at a
+   reduced item count so it finishes in seconds. *)
+
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+
+let dufs_run ~procs =
+  let engine = Engine.create () in
+  let ensemble = Zk.Ensemble.start engine (Zk.Ensemble.default_config ~servers:8) in
+  let layout = Dufs.Physical.default_layout in
+  let mounts =
+    Array.init 2 (fun _ ->
+        Pfs.Lustre_sim.create engine ~config:(Pfs.Lustre_sim.backend_config ()) ())
+  in
+  Array.iter
+    (fun mount ->
+      match Dufs.Physical.format layout (Pfs.Lustre_sim.local_ops mount) with
+      | Ok () -> ()
+      | Error e -> failwith (Fuselike.Errno.to_string e))
+    mounts;
+  let ops_for_proc proc =
+    let backends =
+      Array.mapi (fun i m -> Pfs.Lustre_sim.client m ~client_id:((proc * 2) + i)) mounts
+    in
+    Dufs.Client.ops
+      (Dufs.Client.mount
+         ~coord:(Zk.Ensemble.session ensemble ())
+         ~backends
+         ~client_id:(Int64.of_int (proc + 1))
+         ~clock:(fun () -> Engine.now engine)
+         ~delay:Process.sleep ())
+  in
+  let cfg = Mdtest.Workload.config ~procs ~dirs_per_proc:40 ~files_per_proc:40 () in
+  Mdtest.Runner.run engine cfg ~ops_for_proc
+
+let lustre_run ~procs =
+  let engine = Engine.create () in
+  let fs = Pfs.Lustre_sim.create engine () in
+  let cfg = Mdtest.Workload.config ~procs ~dirs_per_proc:40 ~files_per_proc:40 () in
+  Mdtest.Runner.run engine cfg ~ops_for_proc:(fun proc ->
+      Pfs.Lustre_sim.client fs ~client_id:proc)
+
+let () =
+  Printf.printf "%-8s %-14s" "procs" "system";
+  List.iter
+    (fun p -> Printf.printf " %12s" (Mdtest.Runner.phase_to_string p))
+    Mdtest.Runner.all_phases;
+  print_newline ();
+  List.iter
+    (fun procs ->
+      List.iter
+        (fun (label, results) ->
+          Printf.printf "%-8d %-14s" procs label;
+          List.iter
+            (fun (_, rate) -> Printf.printf " %12.0f" rate)
+            results.Mdtest.Runner.rates;
+          Printf.printf "  (err=%d)\n%!" results.Mdtest.Runner.errors)
+        [ ("Basic Lustre", lustre_run ~procs); ("DUFS 2xLustre", dufs_run ~procs) ])
+    [ 16; 64; 256 ];
+  print_endline "\n(ops/sec; note the crossover as the client count grows)"

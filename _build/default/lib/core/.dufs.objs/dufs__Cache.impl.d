@@ -1,0 +1,1 @@
+lib/core/cache.ml: Hashtbl List Option Queue Zk

@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Consistent_hash Fid Fuselike Int64 List Mapping Meta Physical Result String Zk

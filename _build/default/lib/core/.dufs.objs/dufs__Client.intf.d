@@ -1,0 +1,1 @@
+lib/core/client.mli: Fid Fuselike Mapping Physical Zk

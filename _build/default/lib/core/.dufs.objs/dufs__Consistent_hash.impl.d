@@ -1,0 +1,1 @@
+lib/core/consistent_hash.ml: Array List Md5 Printf

@@ -1,0 +1,1 @@
+lib/core/consistent_hash.mli:

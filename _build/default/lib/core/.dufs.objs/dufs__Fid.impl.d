@@ -1,0 +1,1 @@
+lib/core/fid.ml: Bytes Char Format Int64 Printf String

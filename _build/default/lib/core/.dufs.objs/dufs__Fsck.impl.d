@@ -1,0 +1,1 @@
+lib/core/fsck.ml: Array Either Fid Format Fuselike Hashtbl Int64 List Mapping Meta Namespace Physical Result

@@ -1,0 +1,1 @@
+lib/core/fsck.mli: Fid Format Fuselike Mapping Physical Zk

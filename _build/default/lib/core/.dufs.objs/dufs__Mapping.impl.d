@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Consistent_hash Fid Float List Md5

@@ -1,0 +1,1 @@
+lib/core/md5.mli:

@@ -1,0 +1,1 @@
+lib/core/meta.ml: Fid Float Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/core/namespace.ml: Either List Meta Result String Zk

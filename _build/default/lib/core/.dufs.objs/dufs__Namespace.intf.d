@@ -1,0 +1,1 @@
+lib/core/namespace.mli: Either Fid Meta Zk

@@ -1,0 +1,1 @@
+lib/core/physical.ml: Fid Fuselike List Printf String

@@ -1,0 +1,1 @@
+lib/core/rebalancer.ml: Array Consistent_hash Fid Fuselike Int64 List Mapping Namespace Physical Result

@@ -1,0 +1,1 @@
+lib/core/rebalancer.mli: Fid Fuselike Mapping Physical Zk

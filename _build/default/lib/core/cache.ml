@@ -1,0 +1,195 @@
+module Zk_client = Zk.Zk_client
+module Zerror = Zk.Zerror
+module Zpath = Zk.Zpath
+
+(* Lazy LRU: entries carry a generation; the eviction queue may hold
+   stale (path, generation) pairs which are skipped when popping. *)
+type 'a store = {
+  capacity : int;
+  table : (string, 'a * int) Hashtbl.t;
+  order : (string * int) Queue.t;
+  mutable generation : int;
+}
+
+let store_create capacity =
+  { capacity; table = Hashtbl.create 256; order = Queue.create (); generation = 0 }
+
+let store_find store path = Option.map fst (Hashtbl.find_opt store.table path)
+
+let rec store_evict store =
+  if Hashtbl.length store.table > store.capacity then
+    match Queue.take_opt store.order with
+    | None -> ()
+    | Some (path, generation) ->
+      (match Hashtbl.find_opt store.table path with
+       | Some (_, g) when g = generation -> Hashtbl.remove store.table path
+       | Some _ | None -> ());
+      store_evict store
+
+let store_put store path value =
+  store.generation <- store.generation + 1;
+  Hashtbl.replace store.table path (value, store.generation);
+  Queue.push (path, store.generation) store.order;
+  store_evict store
+
+let store_touch store path =
+  match Hashtbl.find_opt store.table path with
+  | None -> ()
+  | Some (value, _) ->
+    store.generation <- store.generation + 1;
+    Hashtbl.replace store.table path (value, store.generation);
+    Queue.push (path, store.generation) store.order
+
+let store_remove store path = Hashtbl.remove store.table path
+
+type data_entry =
+  | Present of string * Zk.Ztree.stat
+  | Absent
+
+type t = {
+  inner : Zk_client.handle;
+  data : data_entry store;
+  kids : string list store;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable wrapped : Zk_client.handle option;
+}
+
+let hits t = t.hits
+let misses t = t.misses
+let invalidations t = t.invalidations
+let size t = Hashtbl.length t.data.table + Hashtbl.length t.kids.table
+
+let invalidate_data t path =
+  if Hashtbl.mem t.data.table path then begin
+    t.invalidations <- t.invalidations + 1;
+    store_remove t.data path
+  end
+
+let invalidate_children t path =
+  if Hashtbl.mem t.kids.table path then begin
+    t.invalidations <- t.invalidations + 1;
+    store_remove t.kids path
+  end
+
+(* A mutation on [path] changes its own entry and its parent's child
+   list; for deletes, also any cached children list of the node itself. *)
+let invalidate_mutation t path =
+  invalidate_data t path;
+  invalidate_children t path;
+  invalidate_children t (Zpath.parent path)
+
+let cached_get t path =
+  match store_find t.data path with
+  | Some (Present (data, stat)) ->
+    t.hits <- t.hits + 1;
+    store_touch t.data path;
+    Ok (data, stat)
+  | Some Absent ->
+    t.hits <- t.hits + 1;
+    store_touch t.data path;
+    Error Zerror.ZNONODE
+  | None ->
+    t.misses <- t.misses + 1;
+    (* one server visit: read + arm the invalidation watch *)
+    let result = t.inner.Zk_client.get_watch path (fun _ -> invalidate_data t path) in
+    (match result with
+     | Ok (data, stat) -> store_put t.data path (Present (data, stat))
+     | Error Zerror.ZNONODE ->
+       (* negative entry; the armed exists-watch fires on creation *)
+       store_put t.data path Absent
+     | Error _ -> ());
+    result
+
+let cached_children t path =
+  match store_find t.kids path with
+  | Some names ->
+    t.hits <- t.hits + 1;
+    store_touch t.kids path;
+    Ok names
+  | None ->
+    t.misses <- t.misses + 1;
+    let result =
+      t.inner.Zk_client.children_watch path (fun _ -> invalidate_children t path)
+    in
+    (match result with
+     | Ok names -> store_put t.kids path names
+     | Error _ -> ());
+    result
+
+let wrap ?(capacity = 4096) inner =
+  if capacity < 1 then invalid_arg "Cache.wrap: capacity < 1";
+  let t =
+    { inner;
+      data = store_create capacity;
+      kids = store_create capacity;
+      hits = 0;
+      misses = 0;
+      invalidations = 0;
+      wrapped = None }
+  in
+  let create ?ephemeral ?sequential path ~data =
+    let result = inner.Zk_client.create ?ephemeral ?sequential path ~data in
+    (match result with
+     | Ok actual ->
+       invalidate_mutation t actual;
+       if actual <> path then invalidate_mutation t path
+     | Error _ -> ());
+    result
+  in
+  let set ?version path ~data =
+    let result = inner.Zk_client.set ?version path ~data in
+    invalidate_data t path;
+    result
+  in
+  let delete ?version path =
+    let result = inner.Zk_client.delete ?version path in
+    invalidate_mutation t path;
+    result
+  in
+  let multi txn =
+    let result = inner.Zk_client.multi txn in
+    List.iter (fun op -> invalidate_mutation t (Zk.Txn.op_path op)) txn;
+    (* sequential creates materialize under a different name *)
+    (match result with
+     | Ok items ->
+       List.iter
+         (function
+           | Zk.Txn.Created actual -> invalidate_mutation t actual
+           | Zk.Txn.Deleted | Zk.Txn.Data_set | Zk.Txn.Checked -> ())
+         items
+     | Error _ -> ());
+    result
+  in
+  let multi_async txn callback =
+    inner.Zk_client.multi_async txn (fun result ->
+        List.iter (fun op -> invalidate_mutation t (Zk.Txn.op_path op)) txn;
+        callback result)
+  in
+  let handle =
+    { Zk_client.create;
+      get = cached_get t;
+      set;
+      delete;
+      exists =
+        (fun path ->
+          match cached_get t path with Ok (_, stat) -> Some stat | Error _ -> None);
+      children = cached_children t;
+      multi;
+      multi_async;
+      watch_data = inner.Zk_client.watch_data;
+      watch_children = inner.Zk_client.watch_children;
+      get_watch = inner.Zk_client.get_watch;
+      children_watch = inner.Zk_client.children_watch;
+      sync = inner.Zk_client.sync;
+      close = inner.Zk_client.close;
+      session_id = inner.Zk_client.session_id }
+  in
+  t.wrapped <- Some handle;
+  t
+
+let handle t =
+  match t.wrapped with
+  | Some h -> h
+  | None -> assert false (* set by [wrap] before returning *)

@@ -1,0 +1,33 @@
+(** Client-side metadata cache with watch-based invalidation — an
+    extension exploring the trade-off the paper's related work discusses
+    (§VI: client caching is usually disabled under concurrent update
+    workloads because of consistency overhead; a coordination service
+    with watches makes invalidation cheap).
+
+    [wrap] decorates a coordination handle: [get]/[exists]/[children]
+    results are cached; each fill registers a fire-once watch on the
+    session's server, and the event evicts the entry. The session's own
+    mutations also evict affected paths immediately, preserving
+    read-your-own-writes. Entries are bounded by an LRU of [capacity].
+
+    Cached reads cost no server round trip — which is exactly why cached
+    DUFS directory stats scale past the raw zoo_get ceiling in the
+    `ablation-cache` experiment — at the price of a staleness window of
+    one watch-delivery latency for remote updates. *)
+
+type t
+
+(** [wrap ?capacity handle] — a caching view over [handle]. The returned
+    handle shares the session (and its watches) with the original. *)
+val wrap : ?capacity:int -> Zk.Zk_client.handle -> t
+
+val handle : t -> Zk.Zk_client.handle
+
+(** {2 Statistics} *)
+
+val hits : t -> int
+val misses : t -> int
+val invalidations : t -> int
+
+(** Entries currently cached. *)
+val size : t -> int

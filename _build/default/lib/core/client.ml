@@ -1,0 +1,434 @@
+module Vfs = Fuselike.Vfs
+module Errno = Fuselike.Errno
+module Fspath = Fuselike.Fspath
+module Inode = Fuselike.Inode
+module Zk_client = Zk.Zk_client
+module Zerror = Zk.Zerror
+module Txn = Zk.Txn
+module Zpath = Zk.Zpath
+
+type t = {
+  coord : Zk_client.handle;
+  backends : Vfs.ops array;
+  layout : Physical.layout;
+  strategy : Mapping.strategy;
+  zroot : string;
+  clock : unit -> float;
+  delay : float -> unit;
+  overhead : float;
+  fid_gen : Fid.Gen.t;
+}
+
+let default_overhead = 15e-6
+
+let errno_of_zerror = function
+  | Zerror.ZNONODE -> Errno.ENOENT
+  | Zerror.ZNODEEXISTS -> Errno.EEXIST
+  | Zerror.ZNOTEMPTY -> Errno.ENOTEMPTY
+  | Zerror.ZBADARGUMENTS -> Errno.EINVAL
+  | Zerror.ZBADVERSION
+  | Zerror.ZNOCHILDRENFOREPHEMERALS
+  | Zerror.ZCONNECTIONLOSS
+  | Zerror.ZSESSIONEXPIRED
+  | Zerror.ZOPERATIONTIMEOUT -> Errno.EIO
+
+let mount ~coord ~backends ?client_id ?(layout = Physical.default_layout)
+    ?(strategy = Mapping.Md5_mod) ?(zroot = "/dufs") ?(clock = fun () -> 0.)
+    ?(delay = fun _ -> ()) ?(overhead = default_overhead) () =
+  if Array.length backends = 0 then invalid_arg "Client.mount: no backends";
+  (match strategy with
+  | Mapping.Md5_mod -> ()
+  | Mapping.Consistent ring ->
+    if
+      List.exists
+        (fun node -> node < 0 || node >= Array.length backends)
+        (Consistent_hash.nodes ring)
+    then invalid_arg "Client.mount: ring node outside the backend range");
+  let client_id =
+    match client_id with Some id -> id | None -> coord.Zk_client.session_id
+  in
+  let t =
+    { coord;
+      backends;
+      layout;
+      strategy;
+      zroot;
+      clock;
+      delay;
+      overhead;
+      fid_gen = Fid.Gen.create ~client_id }
+  in
+  (* the namespace root is a plain directory znode *)
+  (match
+     coord.Zk_client.create zroot
+       ~data:(Meta.encode (Meta.dir ~mode:0o755 ~ctime:(clock ())))
+   with
+  | Ok _ | Error Zerror.ZNODEEXISTS -> ()
+  | Error e ->
+    invalid_arg ("Client.mount: cannot create namespace root: " ^ Zerror.to_string e));
+  t
+
+let backend_count t = Array.length t.backends
+let layout t = t.layout
+let strategy t = t.strategy
+let files_created t = Fid.Gen.generated t.fid_gen
+let locate t fid = Mapping.locate t.strategy ~backends:(Array.length t.backends) fid
+
+(* FUSE channel buffers + ZooKeeper client library + mapping tables; none
+   of it grows with the namespace (the client is stateless, §IV-I). *)
+let resident_bytes _t = (10 * 132 * 1024) + (8 * 1024 * 1024)
+
+(* virtual path -> znode path *)
+let zpath t vpath =
+  let vpath = Fspath.normalize vpath in
+  if vpath = "/" then t.zroot else t.zroot ^ vpath
+
+let backend_for t fid = t.backends.(locate t fid)
+let physical t fid = Physical.path t.layout fid
+
+let ( let* ) = Result.bind
+
+(* Classify a missing path the way the kernel's walk does: ENOTDIR if the
+   nearest existing ancestor is not a directory, ENOENT otherwise. *)
+let rec classify_missing t vpath =
+  let parent = Fspath.parent vpath in
+  if parent = vpath then Errno.ENOENT
+  else
+    match t.coord.Zk_client.get (zpath t parent) with
+    | Ok (data, _) ->
+      (match Meta.decode data with
+       | Ok { Meta.kind = Meta.Dir; _ } -> Errno.ENOENT
+       | Ok { Meta.kind = Meta.File _ | Meta.Symlink _; _ } -> Errno.ENOTDIR
+       | Error _ -> Errno.EIO)
+    | Error Zerror.ZNONODE -> classify_missing t parent
+    | Error e -> errno_of_zerror e
+
+(* Look up a virtual path's metadata: znode data + stat, decoded. *)
+let lookup t vpath =
+  match t.coord.Zk_client.get (zpath t vpath) with
+  | Error Zerror.ZNONODE -> Error (classify_missing t (Fspath.normalize vpath))
+  | Error e -> Error (errno_of_zerror e)
+  | Ok (data, stat) ->
+    (match Meta.decode data with
+     | Ok meta -> Ok (meta, stat)
+     | Error _ -> Error Errno.EIO)
+
+let charge t = t.delay t.overhead
+
+(* [parent_dir_of t vpath] — the parent must exist and be a directory,
+   mirroring the kernel's path-resolution order. *)
+let parent_dir_of t vpath =
+  let parent = Fspath.parent (Fspath.normalize vpath) in
+  let* meta, _stat = lookup t parent in
+  match meta.Meta.kind with
+  | Meta.Dir -> Ok ()
+  | Meta.File _ | Meta.Symlink _ -> Error Errno.ENOTDIR
+
+let dir_attr (meta : Meta.t) (stat : Zk.Ztree.stat) =
+  { Inode.kind = Inode.Directory;
+    ino = stat.Zk.Ztree.czxid;
+    mode = meta.Meta.mode;
+    uid = 0;
+    gid = 0;
+    size = Int64.of_int stat.Zk.Ztree.num_children;
+    nlink = 2;
+    atime = stat.Zk.Ztree.mtime;
+    mtime = stat.Zk.Ztree.mtime;
+    ctime = meta.Meta.ctime }
+
+let symlink_attr (target : string) (meta : Meta.t) (stat : Zk.Ztree.stat) =
+  { Inode.kind = Inode.Symlink;
+    ino = stat.Zk.Ztree.czxid;
+    mode = 0o777;
+    uid = 0;
+    gid = 0;
+    size = Int64.of_int (String.length target);
+    nlink = 1;
+    atime = stat.Zk.Ztree.mtime;
+    mtime = stat.Zk.Ztree.mtime;
+    ctime = meta.Meta.ctime }
+
+(* Algorithm of Fig. 6: directories are answered from the coordination
+   service alone; files redirect to a physical stat on the back-end. *)
+let getattr t vpath =
+  charge t;
+  let* meta, stat = lookup t vpath in
+  match meta.Meta.kind with
+  | Meta.Dir -> Ok (dir_attr meta stat)
+  | Meta.Symlink target -> Ok (symlink_attr target meta stat)
+  | Meta.File fid -> (backend_for t fid).Vfs.getattr (physical t fid)
+
+let access t vpath = Result.map (fun (_ : Inode.attr) -> ()) (getattr t vpath)
+
+(* Algorithm of Fig. 5. *)
+let mkdir t vpath ~mode =
+  charge t;
+  let* () = parent_dir_of t vpath in
+  let data = Meta.encode (Meta.dir ~mode ~ctime:(t.clock ())) in
+  match t.coord.Zk_client.create (zpath t vpath) ~data with
+  | Ok _ -> Ok ()
+  | Error e -> Error (errno_of_zerror e)
+
+let rmdir t vpath =
+  charge t;
+  let* meta, stat = lookup t vpath in
+  match meta.Meta.kind with
+  | Meta.File _ | Meta.Symlink _ -> Error Errno.ENOTDIR
+  | Meta.Dir ->
+    if Fspath.normalize vpath = "/" then Error Errno.EINVAL
+    else begin
+      (* the version guard makes the emptiness check race-free *)
+      ignore stat;
+      match t.coord.Zk_client.delete (zpath t vpath) with
+      | Ok () -> Ok ()
+      | Error e -> Error (errno_of_zerror e)
+    end
+
+(* Create the znode first (atomically claiming the name), then the
+   physical file; roll the znode back if the back-end fails. *)
+let create_file t vpath ~mode =
+  charge t;
+  let* () = parent_dir_of t vpath in
+  let fid = Fid.Gen.next t.fid_gen in
+  let data = Meta.encode (Meta.file fid ~mode ~ctime:(t.clock ())) in
+  match t.coord.Zk_client.create (zpath t vpath) ~data with
+  | Error e -> Error (errno_of_zerror e)
+  | Ok _ ->
+    let backend = backend_for t fid in
+    let ppath = physical t fid in
+    let created =
+      match backend.Vfs.create ppath ~mode with
+      | Ok () -> Ok ()
+      | Error Errno.ENOENT ->
+        (* hierarchy not formatted: create it on demand, then retry *)
+        let* () = Vfs.mkdir_p backend (Fspath.parent ppath) ~mode:0o755 in
+        backend.Vfs.create ppath ~mode
+      | Error _ as e -> e
+    in
+    (match created with
+     | Ok () -> Ok ()
+     | Error _ ->
+       ignore (t.coord.Zk_client.delete (zpath t vpath));
+       Error Errno.EIO)
+
+let unlink t vpath =
+  charge t;
+  let* meta, _stat = lookup t vpath in
+  match meta.Meta.kind with
+  | Meta.Dir -> Error Errno.EISDIR
+  | Meta.Symlink _ ->
+    (match t.coord.Zk_client.delete (zpath t vpath) with
+     | Ok () -> Ok ()
+     | Error e -> Error (errno_of_zerror e))
+  | Meta.File fid ->
+    (match t.coord.Zk_client.delete (zpath t vpath) with
+     | Error e -> Error (errno_of_zerror e)
+     | Ok () ->
+       (* the name is gone; physical cleanup failures only leak space *)
+       (match (backend_for t fid).Vfs.unlink (physical t fid) with
+        | Ok () | Error _ -> Ok ()))
+
+let readdir t vpath =
+  charge t;
+  let* meta, _stat = lookup t vpath in
+  match meta.Meta.kind with
+  | Meta.File _ | Meta.Symlink _ -> Error Errno.ENOTDIR
+  | Meta.Dir ->
+    (match t.coord.Zk_client.children (zpath t vpath) with
+     | Error e -> Error (errno_of_zerror e)
+     | Ok names ->
+       let kind_of name =
+         match t.coord.Zk_client.get (Zpath.concat (zpath t vpath) name) with
+         | Ok (data, _) ->
+           (match Meta.decode data with
+            | Ok { Meta.kind = Meta.Dir; _ } -> Inode.Directory
+            | Ok { Meta.kind = Meta.File _; _ } -> Inode.Regular
+            | Ok { Meta.kind = Meta.Symlink _; _ } -> Inode.Symlink
+            | Error _ -> Inode.Regular)
+         | Error _ -> Inode.Regular
+       in
+       Ok (List.map (fun name -> { Vfs.name; kind = kind_of name }) names))
+
+let symlink t ~target vpath =
+  charge t;
+  let* () = parent_dir_of t vpath in
+  let data = Meta.encode (Meta.symlink ~target ~ctime:(t.clock ())) in
+  match t.coord.Zk_client.create (zpath t vpath) ~data with
+  | Ok _ -> Ok ()
+  | Error e -> Error (errno_of_zerror e)
+
+let readlink t vpath =
+  charge t;
+  let* meta, _stat = lookup t vpath in
+  match meta.Meta.kind with
+  | Meta.Symlink target -> Ok target
+  | Meta.Dir | Meta.File _ -> Error Errno.EINVAL
+
+(* {2 Rename}
+
+   Rename is a pure metadata operation: the FID (and hence the physical
+   file) never moves. The whole update — including moving a directory
+   subtree's znodes — is submitted as one atomic multi-transaction,
+   guarded by a version check on the source so a concurrent modification
+   retries rather than corrupting the namespace. *)
+
+let collect_subtree t zsrc =
+  (* breadth-first: parents precede children *)
+  let rec walk acc = function
+    | [] -> Ok (List.rev acc)
+    | path :: rest ->
+      (match t.coord.Zk_client.get path with
+       | Error e -> Error (errno_of_zerror e)
+       | Ok (data, _) ->
+         (match t.coord.Zk_client.children path with
+          | Error e -> Error (errno_of_zerror e)
+          | Ok names ->
+            let children = List.map (Zpath.concat path) names in
+            walk ((path, data) :: acc) (rest @ children)))
+  in
+  walk [] [ zsrc ]
+
+let rebase ~from ~onto path =
+  if path = from then onto
+  else onto ^ String.sub path (String.length from) (String.length path - String.length from)
+
+let rename_txn t ~zsrc ~zdst ~src_version ~dst_existing =
+  let* nodes = collect_subtree t zsrc in
+  let deletes_of_dst =
+    match dst_existing with
+    | None -> []
+    | Some () -> [ Zk_client.delete_op zdst ]
+  in
+  let creates =
+    List.map
+      (fun (path, data) -> Zk_client.create_op (rebase ~from:zsrc ~onto:zdst path) ~data)
+      nodes
+  in
+  let deletes =
+    (* deepest first, so children disappear before their parents *)
+    List.map (fun (path, _) -> Zk_client.delete_op path) (List.rev nodes)
+  in
+  Ok ([ Zk_client.check_op ~version:src_version zsrc ] @ deletes_of_dst @ creates @ deletes)
+
+let rec rename_with_retries t ~attempts vsrc vdst =
+  let zsrc = zpath t vsrc and zdst = zpath t vdst in
+  let* () = parent_dir_of t vsrc in
+  let* () = parent_dir_of t vdst in
+  let* src_meta, src_stat = lookup t vsrc in
+  let src_is_dir = match src_meta.Meta.kind with Meta.Dir -> true | _ -> false in
+  if Fspath.normalize vsrc = Fspath.normalize vdst then Ok ()
+  else if src_is_dir && Fspath.is_prefix ~prefix:vsrc vdst then Error Errno.EINVAL
+  else begin
+    let dst_state =
+      match lookup t vdst with
+      | Ok (dst_meta, dst_stat) -> `Exists (dst_meta, dst_stat)
+      | Error Errno.ENOENT -> `Absent
+      | Error e -> `Err e
+    in
+    let* dst_existing =
+      match dst_state with
+      | `Err e -> Error e
+      | `Absent -> Ok None
+      | `Exists (dst_meta, dst_stat) ->
+        (match src_meta.Meta.kind, dst_meta.Meta.kind with
+         | Meta.Dir, Meta.Dir ->
+           if dst_stat.Zk.Ztree.num_children > 0 then Error Errno.ENOTEMPTY
+           else Ok (Some ())
+         | Meta.Dir, (Meta.File _ | Meta.Symlink _) -> Error Errno.ENOTDIR
+         | (Meta.File _ | Meta.Symlink _), Meta.Dir -> Error Errno.EISDIR
+         | (Meta.File _ | Meta.Symlink _), (Meta.File _ | Meta.Symlink _) ->
+           Ok (Some ()))
+    in
+    let* txn =
+      rename_txn t ~zsrc ~zdst ~src_version:src_stat.Zk.Ztree.version ~dst_existing
+    in
+    match t.coord.Zk_client.multi txn with
+    | Ok _ -> Ok ()
+    | Error (Zerror.ZBADVERSION | Zerror.ZNODEEXISTS | Zerror.ZNONODE | Zerror.ZNOTEMPTY)
+      when attempts > 1 ->
+      (* lost a race with a concurrent namespace update: re-read and retry *)
+      rename_with_retries t ~attempts:(attempts - 1) vsrc vdst
+    | Error e -> Error (errno_of_zerror e)
+  end
+
+let rename t vsrc vdst =
+  charge t;
+  if Fspath.normalize vsrc = "/" then Error Errno.EINVAL
+  else rename_with_retries t ~attempts:8 vsrc vdst
+
+(* {2 Attribute updates} *)
+
+let rec set_meta_with_retries t ~attempts vpath update =
+  let* meta, stat = lookup t vpath in
+  let* meta' = update meta in
+  match
+    t.coord.Zk_client.set ~version:stat.Zk.Ztree.version (zpath t vpath)
+      ~data:(Meta.encode meta')
+  with
+  | Ok () -> Ok ()
+  | Error Zerror.ZBADVERSION when attempts > 1 ->
+    set_meta_with_retries t ~attempts:(attempts - 1) vpath update
+  | Error e -> Error (errno_of_zerror e)
+
+let chmod t vpath ~mode =
+  charge t;
+  let* meta, _stat = lookup t vpath in
+  match meta.Meta.kind with
+  | Meta.File fid -> (backend_for t fid).Vfs.chmod (physical t fid) ~mode
+  | Meta.Symlink _ -> Ok ()
+  | Meta.Dir ->
+    set_meta_with_retries t ~attempts:8 vpath (fun meta ->
+        Ok { meta with Meta.mode })
+
+let truncate t vpath ~size =
+  charge t;
+  let* meta, _stat = lookup t vpath in
+  match meta.Meta.kind with
+  | Meta.Dir -> Error Errno.EISDIR
+  | Meta.Symlink _ -> Error Errno.EINVAL
+  | Meta.File fid -> (backend_for t fid).Vfs.truncate (physical t fid) ~size
+
+(* {2 Data path} *)
+
+let with_file t vpath f =
+  let* meta, _stat = lookup t vpath in
+  match meta.Meta.kind with
+  | Meta.Dir -> Error Errno.EISDIR
+  | Meta.Symlink _ -> Error Errno.EINVAL
+  | Meta.File fid -> f (backend_for t fid) (physical t fid)
+
+let read t vpath ~off ~len =
+  charge t;
+  with_file t vpath (fun backend ppath -> backend.Vfs.read ppath ~off ~len)
+
+let write t vpath ~off data =
+  charge t;
+  with_file t vpath (fun backend ppath -> backend.Vfs.write ppath ~off data)
+
+let statfs t () =
+  Array.fold_left
+    (fun acc backend ->
+      let s = backend.Vfs.statfs () in
+      { Vfs.files = acc.Vfs.files + s.Vfs.files;
+        directories = acc.Vfs.directories + s.Vfs.directories;
+        symlinks = acc.Vfs.symlinks + s.Vfs.symlinks;
+        bytes_used = Int64.add acc.Vfs.bytes_used s.Vfs.bytes_used })
+    { Vfs.files = 0; directories = 0; symlinks = 0; bytes_used = 0L }
+    t.backends
+
+let ops t =
+  { Vfs.getattr = getattr t;
+    access = access t;
+    mkdir = mkdir t;
+    rmdir = rmdir t;
+    create = create_file t;
+    unlink = unlink t;
+    rename = rename t;
+    readdir = readdir t;
+    symlink = (fun ~target vpath -> symlink t ~target vpath);
+    readlink = readlink t;
+    chmod = chmod t;
+    truncate = truncate t;
+    read = read t;
+    write = write t;
+    statfs = statfs t }

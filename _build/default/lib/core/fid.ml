@@ -1,0 +1,64 @@
+type t = { client_id : int64; counter : int64 }
+
+let make ~client_id ~counter = { client_id; counter }
+let equal a b = Int64.equal a.client_id b.client_id && Int64.equal a.counter b.counter
+
+let compare a b =
+  match Int64.unsigned_compare a.client_id b.client_id with
+  | 0 -> Int64.unsigned_compare a.counter b.counter
+  | c -> c
+
+let to_hex t = Printf.sprintf "%016Lx%016Lx" t.client_id t.counter
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let parse_u64 s off =
+  let rec go acc i =
+    if i = 16 then Some acc
+    else
+      match hex_value s.[off + i] with
+      | Some v -> go (Int64.logor (Int64.shift_left acc 4) (Int64.of_int v)) (i + 1)
+      | None -> None
+  in
+  go 0L 0
+
+let of_hex s =
+  if String.length s <> 32 then None
+  else
+    match parse_u64 s 0, parse_u64 s 16 with
+    | Some client_id, Some counter -> Some { client_id; counter }
+    | _, _ -> None
+
+let to_bytes t =
+  let bytes = Bytes.create 16 in
+  let put off v =
+    for i = 0 to 7 do
+      Bytes.set bytes (off + i)
+        (Char.chr
+           (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xFFL)))
+    done
+  in
+  put 0 t.client_id;
+  put 8 t.counter;
+  Bytes.to_string bytes
+
+let pp fmt t = Format.pp_print_string fmt (to_hex t)
+
+module Gen = struct
+  type fid = t
+  type nonrec t = { gen_client_id : int64; mutable next_counter : int64 }
+
+  let create ~client_id = { gen_client_id = client_id; next_counter = 0L }
+  let client_id t = t.gen_client_id
+  let generated t = t.next_counter
+
+  let next t =
+    let counter = t.next_counter in
+    t.next_counter <- Int64.add counter 1L;
+    make ~client_id:t.gen_client_id ~counter
+end

@@ -1,0 +1,38 @@
+(** File Identifiers (§IV-E).
+
+    A FID is a 128-bit integer: the 64-bit id of the DUFS client instance
+    that created the file, concatenated with that client's 64-bit file
+    creation counter. FIDs are generated without any coordination and
+    uniquely identify a file's physical contents for its whole life —
+    renames never change the FID. *)
+
+type t = private { client_id : int64; counter : int64 }
+
+val make : client_id:int64 -> counter:int64 -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** 32 lowercase hex characters: client id (16) then counter (16). *)
+val to_hex : t -> string
+
+val of_hex : string -> t option
+
+(** 16 bytes, big-endian — the input to the mapping function. *)
+val to_bytes : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Per-client generator. A restarted client must be given a fresh
+    [client_id]; the counter then restarts at zero (§IV-E). *)
+module Gen : sig
+  type fid = t
+  type t
+
+  val create : client_id:int64 -> t
+  val client_id : t -> int64
+
+  (** Number of FIDs generated so far. *)
+  val generated : t -> int64
+
+  val next : t -> fid
+end

@@ -1,0 +1,59 @@
+(** Consistency checker for a DUFS deployment.
+
+    DUFS splits the truth between the coordination service (names, FIDs)
+    and the back-end mounts (file contents). [scan] cross-checks the two:
+    every file znode must have its physical file on exactly the back-end
+    the mapping function selects, and every physical file must be owned by
+    some znode. [repair] fixes what can be fixed mechanically. *)
+
+type issue =
+  | Missing_physical of { vpath : string; fid : Fid.t; backend : int }
+      (** znode exists but the mapped back-end has no physical file *)
+  | Misplaced_physical of {
+      vpath : string;
+      fid : Fid.t;
+      expected : int;
+      actual : int;
+    }  (** physical file found, but on the wrong back-end *)
+  | Orphan_physical of { backend : int; path : string }
+      (** physical file not referenced by any znode *)
+  | Undecodable_meta of { vpath : string; data : string }
+      (** znode data field is not a valid DUFS payload *)
+
+type report = {
+  issues : issue list;
+  files_checked : int;
+  dirs_checked : int;
+  physicals_checked : int;
+}
+
+val pp_issue : Format.formatter -> issue -> unit
+val is_clean : report -> bool
+
+(** [scan ~coord ~backends ()] — read-only cross-check. *)
+val scan :
+  coord:Zk.Zk_client.handle ->
+  backends:Fuselike.Vfs.ops array ->
+  ?layout:Physical.layout ->
+  ?strategy:Mapping.strategy ->
+  ?zroot:string ->
+  unit ->
+  (report, Zk.Zerror.t) result
+
+type repair_stats = {
+  recreated : int;   (** empty physical files created for missing ones *)
+  moved : int;       (** misplaced physical files moved home *)
+  deleted : int;     (** orphan physical files removed *)
+  unrepairable : int;
+}
+
+(** [repair ~coord ~backends report] applies mechanical fixes:
+    missing physicals are recreated empty (the contents are gone),
+    misplaced physicals are copied to the mapped back-end and removed from
+    the wrong one, orphans are deleted. Undecodable metadata is left for a
+    human. *)
+val repair :
+  backends:Fuselike.Vfs.ops array ->
+  ?layout:Physical.layout ->
+  report ->
+  repair_stats

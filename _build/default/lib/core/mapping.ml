@@ -1,0 +1,21 @@
+type strategy =
+  | Md5_mod
+  | Consistent of Consistent_hash.t
+
+let md5_mod ~backends fid =
+  if backends < 1 then invalid_arg "Mapping.md5_mod: backends < 1";
+  Md5.to_int (Md5.digest (Fid.to_bytes fid)) mod backends
+
+let locate strategy ~backends fid =
+  match strategy with
+  | Md5_mod -> md5_mod ~backends fid
+  | Consistent ring -> Consistent_hash.lookup ring (Fid.to_bytes fid)
+
+let imbalance locate_fid ~backends fids =
+  if backends < 1 then invalid_arg "Mapping.imbalance: backends < 1";
+  let buckets = Array.make backends 0 in
+  List.iter (fun fid -> let i = locate_fid fid in buckets.(i) <- buckets.(i) + 1) fids;
+  let largest = Array.fold_left max 0 buckets in
+  let smallest = Array.fold_left min max_int buckets in
+  if smallest = 0 then Float.infinity
+  else float_of_int largest /. float_of_int smallest

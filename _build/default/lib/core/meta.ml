@@ -1,0 +1,66 @@
+type kind =
+  | Dir
+  | File of Fid.t
+  | Symlink of string
+
+type t = {
+  kind : kind;
+  mode : int;
+  ctime : float;
+}
+
+let dir ~mode ~ctime = { kind = Dir; mode; ctime }
+let file fid ~mode ~ctime = { kind = File fid; mode; ctime }
+let symlink ~target ~ctime = { kind = Symlink target; mode = 0o777; ctime }
+
+let equal a b =
+  a.mode = b.mode
+  && Float.equal a.ctime b.ctime
+  &&
+  match a.kind, b.kind with
+  | Dir, Dir -> true
+  | File x, File y -> Fid.equal x y
+  | Symlink x, Symlink y -> String.equal x y
+  | (Dir | File _ | Symlink _), _ -> false
+
+(* v1|<kind>|<mode octal>|<ctime bits hex>|<payload>
+   payload: FID hex for files, raw target for symlinks (last field, so it
+   may contain any character including '|'). *)
+let encode t =
+  let kind_tag, payload =
+    match t.kind with
+    | Dir -> ("d", "")
+    | File fid -> ("f", Fid.to_hex fid)
+    | Symlink target -> ("l", target)
+  in
+  Printf.sprintf "v1|%s|%o|%Lx|%s" kind_tag t.mode (Int64.bits_of_float t.ctime) payload
+
+let decode s =
+  let field_error what = Error (Printf.sprintf "Meta.decode: bad %s in %S" what s) in
+  match String.split_on_char '|' s with
+  | "v1" :: kind_tag :: mode_s :: ctime_s :: rest ->
+    let payload = String.concat "|" rest in
+    let mode = int_of_string_opt ("0o" ^ mode_s) in
+    let ctime =
+      match Int64.of_string_opt ("0x" ^ ctime_s) with
+      | Some bits -> Some (Int64.float_of_bits bits)
+      | None -> None
+    in
+    (match mode, ctime with
+     | Some mode, Some ctime ->
+       (match kind_tag with
+        | "d" -> Ok { kind = Dir; mode; ctime }
+        | "f" ->
+          (match Fid.of_hex payload with
+           | Some fid -> Ok { kind = File fid; mode; ctime }
+           | None -> field_error "fid")
+        | "l" -> Ok { kind = Symlink payload; mode; ctime }
+        | _ -> field_error "kind")
+     | _, _ -> field_error "numeric field")
+  | _ -> field_error "layout"
+
+let pp fmt t =
+  match t.kind with
+  | Dir -> Format.fprintf fmt "dir(mode=%o)" t.mode
+  | File fid -> Format.fprintf fmt "file(%a, mode=%o)" Fid.pp fid t.mode
+  | Symlink target -> Format.fprintf fmt "symlink(%s)" target

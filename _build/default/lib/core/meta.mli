@@ -1,0 +1,29 @@
+(** The payload DUFS stores in each znode's custom data field (§IV-D):
+    whether the node is a directory or a file, and in the latter case its
+    FID. Directories additionally carry their permission bits and creation
+    time, since they exist only at the metadata level. *)
+
+type kind =
+  | Dir
+  | File of Fid.t
+  | Symlink of string
+
+type t = {
+  kind : kind;
+  mode : int;
+  ctime : float;
+}
+
+val dir : mode:int -> ctime:float -> t
+val file : Fid.t -> mode:int -> ctime:float -> t
+val symlink : target:string -> ctime:float -> t
+
+val equal : t -> t -> bool
+
+(** Compact single-line encoding stored as znode data. *)
+val encode : t -> string
+
+(** [decode s] — [Error] on malformed payloads (never raises). *)
+val decode : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

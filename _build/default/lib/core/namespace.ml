@@ -1,0 +1,45 @@
+module Zk_client = Zk.Zk_client
+module Zpath = Zk.Zpath
+
+type entry = {
+  vpath : string;
+  meta : Meta.t;
+}
+
+let virtual_of ~zroot zpath =
+  if zpath = zroot then "/"
+  else String.sub zpath (String.length zroot) (String.length zpath - String.length zroot)
+
+let scan (coord : Zk_client.handle) ~zroot =
+  let ( let* ) = Result.bind in
+  (* breadth-first so parents precede children *)
+  let rec walk acc = function
+    | [] -> Ok (List.rev acc)
+    | zpath :: rest ->
+      let* data, _stat = coord.Zk_client.get zpath in
+      let* names = coord.Zk_client.children zpath in
+      let children = List.map (Zpath.concat zpath) names in
+      let acc =
+        if zpath = zroot then acc
+        else
+          let vpath = virtual_of ~zroot zpath in
+          match Meta.decode data with
+          | Ok meta -> Either.Left { vpath; meta } :: acc
+          | Error _ -> Either.Right (`Undecodable (vpath, data)) :: acc
+      in
+      (* only directories can have children worth visiting, but walking
+         every znode is harmless and catches stray children of files *)
+      walk acc (rest @ children)
+  in
+  walk [] [ zroot ]
+
+let files coord ~zroot =
+  Result.map
+    (fun entries ->
+      List.filter_map
+        (function
+          | Either.Left { vpath; meta = { Meta.kind = Meta.File fid; _ } } ->
+            Some (vpath, fid)
+          | Either.Left _ | Either.Right _ -> None)
+        entries)
+    (scan coord ~zroot)

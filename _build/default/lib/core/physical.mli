@@ -1,0 +1,42 @@
+(** Physical-path layout on the back-end storage (§IV-G).
+
+    The physical filename is derived purely from the FID's hexadecimal
+    representation, so it never changes when the virtual name does. To
+    avoid congestion from creating every file in one directory, leading
+    path components are taken from the *low* (fastest-varying) end of the
+    hex string, exactly like the paper's example
+    [FID 0123456789abcdef -> cdef/89ab/4567/0123].
+
+    The hierarchy is static and identical on every back-end mount
+    ({!format} pre-creates it), which keeps concurrent clients free of
+    mkdir races. *)
+
+type layout = {
+  levels : int;           (** directory levels above the file *)
+  chars_per_level : int;  (** hex characters consumed per level *)
+}
+
+(** 2 levels of one hex nibble each: 16 + 256 pre-created directories,
+    fan-out bounded, one physical create per file. *)
+val default_layout : layout
+
+(** [path layout fid] — absolute back-end path for [fid], e.g.
+    ["/f/e/0123456789abcdef0123456789abcdef"] under the default layout. *)
+val path : layout -> Fid.t -> string
+
+(** Parent directory of [path layout fid]. *)
+val dir : layout -> Fid.t -> string
+
+(** Recover the FID from a physical path produced by [path]. *)
+val fid_of_path : string -> Fid.t option
+
+(** Pre-create the whole static hierarchy on a back-end (use the mount's
+    zero-cost [local_ops] — this is mount-format time, not benchmark
+    time). *)
+val format : layout -> Fuselike.Vfs.ops -> (unit, Fuselike.Errno.t) result
+
+(** The paper's Fig. 4 function verbatim: split a 16-hex-digit FID string
+    into four 4-digit components, lowest first —
+    ["0123456789abcdef"] ↦ ["cdef/89ab/4567/0123"]. Kept for
+    documentation and tests. *)
+val paper_split : string -> string

@@ -1,0 +1,52 @@
+(** Physical-data rebalancing when the back-end set changes — the
+    machinery behind the paper's §VII future work.
+
+    With the paper's [MD5(fid) mod N] mapping, changing N remaps almost
+    every FID; with consistent hashing, only ≈ 1/(N+1) of FIDs move when a
+    back-end is added. Either way the procedure is the same: compute the
+    FIDs whose owner changed, copy each physical file to its new home,
+    then delete the old copy. Virtual names and FIDs never change, so the
+    namespace in the coordination service is untouched. *)
+
+type move = {
+  vpath : string;
+  fid : Fid.t;
+  src : int;
+  dst : int;
+}
+
+type stats = {
+  examined : int;   (** files in the namespace *)
+  moved : int;      (** physical files relocated *)
+  bytes_moved : int64;
+}
+
+(** [plan ~coord ~old_locate ~new_locate ()] — every file whose back-end
+    under [new_locate] differs from [old_locate]. *)
+val plan :
+  coord:Zk.Zk_client.handle ->
+  old_locate:(Fid.t -> int) ->
+  new_locate:(Fid.t -> int) ->
+  ?zroot:string ->
+  unit ->
+  (move list, Zk.Zerror.t) result
+
+(** [execute ~backends moves] copies and deletes; [backends] must cover
+    every [src] and [dst] index and be formatted with [layout]. Stops at
+    the first filesystem error. *)
+val execute :
+  backends:Fuselike.Vfs.ops array ->
+  ?layout:Physical.layout ->
+  move list ->
+  (stats, Fuselike.Errno.t) result
+
+(** Convenience for the common case: grow the back-end set by one under a
+    given strategy. Returns the plan together with the strategy to mount
+    new clients with. *)
+val plan_add_backend :
+  coord:Zk.Zk_client.handle ->
+  strategy:Mapping.strategy ->
+  backends_before:int ->
+  ?zroot:string ->
+  unit ->
+  (move list * Mapping.strategy, Zk.Zerror.t) result

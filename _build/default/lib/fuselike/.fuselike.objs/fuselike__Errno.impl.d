@@ -1,0 +1,1 @@
+lib/fuselike/errno.ml: Format

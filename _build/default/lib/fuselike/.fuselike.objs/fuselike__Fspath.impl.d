@@ -1,0 +1,1 @@
+lib/fuselike/fspath.ml: Buffer Errno List String

@@ -1,0 +1,1 @@
+lib/fuselike/fspath.mli: Errno

@@ -1,0 +1,1 @@
+lib/fuselike/inode.mli: Format

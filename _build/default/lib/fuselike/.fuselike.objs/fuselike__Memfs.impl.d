@@ -1,0 +1,1 @@
+lib/fuselike/memfs.ml: Bytes Errno Fspath Hashtbl Inode Int64 List Result String Vfs

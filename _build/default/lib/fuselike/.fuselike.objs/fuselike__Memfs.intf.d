@@ -1,0 +1,1 @@
+lib/fuselike/memfs.mli: Vfs

@@ -1,0 +1,1 @@
+lib/fuselike/passthrough.ml: Vfs

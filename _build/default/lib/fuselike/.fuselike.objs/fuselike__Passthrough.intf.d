@@ -1,0 +1,1 @@
+lib/fuselike/passthrough.mli: Vfs

@@ -1,0 +1,1 @@
+lib/fuselike/vfs.ml: Errno Fspath Inode Result String

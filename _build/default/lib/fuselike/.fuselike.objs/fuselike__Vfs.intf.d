@@ -1,0 +1,1 @@
+lib/fuselike/vfs.mli: Errno Inode

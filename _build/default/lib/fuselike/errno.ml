@@ -1,0 +1,51 @@
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EACCES
+  | EPERM
+  | EINVAL
+  | ENAMETOOLONG
+  | EIO
+  | ENOSPC
+  | EXDEV
+  | EBADF
+  | ELOOP
+
+let equal = ( = )
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EACCES -> "EACCES"
+  | EPERM -> "EPERM"
+  | EINVAL -> "EINVAL"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | EIO -> "EIO"
+  | ENOSPC -> "ENOSPC"
+  | EXDEV -> "EXDEV"
+  | EBADF -> "EBADF"
+  | ELOOP -> "ELOOP"
+
+let to_code = function
+  | ENOENT -> -2
+  | EEXIST -> -17
+  | ENOTDIR -> -20
+  | EISDIR -> -21
+  | ENOTEMPTY -> -39
+  | EACCES -> -13
+  | EPERM -> -1
+  | EINVAL -> -22
+  | ENAMETOOLONG -> -36
+  | EIO -> -5
+  | ENOSPC -> -28
+  | EXDEV -> -18
+  | EBADF -> -9
+  | ELOOP -> -40
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

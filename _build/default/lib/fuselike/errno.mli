@@ -1,0 +1,28 @@
+(** POSIX error codes surfaced by the VFS layer.
+
+    Only the codes that filesystem metadata paths can produce are modelled;
+    they match what a FUSE filesystem returns as negated errno values. *)
+
+type t =
+  | ENOENT      (** no such file or directory *)
+  | EEXIST      (** file exists *)
+  | ENOTDIR     (** not a directory *)
+  | EISDIR      (** is a directory *)
+  | ENOTEMPTY   (** directory not empty *)
+  | EACCES      (** permission denied *)
+  | EPERM       (** operation not permitted *)
+  | EINVAL      (** invalid argument *)
+  | ENAMETOOLONG
+  | EIO         (** input/output error *)
+  | ENOSPC      (** no space left on device *)
+  | EXDEV       (** cross-device link *)
+  | EBADF       (** bad file descriptor *)
+  | ELOOP       (** too many levels of symbolic links *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** Conventional negative errno integer (e.g. ENOENT -> -2). *)
+val to_code : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+let max_component = 255
+
+let normalize p =
+  if p = "" then ""
+  else begin
+    let buf = Buffer.create (String.length p) in
+    let last_slash = ref false in
+    String.iter
+      (fun c ->
+        if c = '/' then begin
+          if not !last_slash then Buffer.add_char buf c;
+          last_slash := true
+        end else begin
+          Buffer.add_char buf c;
+          last_slash := false
+        end)
+      p;
+    let s = Buffer.contents buf in
+    if String.length s > 1 && s.[String.length s - 1] = '/' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  end
+
+let split p =
+  match normalize p with
+  | "/" -> []
+  | p -> String.split_on_char '/' (String.sub p 1 (String.length p - 1))
+
+let validate p =
+  if p = "" || p.[0] <> '/' then Error Errno.EINVAL
+  else
+    let ok_component c =
+      c <> "" && c <> "." && c <> ".." && String.length c <= max_component
+    in
+    if p = "/" then Ok ()
+    else if List.for_all ok_component (split p) then Ok ()
+    else if List.exists (fun c -> String.length c > max_component) (split p)
+    then Error Errno.ENAMETOOLONG
+    else Error Errno.EINVAL
+
+let join = function
+  | [] -> "/"
+  | comps -> "/" ^ String.concat "/" comps
+
+let parent p =
+  match split p with
+  | [] -> "/"
+  | comps ->
+    (* all but the last component *)
+    let rec drop_last = function
+      | [] | [ _ ] -> []
+      | c :: rest -> c :: drop_last rest
+    in
+    join (drop_last comps)
+
+let basename p =
+  match List.rev (split p) with
+  | [] -> ""
+  | last :: _ -> last
+
+let concat dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name
+
+let is_prefix ~prefix p =
+  let prefix = normalize prefix and p = normalize p in
+  prefix = p
+  || prefix = "/"
+  ||
+  let lp = String.length prefix in
+  String.length p > lp && String.sub p 0 lp = prefix && p.[lp] = '/'
+
+let depth p = List.length (split p)

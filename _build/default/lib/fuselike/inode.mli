@@ -1,0 +1,24 @@
+(** File attributes — the [struct stat] equivalent returned by [getattr]. *)
+
+type kind = Regular | Directory | Symlink
+
+type attr = {
+  kind : kind;
+  ino : int64;
+  mode : int;    (** permission bits, e.g. 0o755 *)
+  uid : int;
+  gid : int;
+  size : int64;  (** bytes for regular files; entry count for directories *)
+  nlink : int;
+  atime : float;
+  mtime : float;
+  ctime : float;
+}
+
+val kind_to_string : kind -> string
+val equal_kind : kind -> kind -> bool
+
+(** A fresh attribute record with the given fields and times set to [now]. *)
+val make : kind:kind -> ino:int64 -> mode:int -> now:float -> attr
+
+val pp : Format.formatter -> attr -> unit

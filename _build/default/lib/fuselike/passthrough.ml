@@ -1,0 +1,30 @@
+type t = { inner : Vfs.ops; mutable forwarded : int }
+
+(* A FUSE daemon keeps the /dev/fuse channel buffer (one max-write-sized
+   request buffer per worker thread) plus library state; it does not grow
+   with the number of files. 10 worker buffers of 132 KiB is typical. *)
+let base_resident_bytes = 10 * 132 * 1024
+
+let create inner = { inner; forwarded = 0 }
+
+let forwarded t = t.forwarded
+let resident_bytes _t = base_resident_bytes
+
+let ops t =
+  let count () = t.forwarded <- t.forwarded + 1 in
+  let fwd1 f x = count (); f x in
+  { Vfs.getattr = fwd1 t.inner.Vfs.getattr;
+    access = fwd1 t.inner.Vfs.access;
+    mkdir = (fun p ~mode -> count (); t.inner.Vfs.mkdir p ~mode);
+    rmdir = fwd1 t.inner.Vfs.rmdir;
+    create = (fun p ~mode -> count (); t.inner.Vfs.create p ~mode);
+    unlink = fwd1 t.inner.Vfs.unlink;
+    rename = (fun a b -> count (); t.inner.Vfs.rename a b);
+    readdir = fwd1 t.inner.Vfs.readdir;
+    symlink = (fun ~target p -> count (); t.inner.Vfs.symlink ~target p);
+    readlink = fwd1 t.inner.Vfs.readlink;
+    chmod = (fun p ~mode -> count (); t.inner.Vfs.chmod p ~mode);
+    truncate = (fun p ~size -> count (); t.inner.Vfs.truncate p ~size);
+    read = (fun p ~off ~len -> count (); t.inner.Vfs.read p ~off ~len);
+    write = (fun p ~off data -> count (); t.inner.Vfs.write p ~off data);
+    statfs = t.inner.Vfs.statfs }

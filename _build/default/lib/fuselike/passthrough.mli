@@ -1,0 +1,18 @@
+(** The "dummy FUSE" filesystem of the paper's Fig. 11: a userspace layer
+    that forwards every operation to an underlying filesystem unchanged.
+
+    It keeps only a bounded amount of state (operation counters and a FUSE
+    channel buffer), which is exactly why the paper uses it as the memory
+    baseline: its resident size must stay flat as the namespace grows. *)
+
+type t
+
+val create : Vfs.ops -> t
+val ops : t -> Vfs.ops
+
+(** Total operations forwarded since creation. *)
+val forwarded : t -> int
+
+(** Modelled resident size: request buffers + counters, independent of how
+    many files exist underneath. *)
+val resident_bytes : t -> int

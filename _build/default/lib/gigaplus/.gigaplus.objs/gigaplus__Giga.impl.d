@@ -1,0 +1,1 @@
+lib/gigaplus/giga.ml: Array Hashtbl List Pfs Simkit

@@ -1,0 +1,1 @@
+lib/gigaplus/giga.mli: Simkit

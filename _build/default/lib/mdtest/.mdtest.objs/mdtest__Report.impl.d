@@ -1,0 +1,1 @@
+lib/mdtest/report.ml: List Printf

@@ -1,0 +1,1 @@
+lib/mdtest/runner.ml: Fuselike List Simkit Workload

@@ -1,0 +1,1 @@
+lib/mdtest/runner.mli: Fuselike Simkit Workload

@@ -1,0 +1,1 @@
+lib/mdtest/workload.mli:

@@ -1,0 +1,31 @@
+type series = {
+  label : string;
+  points : (int * float) list;
+}
+
+let print_header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let print_figure ~title ~x_label ?(unit_label = "ops/sec") series =
+  print_header title;
+  let xs =
+    List.sort_uniq compare (List.concat_map (fun s -> List.map fst s.points) series)
+  in
+  let width = 24 in
+  Printf.printf "%-10s" x_label;
+  List.iter (fun s -> Printf.printf " %*s" width s.label) series;
+  Printf.printf "   [%s]\n" unit_label;
+  List.iter
+    (fun x ->
+      Printf.printf "%-10d" x;
+      List.iter
+        (fun s ->
+          match List.assoc_opt x s.points with
+          | Some v -> Printf.printf " %*.0f" width v
+          | None -> Printf.printf " %*s" width "-")
+        series;
+      print_newline ())
+    xs;
+  flush stdout
+
+let print_ratio ~label v = Printf.printf "  %-58s %8.2fx\n%!" label v

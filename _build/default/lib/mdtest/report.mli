@@ -1,0 +1,17 @@
+(** Plain-text table/series rendering shared by the benchmark drivers,
+    matching the shape of the paper's figures: one series per system
+    configuration, one row per x value (client-process count). *)
+
+type series = {
+  label : string;
+  points : (int * float) list;  (** (x, ops per second) *)
+}
+
+(** Render a figure: title, x-axis label, series rendered as columns. *)
+val print_figure :
+  title:string -> x_label:string -> ?unit_label:string -> series list -> unit
+
+(** One labelled scalar row (for headline ratios). *)
+val print_ratio : label:string -> float -> unit
+
+val print_header : string -> unit

@@ -1,0 +1,61 @@
+type tree = { fan_out : int; depth : int }
+
+type config = {
+  procs : int;
+  dirs_per_proc : int;
+  files_per_proc : int;
+  tree : tree;
+  unique_working_dirs : bool;
+}
+
+let default_tree = { fan_out = 10; depth = 2 }
+
+let config ?(dirs_per_proc = 100) ?(files_per_proc = 100) ?(tree = default_tree)
+    ?(unique_working_dirs = false) ~procs () =
+  if procs < 1 then invalid_arg "Workload.config: procs < 1";
+  { procs; dirs_per_proc; files_per_proc; tree; unique_working_dirs }
+
+(* Shared skeleton: /t0 .. /t9, /t0/t0 .. — parents before children. *)
+let shared_skeleton tree =
+  let rec level parents depth acc =
+    if depth = 0 then List.rev acc
+    else begin
+      let children =
+        List.concat_map
+          (fun parent ->
+            List.init tree.fan_out (fun i ->
+                (if parent = "/" then "" else parent) ^ "/t" ^ string_of_int i))
+          parents
+      in
+      level children (depth - 1) (List.rev_append children acc)
+    end
+  in
+  level [ "/" ] tree.depth []
+
+let shared_leaves tree =
+  let depth = tree.depth in
+  List.filter
+    (fun p ->
+      let slashes = List.length (String.split_on_char '/' p) - 1 in
+      slashes = depth)
+    (shared_skeleton tree)
+
+let skeleton cfg =
+  if cfg.unique_working_dirs then
+    List.init cfg.procs (fun p -> "/proc" ^ string_of_int p)
+  else shared_skeleton cfg.tree
+
+let leaves_for cfg ~proc =
+  if cfg.unique_working_dirs then [ "/proc" ^ string_of_int proc ]
+  else shared_leaves cfg.tree
+
+let place cfg ~proc ~item ~prefix =
+  let leaves = leaves_for cfg ~proc in
+  let leaf = List.nth leaves ((proc + item) mod List.length leaves) in
+  Printf.sprintf "%s/%s.%d.%d" leaf prefix proc item
+
+let dir_path cfg ~proc ~item = place cfg ~proc ~item ~prefix:"dir.mdtest"
+let file_path cfg ~proc ~item = place cfg ~proc ~item ~prefix:"file.mdtest"
+
+let total_dirs cfg = cfg.procs * cfg.dirs_per_proc
+let total_files cfg = cfg.procs * cfg.files_per_proc

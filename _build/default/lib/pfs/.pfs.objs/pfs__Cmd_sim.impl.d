@@ -1,0 +1,1 @@
+lib/pfs/cmd_sim.ml: Array Costs Fuselike Hashtbl Mdserver Simkit

@@ -1,0 +1,1 @@
+lib/pfs/cmd_sim.mli: Fuselike Simkit

@@ -1,0 +1,1 @@
+lib/pfs/lustre_sim.ml: Costs Fuselike Hashtbl Mdserver Simkit String

@@ -1,0 +1,1 @@
+lib/pfs/lustre_sim.mli: Fuselike Simkit

@@ -1,0 +1,1 @@
+lib/pfs/mdserver.ml: Simkit

@@ -1,0 +1,1 @@
+lib/pfs/pvfs_sim.ml: Array Costs Fuselike Hashtbl Mdserver Simkit String

@@ -1,0 +1,1 @@
+lib/pfs/pvfs_sim.mli: Fuselike Simkit

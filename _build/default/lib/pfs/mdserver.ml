@@ -1,0 +1,30 @@
+module Process = Simkit.Process
+module Resource = Simkit.Resource
+
+type t = {
+  handlers : Resource.t;
+  thrash : float;
+  net_latency : float;
+  mutable served : int;
+}
+
+let create _engine ~threads ~thrash ~net_latency () =
+  { handlers = Resource.create ~capacity:threads ();
+    thrash;
+    net_latency;
+    served = 0 }
+
+let load t = Resource.in_use t.handlers + Resource.queue_length t.handlers
+let served t = t.served
+
+let request t ~service ?(extra = 0.) f =
+  Process.sleep t.net_latency;
+  let queue_at_arrival = float_of_int (load t) in
+  let result =
+    Resource.with_slot t.handlers (fun () ->
+        Process.sleep (extra +. (service *. (1. +. (t.thrash *. queue_at_arrival))));
+        f ())
+  in
+  t.served <- t.served + 1;
+  Process.sleep t.net_latency;
+  result

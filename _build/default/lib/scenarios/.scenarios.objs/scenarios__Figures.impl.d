@@ -1,0 +1,1 @@
+lib/scenarios/figures.ml: Array Dufs Fun Fuselike Gigaplus Int64 List Mdtest Pfs Printf Simkit Systems Zk

@@ -1,0 +1,1 @@
+lib/scenarios/systems.ml: Array Dufs Fuselike Hashtbl Int64 Mdtest Pfs Printf Simkit Zk

@@ -1,0 +1,1 @@
+lib/scenarios/systems.mli: Mdtest Zk

@@ -1,0 +1,84 @@
+(** One driver per table/figure of the paper's evaluation (§V), plus the
+    extension ablations. Each [figN] function runs the simulations (memoized
+    in {!Systems}) and prints the same rows/series the paper plots; the
+    [*_data] variants return the numbers for tests and EXPERIMENTS.md. *)
+
+(** Client-process counts used on the x-axis (paper: up to 256). *)
+val default_procs : int list
+
+(** Bar-chart process counts (Figs. 8 and 9 use 64/128/256). *)
+val bar_procs : int list
+
+(** {2 Fig. 7 — raw ZooKeeper op throughput vs ensemble size} *)
+
+val fig7_data :
+  ?procs_list:int list -> unit -> (string * (int * (int * float) list) list) list
+(** [(op, [(servers, [(procs, rate)])])] *)
+
+val fig7 : ?procs_list:int list -> unit -> unit
+
+(** {2 Fig. 8 — DUFS vs #ZooKeeper servers (2 Lustre back-ends)} *)
+
+val fig8 : unit -> unit
+
+(** {2 Fig. 9 — DUFS with 2 vs 4 Lustre back-ends (file ops)} *)
+
+val fig9 : unit -> unit
+
+(** {2 Fig. 10 — DUFS vs Basic Lustre and Basic PVFS2, 6 ops} *)
+
+val fig10 : unit -> unit
+
+(** {2 §V-D headline ratios at 256 procs} *)
+
+type headline = {
+  dir_create_vs_lustre : float;  (** paper: 1.9 *)
+  dir_create_vs_pvfs : float;    (** paper: 23 *)
+  file_stat_vs_lustre : float;   (** paper: 1.3 *)
+  file_stat_vs_pvfs : float;     (** paper: 3.0 *)
+}
+
+val headline_data : ?procs:int -> unit -> headline
+val headline : unit -> unit
+
+(** {2 Fig. 11 — memory usage vs created directories} *)
+
+val fig11_data :
+  ?millions:float list -> unit -> (float * float * float * float) list
+(** [(millions of dirs, zookeeper MB, dufs MB, dummy-fuse MB)] *)
+
+val fig11 : ?millions:float list -> unit -> unit
+
+(** {2 Extension ablations} *)
+
+(** MD5-mod-N vs consistent hashing: balance and relocation on grow. *)
+val ablation_mapping : unit -> unit
+
+(** DUFS vs a hypothetical Lustre Clustered MDS (CMD, §VI): the global
+    lock serializing cross-server updates vs ZooKeeper's ordered
+    broadcast. *)
+val ablation_cmd : unit -> unit
+
+(** Shared vs unique working directories (mdtest -u): isolates the DLM
+    lock-contention component of Lustre's decline. *)
+val ablation_unique : unit -> unit
+
+(** Synchronous vs pipelined (async) coordination API: what the paper's
+    prototype left on the table by using the synchronous API. *)
+val ablation_async : unit -> unit
+
+(** DUFS with vs without the client-side metadata cache. *)
+val ablation_cache : unit -> unit
+
+(** GIGA+-style directory indexing vs DUFS vs Lustre on a single huge
+    directory, and the availability cost of unreplicated partitions. *)
+val ablation_giga : unit -> unit
+
+(** Non-voting observers: read scaling without write cost. *)
+val ablation_observers : unit -> unit
+
+(** Throughput timeline across leader crash, quorum loss and recovery. *)
+val ablation_faults : unit -> unit
+
+(** Run everything (the full bench suite). *)
+val all : unit -> unit

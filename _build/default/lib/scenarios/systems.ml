@@ -1,0 +1,173 @@
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+module Vfs = Fuselike.Vfs
+
+type backend_kind = Lustre | Pvfs
+
+type dufs_spec = {
+  zk_servers : int;
+  backends : int;
+  backend_kind : backend_kind;
+}
+
+type system =
+  | Basic_lustre
+  | Basic_pvfs
+  | Lustre_cmd of int
+  | Dufs of dufs_spec
+  | Dufs_cached of dufs_spec
+
+let system_label = function
+  | Basic_lustre -> "Basic Lustre"
+  | Basic_pvfs -> "Basic PVFS"
+  | Lustre_cmd mds -> Printf.sprintf "Lustre CMD %d MDS" mds
+  | Dufs { zk_servers; backends; backend_kind } ->
+    Printf.sprintf "DUFS %dx%s/%dzk" backends
+      (match backend_kind with Lustre -> "Lustre" | Pvfs -> "PVFS")
+      zk_servers
+  | Dufs_cached { zk_servers; backends; backend_kind } ->
+    Printf.sprintf "DUFS+cache %dx%s/%dzk" backends
+      (match backend_kind with Lustre -> "Lustre" | Pvfs -> "PVFS")
+      zk_servers
+
+let zk_config ~servers ~procs =
+  { (Zk.Ensemble.default_config ~servers) with
+    Zk.Ensemble.read_service = Pfs.Costs.Zookeeper.read_service;
+    write_service = Pfs.Costs.Zookeeper.write_service;
+    delete_service = Pfs.Costs.Zookeeper.delete_service;
+    set_service = Pfs.Costs.Zookeeper.set_service;
+    persist = Pfs.Costs.Zookeeper.persist;
+    rpc_cpu = Pfs.Costs.Zookeeper.rpc_cpu;
+    follower_apply = Pfs.Costs.Zookeeper.follower_apply;
+    net_latency = Pfs.Costs.gige_latency;
+    load_factor =
+      Pfs.Costs.colocated_load_factor ~procs ~nodes:Pfs.Costs.client_nodes
+        ~cores:Pfs.Costs.cores_per_node }
+
+(* Build per-process operation tables for one system on [engine]. The
+   returned closure must be invoked from inside the process's own
+   simulation context (Runner.run does). *)
+let build_system engine system ~procs =
+  match system with
+  | Basic_lustre ->
+    let fs = Pfs.Lustre_sim.create engine () in
+    fun proc -> Pfs.Lustre_sim.client fs ~client_id:proc
+  | Basic_pvfs ->
+    let fs = Pfs.Pvfs_sim.create engine () in
+    fun proc -> Pfs.Pvfs_sim.client fs ~client_id:proc
+  | Lustre_cmd mds ->
+    let fs =
+      Pfs.Cmd_sim.create engine ~config:(Pfs.Cmd_sim.default_config ~mds_count:mds) ()
+    in
+    fun proc -> Pfs.Cmd_sim.client fs ~client_id:proc
+  | (Dufs { zk_servers; backends; backend_kind } | Dufs_cached { zk_servers; backends; backend_kind }) as sys ->
+    let cached = match sys with Dufs_cached _ -> true | _ -> false in
+    let ensemble = Zk.Ensemble.start engine (zk_config ~servers:zk_servers ~procs) in
+    let layout = Dufs.Physical.default_layout in
+    let backend_clients =
+      match backend_kind with
+      | Lustre ->
+        let mounts =
+          Array.init backends (fun _ ->
+              Pfs.Lustre_sim.create engine ~config:(Pfs.Lustre_sim.backend_config ()) ())
+        in
+        Array.iter
+          (fun mount ->
+            match Dufs.Physical.format layout (Pfs.Lustre_sim.local_ops mount) with
+            | Ok () -> ()
+            | Error e -> failwith (Fuselike.Errno.to_string e))
+          mounts;
+        fun proc ->
+          Array.mapi
+            (fun i mount ->
+              Pfs.Lustre_sim.client mount ~client_id:((proc * backends) + i))
+            mounts
+      | Pvfs ->
+        let mounts =
+          Array.init backends (fun _ ->
+              Pfs.Pvfs_sim.create engine ~config:(Pfs.Pvfs_sim.backend_config ()) ())
+        in
+        Array.iter
+          (fun mount ->
+            match Dufs.Physical.format layout (Pfs.Pvfs_sim.local_ops mount) with
+            | Ok () -> ()
+            | Error e -> failwith (Fuselike.Errno.to_string e))
+          mounts;
+        fun proc ->
+          Array.mapi
+            (fun i mount -> Pfs.Pvfs_sim.client mount ~client_id:((proc * backends) + i))
+            mounts
+    in
+    fun proc ->
+      let session = Zk.Ensemble.session ensemble () in
+      let coord =
+        if cached then Dufs.Cache.handle (Dufs.Cache.wrap session) else session
+      in
+      let client =
+        Dufs.Client.mount ~coord ~backends:(backend_clients proc)
+          ~client_id:(Int64.of_int (proc + 1))
+          ~layout
+          ~clock:(fun () -> Engine.now engine)
+          ~delay:Process.sleep
+          ~overhead:(Pfs.Costs.fuse_crossing +. Pfs.Costs.dufs_overhead)
+          ()
+      in
+      Dufs.Client.ops client
+
+let cache : (string, Mdtest.Runner.results) Hashtbl.t = Hashtbl.create 64
+let reset_cache () = Hashtbl.reset cache
+
+let mdtest ?(dirs_per_proc = 60) ?(files_per_proc = 60) ?(unique = false) system ~procs
+    () =
+  let key =
+    Printf.sprintf "%s|%d|%d|%d|%b" (system_label system) procs dirs_per_proc
+      files_per_proc unique
+  in
+  match Hashtbl.find_opt cache key with
+  | Some results -> results
+  | None ->
+    let engine = Engine.create () in
+    let ops_for_proc = build_system engine system ~procs in
+    let cfg =
+      Mdtest.Workload.config ~dirs_per_proc ~files_per_proc
+        ~unique_working_dirs:unique ~procs ()
+    in
+    let results = Mdtest.Runner.run engine cfg ~ops_for_proc in
+    Hashtbl.replace cache key results;
+    results
+
+let zk_raw ~servers ~procs ?(items = 80) () =
+  let engine = Engine.create () in
+  let ensemble = Zk.Ensemble.start engine (zk_config ~servers ~procs) in
+  let sessions = Array.init procs (fun _ -> Zk.Ensemble.session ensemble ()) in
+  (* setup: a parent node for all items *)
+  Process.spawn engine (fun () ->
+      match sessions.(0).Zk.Zk_client.create "/f7" ~data:"" with
+      | Ok _ -> ()
+      | Error e -> failwith (Zk.Zerror.to_string e));
+  Engine.run engine;
+  let path ~proc ~item = Printf.sprintf "/f7/n%d_%d" proc item in
+  let must label = function
+    | Ok _ -> ()
+    | Error e -> failwith (label ^ ": " ^ Zk.Zerror.to_string e)
+  in
+  let create_rate =
+    Mdtest.Runner.closed_loop engine ~procs ~items (fun ~proc ~item ->
+        must "create" (sessions.(proc).Zk.Zk_client.create (path ~proc ~item) ~data:"x"))
+  in
+  let get_rate =
+    Mdtest.Runner.closed_loop engine ~procs ~items (fun ~proc ~item ->
+        must "get" (sessions.(proc).Zk.Zk_client.get (path ~proc ~item)))
+  in
+  let set_rate =
+    Mdtest.Runner.closed_loop engine ~procs ~items (fun ~proc ~item ->
+        must "set" (sessions.(proc).Zk.Zk_client.set (path ~proc ~item) ~data:"y"))
+  in
+  let delete_rate =
+    Mdtest.Runner.closed_loop engine ~procs ~items (fun ~proc ~item ->
+        must "delete" (sessions.(proc).Zk.Zk_client.delete (path ~proc ~item)))
+  in
+  [ ("zoo_create", create_rate);
+    ("zoo_get", get_rate);
+    ("zoo_set", set_rate);
+    ("zoo_delete", delete_rate) ]

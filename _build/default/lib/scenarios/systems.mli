@@ -1,0 +1,47 @@
+(** System configurations under test, mirroring §V: native Lustre, native
+    PVFS2, and DUFS over N back-end mounts of either, with a ZooKeeper
+    ensemble co-located with the client nodes. *)
+
+type backend_kind = Lustre | Pvfs
+
+type dufs_spec = {
+  zk_servers : int;
+  backends : int;
+  backend_kind : backend_kind;
+}
+
+type system =
+  | Basic_lustre
+  | Basic_pvfs
+  | Lustre_cmd of int
+      (** hypothetical Lustre Clustered MDS with n active servers (§VI) *)
+  | Dufs of dufs_spec
+  | Dufs_cached of dufs_spec
+      (** DUFS with the client-side metadata cache ({!Dufs.Cache}) *)
+
+val system_label : system -> string
+
+(** [mdtest system ~procs ()] runs the six-phase mdtest workload on a
+    fresh simulation of [system] and returns per-phase throughput.
+    Results are memoized on (system, procs, items, unique). *)
+val mdtest :
+  ?dirs_per_proc:int ->
+  ?files_per_proc:int ->
+  ?unique:bool ->
+  system ->
+  procs:int ->
+  unit ->
+  Mdtest.Runner.results
+
+(** Raw coordination-service throughput (Fig. 7): closed loop of [items]
+    ops per client for each of the four basic operations. Returns
+    [(op name, ops/sec)] in order create, get, set, delete. *)
+val zk_raw : servers:int -> procs:int -> ?items:int -> unit -> (string * float) list
+
+(** Clear the memo table (tests). *)
+val reset_cache : unit -> unit
+
+(** The coordination-service configuration used for all experiments:
+    cost constants from {!Pfs.Costs.Zookeeper} plus the co-located-load
+    inflation for [procs] client processes. *)
+val zk_config : servers:int -> procs:int -> Zk.Ensemble.config

@@ -1,0 +1,1 @@
+lib/simkit/process.ml: Effect Engine

@@ -1,0 +1,103 @@
+type event = { time : float; seq : int; run : unit -> unit }
+
+type t = {
+  mutable now : float;
+  mutable heap : event array;
+  mutable size : int;
+  mutable seq : int;
+  mutable stopped : bool;
+  mutable executed : int;
+}
+
+let dummy_event = { time = 0.; seq = 0; run = ignore }
+
+let create () =
+  { now = 0.;
+    heap = Array.make 256 dummy_event;
+    size = 0;
+    seq = 0;
+    stopped = false;
+    executed = 0 }
+
+let now t = t.now
+let executed_events t = t.executed
+let pending_events t = t.size
+let stop t = t.stopped <- true
+
+(* Min-heap ordered by (time, seq): earliest time first, FIFO on ties. *)
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy_event in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let push t ev =
+  if t.size = Array.length t.heap then grow t;
+  let heap = t.heap in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  heap.(!i) <- ev;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if earlier heap.(!i) heap.(parent) then begin
+      let tmp = heap.(parent) in
+      heap.(parent) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := parent
+    end else continue := false
+  done
+
+let pop t =
+  assert (t.size > 0);
+  let heap = t.heap in
+  let top = heap.(0) in
+  t.size <- t.size - 1;
+  heap.(0) <- heap.(t.size);
+  heap.(t.size) <- dummy_event;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && earlier heap.(l) heap.(!smallest) then smallest := l;
+    if r < t.size && earlier heap.(r) heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = heap.(!smallest) in
+      heap.(!smallest) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := !smallest
+    end else continue := false
+  done;
+  top
+
+let schedule_at t ~time run =
+  if not (Float.is_finite time) || time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.now);
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  push t { time; seq; run }
+
+let schedule t ~delay run =
+  if not (Float.is_finite delay) || delay < 0. then
+    invalid_arg (Printf.sprintf "Engine.schedule: bad delay %g" delay);
+  schedule_at t ~time:(t.now +. delay) run
+
+let run ?until t =
+  t.stopped <- false;
+  let horizon = match until with None -> Float.infinity | Some u -> u in
+  let continue = ref true in
+  while !continue && not t.stopped && t.size > 0 do
+    if t.heap.(0).time > horizon then continue := false
+    else begin
+      let ev = pop t in
+      t.now <- ev.time;
+      t.executed <- t.executed + 1;
+      ev.run ()
+    end
+  done;
+  (match until with
+   | Some u when t.now < u -> t.now <- u
+   | Some _ | None -> ())

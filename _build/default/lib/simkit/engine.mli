@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    An engine owns a virtual clock and a pending-event queue. Events are
+    executed in nondecreasing timestamp order; events with equal timestamps
+    run in scheduling (FIFO) order, which makes every simulation
+    deterministic for a fixed seed. *)
+
+type t
+
+val create : unit -> t
+
+(** [now t] is the current virtual time, in seconds. *)
+val now : t -> float
+
+(** [schedule t ~delay f] runs [f] at time [now t +. delay].
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time f] runs [f] at absolute time [time].
+    @raise Invalid_argument if [time] is in the past. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+(** [run t] executes events until the queue is empty or [stop] is called.
+    [until] bounds the virtual clock: events scheduled strictly after
+    [until] remain pending and the clock is left at [until]. *)
+val run : ?until:float -> t -> unit
+
+(** [stop t] makes [run] return after the currently executing event. *)
+val stop : t -> unit
+
+(** Number of events executed since [create]. *)
+val executed_events : t -> int
+
+(** Number of events currently pending. *)
+val pending_events : t -> int

@@ -1,0 +1,44 @@
+type t = {
+  mutable opened : bool;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create () = { opened = false; waiters = Queue.create () }
+
+let create_gate = create
+let is_open t = t.opened
+
+let wait t =
+  if not t.opened then
+    Process.suspend (fun resume -> Queue.push resume t.waiters)
+
+let open_ t =
+  if not t.opened then begin
+    t.opened <- true;
+    Queue.iter (fun resume -> resume ()) t.waiters;
+    Queue.clear t.waiters
+  end
+
+module Barrier = struct
+  type nonrec t = {
+    parties : int;
+    mutable arrived : int;
+    mutable gate : t;
+  }
+
+  let create ~parties () =
+    if parties < 1 then invalid_arg "Barrier.create: parties < 1";
+    { parties; arrived = 0; gate = create_gate () }
+
+  let await t =
+    t.arrived <- t.arrived + 1;
+    if t.arrived = t.parties then begin
+      let gate = t.gate in
+      t.arrived <- 0;
+      t.gate <- create_gate ();
+      open_ gate
+    end else begin
+      let gate = t.gate in
+      wait gate
+    end
+end

@@ -1,0 +1,23 @@
+(** One-shot broadcast gates and reusable cyclic barriers. *)
+
+type t
+
+(** A closed gate. Processes that [wait] park until [open_] is called;
+    afterwards [wait] returns immediately. *)
+val create : unit -> t
+
+val wait : t -> unit
+val open_ : t -> unit
+val is_open : t -> bool
+
+module Barrier : sig
+  type t
+
+  (** [create ~parties ()] is a cyclic barrier for [parties] processes.
+      @raise Invalid_argument if [parties < 1]. *)
+  val create : parties:int -> unit -> t
+
+  (** Park until [parties] processes have arrived, then release all of
+      them and reset the barrier for the next cycle. *)
+  val await : t -> unit
+end

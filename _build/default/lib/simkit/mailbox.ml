@@ -1,0 +1,20 @@
+type 'a t = {
+  messages : 'a Queue.t;
+  receivers : ('a -> unit) Queue.t;
+}
+
+let create () = { messages = Queue.create (); receivers = Queue.create () }
+
+let send t msg =
+  match Queue.take_opt t.receivers with
+  | Some resume -> resume msg
+  | None -> Queue.push msg t.messages
+
+let recv t =
+  match Queue.take_opt t.messages with
+  | Some msg -> msg
+  | None -> Process.suspend_v (fun resume -> Queue.push resume t.receivers)
+
+let recv_opt t = Queue.take_opt t.messages
+let length t = Queue.length t.messages
+let is_empty t = Queue.is_empty t.messages

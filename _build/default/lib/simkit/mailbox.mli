@@ -1,0 +1,23 @@
+(** Unbounded typed mailboxes for message passing between processes.
+
+    [send] never blocks; [recv] parks the caller until a message arrives.
+    Messages are delivered in FIFO order, and parked receivers are served
+    in FIFO order. Used to model RPC request/reply channels. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Queue a message; wakes the oldest parked receiver if any. Callable from
+    any event context (not only processes). *)
+val send : 'a t -> 'a -> unit
+
+(** Dequeue the next message, parking if the mailbox is empty.
+    Process context only. *)
+val recv : 'a t -> 'a
+
+(** [recv_opt t] is [Some m] if a message is immediately available. *)
+val recv_opt : 'a t -> 'a option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,39 @@
+exception Process_failure of exn
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Self_engine : Engine.t Effect.t
+
+let spawn eng f =
+  let open Effect.Deep in
+  let handler =
+    { retc = (fun () -> ());
+      exnc = (fun e -> raise (Process_failure e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep d ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                Engine.schedule eng ~delay:d (fun () -> continue k ()))
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let resumed = ref false in
+                let resume v =
+                  if !resumed then invalid_arg "Process: double resume";
+                  resumed := true;
+                  Engine.schedule eng ~delay:0. (fun () -> continue k v)
+                in
+                register resume)
+          | Self_engine -> Some (fun (k : (a, unit) continuation) -> continue k eng)
+          | _ -> None) }
+  in
+  Engine.schedule eng ~delay:0. (fun () -> match_with f () handler)
+
+let sleep d = Effect.perform (Sleep d)
+let suspend register = Effect.perform (Suspend register)
+let suspend_v register = Effect.perform (Suspend register)
+let engine () = Effect.perform Self_engine
+let now () = Engine.now (engine ())

@@ -1,0 +1,33 @@
+(** Cooperative simulation processes built on OCaml effects.
+
+    A process is ordinary OCaml code running inside {!spawn}. It advances
+    virtual time with {!sleep} and can park itself with {!suspend} /
+    {!suspend_v} until another process resumes it. Blocking primitives
+    ({!Resource}, {!Mailbox}, {!Gate}) are built from these two effects. *)
+
+exception Process_failure of exn
+(** Raised out of {!Engine.run} when a spawned process terminates with an
+    uncaught exception. *)
+
+(** [spawn engine f] starts [f] as a process at the current virtual time. *)
+val spawn : Engine.t -> (unit -> unit) -> unit
+
+(** [sleep d] advances the process's virtual clock by [d] seconds.
+    Must be called from inside a process. *)
+val sleep : float -> unit
+
+(** [suspend register] parks the calling process. [register] receives a
+    [resume] thunk; invoking [resume ()] (from any other process or event)
+    reschedules the parked process at the then-current virtual time.
+    [resume] must be called at most once. *)
+val suspend : ((unit -> unit) -> unit) -> unit
+
+(** [suspend_v register] is {!suspend} for value-carrying resumption:
+    the value passed to [resume] becomes the result of [suspend_v]. *)
+val suspend_v : (('a -> unit) -> unit) -> 'a
+
+(** [engine ()] is the engine the calling process runs on. *)
+val engine : unit -> Engine.t
+
+(** [now ()] is the virtual time seen by the calling process. *)
+val now : unit -> float

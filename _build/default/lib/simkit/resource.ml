@@ -1,0 +1,34 @@
+type t = {
+  capacity : int;
+  mutable in_use : int;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Resource.create: capacity < 1";
+  { capacity; in_use = 0; waiters = Queue.create () }
+
+let capacity t = t.capacity
+let in_use t = t.in_use
+let queue_length t = Queue.length t.waiters
+
+let acquire t =
+  if t.in_use < t.capacity then t.in_use <- t.in_use + 1
+  else
+    (* The releaser transfers its slot directly to us, so [in_use] is not
+       decremented on hand-off; see [release]. *)
+    Process.suspend (fun resume -> Queue.push resume t.waiters)
+
+let release t =
+  if t.in_use <= 0 then invalid_arg "Resource.release: not held";
+  match Queue.take_opt t.waiters with
+  | Some resume -> resume ()
+  | None -> t.in_use <- t.in_use - 1
+
+let with_slot t f =
+  acquire t;
+  match f () with
+  | v -> release t; v
+  | exception e -> release t; raise e
+
+let serve t d = with_slot t (fun () -> Process.sleep d)

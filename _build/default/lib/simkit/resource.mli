@@ -1,0 +1,33 @@
+(** FIFO k-server resources (queueing stations) for simulation processes.
+
+    A resource with capacity [k] admits at most [k] concurrent holders;
+    further acquirers park in FIFO order. This models service centers such
+    as a metadata server's request threads or a per-directory lock. *)
+
+type t
+
+(** [create ~capacity ()] makes a resource with [capacity] servers.
+    @raise Invalid_argument if [capacity < 1]. *)
+val create : capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** Number of slots currently held. *)
+val in_use : t -> int
+
+(** Number of processes parked waiting for a slot. *)
+val queue_length : t -> int
+
+(** Acquire one slot, parking FIFO if none is free. Process context only. *)
+val acquire : t -> unit
+
+(** Release one slot previously acquired; wakes the oldest waiter, if any.
+    @raise Invalid_argument if the resource is not held. *)
+val release : t -> unit
+
+(** [with_slot t f] = acquire; [f ()]; release — exception safe. *)
+val with_slot : t -> (unit -> 'a) -> 'a
+
+(** [serve t d] models one service visit: acquire a slot, hold it for [d]
+    seconds of virtual time, release. *)
+val serve : t -> float -> unit

@@ -1,0 +1,29 @@
+(** Deterministic splittable PRNG (splitmix64) for reproducible runs. *)
+
+type t
+
+val create : seed:int64 -> t
+
+(** An independent stream derived from [t]'s state. *)
+val split : t -> t
+
+(** Raw next 64-bit value. *)
+val next : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform int in [0, bound). @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Exponentially distributed value with the given [mean]. *)
+val exponential : t -> mean:float -> float
+
+(** Uniform float in [lo, hi). *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** Pick a uniformly random element. @raise Invalid_argument on [||]. *)
+val pick : t -> 'a array -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

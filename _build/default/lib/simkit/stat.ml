@@ -1,0 +1,99 @@
+module Counter = struct
+  type t = { mutable value : int }
+
+  let create () = { value = 0 }
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let value t = t.value
+  let reset t = t.value <- 0
+end
+
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.; m2 = 0.; min = Float.infinity; max = Float.neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0. else t.mean
+  let min t = if t.count = 0 then 0. else t.min
+  let max t = if t.count = 0 then 0. else t.max
+
+  let stddev t =
+    if t.count < 2 then 0. else sqrt (t.m2 /. float_of_int (t.count - 1))
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    log_lo : float;
+    log_step : float;
+    buckets : int array;
+    mutable count : int;
+  }
+
+  let create ~lo ~hi ~buckets () =
+    if not (lo > 0. && hi > lo && buckets > 0) then
+      invalid_arg "Histogram.create: need 0 < lo < hi and buckets > 0";
+    { lo;
+      log_lo = log lo;
+      log_step = (log hi -. log lo) /. float_of_int buckets;
+      buckets = Array.make buckets 0;
+      count = 0 }
+
+  let index t x =
+    if x <= t.lo then 0
+    else
+      let i = int_of_float ((log x -. t.log_lo) /. t.log_step) in
+      Stdlib.min i (Array.length t.buckets - 1)
+
+  let add t x =
+    let i = index t x in
+    t.buckets.(i) <- t.buckets.(i) + 1;
+    t.count <- t.count + 1
+
+  let count t = t.count
+
+  let bucket_upper t i = exp (t.log_lo +. (t.log_step *. float_of_int (i + 1)))
+
+  let quantile t q =
+    if t.count = 0 then 0.
+    else begin
+      let target = int_of_float (Float.round (q *. float_of_int t.count)) in
+      let target = Stdlib.max 1 (Stdlib.min t.count target) in
+      let rec scan i acc =
+        if i >= Array.length t.buckets then bucket_upper t (Array.length t.buckets - 1)
+        else
+          let acc = acc + t.buckets.(i) in
+          if acc >= target then bucket_upper t i else scan (i + 1) acc
+      in
+      scan 0 0
+    end
+end
+
+module Throughput = struct
+  type t = { started : float; mutable ops : int }
+
+  let start ~at = { started = at; ops = 0 }
+  let record t = t.ops <- t.ops + 1
+  let record_n t n = t.ops <- t.ops + n
+  let ops t = t.ops
+
+  let rate t ~now =
+    let dt = now -. t.started in
+    if dt <= 0. then 0. else float_of_int t.ops /. dt
+end

@@ -1,0 +1,54 @@
+(** Measurement helpers: counters, online summaries and latency histograms. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Online mean / min / max / variance (Welford). *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+end
+
+(** Fixed-bucket log-scale latency histogram with quantile estimation. *)
+module Histogram : sig
+  type t
+
+  (** [create ~lo ~hi ~buckets ()] covers [lo, hi] seconds with
+      logarithmically spaced buckets; out-of-range samples clamp.
+      @raise Invalid_argument unless [0 < lo < hi] and [buckets > 0]. *)
+  val create : lo:float -> hi:float -> buckets:int -> unit -> t
+
+  val add : t -> float -> unit
+  val count : t -> int
+
+  (** [quantile t q] for q in [0,1]; 0. when empty. *)
+  val quantile : t -> float -> float
+end
+
+(** Throughput over an interval of the virtual clock. *)
+module Throughput : sig
+  type t
+
+  val start : at:float -> t
+  val record : t -> unit
+  val record_n : t -> int -> unit
+  val ops : t -> int
+
+  (** Completed operations per second between [start] and [now].
+      0. if no time has elapsed. *)
+  val rate : t -> now:float -> float
+end

@@ -1,0 +1,1 @@
+lib/zk/ensemble.ml: Array Float Hashtbl Int64 List Memory_model Result Seq Simkit Txn Zerror Zk_client Ztree

@@ -1,0 +1,1 @@
+lib/zk/ensemble.mli: Simkit Zk_client Ztree

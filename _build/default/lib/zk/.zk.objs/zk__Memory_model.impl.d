@@ -1,0 +1,1 @@
+lib/zk/memory_model.ml: Ztree

@@ -1,0 +1,1 @@
+lib/zk/recipes.ml: List Result Simkit String Zerror Zk_client Zpath Ztree

@@ -1,0 +1,1 @@
+lib/zk/recipes.mli: Zerror Zk_client

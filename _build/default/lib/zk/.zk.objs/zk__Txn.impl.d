@@ -1,0 +1,1 @@
+lib/zk/txn.ml: Format List String

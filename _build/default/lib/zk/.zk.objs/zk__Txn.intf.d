@@ -1,0 +1,1 @@
+lib/zk/txn.mli: Format

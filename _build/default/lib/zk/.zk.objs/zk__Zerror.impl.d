@@ -1,0 +1,1 @@
+lib/zk/zerror.ml: Format

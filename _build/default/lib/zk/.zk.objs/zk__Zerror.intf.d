@@ -1,0 +1,1 @@
+lib/zk/zerror.mli: Format

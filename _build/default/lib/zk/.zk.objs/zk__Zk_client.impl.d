@@ -1,0 +1,1 @@
+lib/zk/zk_client.ml: Txn Zerror Ztree

@@ -1,0 +1,1 @@
+lib/zk/zk_client.mli: Txn Zerror Ztree

@@ -1,0 +1,1 @@
+lib/zk/zk_local.ml: Int64 List Memory_model Result Txn Zerror Zk_client Ztree

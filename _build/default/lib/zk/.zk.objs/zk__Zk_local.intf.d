@@ -1,0 +1,1 @@
+lib/zk/zk_local.mli: Zk_client Ztree

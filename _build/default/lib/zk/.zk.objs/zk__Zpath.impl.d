@@ -1,0 +1,1 @@
+lib/zk/zpath.ml: List Printf String Zerror

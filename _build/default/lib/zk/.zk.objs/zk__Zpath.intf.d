@@ -1,0 +1,1 @@
+lib/zk/zpath.mli: Zerror

@@ -1,0 +1,1 @@
+lib/zk/ztree.ml: Buffer Hashtbl Int64 List Option Printf String Txn Zerror Zpath

@@ -1,0 +1,1 @@
+lib/zk/ztree.mli: Txn Zerror

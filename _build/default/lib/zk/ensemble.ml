@@ -1,0 +1,545 @@
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+module Mailbox = Simkit.Mailbox
+
+type config = {
+  servers : int;
+  observers : int;
+  net_latency : float;
+  rpc_cpu : float;
+  read_service : float;
+  write_service : float;
+  delete_service : float;
+  set_service : float;
+  persist : float;
+  follower_apply : float;
+  election_timeout : float;
+  request_timeout : float;
+  load_factor : float;
+}
+
+let default_config ~servers =
+  { servers;
+    observers = 0;
+    net_latency = 60e-6;
+    rpc_cpu = 5e-6;
+    read_service = 40e-6;
+    write_service = 50e-6;
+    delete_service = 82e-6;
+    set_service = 78e-6;
+    persist = 20e-6;
+    follower_apply = 8e-6;
+    election_timeout = 0.5;
+    request_timeout = 2.0;
+    load_factor = 1.0 }
+
+type reply = (Txn.result_item list, Zerror.t) result -> unit
+
+type msg =
+  | Write of { txn : Txn.t; origin : int; reply : reply }
+  | Read of { exec : Ztree.t -> unit }
+  | Propose of { epoch : int; zxid : int64; txn : Txn.t; time : float }
+  | Ack of { epoch : int; zxid : int64; from : int }
+  | Commit of { epoch : int; zxid : int64 }
+  | Inform of { epoch : int; zxid : int64; txn : Txn.t; time : float }
+    (* ZAB INFORM: commit + payload, sent to non-voting observers *)
+  | Deliver_reply of {
+      zxid : int64;
+      result : (Txn.result_item list, Zerror.t) result;
+      reply : reply;
+    }
+  | Close_session of { owner : int64; origin : int; reply : reply }
+
+type role = Leader | Follower | Observer | Down
+
+type pending_write = {
+  p_txn : Txn.t;
+  p_time : float;
+  p_origin : int;
+  p_reply : reply;
+  mutable p_acks : int;
+}
+
+type server = {
+  id : int;
+  mutable role : role;
+  mutable epoch : int;
+  mutable tree : Ztree.t;
+  log : (int64, Txn.t * float) Hashtbl.t;  (* committed txns, by zxid *)
+  inbox : msg Mailbox.t;
+  (* leader state *)
+  pending : (int64, pending_write) Hashtbl.t;
+  mutable next_zxid : int64;
+  mutable next_commit : int64;
+  (* follower state *)
+  proposals : (int64, Txn.t * float) Hashtbl.t;
+  committed : (int64, unit) Hashtbl.t;
+  mutable next_apply : int64;
+  (* counters *)
+  mutable reads : int;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  members : server array;
+  mutable leader : int;
+  mutable next_session : int64;
+  mutable next_server : int;
+  mutable commits : int;
+}
+
+let config t = t.cfg
+let leader_id t = if t.members.(t.leader).role = Leader then Some t.leader else None
+
+let alive_ids t =
+  Array.to_list
+    (Array.map (fun s -> s.id)
+       (Array.of_seq
+          (Seq.filter (fun s -> s.role <> Down) (Array.to_seq t.members))))
+
+let tree_of t id = t.members.(id).tree
+
+let server_resident_bytes t id =
+  Memory_model.server_resident_bytes t.members.(id).tree
+
+let reads_served t id = t.members.(id).reads
+let writes_committed t = t.commits
+
+let quorum t = (t.cfg.servers / 2) + 1
+let is_observer_id t id = id >= t.cfg.servers
+let member_count t = t.cfg.servers + t.cfg.observers
+
+(* Service times scaled by the co-located-load factor. *)
+let svc t base = base *. t.cfg.load_factor
+
+let send t ~dst msg =
+  Engine.schedule t.engine ~delay:t.cfg.net_latency (fun () ->
+      let s = t.members.(dst) in
+      if s.role <> Down then Mailbox.send s.inbox msg)
+
+(* {2 Leader commit path} *)
+
+let rec try_commit t (s : server) =
+  if s.role = Leader then
+    match Hashtbl.find_opt s.pending s.next_commit with
+    | None -> ()
+    | Some pw ->
+      (* the leader's own persisted copy counts toward the quorum *)
+      if pw.p_acks + 1 >= quorum t then begin
+         let zxid = s.next_commit in
+         Hashtbl.remove s.pending zxid;
+         s.next_commit <- Int64.add zxid 1L;
+         let result =
+           if Ztree.last_zxid s.tree < zxid then
+             Ztree.apply s.tree ~zxid ~time:pw.p_time pw.p_txn
+           else Ok []
+         in
+         Hashtbl.replace s.log zxid (pw.p_txn, pw.p_time);
+         t.commits <- t.commits + 1;
+         Array.iter
+           (fun (peer : server) ->
+             if peer.id <> s.id && peer.role = Follower then
+               send t ~dst:peer.id (Commit { epoch = s.epoch; zxid })
+             else if peer.role = Observer then
+               send t ~dst:peer.id
+                 (Inform { epoch = s.epoch; zxid; txn = pw.p_txn; time = pw.p_time }))
+           t.members;
+         if pw.p_origin = s.id then pw.p_reply result
+         else
+           send t ~dst:pw.p_origin (Deliver_reply { zxid; result; reply = pw.p_reply });
+         try_commit t s
+       end
+
+(* Leader CPU depends on the mutation kind: creates append a fresh node;
+   deletes and setData must locate an existing node, update parent state
+   and sweep watches — which is why the paper's Fig. 7 shows zoo_delete()
+   and zoo_set() topping out well below zoo_create(). A multi costs as
+   much as its most expensive op. *)
+let leader_service t txn =
+  let op_cost = function
+    | Txn.Create _ -> t.cfg.write_service
+    | Txn.Delete _ -> t.cfg.delete_service
+    | Txn.Set_data _ -> t.cfg.set_service
+    | Txn.Check _ -> t.cfg.write_service /. 2.
+  in
+  List.fold_left (fun acc op -> Float.max acc (op_cost op)) t.cfg.write_service txn
+
+let leader_handle_write t (s : server) txn time origin reply =
+  Process.sleep (svc t (leader_service t txn +. t.cfg.persist));
+  let zxid = s.next_zxid in
+  s.next_zxid <- Int64.add zxid 1L;
+  Hashtbl.replace s.pending zxid
+    { p_txn = txn; p_time = time; p_origin = origin; p_reply = reply; p_acks = 0 };
+  let followers =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter
+            (fun p -> p.id <> s.id && p.role = Follower)
+            (Array.to_seq t.members)))
+  in
+  Process.sleep (svc t (t.cfg.rpc_cpu *. float_of_int (List.length followers)));
+  List.iter
+    (fun (peer : server) ->
+      send t ~dst:peer.id (Propose { epoch = s.epoch; zxid; txn; time }))
+    followers;
+  try_commit t s
+
+(* {2 Follower apply path} *)
+
+let rec follower_apply_ready t (s : server) =
+  if Hashtbl.mem s.committed s.next_apply then
+    match Hashtbl.find_opt s.proposals s.next_apply with
+    | None -> ()  (* proposal not yet received (cleared by election) *)
+    | Some (txn, time) ->
+      let zxid = s.next_apply in
+      Hashtbl.remove s.committed zxid;
+      Hashtbl.remove s.proposals zxid;
+      s.next_apply <- Int64.add zxid 1L;
+      if Ztree.last_zxid s.tree < zxid then
+        ignore (Ztree.apply s.tree ~zxid ~time txn);
+      Hashtbl.replace s.log zxid (txn, time);
+      follower_apply_ready t s
+
+let build_session_cleanup (s : server) owner =
+  List.map
+    (fun path -> Txn.Delete { path; expected_version = -1 })
+    (Ztree.ephemerals_of s.tree ~owner)
+
+let handle t (s : server) msg =
+  match msg with
+  | Read { exec } ->
+    Process.sleep (svc t t.cfg.read_service);
+    if s.role <> Down then begin
+      s.reads <- s.reads + 1;
+      exec s.tree
+    end
+  | Write { txn; origin; reply } ->
+    if s.role = Leader then
+      leader_handle_write t s txn (Engine.now t.engine) origin reply
+    else begin
+      Process.sleep (svc t t.cfg.rpc_cpu);
+      send t ~dst:t.leader (Write { txn; origin; reply })
+    end
+  | Close_session { owner; origin; reply } ->
+    if s.role = Leader then begin
+      let txn = build_session_cleanup s owner in
+      leader_handle_write t s txn (Engine.now t.engine) origin reply
+    end else begin
+      Process.sleep (svc t t.cfg.rpc_cpu);
+      send t ~dst:t.leader (Close_session { owner; origin; reply })
+    end
+  | Propose { epoch; zxid; txn; time } ->
+    if epoch = s.epoch && s.role = Follower then begin
+      Process.sleep (svc t (t.cfg.persist +. t.cfg.rpc_cpu));
+      if s.role = Follower && epoch = s.epoch then begin
+        Hashtbl.replace s.proposals zxid (txn, time);
+        send t ~dst:t.leader (Ack { epoch; zxid; from = s.id })
+      end
+    end
+  | Ack { epoch; zxid; from = _ } ->
+    if epoch = s.epoch && s.role = Leader then begin
+      Process.sleep (svc t t.cfg.rpc_cpu);
+      (match Hashtbl.find_opt s.pending zxid with
+       | Some pw -> pw.p_acks <- pw.p_acks + 1
+       | None -> ());
+      try_commit t s
+    end
+  | Commit { epoch; zxid } ->
+    if epoch = s.epoch && s.role = Follower then begin
+      Process.sleep (svc t t.cfg.follower_apply);
+      if s.role = Follower && epoch = s.epoch then begin
+        Hashtbl.replace s.committed zxid ();
+        follower_apply_ready t s
+      end
+    end
+  | Inform { epoch; zxid; txn; time } ->
+    if epoch = s.epoch && s.role = Observer then begin
+      Process.sleep (svc t t.cfg.follower_apply);
+      (* leader->observer channel is FIFO, so informs arrive in order *)
+      if s.role = Observer && epoch = s.epoch && Ztree.last_zxid s.tree < zxid then begin
+        ignore (Ztree.apply s.tree ~zxid ~time txn);
+        Hashtbl.replace s.log zxid (txn, time)
+      end
+    end
+  | Deliver_reply { zxid = _; result; reply } ->
+    (* FIFO channels mean the matching Commit was processed already, so
+       this server's tree reflects the write before the client resumes. *)
+    Process.sleep (svc t t.cfg.rpc_cpu);
+    reply result
+
+let server_loop t s =
+  let rec loop () =
+    let msg = Mailbox.recv s.inbox in
+    if s.role <> Down then handle t s msg;
+    loop ()
+  in
+  loop ()
+
+let make_server id =
+  { id;
+    role = Follower;
+    epoch = 0;
+    tree = Ztree.create ();
+    log = Hashtbl.create 1024;
+    inbox = Mailbox.create ();
+    pending = Hashtbl.create 64;
+    next_zxid = 1L;
+    next_commit = 1L;
+    proposals = Hashtbl.create 64;
+    committed = Hashtbl.create 64;
+    next_apply = 1L;
+    reads = 0 }
+
+let start engine cfg =
+  if cfg.servers < 1 then invalid_arg "Ensemble.start: servers < 1";
+  if cfg.observers < 0 then invalid_arg "Ensemble.start: observers < 0";
+  let members = Array.init (cfg.servers + cfg.observers) make_server in
+  members.(0).role <- Leader;
+  for i = cfg.servers to cfg.servers + cfg.observers - 1 do
+    members.(i).role <- Observer
+  done;
+  let t =
+    { engine; cfg; members; leader = 0; next_session = 1L; next_server = 0;
+      commits = 0 }
+  in
+  Array.iter (fun s -> Process.spawn engine (fun () -> server_loop t s)) members;
+  t
+
+(* {2 Failure injection} *)
+
+(* How far behind a returning follower may be before the leader ships a
+   whole snapshot instead of replaying the log suffix txn by txn —
+   mirroring ZooKeeper's SNAP vs DIFF follower synchronization. *)
+let snapshot_transfer_threshold = 512L
+
+let state_transfer t ~from ~target =
+  let src = t.members.(from) and dst = t.members.(target) in
+  let gap = Int64.sub (Ztree.last_zxid src.tree) (Ztree.last_zxid dst.tree) in
+  if gap > snapshot_transfer_threshold then begin
+    match Ztree.deserialize (Ztree.serialize src.tree) with
+    | Ok tree ->
+      dst.tree <- tree;
+      Hashtbl.reset dst.log;
+      Hashtbl.iter (fun zxid entry -> Hashtbl.replace dst.log zxid entry) src.log
+    | Error msg ->
+      (* a snapshot failure must not lose the replica: fall back to replay *)
+      ignore msg
+  end;
+  let zxid = ref (Int64.add (Ztree.last_zxid dst.tree) 1L) in
+  while !zxid <= Ztree.last_zxid src.tree do
+    (match Hashtbl.find_opt src.log !zxid with
+     | Some (txn, time) ->
+       ignore (Ztree.apply dst.tree ~zxid:!zxid ~time txn);
+       Hashtbl.replace dst.log !zxid (txn, time)
+     | None -> ());
+    zxid := Int64.add !zxid 1L
+  done
+
+let elect t =
+  let best = ref None in
+  Array.iter
+    (fun s ->
+      (* observers never lead *)
+      if s.role <> Down && not (is_observer_id t s.id) then
+        match !best with
+        | None -> best := Some s
+        | Some b ->
+          let key (x : server) = (Ztree.last_zxid x.tree, x.id) in
+          if key s > key b then best := Some s)
+    t.members;
+  match !best with
+  | None -> ()  (* total outage; a later restart re-elects *)
+  | Some new_leader ->
+    t.leader <- new_leader.id;
+    let epoch = new_leader.epoch + 1 in
+    Array.iter
+      (fun s ->
+        if s.role <> Down then begin
+          s.epoch <- epoch;
+          Hashtbl.reset s.proposals;
+          Hashtbl.reset s.committed;
+          Hashtbl.reset s.pending;
+          if s.id = new_leader.id then s.role <- Leader
+          else begin
+            s.role <- (if is_observer_id t s.id then Observer else Follower);
+            state_transfer t ~from:new_leader.id ~target:s.id
+          end;
+          s.next_apply <- Int64.add (Ztree.last_zxid s.tree) 1L
+        end)
+      t.members;
+    new_leader.next_zxid <- Int64.add (Ztree.last_zxid new_leader.tree) 1L;
+    new_leader.next_commit <- new_leader.next_zxid
+
+let crash t id =
+  let s = t.members.(id) in
+  if s.role <> Down then begin
+    let was_leader = s.role = Leader in
+    s.role <- Down;
+    Hashtbl.reset s.pending;
+    if was_leader then
+      Engine.schedule t.engine ~delay:t.cfg.election_timeout (fun () -> elect t)
+  end
+
+let restart t id =
+  let s = t.members.(id) in
+  if s.role = Down then begin
+    s.role <- (if is_observer_id t id then Observer else Follower);
+    s.epoch <- t.members.(t.leader).epoch;
+    Hashtbl.reset s.proposals;
+    Hashtbl.reset s.committed;
+    if t.members.(t.leader).role = Leader && t.leader <> id then begin
+      let leader = t.members.(t.leader) in
+      state_transfer t ~from:t.leader ~target:id;
+      (* Re-propose the leader's uncommitted transactions so writes that
+         stalled during a quorum outage can reach quorum and commit.
+         Observers do not vote, so they are not re-proposed to. *)
+      if not (is_observer_id t id) then begin
+        let stalled =
+          Hashtbl.fold (fun zxid pw acc -> (zxid, pw) :: acc) leader.pending []
+        in
+        List.iter
+          (fun (zxid, pw) ->
+            send t ~dst:id
+              (Propose { epoch = leader.epoch; zxid; txn = pw.p_txn; time = pw.p_time }))
+          (List.sort compare stalled)
+      end
+    end
+    else if t.members.(t.leader).role <> Leader then
+      (* the whole ensemble was down: this server seeds a new election *)
+      elect t;
+    s.next_apply <- Int64.add (Ztree.last_zxid s.tree) 1L
+  end
+
+(* {2 Client side} *)
+
+(* Suspend the calling process until [reply] fires or [timeout] elapses;
+   late replies after a timeout are ignored. *)
+let await_reply t ~timeout issue =
+  Process.suspend_v (fun resume ->
+      let settled = ref false in
+      let finish v = if not !settled then begin settled := true; resume v end in
+      Engine.schedule t.engine ~delay:timeout (fun () ->
+          finish (Error Zerror.ZOPERATIONTIMEOUT));
+      issue (fun result ->
+          Engine.schedule t.engine ~delay:t.cfg.net_latency (fun () -> finish result)))
+
+let pick_alive t preferred =
+  if t.members.(preferred).role <> Down then preferred
+  else
+    match alive_ids t with
+    | [] -> preferred
+    | ids -> List.nth ids (preferred mod List.length ids)
+
+let rec submit t ~server ~attempts txn =
+  let target = pick_alive t server in
+  let result =
+    await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
+        send t ~dst:target (Write { txn; origin = target; reply }))
+  in
+  match result with
+  | Error Zerror.ZOPERATIONTIMEOUT when attempts > 1 ->
+    submit t ~server ~attempts:(attempts - 1) txn
+  | result -> result
+
+let rec read t ~server ~attempts exec_read =
+  let target = pick_alive t server in
+  let result =
+    await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
+        send t ~dst:target (Read { exec = (fun tree -> reply (Ok (exec_read tree))) }))
+  in
+  match result with
+  | Error Zerror.ZOPERATIONTIMEOUT when attempts > 1 ->
+    read t ~server ~attempts:(attempts - 1) exec_read
+  | Error e -> Error e
+  | Ok v -> Ok v
+
+let max_attempts = 8
+
+let session t ?server () =
+  let home =
+    match server with
+    | Some id -> id
+    | None ->
+      (* observers take their share of sessions: that is their point *)
+      let id = t.next_server in
+      t.next_server <- (t.next_server + 1) mod member_count t;
+      id
+  in
+  let session_id = t.next_session in
+  t.next_session <- Int64.add session_id 1L;
+  let submit txn = submit t ~server:home ~attempts:max_attempts txn in
+  let submit_async txn callback =
+    (* fire-and-callback: no retry; the deadline still bounds the wait *)
+    let settled = ref false in
+    let finish result =
+      if not !settled then begin
+        settled := true;
+        callback result
+      end
+    in
+    Engine.schedule t.engine ~delay:t.cfg.request_timeout (fun () ->
+        finish (Error Zerror.ZOPERATIONTIMEOUT));
+    let target = pick_alive t home in
+    send t ~dst:target
+      (Write
+         { txn;
+           origin = target;
+           reply =
+             (fun result ->
+               Engine.schedule t.engine ~delay:t.cfg.net_latency (fun () ->
+                   finish result)) })
+  in
+  let read exec = read t ~server:home ~attempts:max_attempts exec in
+  let or_loss = function Ok v -> v | Error e -> Error e in
+  let create ?(ephemeral = false) ?(sequential = false) path ~data =
+    let owner = if ephemeral then session_id else 0L in
+    match submit [ Zk_client.create_op ~ephemeral:owner ~sequential path ~data ] with
+    | Ok [ Txn.Created actual ] -> Ok actual
+    | Ok _ -> Error Zerror.ZBADARGUMENTS
+    | Error _ as e -> e
+  in
+  let set ?(version = -1) path ~data =
+    Result.map ignore (submit [ Zk_client.set_op ~version path ~data ])
+  in
+  let delete ?(version = -1) path =
+    Result.map ignore (submit [ Zk_client.delete_op ~version path ])
+  in
+  let close () =
+    ignore
+      (await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
+           send t ~dst:(pick_alive t home)
+             (Close_session { owner = session_id; origin = pick_alive t home; reply })))
+  in
+  { Zk_client.create;
+    get = (fun path -> or_loss (read (fun tree -> Ztree.get tree path)));
+    set;
+    delete;
+    exists =
+      (fun path ->
+        match read (fun tree -> Ztree.exists tree path) with
+        | Ok v -> v
+        | Error _ -> None);
+    children = (fun path -> or_loss (read (fun tree -> Ztree.children tree path)));
+    multi = submit;
+    multi_async = submit_async;
+    watch_data =
+      (fun path cb -> ignore (read (fun tree -> Ztree.watch_data tree path cb)));
+    watch_children =
+      (fun path cb -> ignore (read (fun tree -> Ztree.watch_children tree path cb)));
+    get_watch =
+      (fun path cb ->
+        (* one server visit arms the watch and reads *)
+        or_loss
+          (read (fun tree ->
+               Ztree.watch_data tree path cb;
+               Ztree.get tree path)));
+    children_watch =
+      (fun path cb ->
+        or_loss
+          (read (fun tree ->
+               Ztree.watch_children tree path cb;
+               Ztree.children tree path)));
+    sync = (fun () -> ignore (submit []));
+    close;
+    session_id }

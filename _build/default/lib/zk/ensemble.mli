@@ -1,0 +1,68 @@
+(** A replicated coordination-service ensemble running on the simulator.
+
+    [start] spawns one server process per replica. Writes follow the ZAB
+    discipline: the session's server forwards to the leader, the leader
+    assigns a zxid, persists, and broadcasts a proposal; followers persist
+    and ack; the leader commits once a majority (of the configured
+    ensemble) has acked, applies in zxid order, and routes the reply back
+    through the session's server *after that server has applied the
+    commit* — which yields ZooKeeper's read-your-own-writes session
+    guarantee. Reads are served locally by the session's server.
+
+    All {!Zk_client.handle} calls must run inside a simulation process. *)
+
+type config = {
+  servers : int;            (** voting ensemble size *)
+  observers : int;
+      (** non-voting replicas (ZooKeeper observers): they receive and
+          apply every commit and serve reads, but never ack proposals —
+          so they add read capacity without raising the write cost *)
+  net_latency : float;      (** one-way message latency, seconds *)
+  rpc_cpu : float;          (** server CPU per message sent/forwarded *)
+  read_service : float;     (** server CPU per read *)
+  write_service : float;    (** leader CPU per create request *)
+  delete_service : float;   (** leader CPU per delete (locate + unlink + watch sweep) *)
+  set_service : float;      (** leader CPU per setData *)
+  persist : float;          (** txn-log append (leader and followers) *)
+  follower_apply : float;   (** follower CPU to apply a commit *)
+  election_timeout : float; (** failure detection + election duration *)
+  request_timeout : float;  (** client-side retry deadline *)
+  load_factor : float;
+      (** service-time inflation from co-located client processes
+          (1.0 = dedicated servers); see {!Pfs.Costs} notes. *)
+}
+
+val default_config : servers:int -> config
+
+type t
+
+val start : Simkit.Engine.t -> config -> t
+val config : t -> config
+
+(** [session t ()] opens a session, assigned round-robin (or to [server]).
+    Handle calls must be made from inside a simulation process. *)
+val session : t -> ?server:int -> unit -> Zk_client.handle
+
+(** {2 Failure injection} *)
+
+(** [crash t id] stops server [id] immediately: its in-flight work and
+    un-replied requests are lost. If [id] was the leader, an election is
+    arranged after [election_timeout]. *)
+val crash : t -> int -> unit
+
+(** [restart t id] brings a crashed server back as a follower; it
+    state-transfers the log suffix it missed from the leader. *)
+val restart : t -> int -> unit
+
+val leader_id : t -> int option
+val alive_ids : t -> int list
+
+(** {2 Introspection (tests, benches)} *)
+
+val tree_of : t -> int -> Ztree.t
+val server_resident_bytes : t -> int -> int
+
+(** Committed-write and read counters per server, for load checks. *)
+val reads_served : t -> int -> int
+
+val writes_committed : t -> int

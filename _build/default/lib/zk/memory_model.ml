@@ -1,0 +1,20 @@
+(** Resident-memory model for a ZooKeeper server process (Fig. 11).
+
+    The server is a JVM: its resident size is a baseline (JVM runtime,
+    code, thread stacks, request buffers) plus the znode database, whose
+    heap footprint exceeds the raw payload by a boxing/GC factor. The
+    constants are tuned so that one million DUFS-sized znodes cost
+    ~417 MB, the figure measured in the paper (§V-E). *)
+
+(** JVM baseline: heap headroom + runtime, before any znode exists. *)
+let jvm_baseline_bytes = 64 * 1024 * 1024
+
+(** Java object-header / boxing / GC overhead multiplier on the raw
+    znode-tree bytes reported by {!Ztree.resident_bytes}. *)
+let java_heap_factor = 1.94
+
+let server_resident_bytes tree =
+  jvm_baseline_bytes
+  + int_of_float (java_heap_factor *. float_of_int (Ztree.resident_bytes tree))
+
+let to_mib bytes = float_of_int bytes /. (1024. *. 1024.)

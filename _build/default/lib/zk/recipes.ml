@@ -1,0 +1,148 @@
+let ( let* ) = Result.bind
+
+let ensure_node (handle : Zk_client.handle) path =
+  match handle.Zk_client.create path ~data:"" with
+  | Ok _ | Error Zerror.ZNODEEXISTS -> Ok ()
+  | Error _ as e -> e
+
+(* One guarded wait round: register a fire-once watch via [register],
+   evaluate [check], and if it says retry, park until the watch fires.
+   Registering *before* checking closes the lost-wakeup race (the event
+   may fire between check and park; [fired] catches it). *)
+let guarded_wait ~register ~check =
+  let fired = ref false in
+  let resume_ref = ref None in
+  register (fun (_ : Ztree.watch_event) ->
+      match !resume_ref with
+      | Some resume -> resume ()
+      | None -> fired := true);
+  let* verdict = check () in
+  match verdict with
+  | `Done -> Ok `Done
+  | `Retry ->
+    if not !fired then
+      Simkit.Process.suspend (fun resume -> resume_ref := Some resume);
+    Ok `Retry
+
+module Lock = struct
+  type t = {
+    handle : Zk_client.handle;
+    member : string;
+  }
+
+  let member_path t = t.member
+
+  let members (handle : Zk_client.handle) path =
+    Result.map (List.sort String.compare) (handle.Zk_client.children path)
+
+  let make_member (handle : Zk_client.handle) path =
+    let* () = ensure_node handle path in
+    handle.Zk_client.create ~ephemeral:true ~sequential:true
+      (Zpath.concat path "lock-") ~data:""
+
+  (* `Held, or `Wait p where p is the predecessor member to watch. *)
+  let holds_lock (handle : Zk_client.handle) path member =
+    let* names = members handle path in
+    let mine = Zpath.basename member in
+    let predecessor =
+      List.fold_left (fun best name -> if name < mine then Some name else best) None names
+    in
+    if not (List.mem mine names) then Error Zerror.ZSESSIONEXPIRED
+    else
+      match predecessor with
+      | None -> Ok `Held
+      | Some p -> Ok (`Wait (Zpath.concat path p))
+
+  let try_acquire handle ~path =
+    let* member = make_member handle path in
+    let* status = holds_lock handle path member in
+    match status with
+    | `Held -> Ok (Some { handle; member })
+    | `Wait _ ->
+      let* () = handle.Zk_client.delete member in
+      Ok None
+
+  let acquire handle ~path =
+    let* member = make_member handle path in
+    let rec wait () =
+      let* status = holds_lock handle path member in
+      match status with
+      | `Held -> Ok { handle; member }
+      | `Wait predecessor ->
+        let* round =
+          guarded_wait
+            ~register:(fun cb -> handle.Zk_client.watch_data predecessor cb)
+            ~check:(fun () ->
+              (* if the predecessor vanished between listing and watching,
+                 don't park — re-list instead *)
+              if handle.Zk_client.exists predecessor = None then Ok `Done else Ok `Retry)
+        in
+        (match round with `Done | `Retry -> wait ())
+    in
+    wait ()
+
+  let release t = t.handle.Zk_client.delete t.member
+end
+
+module Counter = struct
+  let decode data = match int_of_string_opt data with Some v -> v | None -> 0
+
+  let read (handle : Zk_client.handle) ~path =
+    match handle.Zk_client.get path with
+    | Ok (data, _) -> Ok (decode data)
+    | Error Zerror.ZNONODE -> Ok 0
+    | Error e -> Error e
+
+  let rec increment (handle : Zk_client.handle) ~path ?(by = 1) () =
+    match handle.Zk_client.get path with
+    | Error Zerror.ZNONODE ->
+      (match handle.Zk_client.create path ~data:(string_of_int by) with
+       | Ok _ -> Ok by
+       | Error Zerror.ZNODEEXISTS -> increment handle ~path ~by ()
+       | Error e -> Error e)
+    | Error e -> Error e
+    | Ok (data, stat) ->
+      let value = decode data + by in
+      (match
+         handle.Zk_client.set ~version:stat.Ztree.version path
+           ~data:(string_of_int value)
+       with
+      | Ok () -> Ok value
+      | Error Zerror.ZBADVERSION -> increment handle ~path ~by ()
+      | Error e -> Error e)
+end
+
+module Double_barrier = struct
+  let wait_for_children handle ~path ~condition =
+    let rec go () =
+      let* round =
+        guarded_wait
+          ~register:(fun cb -> handle.Zk_client.watch_children path cb)
+          ~check:(fun () ->
+            let* names = handle.Zk_client.children path in
+            if condition names then Ok `Done else Ok `Retry)
+      in
+      match round with `Done -> Ok () | `Retry -> go ()
+    in
+    go ()
+
+  let enter (handle : Zk_client.handle) ~path ~parties =
+    let* () = ensure_node handle path in
+    let* member =
+      handle.Zk_client.create ~ephemeral:true ~sequential:true
+        (Zpath.concat path "p-") ~data:""
+    in
+    let* () =
+      wait_for_children handle ~path ~condition:(fun names ->
+          List.length names >= parties)
+    in
+    Ok member
+
+  let leave (handle : Zk_client.handle) ~path ~member =
+    let* () =
+      match handle.Zk_client.delete member with
+      | Ok () | Error Zerror.ZNONODE -> Ok ()
+      | Error _ as e -> e
+    in
+    wait_for_children handle ~path ~condition:(fun names -> names = [])
+end

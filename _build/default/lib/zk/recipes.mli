@@ -1,0 +1,48 @@
+(** Classic ZooKeeper coordination recipes built on the client API —
+    demonstrating that the substrate supports the standard patterns
+    (locks, counters, barriers) that "higher level services for
+    synchronization" (§II-C) are built from.
+
+    Blocking variants park the calling simulation process on a watch, so
+    they require an {!Ensemble}-backed handle inside a process. The
+    non-blocking variants work on any handle, including {!Zk_local}. *)
+
+module Lock : sig
+  type t
+
+  (** [try_acquire handle ~path] attempts the lock rooted at [path]
+      (created if absent): creates an ephemeral sequential member node
+      and succeeds iff it is the lowest sequence. On failure the member
+      node is removed. Non-blocking; works on any handle. *)
+  val try_acquire : Zk_client.handle -> path:string -> (t option, Zerror.t) result
+
+  (** [acquire handle ~path] blocks (watch on the predecessor member)
+      until the lock is held. Simulation-process context only. *)
+  val acquire : Zk_client.handle -> path:string -> (t, Zerror.t) result
+
+  val release : t -> (unit, Zerror.t) result
+
+  (** The znode this holder owns (for tests). *)
+  val member_path : t -> string
+end
+
+module Counter : sig
+  (** [increment handle ~path ?by ()] — atomic add via version-checked
+      read-modify-write with retry; creates the node at 0 if missing.
+      Returns the new value. *)
+  val increment : Zk_client.handle -> path:string -> ?by:int -> unit -> (int, Zerror.t) result
+
+  val read : Zk_client.handle -> path:string -> (int, Zerror.t) result
+end
+
+module Double_barrier : sig
+  (** [enter handle ~path ~parties] — register and block until [parties]
+      processes have entered. Returns this process's member znode, to be
+      passed to [leave]. Simulation-process context only. *)
+  val enter :
+    Zk_client.handle -> path:string -> parties:int -> (string, Zerror.t) result
+
+  (** [leave handle ~path ~member] — remove our registration and block
+      until everyone has left. *)
+  val leave : Zk_client.handle -> path:string -> member:string -> (unit, Zerror.t) result
+end

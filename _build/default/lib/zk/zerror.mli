@@ -1,0 +1,16 @@
+(** ZooKeeper-style error codes returned by the coordination service. *)
+
+type t =
+  | ZNONODE                    (** node does not exist *)
+  | ZNODEEXISTS                (** node already exists *)
+  | ZNOTEMPTY                  (** node has children *)
+  | ZBADVERSION                (** version check failed *)
+  | ZNOCHILDRENFOREPHEMERALS   (** ephemeral nodes cannot have children *)
+  | ZBADARGUMENTS              (** malformed path or arguments *)
+  | ZCONNECTIONLOSS            (** server unreachable / request lost *)
+  | ZSESSIONEXPIRED            (** session timed out *)
+  | ZOPERATIONTIMEOUT          (** no reply within the deadline *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** The client-side coordination API (ZooKeeper synchronous bindings).
+
+    A {!handle} is a record of closures so that the same caller code (the
+    DUFS client, tests, examples) runs unchanged against {!Zk_local}
+    (immediate, single process) or {!Ensemble} (replicated servers on the
+    simulator, where each call blocks the calling simulation process). *)
+
+type handle = {
+  create :
+    ?ephemeral:bool -> ?sequential:bool -> string -> data:string ->
+    (string, Zerror.t) result;
+      (** Returns the actual path created (sequential suffix resolved). *)
+  get : string -> (string * Ztree.stat, Zerror.t) result;
+  set : ?version:int -> string -> data:string -> (unit, Zerror.t) result;
+  delete : ?version:int -> string -> (unit, Zerror.t) result;
+  exists : string -> Ztree.stat option;
+  children : string -> (string list, Zerror.t) result;
+  multi : Txn.t -> (Txn.result_item list, Zerror.t) result;
+      (** Atomic multi-op transaction (all-or-nothing). *)
+  multi_async :
+    Txn.t -> ((Txn.result_item list, Zerror.t) result -> unit) -> unit;
+      (** Asynchronous submission (the zoo_amulti-style API): returns
+          immediately; the callback fires on completion. Lets one client
+          keep several writes in flight — the pipelining the paper's
+          prototype forgoes by using the synchronous API (§IV-D). *)
+  watch_data : string -> (Ztree.watch_event -> unit) -> unit;
+  watch_children : string -> (Ztree.watch_event -> unit) -> unit;
+  get_watch :
+    string -> (Ztree.watch_event -> unit) -> (string * Ztree.stat, Zerror.t) result;
+      (** Read and arm a data watch in one server visit — ZooKeeper's
+          watch piggybacking. The watch is armed whether or not the node
+          exists (an exists-watch fires on creation). *)
+  children_watch :
+    string -> (Ztree.watch_event -> unit) -> (string list, Zerror.t) result;
+      (** List children and arm a child watch in one server visit. *)
+  sync : unit -> unit;
+      (** Flush the leader→replica pipeline for this session's server. *)
+  close : unit -> unit;
+      (** End the session; the service deletes its ephemeral nodes. *)
+  session_id : int64;
+}
+
+(** [create_op ?ephemeral ?sequential path ~data] builds the {!Txn.op}
+    matching [handle.create] — convenience for assembling multis. *)
+val create_op : ?ephemeral:int64 -> ?sequential:bool -> string -> data:string -> Txn.op
+
+val delete_op : ?version:int -> string -> Txn.op
+val set_op : ?version:int -> string -> data:string -> Txn.op
+val check_op : ?version:int -> string -> Txn.op

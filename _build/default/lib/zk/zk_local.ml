@@ -1,0 +1,63 @@
+type t = {
+  tree : Ztree.t;
+  clock : unit -> float;
+  mutable next_zxid : int64;
+  mutable next_session : int64;
+}
+
+let create ?(clock = fun () -> 0.) () =
+  { tree = Ztree.create (); clock; next_zxid = 1L; next_session = 1L }
+
+let tree t = t.tree
+let server_resident_bytes t = Memory_model.server_resident_bytes t.tree
+
+let submit t txn =
+  let zxid = t.next_zxid in
+  match Ztree.apply t.tree ~zxid ~time:(t.clock ()) txn with
+  | Ok _ as ok ->
+    t.next_zxid <- Int64.add zxid 1L;
+    ok
+  | Error _ as e -> e
+
+let session t =
+  let session_id = t.next_session in
+  t.next_session <- Int64.add session_id 1L;
+  let create ?(ephemeral = false) ?(sequential = false) path ~data =
+    let owner = if ephemeral then session_id else 0L in
+    match submit t [ Zk_client.create_op ~ephemeral:owner ~sequential path ~data ] with
+    | Ok [ Txn.Created actual ] -> Ok actual
+    | Ok _ -> Error Zerror.ZBADARGUMENTS
+    | Error _ as e -> e
+  in
+  let set ?(version = -1) path ~data =
+    Result.map ignore (submit t [ Zk_client.set_op ~version path ~data ])
+  in
+  let delete ?(version = -1) path =
+    Result.map ignore (submit t [ Zk_client.delete_op ~version path ])
+  in
+  let close () =
+    List.iter
+      (fun path -> ignore (submit t [ Zk_client.delete_op path ]))
+      (Ztree.ephemerals_of t.tree ~owner:session_id)
+  in
+  { Zk_client.create;
+    get = (fun path -> Ztree.get t.tree path);
+    set;
+    delete;
+    exists = (fun path -> Ztree.exists t.tree path);
+    children = (fun path -> Ztree.children t.tree path);
+    multi = submit t;
+    multi_async = (fun txn callback -> callback (submit t txn));
+    watch_data = (fun path cb -> Ztree.watch_data t.tree path cb);
+    watch_children = (fun path cb -> Ztree.watch_children t.tree path cb);
+    get_watch =
+      (fun path cb ->
+        Ztree.watch_data t.tree path cb;
+        Ztree.get t.tree path);
+    children_watch =
+      (fun path cb ->
+        Ztree.watch_children t.tree path cb;
+        Ztree.children t.tree path);
+    sync = (fun () -> ());
+    close;
+    session_id }

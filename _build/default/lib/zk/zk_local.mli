@@ -1,0 +1,19 @@
+(** Single-process, immediate-mode coordination service.
+
+    Functionally identical to a one-server {!Ensemble} but with no
+    simulator in the loop: every call executes synchronously against one
+    {!Ztree}. Used by unit tests, the examples, and the Fig. 11 memory
+    experiment (where only state size matters, not timing). *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+
+(** Open a session. Ephemeral nodes created through it are deleted by
+    [close]. *)
+val session : t -> Zk_client.handle
+
+val tree : t -> Ztree.t
+
+(** Modelled resident size of the (single) server process. *)
+val server_resident_bytes : t -> int

@@ -1,0 +1,33 @@
+let split p =
+  if p = "/" || p = "" then []
+  else String.split_on_char '/' (String.sub p 1 (String.length p - 1))
+
+let validate p =
+  let len = String.length p in
+  if len = 0 || p.[0] <> '/' then Error Zerror.ZBADARGUMENTS
+  else if p = "/" then Ok ()
+  else if p.[len - 1] = '/' then Error Zerror.ZBADARGUMENTS
+  else
+    let ok_component c = c <> "" && c <> "." && c <> ".." in
+    if List.for_all ok_component (split p) then Ok ()
+    else Error Zerror.ZBADARGUMENTS
+
+let join = function
+  | [] -> "/"
+  | comps -> "/" ^ String.concat "/" comps
+
+let parent p =
+  match String.rindex_opt p '/' with
+  | None | Some 0 -> "/"
+  | Some i -> String.sub p 0 i
+
+let basename p =
+  match String.rindex_opt p '/' with
+  | None -> p
+  | Some i -> String.sub p (i + 1) (String.length p - i - 1)
+
+let concat dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name
+
+let depth p = List.length (split p)
+
+let sequential_name base counter = Printf.sprintf "%s%010d" base counter

@@ -1,0 +1,485 @@
+type node = {
+  mutable data : string;
+  children : (string, unit) Hashtbl.t;
+  mutable version : int;
+  mutable cversion : int;
+  mutable seq_counter : int;
+  czxid : int64;
+  mutable mzxid : int64;
+  mutable pzxid : int64;
+  ctime : float;
+  mutable mtime : float;
+  ephemeral_owner : int64;
+}
+
+type stat = {
+  czxid : int64;
+  mzxid : int64;
+  pzxid : int64;
+  ctime : float;
+  mtime : float;
+  version : int;
+  cversion : int;
+  ephemeral_owner : int64;
+  data_length : int;
+  num_children : int;
+}
+
+type event_kind =
+  | Node_created
+  | Node_deleted
+  | Node_data_changed
+  | Node_children_changed
+
+type watch_event = { kind : event_kind; path : string }
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  data_watches : (string, (watch_event -> unit) list ref) Hashtbl.t;
+  child_watches : (string, (watch_event -> unit) list ref) Hashtbl.t;
+  ephemerals : (int64, (string, unit) Hashtbl.t) Hashtbl.t;
+  mutable last_zxid : int64;
+  mutable bytes : int;
+}
+
+(* Heap cost model per znode: node record (~96 B), two hash-table slots
+   (parent child-set + global path index, ~96 B), plus path and data
+   payloads counted separately. Chosen so that DUFS-sized znodes land near
+   the paper's ~417 MB per million znodes once the JVM factor in
+   Memory_model is applied. *)
+let znode_overhead_bytes = 192
+
+let make_node ~zxid ~time ~data ~ephemeral_owner =
+  { data;
+    children = Hashtbl.create 2;
+    version = 0;
+    cversion = 0;
+    seq_counter = 0;
+    czxid = zxid;
+    mzxid = zxid;
+    pzxid = zxid;
+    ctime = time;
+    mtime = time;
+    ephemeral_owner }
+
+let create () =
+  let t =
+    { nodes = Hashtbl.create 1024;
+      data_watches = Hashtbl.create 64;
+      child_watches = Hashtbl.create 64;
+      ephemerals = Hashtbl.create 16;
+      last_zxid = 0L;
+      bytes = 0 }
+  in
+  Hashtbl.replace t.nodes "/"
+    (make_node ~zxid:0L ~time:0. ~data:"" ~ephemeral_owner:0L);
+  t
+
+let stat_of_node (n : node) : stat =
+  { czxid = n.czxid;
+    mzxid = n.mzxid;
+    pzxid = n.pzxid;
+    ctime = n.ctime;
+    mtime = n.mtime;
+    version = n.version;
+    cversion = n.cversion;
+    ephemeral_owner = n.ephemeral_owner;
+    data_length = String.length n.data;
+    num_children = Hashtbl.length n.children }
+
+(* {2 Reads} *)
+
+let get t path =
+  match Hashtbl.find_opt t.nodes path with
+  | Some n -> Ok (n.data, stat_of_node n)
+  | None -> Error Zerror.ZNONODE
+
+let exists t path =
+  Option.map stat_of_node (Hashtbl.find_opt t.nodes path)
+
+let children t path =
+  match Hashtbl.find_opt t.nodes path with
+  | None -> Error Zerror.ZNONODE
+  | Some n ->
+    let names = Hashtbl.fold (fun name () acc -> name :: acc) n.children [] in
+    Ok (List.sort String.compare names)
+
+(* {2 Watches} *)
+
+let add_watch table path callback =
+  match Hashtbl.find_opt table path with
+  | Some callbacks -> callbacks := callback :: !callbacks
+  | None -> Hashtbl.replace table path (ref [ callback ])
+
+let watch_data t path callback = add_watch t.data_watches path callback
+let watch_children t path callback = add_watch t.child_watches path callback
+
+(* Collect the fire-once watches triggered by an event; they are removed
+   from the registry now and invoked only after the whole transaction
+   commits. *)
+let take_watches table path =
+  match Hashtbl.find_opt table path with
+  | None -> []
+  | Some callbacks ->
+    Hashtbl.remove table path;
+    List.rev !callbacks
+
+(* Each pending firing remembers its registry and path so that an aborted
+   transaction can re-arm the watch instead of silently consuming it. *)
+let trigger acc table kind path =
+  match take_watches table path with
+  | [] -> acc
+  | callbacks ->
+    let event = { kind; path } in
+    List.fold_left (fun acc cb -> (table, cb, event) :: acc) acc callbacks
+
+(* {2 Ephemeral bookkeeping} *)
+
+let record_ephemeral t ~owner path =
+  if owner <> 0L then begin
+    let set =
+      match Hashtbl.find_opt t.ephemerals owner with
+      | Some set -> set
+      | None ->
+        let set = Hashtbl.create 4 in
+        Hashtbl.replace t.ephemerals owner set;
+        set
+    in
+    Hashtbl.replace set path ()
+  end
+
+let forget_ephemeral t ~owner path =
+  if owner <> 0L then
+    match Hashtbl.find_opt t.ephemerals owner with
+    | Some set ->
+      Hashtbl.remove set path;
+      if Hashtbl.length set = 0 then Hashtbl.remove t.ephemerals owner
+    | None -> ()
+
+let ephemerals_of t ~owner =
+  match Hashtbl.find_opt t.ephemerals owner with
+  | None -> []
+  | Some set ->
+    let paths = Hashtbl.fold (fun path () acc -> path :: acc) set [] in
+    (* deepest first so children are deleted before parents *)
+    List.sort (fun a b -> compare (Zpath.depth b) (Zpath.depth a)) paths
+
+(* {2 Transactional application}
+
+   Each op is validated and applied immediately; an undo closure is pushed
+   so that a later op's failure rolls the whole transaction back. Watch
+   events accumulate and fire only on overall success. *)
+
+let node_bytes path (n : node) =
+  znode_overhead_bytes + String.length path + String.length n.data
+
+let apply_create t ~zxid ~time ~undo ~events
+    ~path ~data ~ephemeral_owner ~sequential =
+  match Zpath.validate path with
+  | Error e -> Error e
+  | Ok () ->
+    if path = "/" then Error Zerror.ZNODEEXISTS
+    else begin
+      let parent_path = Zpath.parent path in
+      match Hashtbl.find_opt t.nodes parent_path with
+      | None -> Error Zerror.ZNONODE
+      | Some parent when parent.ephemeral_owner <> 0L ->
+        Error Zerror.ZNOCHILDRENFOREPHEMERALS
+      | Some parent ->
+        let name =
+          if sequential then
+            Zpath.sequential_name (Zpath.basename path) parent.seq_counter
+          else Zpath.basename path
+        in
+        let actual_path = Zpath.concat parent_path name in
+        if Hashtbl.mem t.nodes actual_path then Error Zerror.ZNODEEXISTS
+        else begin
+          let node = make_node ~zxid ~time ~data ~ephemeral_owner in
+          let saved_cversion = parent.cversion
+          and saved_pzxid = parent.pzxid
+          and saved_seq = parent.seq_counter in
+          Hashtbl.replace t.nodes actual_path node;
+          Hashtbl.replace parent.children name ();
+          parent.cversion <- parent.cversion + 1;
+          parent.seq_counter <- parent.seq_counter + 1;
+          parent.pzxid <- zxid;
+          record_ephemeral t ~owner:ephemeral_owner actual_path;
+          t.bytes <- t.bytes + node_bytes actual_path node;
+          undo := (fun () ->
+              t.bytes <- t.bytes - node_bytes actual_path node;
+              forget_ephemeral t ~owner:ephemeral_owner actual_path;
+              Hashtbl.remove t.nodes actual_path;
+              Hashtbl.remove parent.children name;
+              parent.cversion <- saved_cversion;
+              parent.pzxid <- saved_pzxid;
+              parent.seq_counter <- saved_seq)
+            :: !undo;
+          events :=
+            trigger
+              (trigger !events t.data_watches Node_created actual_path)
+              t.child_watches Node_children_changed parent_path;
+          Ok (Txn.Created actual_path)
+        end
+    end
+
+let apply_delete t ~zxid ~time:_ ~undo ~events ~path ~expected_version =
+  if path = "/" then Error Zerror.ZBADARGUMENTS
+  else
+    match Hashtbl.find_opt t.nodes path with
+    | None -> Error Zerror.ZNONODE
+    | Some node ->
+      if expected_version >= 0 && expected_version <> node.version then
+        Error Zerror.ZBADVERSION
+      else if Hashtbl.length node.children > 0 then Error Zerror.ZNOTEMPTY
+      else begin
+        let parent_path = Zpath.parent path in
+        let name = Zpath.basename path in
+        (* The root always exists, so a live node's parent is present. *)
+        let parent = Hashtbl.find t.nodes parent_path in
+        let saved_cversion = parent.cversion and saved_pzxid = parent.pzxid in
+        Hashtbl.remove t.nodes path;
+        Hashtbl.remove parent.children name;
+        parent.cversion <- parent.cversion + 1;
+        parent.pzxid <- zxid;
+        forget_ephemeral t ~owner:node.ephemeral_owner path;
+        t.bytes <- t.bytes - node_bytes path node;
+        undo := (fun () ->
+            t.bytes <- t.bytes + node_bytes path node;
+            record_ephemeral t ~owner:node.ephemeral_owner path;
+            Hashtbl.replace t.nodes path node;
+            Hashtbl.replace parent.children name ();
+            parent.cversion <- saved_cversion;
+            parent.pzxid <- saved_pzxid)
+          :: !undo;
+        events :=
+          trigger
+            (trigger
+               (trigger !events t.data_watches Node_deleted path)
+               t.child_watches Node_deleted path)
+            t.child_watches Node_children_changed parent_path;
+        Ok Txn.Deleted
+      end
+
+let apply_set t ~zxid ~time ~undo ~events ~path ~data ~expected_version =
+  match Hashtbl.find_opt t.nodes path with
+  | None -> Error Zerror.ZNONODE
+  | Some node ->
+    if expected_version >= 0 && expected_version <> node.version then
+      Error Zerror.ZBADVERSION
+    else begin
+      let saved_data = node.data
+      and saved_version = node.version
+      and saved_mzxid = node.mzxid
+      and saved_mtime = node.mtime in
+      t.bytes <- t.bytes + String.length data - String.length node.data;
+      node.data <- data;
+      node.version <- node.version + 1;
+      node.mzxid <- zxid;
+      node.mtime <- time;
+      undo := (fun () ->
+          t.bytes <- t.bytes + String.length saved_data - String.length node.data;
+          node.data <- saved_data;
+          node.version <- saved_version;
+          node.mzxid <- saved_mzxid;
+          node.mtime <- saved_mtime)
+        :: !undo;
+      events := trigger !events t.data_watches Node_data_changed path;
+      Ok Txn.Data_set
+    end
+
+let apply_check t ~path ~expected_version =
+  match Hashtbl.find_opt t.nodes path with
+  | None -> Error Zerror.ZNONODE
+  | Some node ->
+    if expected_version >= 0 && expected_version <> node.version then
+      Error Zerror.ZBADVERSION
+    else Ok Txn.Checked
+
+let apply t ~zxid ~time txn =
+  if zxid <= t.last_zxid then
+    invalid_arg
+      (Printf.sprintf "Ztree.apply: zxid %Ld not beyond %Ld" zxid t.last_zxid);
+  let undo = ref [] in
+  let events = ref [] in
+  let rec run acc = function
+    | [] -> Ok (List.rev acc)
+    | op :: rest ->
+      let result =
+        match op with
+        | Txn.Create { path; data; ephemeral_owner; sequential } ->
+          apply_create t ~zxid ~time ~undo ~events ~path ~data
+            ~ephemeral_owner ~sequential
+        | Txn.Delete { path; expected_version } ->
+          apply_delete t ~zxid ~time ~undo ~events ~path ~expected_version
+        | Txn.Set_data { path; data; expected_version } ->
+          apply_set t ~zxid ~time ~undo ~events ~path ~data ~expected_version
+        | Txn.Check { path; expected_version } ->
+          apply_check t ~path ~expected_version
+      in
+      (match result with
+       | Ok item -> run (item :: acc) rest
+       | Error _ as e -> e)
+  in
+  match run [] txn with
+  | Ok items ->
+    t.last_zxid <- zxid;
+    (* Fire watches in registration/processing order, post-commit. *)
+    List.iter (fun (_, cb, event) -> cb event) (List.rev !events);
+    Ok items
+  | Error _ as e ->
+    List.iter (fun rollback -> rollback ()) !undo;
+    (* re-arm the watches the aborted ops had taken *)
+    List.iter (fun (table, cb, event) -> add_watch table event.path cb) !events;
+    e
+
+(* {2 Introspection} *)
+
+let node_count t = Hashtbl.length t.nodes
+let last_zxid t = t.last_zxid
+let resident_bytes t = t.bytes + znode_overhead_bytes (* root *)
+
+let equal_state a b =
+  Hashtbl.length a.nodes = Hashtbl.length b.nodes
+  && Hashtbl.fold
+       (fun path (n : node) acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b.nodes path with
+         | None -> false
+         | Some m ->
+           n.data = m.data && n.version = m.version && n.cversion = m.cversion
+           && Hashtbl.length n.children = Hashtbl.length m.children)
+       a.nodes true
+
+let fingerprint t =
+  Hashtbl.fold
+    (fun path (n : node) acc ->
+      acc lxor Hashtbl.hash (path, n.data, n.version, n.cversion))
+    t.nodes 0
+
+(* {2 Snapshots}
+
+   Length-prefixed fields, so paths and data need no escaping:
+     ZTREEv1 <last_zxid>\n
+     <n>\n
+     then per node (sorted by path for deterministic output):
+     <len>:<path><len>:<data> v cv sq cz mz pz <ctime-bits> <mtime-bits> eo\n
+   Children sets are reconstructed from the node paths themselves. *)
+
+let serialize t =
+  let buf = Buffer.create (4096 + (64 * Hashtbl.length t.nodes)) in
+  Buffer.add_string buf (Printf.sprintf "ZTREEv1 %Ld\n" t.last_zxid);
+  Buffer.add_string buf (Printf.sprintf "%d\n" (Hashtbl.length t.nodes));
+  let paths = Hashtbl.fold (fun path _ acc -> path :: acc) t.nodes [] in
+  let add_str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  List.iter
+    (fun path ->
+      let n = Hashtbl.find t.nodes path in
+      add_str path;
+      add_str n.data;
+      Buffer.add_string buf
+        (Printf.sprintf " %d %d %d %Ld %Ld %Ld %Lx %Lx %Ld\n" n.version n.cversion
+           n.seq_counter n.czxid n.mzxid n.pzxid (Int64.bits_of_float n.ctime)
+           (Int64.bits_of_float n.mtime) n.ephemeral_owner))
+    (List.sort String.compare paths);
+  Buffer.contents buf
+
+exception Bad_snapshot of string
+
+let deserialize s =
+  let pos = ref 0 in
+  let fail msg = raise (Bad_snapshot msg) in
+  let read_line () =
+    match String.index_from_opt s !pos '\n' with
+    | None -> fail "truncated"
+    | Some i ->
+      let line = String.sub s !pos (i - !pos) in
+      pos := i + 1;
+      line
+  in
+  let read_str () =
+    match String.index_from_opt s !pos ':' with
+    | None -> fail "missing length prefix"
+    | Some i ->
+      let len =
+        match int_of_string_opt (String.sub s !pos (i - !pos)) with
+        | Some len when len >= 0 && i + 1 + len <= String.length s -> len
+        | Some _ | None -> fail "bad length prefix"
+      in
+      let str = String.sub s (i + 1) len in
+      pos := i + 1 + len;
+      str
+  in
+  try
+    let header = read_line () in
+    let last_zxid =
+      match String.split_on_char ' ' header with
+      | [ "ZTREEv1"; zxid ] ->
+        (match Int64.of_string_opt zxid with
+         | Some z -> z
+         | None -> fail "bad zxid")
+      | _ -> fail "bad header"
+    in
+    let count =
+      match int_of_string_opt (read_line ()) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> fail "bad node count"
+    in
+    let t =
+      { nodes = Hashtbl.create (2 * count);
+        data_watches = Hashtbl.create 64;
+        child_watches = Hashtbl.create 64;
+        ephemerals = Hashtbl.create 16;
+        last_zxid;
+        bytes = 0 }
+    in
+    for _ = 1 to count do
+      let path = read_str () in
+      let data = read_str () in
+      let fields = String.split_on_char ' ' (read_line ()) in
+      match fields with
+      | [ ""; v; cv; sq; cz; mz; pz; ct; mt; eo ] ->
+        let int_field name x =
+          match int_of_string_opt x with Some v -> v | None -> fail ("bad " ^ name)
+        in
+        let i64_field name x =
+          match Int64.of_string_opt x with Some v -> v | None -> fail ("bad " ^ name)
+        in
+        let node =
+          { data;
+            children = Hashtbl.create 2;
+            version = int_field "version" v;
+            cversion = int_field "cversion" cv;
+            seq_counter = int_field "seq" sq;
+            czxid = i64_field "czxid" cz;
+            mzxid = i64_field "mzxid" mz;
+            pzxid = i64_field "pzxid" pz;
+            ctime = Int64.float_of_bits (i64_field "ctime" ("0x" ^ ct));
+            mtime = Int64.float_of_bits (i64_field "mtime" ("0x" ^ mt));
+            ephemeral_owner = i64_field "owner" eo }
+        in
+        if Hashtbl.mem t.nodes path then fail "duplicate path";
+        Hashtbl.replace t.nodes path node;
+        record_ephemeral t ~owner:node.ephemeral_owner path;
+        t.bytes <- t.bytes + node_bytes path node
+      | _ -> fail "bad node record"
+    done;
+    if not (Hashtbl.mem t.nodes "/") then fail "no root";
+    (* match live accounting: the root's overhead and path are excluded
+       from [bytes] (counted once in [resident_bytes]), its data is not *)
+    t.bytes <- t.bytes - (znode_overhead_bytes + 1);
+    (* rebuild children sets from paths *)
+    Hashtbl.iter
+      (fun path _node ->
+        if path <> "/" then begin
+          match Hashtbl.find_opt t.nodes (Zpath.parent path) with
+          | Some parent -> Hashtbl.replace parent.children (Zpath.basename path) ()
+          | None -> fail ("dangling node " ^ path)
+        end)
+      t.nodes;
+    Ok t
+  with Bad_snapshot msg -> Error ("Ztree.deserialize: " ^ msg)

@@ -1,0 +1,97 @@
+(** The znode data tree — the state machine each replica applies.
+
+    Mutations enter only through {!apply}, which executes one {!Txn.t}
+    atomically (all-or-nothing) at a given zxid, exactly as a ZooKeeper
+    replica applies committed proposals. Reads ({!get}, {!exists},
+    {!children}) are local and never modify the tree.
+
+    Semantics follow ZooKeeper: per-node data version / child version /
+    czxid / mzxid / pzxid bookkeeping, 10-digit sequential-node suffixes
+    derived from the parent's child-sequence counter, ephemeral nodes that
+    cannot have children, and fire-once data / child watches. *)
+
+type t
+
+type stat = {
+  czxid : int64;
+  mzxid : int64;
+  pzxid : int64;
+  ctime : float;
+  mtime : float;
+  version : int;           (** data version *)
+  cversion : int;          (** child-list version *)
+  ephemeral_owner : int64; (** 0 for persistent nodes *)
+  data_length : int;
+  num_children : int;
+}
+
+type event_kind =
+  | Node_created
+  | Node_deleted
+  | Node_data_changed
+  | Node_children_changed
+
+type watch_event = { kind : event_kind; path : string }
+
+val create : unit -> t
+
+(** {2 Replicated mutation} *)
+
+(** [apply t ~zxid ~time txn] applies [txn] atomically. On error the tree
+    is unchanged and no watch fires. [zxid] must be strictly increasing
+    across calls. *)
+val apply :
+  t -> zxid:int64 -> time:float -> Txn.t ->
+  (Txn.result_item list, Zerror.t) result
+
+(** {2 Local reads} *)
+
+val get : t -> string -> (string * stat, Zerror.t) result
+val exists : t -> string -> stat option
+val children : t -> string -> (string list, Zerror.t) result
+
+(** {2 Watches} *)
+
+(** Register a fire-once data watch on [path] (legal even if the node does
+    not exist yet — it then fires on creation, like an exists-watch). *)
+val watch_data : t -> string -> (watch_event -> unit) -> unit
+
+(** Register a fire-once child watch on an existing node. *)
+val watch_children : t -> string -> (watch_event -> unit) -> unit
+
+(** {2 Sessions} *)
+
+(** All paths currently owned by [owner], deepest first (safe to delete in
+    order). *)
+val ephemerals_of : t -> owner:int64 -> string list
+
+(** {2 Introspection} *)
+
+val node_count : t -> int
+val last_zxid : t -> int64
+
+(** Modelled heap bytes consumed by the tree (structures + names + data).
+    The server-process figure for Fig. 11 multiplies this by the JVM
+    factor in {!Memory_model}. *)
+val resident_bytes : t -> int
+
+(** Deep structural equality of two trees (paths, data, versions) — used
+    by replica-agreement tests. Watches are ignored. *)
+val equal_state : t -> t -> bool
+
+(** [fingerprint t] — order-independent digest of (path, data, version)
+    triples, for cheap agreement checks. *)
+val fingerprint : t -> int
+
+(** {2 Snapshots}
+
+    ZooKeeper servers periodically checkpoint the in-memory database to
+    disk and fuzzy-restore from snapshot + log replay (§IV-I: "it can
+    tolerate the failure of all servers by restarting them later"). *)
+
+(** Serialize the whole tree (nodes, data, stats, sequence counters) to a
+    self-contained byte string. Watches are not captured. *)
+val serialize : t -> string
+
+(** Rebuild a tree from [serialize] output. *)
+val deserialize : string -> (t, string) result

@@ -1,0 +1,485 @@
+(* Tests for the DUFS core primitives: MD5, FIDs, the deterministic
+   mapping function, consistent hashing, physical layout and metadata
+   encoding. *)
+
+module Md5 = Dufs.Md5
+module Fid = Dufs.Fid
+module Mapping = Dufs.Mapping
+module Consistent_hash = Dufs.Consistent_hash
+module Physical = Dufs.Physical
+module Meta = Dufs.Meta
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* {2 MD5 (RFC 1321 test vectors)} *)
+
+let rfc1321_vectors =
+  [ ("", "d41d8cd98f00b204e9800998ecf8427e");
+    ("a", "0cc175b9c0f1b6a831c399e269772661");
+    ("abc", "900150983cd24fb0d6963f7d28e17f72");
+    ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+    ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+    ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+      "d174ab98d277d9f5a5611c2c9f419d9f" );
+    ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+      "57edf4a22be3c955ac49da2e2107b67a" ) ]
+
+let test_rfc_vectors () =
+  List.iter
+    (fun (input, expected) ->
+      check_string (Printf.sprintf "md5(%S)" input) expected (Md5.hex input))
+    rfc1321_vectors
+
+let test_digest_length () =
+  check_int "raw digest is 16 bytes" 16 (String.length (Md5.digest "anything"));
+  check_int "hex digest is 32 chars" 32 (String.length (Md5.hex "anything"))
+
+let test_block_boundaries () =
+  (* lengths around the 64-byte block and 56-byte padding boundary *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      let direct = Md5.digest s in
+      let ctx = Md5.init () in
+      Md5.update ctx s;
+      check_string
+        (Printf.sprintf "one-shot = incremental at length %d" n)
+        direct (Md5.finalize ctx))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 119; 120; 127; 128; 1000 ]
+
+let test_incremental_chunking () =
+  let s = String.init 333 (fun i -> Char.chr (i mod 256)) in
+  let direct = Md5.digest s in
+  let ctx = Md5.init () in
+  let rec feed off =
+    if off < String.length s then begin
+      let len = min 7 (String.length s - off) in
+      Md5.update ctx ~off ~len s;
+      feed (off + len)
+    end
+  in
+  feed 0;
+  check_string "chunked = one-shot" direct (Md5.finalize ctx)
+
+let test_update_range_validation () =
+  let ctx = Md5.init () in
+  Alcotest.check_raises "bad range" (Invalid_argument "Md5.update: bad range")
+    (fun () -> Md5.update ctx ~off:5 ~len:10 "short")
+
+let prop_md5_deterministic =
+  QCheck2.Test.make ~name:"md5 deterministic and 128-bit" ~count:300
+    QCheck2.Gen.string (fun s ->
+      Md5.digest s = Md5.digest s && String.length (Md5.digest s) = 16)
+
+let prop_md5_incremental_split =
+  QCheck2.Test.make ~name:"md5 split at any point = one-shot" ~count:300
+    QCheck2.Gen.(pair string (int_range 0 1000))
+    (fun (s, k) ->
+      let k = if String.length s = 0 then 0 else k mod (String.length s + 1) in
+      let ctx = Md5.init () in
+      Md5.update ctx ~off:0 ~len:k s;
+      Md5.update ctx ~off:k ~len:(String.length s - k) s;
+      Md5.finalize ctx = Md5.digest s)
+
+let test_to_int_nonnegative () =
+  List.iter
+    (fun s -> check_bool "to_int >= 0" true (Md5.to_int (Md5.digest s) >= 0))
+    [ ""; "a"; "\255\255\255\255\255\255\255\255"; "zzz" ]
+
+(* {2 FID} *)
+
+let test_fid_hex_roundtrip () =
+  let fid = Fid.make ~client_id:0x0123456789abcdefL ~counter:42L in
+  let hex = Fid.to_hex fid in
+  check_int "32 hex chars" 32 (String.length hex);
+  check_string "layout" "0123456789abcdef000000000000002a" hex;
+  (match Fid.of_hex hex with
+  | Some fid' -> check_bool "roundtrip" true (Fid.equal fid fid')
+  | None -> Alcotest.fail "of_hex failed")
+
+let test_fid_of_hex_rejects_garbage () =
+  check_bool "short" true (Fid.of_hex "abc" = None);
+  check_bool "bad chars" true (Fid.of_hex (String.make 32 'g') = None);
+  check_bool "right length wrong chars" true
+    (Fid.of_hex "0123456789abcdef0123456789abcdeZ" = None)
+
+let test_fid_bytes () =
+  let fid = Fid.make ~client_id:1L ~counter:258L in
+  let b = Fid.to_bytes fid in
+  check_int "16 bytes" 16 (String.length b);
+  check_int "client id big-endian" 1 (Char.code b.[7]);
+  check_int "counter high byte" 1 (Char.code b.[14]);
+  check_int "counter low byte" 2 (Char.code b.[15])
+
+let test_fid_generator () =
+  let gen = Fid.Gen.create ~client_id:7L in
+  let a = Fid.Gen.next gen and b = Fid.Gen.next gen in
+  check_bool "distinct" true (not (Fid.equal a b));
+  check_bool "same client" true (Fid.compare a b < 0);
+  check_bool "counter increments" true
+    (Int64.equal (Fid.Gen.generated gen) 2L)
+
+let prop_fid_uniqueness =
+  QCheck2.Test.make ~name:"fids unique across clients and counters" ~count:100
+    QCheck2.Gen.(int_range 2 8)
+    (fun clients ->
+      let all =
+        List.concat_map
+          (fun c ->
+            let gen = Fid.Gen.create ~client_id:(Int64.of_int c) in
+            List.init 50 (fun _ -> Fid.to_hex (Fid.Gen.next gen)))
+          (List.init clients (fun i -> i + 1))
+      in
+      List.length (List.sort_uniq compare all) = List.length all)
+
+(* {2 Mapping function} *)
+
+let fids_for_tests n =
+  let gen = Fid.Gen.create ~client_id:99L in
+  List.init n (fun _ -> Fid.Gen.next gen)
+
+let test_mapping_range () =
+  List.iter
+    (fun backends ->
+      List.iter
+        (fun fid ->
+          let i = Mapping.md5_mod ~backends fid in
+          check_bool "in range" true (i >= 0 && i < backends))
+        (fids_for_tests 200))
+    [ 1; 2; 3; 7; 16 ]
+
+let test_mapping_deterministic () =
+  let fid = Fid.make ~client_id:5L ~counter:123L in
+  check_int "same result every time"
+    (Mapping.md5_mod ~backends:4 fid)
+    (Mapping.md5_mod ~backends:4 fid)
+
+let test_mapping_rejects_zero_backends () =
+  Alcotest.check_raises "zero backends"
+    (Invalid_argument "Mapping.md5_mod: backends < 1") (fun () ->
+      ignore (Mapping.md5_mod ~backends:0 (Fid.make ~client_id:1L ~counter:1L)))
+
+let test_mapping_fairness () =
+  (* the paper picks MD5 precisely for its load-spreading fairness (§IV-F) *)
+  let fids = fids_for_tests 20_000 in
+  List.iter
+    (fun backends ->
+      let imbalance =
+        Mapping.imbalance (Mapping.md5_mod ~backends) ~backends fids
+      in
+      check_bool
+        (Printf.sprintf "max/min bucket ratio %.3f < 1.15 for N=%d" imbalance backends)
+        true (imbalance < 1.15))
+    [ 2; 4; 8 ]
+
+let test_mapping_consistent_strategy_agrees_with_ring () =
+  let ring = Consistent_hash.create [ 0; 1; 2 ] in
+  let fid = Fid.make ~client_id:3L ~counter:77L in
+  check_int "locate delegates to the ring"
+    (Consistent_hash.lookup ring (Fid.to_bytes fid))
+    (Mapping.locate (Mapping.Consistent ring) ~backends:3 fid)
+
+(* {2 Consistent hashing} *)
+
+let test_ring_basic () =
+  let ring = Consistent_hash.create [ 0; 1; 2; 3 ] in
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 2; 3 ] (Consistent_hash.nodes ring);
+  let owner = Consistent_hash.lookup ring "some-key" in
+  check_bool "owner valid" true (owner >= 0 && owner < 4);
+  check_int "lookup deterministic" owner (Consistent_hash.lookup ring "some-key")
+
+let test_ring_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Consistent_hash.create: no nodes")
+    (fun () -> ignore (Consistent_hash.create []));
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Consistent_hash.create: duplicate node ids") (fun () ->
+      ignore (Consistent_hash.create [ 1; 1 ]));
+  let ring = Consistent_hash.create [ 0 ] in
+  Alcotest.check_raises "remove last"
+    (Invalid_argument "Consistent_hash.remove_node: would empty the ring") (fun () ->
+      ignore (Consistent_hash.remove_node ring 0))
+
+let keys_for_tests n = List.init n (fun i -> Printf.sprintf "key-%d" i)
+
+let test_ring_bounded_relocation_on_add () =
+  (* §VII: adding a back-end must relocate only ~1/(N+1) of the data *)
+  let keys = keys_for_tests 20_000 in
+  let before = Consistent_hash.create [ 0; 1; 2; 3 ] in
+  let after = Consistent_hash.add_node before 4 in
+  let moved = Consistent_hash.relocated ~before ~after keys in
+  check_bool (Printf.sprintf "moved %.3f ≈ 1/5" moved) true
+    (moved > 0.10 && moved < 0.30)
+
+let test_ring_relocation_only_to_new_node () =
+  let keys = keys_for_tests 5_000 in
+  let before = Consistent_hash.create [ 0; 1; 2 ] in
+  let after = Consistent_hash.add_node before 3 in
+  List.iter
+    (fun key ->
+      let a = Consistent_hash.lookup before key and b = Consistent_hash.lookup after key in
+      if a <> b then check_int "keys only move to the new node" 3 b)
+    keys
+
+let test_ring_remove_inverse_of_add () =
+  let before = Consistent_hash.create [ 0; 1; 2 ] in
+  let round_trip = Consistent_hash.remove_node (Consistent_hash.add_node before 9) 9 in
+  List.iter
+    (fun key ->
+      check_int "same owner after add+remove"
+        (Consistent_hash.lookup before key)
+        (Consistent_hash.lookup round_trip key))
+    (keys_for_tests 1_000)
+
+let test_md5_mod_relocation_is_unbounded () =
+  (* the contrast motivating the future work: mod-N moves ~1 - 1/(N+1) *)
+  let fids = fids_for_tests 20_000 in
+  let moved =
+    List.length
+      (List.filter
+         (fun fid -> Mapping.md5_mod ~backends:4 fid <> Mapping.md5_mod ~backends:5 fid)
+         fids)
+  in
+  let fraction = float_of_int moved /. 20_000. in
+  check_bool (Printf.sprintf "mod-N moved %.2f > 0.6" fraction) true (fraction > 0.6)
+
+let prop_ring_balance =
+  QCheck2.Test.make ~name:"ring spreads keys within 2.5x of fair" ~count:10
+    QCheck2.Gen.(int_range 2 8)
+    (fun nodes ->
+      let ring = Consistent_hash.create ~replicas:128 (List.init nodes Fun.id) in
+      let counts = Array.make nodes 0 in
+      List.iter
+        (fun key ->
+          let o = Consistent_hash.lookup ring key in
+          counts.(o) <- counts.(o) + 1)
+        (keys_for_tests 20_000);
+      let fair = 20_000. /. float_of_int nodes in
+      Array.for_all
+        (fun c -> float_of_int c > fair /. 2.5 && float_of_int c < fair *. 2.5)
+        counts)
+
+(* {2 Physical layout} *)
+
+let test_paper_split_example () =
+  (* Fig. 4 of the paper, verbatim *)
+  check_string "paper example" "cdef/89ab/4567/0123"
+    (Physical.paper_split "0123456789abcdef")
+
+let test_physical_path_shape () =
+  let fid = Fid.make ~client_id:0x0123456789abcdefL ~counter:0x1122334455667788L in
+  let layout = Physical.default_layout in
+  let p = Physical.path layout fid in
+  (* low hex digits of the counter become the leading components *)
+  check_string "path" "/8/8/0123456789abcdef1122334455667788" p;
+  check_string "dir" "/8/8" (Physical.dir layout fid)
+
+let test_physical_components_vary_fastest () =
+  (* consecutive creates land in different top-level directories *)
+  let layout = Physical.default_layout in
+  let gen = Fid.Gen.create ~client_id:1L in
+  let dirs =
+    List.init 16 (fun _ -> Physical.dir layout (Fid.Gen.next gen))
+  in
+  check_int "16 consecutive fids hit 16 distinct dirs" 16
+    (List.length (List.sort_uniq compare dirs))
+
+let test_physical_fid_roundtrip () =
+  let layout = { Physical.levels = 3; chars_per_level = 2 } in
+  let fid = Fid.make ~client_id:123L ~counter:456L in
+  (match Physical.fid_of_path (Physical.path layout fid) with
+  | Some fid' -> check_bool "roundtrip through path" true (Fid.equal fid fid')
+  | None -> Alcotest.fail "fid_of_path failed")
+
+let test_physical_bad_layout () =
+  Alcotest.check_raises "too many chars" (Invalid_argument "Physical: bad layout")
+    (fun () ->
+      ignore
+        (Physical.path { Physical.levels = 5; chars_per_level = 4 }
+           (Fid.make ~client_id:1L ~counter:1L)))
+
+let test_format_creates_hierarchy () =
+  let fs = Fuselike.Memfs.create ~clock:(fun () -> 0.) () in
+  let ops = Fuselike.Memfs.ops fs in
+  (match Physical.format Physical.default_layout ops with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "format: %s" (Fuselike.Errno.to_string e));
+  (* 16 top dirs, each with 16 children *)
+  check_int "16 top-level dirs" 16
+    (List.length (Result.get_ok (ops.Fuselike.Vfs.readdir "/")));
+  check_int "16 second-level dirs" 16
+    (List.length (Result.get_ok (ops.Fuselike.Vfs.readdir "/a")));
+  (* formatting is idempotent *)
+  check_bool "idempotent" true (Physical.format Physical.default_layout ops = Ok ())
+
+let prop_physical_unique_paths =
+  QCheck2.Test.make ~name:"distinct fids give distinct physical paths" ~count:100
+    QCheck2.Gen.(pair int64 int64)
+    (fun (a, b) ->
+      let fid_a = Fid.make ~client_id:1L ~counter:a in
+      let fid_b = Fid.make ~client_id:1L ~counter:b in
+      Int64.equal a b
+      || Physical.path Physical.default_layout fid_a
+         <> Physical.path Physical.default_layout fid_b)
+
+(* {2 Meta encoding} *)
+
+let test_meta_roundtrip_dir () =
+  let meta = Meta.dir ~mode:0o751 ~ctime:1234.5 in
+  (match Meta.decode (Meta.encode meta) with
+  | Ok meta' -> check_bool "dir roundtrip" true (Meta.equal meta meta')
+  | Error e -> Alcotest.fail e)
+
+let test_meta_roundtrip_file () =
+  let fid = Fid.make ~client_id:77L ~counter:88L in
+  let meta = Meta.file fid ~mode:0o640 ~ctime:0.125 in
+  match Meta.decode (Meta.encode meta) with
+  | Ok { Meta.kind = Meta.File fid'; mode; _ } ->
+    check_bool "fid kept" true (Fid.equal fid fid');
+    check_int "mode kept" 0o640 mode
+  | Ok _ -> Alcotest.fail "wrong kind"
+  | Error e -> Alcotest.fail e
+
+let test_meta_roundtrip_symlink_with_separator () =
+  (* the target is the last field, so it may contain the separator *)
+  let meta = Meta.symlink ~target:"/weird|name|with|pipes" ~ctime:9. in
+  match Meta.decode (Meta.encode meta) with
+  | Ok { Meta.kind = Meta.Symlink target; _ } ->
+    check_string "target with pipes survives" "/weird|name|with|pipes" target
+  | Ok _ -> Alcotest.fail "wrong kind"
+  | Error e -> Alcotest.fail e
+
+let test_meta_decode_rejects_garbage () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "rejects %S" s) true (Result.is_error (Meta.decode s)))
+    [ ""; "v0|d|755|0|"; "v1|z|755|0|"; "v1|d|xyz|0|"; "v1|f|644|0|nothex"; "random" ]
+
+let prop_meta_roundtrip =
+  QCheck2.Test.make ~name:"meta encode/decode roundtrip" ~count:300
+    QCheck2.Gen.(triple (int_range 0 0o777) (float_range 0. 1e9) (pair int64 int64))
+    (fun (mode, ctime, (client_id, counter)) ->
+      let metas =
+        [ Meta.dir ~mode ~ctime;
+          Meta.file (Fid.make ~client_id ~counter) ~mode ~ctime ]
+      in
+      List.for_all
+        (fun meta ->
+          match Meta.decode (Meta.encode meta) with
+          | Ok meta' -> Meta.equal meta meta'
+          | Error _ -> false)
+        metas)
+
+(* {2 Extra edges} *)
+
+let test_md5_large_input () =
+  (* multi-megabyte input exercises the block loop; value cross-checked
+     against the incremental path rather than an external oracle *)
+  let s = String.init (3 * 1024 * 1024) (fun i -> Char.chr (i mod 251)) in
+  let ctx = Md5.init () in
+  let half = String.length s / 2 in
+  Md5.update ctx ~off:0 ~len:half s;
+  Md5.update ctx ~off:half ~len:(String.length s - half) s;
+  check_string "3 MiB split = one-shot" (Md5.hex s)
+    (let buf = Buffer.create 32 in
+     String.iter
+       (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+       (Md5.finalize ctx);
+     Buffer.contents buf)
+
+let test_fid_compare_total_order () =
+  let a = Fid.make ~client_id:1L ~counter:5L in
+  let b = Fid.make ~client_id:1L ~counter:6L in
+  let c = Fid.make ~client_id:2L ~counter:0L in
+  check_bool "counter orders within client" true (Fid.compare a b < 0);
+  check_bool "client id dominates" true (Fid.compare b c < 0);
+  check_int "reflexive" 0 (Fid.compare a a);
+  (* unsigned comparison: a 'negative' int64 client id sorts high *)
+  let big = Fid.make ~client_id:(-1L) ~counter:0L in
+  check_bool "unsigned client ordering" true (Fid.compare c big < 0)
+
+let test_physical_zero_levels () =
+  let layout = { Physical.levels = 0; chars_per_level = 1 } in
+  let fid = Fid.make ~client_id:1L ~counter:2L in
+  check_string "flat layout" ("/" ^ Fid.to_hex fid) (Physical.path layout fid);
+  (* formatting a flat layout creates nothing and succeeds *)
+  let fs = Fuselike.Memfs.create ~clock:(fun () -> 0.) () in
+  check_bool "format ok" true (Physical.format layout (Fuselike.Memfs.ops fs) = Ok ())
+
+let test_mapping_single_backend () =
+  List.iter
+    (fun fid -> check_int "always 0" 0 (Mapping.md5_mod ~backends:1 fid))
+    (fids_for_tests 50)
+
+let test_meta_encode_is_stable () =
+  (* the wire format is persisted in znodes: lock it down *)
+  let fid = Fid.make ~client_id:0xabcdL ~counter:7L in
+  check_string "file encoding frozen"
+    "v1|f|644|0|000000000000abcd0000000000000007"
+    (Meta.encode (Meta.file fid ~mode:0o644 ~ctime:0.));
+  check_string "dir encoding frozen" "v1|d|755|0|"
+    (Meta.encode (Meta.dir ~mode:0o755 ~ctime:0.))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dufs-core"
+    [ ( "md5",
+        [ Alcotest.test_case "RFC 1321 vectors" `Quick test_rfc_vectors;
+          Alcotest.test_case "digest length" `Quick test_digest_length;
+          Alcotest.test_case "block boundaries" `Quick test_block_boundaries;
+          Alcotest.test_case "incremental chunking" `Quick test_incremental_chunking;
+          Alcotest.test_case "update range validation" `Quick
+            test_update_range_validation;
+          Alcotest.test_case "to_int nonnegative" `Quick test_to_int_nonnegative;
+          qc prop_md5_deterministic;
+          qc prop_md5_incremental_split ] );
+      ( "fid",
+        [ Alcotest.test_case "hex roundtrip" `Quick test_fid_hex_roundtrip;
+          Alcotest.test_case "of_hex rejects garbage" `Quick
+            test_fid_of_hex_rejects_garbage;
+          Alcotest.test_case "bytes layout" `Quick test_fid_bytes;
+          Alcotest.test_case "generator" `Quick test_fid_generator;
+          qc prop_fid_uniqueness ] );
+      ( "mapping",
+        [ Alcotest.test_case "range" `Quick test_mapping_range;
+          Alcotest.test_case "deterministic" `Quick test_mapping_deterministic;
+          Alcotest.test_case "rejects zero backends" `Quick
+            test_mapping_rejects_zero_backends;
+          Alcotest.test_case "fairness" `Quick test_mapping_fairness;
+          Alcotest.test_case "consistent strategy" `Quick
+            test_mapping_consistent_strategy_agrees_with_ring ] );
+      ( "consistent-hash",
+        [ Alcotest.test_case "basics" `Quick test_ring_basic;
+          Alcotest.test_case "validation" `Quick test_ring_validation;
+          Alcotest.test_case "bounded relocation on add" `Quick
+            test_ring_bounded_relocation_on_add;
+          Alcotest.test_case "moves only to new node" `Quick
+            test_ring_relocation_only_to_new_node;
+          Alcotest.test_case "remove inverts add" `Quick test_ring_remove_inverse_of_add;
+          Alcotest.test_case "mod-N relocation unbounded" `Quick
+            test_md5_mod_relocation_is_unbounded;
+          qc prop_ring_balance ] );
+      ( "physical",
+        [ Alcotest.test_case "paper Fig. 4 example" `Quick test_paper_split_example;
+          Alcotest.test_case "path shape" `Quick test_physical_path_shape;
+          Alcotest.test_case "components vary fastest" `Quick
+            test_physical_components_vary_fastest;
+          Alcotest.test_case "fid roundtrip" `Quick test_physical_fid_roundtrip;
+          Alcotest.test_case "bad layout" `Quick test_physical_bad_layout;
+          Alcotest.test_case "format creates hierarchy" `Quick
+            test_format_creates_hierarchy;
+          qc prop_physical_unique_paths ] );
+      ( "edges",
+        [ Alcotest.test_case "md5 large input" `Quick test_md5_large_input;
+          Alcotest.test_case "fid total order" `Quick test_fid_compare_total_order;
+          Alcotest.test_case "physical zero levels" `Quick test_physical_zero_levels;
+          Alcotest.test_case "mapping single backend" `Quick test_mapping_single_backend;
+          Alcotest.test_case "meta encoding frozen" `Quick test_meta_encode_is_stable ] );
+      ( "meta",
+        [ Alcotest.test_case "dir roundtrip" `Quick test_meta_roundtrip_dir;
+          Alcotest.test_case "file roundtrip" `Quick test_meta_roundtrip_file;
+          Alcotest.test_case "symlink with separators" `Quick
+            test_meta_roundtrip_symlink_with_separator;
+          Alcotest.test_case "rejects garbage" `Quick test_meta_decode_rejects_garbage;
+          qc prop_meta_roundtrip ] ) ]

@@ -1,0 +1,611 @@
+(* Replication tests for the simulated coordination ensemble: all replicas
+   apply the same committed transactions in zxid order, sessions read
+   their own writes, and the ensemble survives crashes, elections and
+   quorum loss/restore. *)
+
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+module Ensemble = Zk.Ensemble
+module Ztree = Zk.Ztree
+module Zerror = Zk.Zerror
+module Zk_client = Zk.Zk_client
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let ok_or_fail label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected %s" label (Zerror.to_string e)
+
+let make ?(servers = 3) ?(config_adjust = Fun.id) () =
+  let engine = Engine.create () in
+  let cfg = config_adjust (Ensemble.default_config ~servers) in
+  (engine, Ensemble.start engine cfg)
+
+let all_trees_agree ensemble ~servers =
+  let reference = Ensemble.tree_of ensemble 0 in
+  let rec go i =
+    i >= servers
+    || (Ztree.equal_state reference (Ensemble.tree_of ensemble i) && go (i + 1))
+  in
+  go 1
+
+(* {2 Basic replication} *)
+
+let test_write_replicates_to_all () =
+  let engine, ensemble = make ~servers:5 () in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble () in
+      ignore (ok_or_fail "create" (s.Zk_client.create "/a" ~data:"payload")));
+  Engine.run engine;
+  for i = 0 to 4 do
+    let data, _ =
+      ok_or_fail (Printf.sprintf "server %d" i)
+        (Ztree.get (Ensemble.tree_of ensemble i) "/a")
+    in
+    check_string (Printf.sprintf "replica %d has the data" i) "payload" data
+  done
+
+let test_replicas_identical_after_many_writes () =
+  let engine, ensemble = make ~servers:5 () in
+  for proc = 0 to 7 do
+    Process.spawn engine (fun () ->
+        let s = Ensemble.session ensemble () in
+        for i = 0 to 49 do
+          ignore (s.Zk_client.create (Printf.sprintf "/n%d_%d" proc i) ~data:"x")
+        done)
+  done;
+  Engine.run engine;
+  check_bool "all five replicas converge to the same state" true
+    (all_trees_agree ensemble ~servers:5);
+  check_int "all writes committed" 400 (Ensemble.writes_committed ensemble);
+  check_int "every replica holds all nodes" 401
+    (Ztree.node_count (Ensemble.tree_of ensemble 4))
+
+let test_total_order_observed () =
+  (* concurrent conflicting creates: exactly one of the two clients wins,
+     on every replica — the Fig. 1 consistency scenario *)
+  let engine, ensemble = make ~servers:3 () in
+  let outcomes = ref [] in
+  for _ = 0 to 1 do
+    Process.spawn engine (fun () ->
+        let s = Ensemble.session ensemble () in
+        let r = s.Zk_client.create "/contested" ~data:"" in
+        outcomes := r :: !outcomes)
+  done;
+  Engine.run engine;
+  let wins =
+    List.length (List.filter (function Ok _ -> true | Error _ -> false) !outcomes)
+  in
+  let losses =
+    List.length
+      (List.filter (function Error Zerror.ZNODEEXISTS -> true | _ -> false) !outcomes)
+  in
+  check_int "exactly one winner" 1 wins;
+  check_int "the other sees ZNODEEXISTS" 1 losses;
+  check_bool "replicas agree" true (all_trees_agree ensemble ~servers:3)
+
+let test_session_reads_own_writes () =
+  (* every session, regardless of which follower it is attached to, must
+     observe its own completed writes *)
+  let engine, ensemble = make ~servers:5 () in
+  let failures = ref 0 in
+  for proc = 0 to 4 do
+    Process.spawn engine (fun () ->
+        let s = Ensemble.session ensemble ~server:proc () in
+        for i = 0 to 19 do
+          let path = Printf.sprintf "/rw%d_%d" proc i in
+          ignore (ok_or_fail "create" (s.Zk_client.create path ~data:"v"));
+          match s.Zk_client.get path with
+          | Ok _ -> ()
+          | Error _ -> incr failures
+        done)
+  done;
+  Engine.run engine;
+  check_int "no stale read of own write" 0 !failures
+
+let test_sequential_across_clients () =
+  let engine, ensemble = make ~servers:3 () in
+  let paths = ref [] in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble () in
+      ignore (ok_or_fail "parent" (s.Zk_client.create "/q" ~data:"")));
+  Engine.run engine;
+  for _ = 0 to 3 do
+    Process.spawn engine (fun () ->
+        let s = Ensemble.session ensemble () in
+        for _ = 0 to 4 do
+          let p =
+            ok_or_fail "seq" (s.Zk_client.create ~sequential:true "/q/n-" ~data:"")
+          in
+          paths := p :: !paths
+        done)
+  done;
+  Engine.run engine;
+  let sorted = List.sort_uniq compare !paths in
+  check_int "20 distinct sequential names" 20 (List.length sorted);
+  List.iteri
+    (fun i p -> check_string "dense numbering" (Printf.sprintf "/q/n-%010d" i) p)
+    sorted
+
+let test_multi_atomicity_replicated () =
+  let engine, ensemble = make ~servers:3 () in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble () in
+      ignore
+        (ok_or_fail "ok multi"
+           (s.Zk_client.multi
+              [ Zk_client.create_op "/m" ~data:""; Zk_client.create_op "/m/c" ~data:"" ]));
+      match
+        s.Zk_client.multi
+          [ Zk_client.create_op "/m2" ~data:""; Zk_client.create_op "/gone/c" ~data:"" ]
+      with
+      | Ok _ -> Alcotest.fail "expected failure"
+      | Error e ->
+        Alcotest.check
+          (Alcotest.testable Zerror.pp Zerror.equal)
+          "atomic abort" Zerror.ZNONODE e);
+  Engine.run engine;
+  for i = 0 to 2 do
+    let tree = Ensemble.tree_of ensemble i in
+    check_bool "committed multi present" true (Ztree.exists tree "/m/c" <> None);
+    check_bool "aborted multi absent everywhere" true (Ztree.exists tree "/m2" = None)
+  done
+
+let test_ephemerals_removed_on_close () =
+  let engine, ensemble = make ~servers:3 () in
+  Process.spawn engine (fun () ->
+      let s1 = Ensemble.session ensemble () in
+      let s2 = Ensemble.session ensemble () in
+      ignore (ok_or_fail "eph" (s1.Zk_client.create ~ephemeral:true "/tmp" ~data:""));
+      ignore (ok_or_fail "keep" (s1.Zk_client.create "/keep" ~data:""));
+      s1.Zk_client.close ();
+      s2.Zk_client.sync ();
+      check_bool "ephemeral gone" true (s2.Zk_client.exists "/tmp" = None);
+      check_bool "persistent kept" true (s2.Zk_client.exists "/keep" <> None));
+  Engine.run engine
+
+(* {2 Read scaling sanity} *)
+
+let test_reads_distributed_across_servers () =
+  let engine, ensemble = make ~servers:4 () in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble () in
+      ignore (ok_or_fail "seed" (s.Zk_client.create "/r" ~data:"")));
+  Engine.run engine;
+  for _ = 0 to 7 do
+    Process.spawn engine (fun () ->
+        let s = Ensemble.session ensemble () in
+        for _ = 0 to 24 do
+          ignore (s.Zk_client.get "/r")
+        done)
+  done;
+  Engine.run engine;
+  for i = 0 to 3 do
+    check_bool (Printf.sprintf "server %d served reads" i) true
+      (Ensemble.reads_served ensemble i > 0)
+  done
+
+(* {2 Failure injection} *)
+
+let fast_faults cfg =
+  { cfg with Ensemble.election_timeout = 0.2; request_timeout = 0.3 }
+
+let test_leader_crash_and_election () =
+  let engine, ensemble = make ~servers:5 ~config_adjust:fast_faults () in
+  let results = ref [] in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:3 () in
+      ignore (ok_or_fail "before crash" (s.Zk_client.create "/pre" ~data:""));
+      Process.sleep 1.0;
+      results := s.Zk_client.create "/post" ~data:"" :: !results);
+  Engine.schedule engine ~delay:0.5 (fun () -> Ensemble.crash ensemble 0);
+  Engine.run engine;
+  (match Ensemble.leader_id ensemble with
+  | Some id -> check_bool "new leader is not the crashed one" true (id <> 0)
+  | None -> Alcotest.fail "no leader elected");
+  (match !results with
+  | [ Ok _ ] -> ()
+  | [ Error e ] -> Alcotest.failf "write after election failed: %s" (Zerror.to_string e)
+  | _ -> Alcotest.fail "missing result");
+  let alive = Ensemble.alive_ids ensemble in
+  check_int "four alive" 4 (List.length alive);
+  let tree = Ensemble.tree_of ensemble (List.hd alive) in
+  check_bool "post-election write present" true (Ztree.exists tree "/post" <> None)
+
+let test_follower_crash_does_not_block_writes () =
+  let engine, ensemble = make ~servers:5 ~config_adjust:fast_faults () in
+  let done_ok = ref false in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:0 () in
+      Process.sleep 0.2;
+      ignore (ok_or_fail "write with 2 followers down" (s.Zk_client.create "/w" ~data:""));
+      done_ok := true);
+  Engine.schedule engine ~delay:0.05 (fun () ->
+      Ensemble.crash ensemble 3;
+      Ensemble.crash ensemble 4);
+  Engine.run engine;
+  check_bool "write committed with quorum 3/5" true !done_ok
+
+let test_quorum_loss_blocks_then_recovers () =
+  let engine, ensemble = make ~servers:5 ~config_adjust:fast_faults () in
+  let during = ref None and after = ref None in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:0 () in
+      Process.sleep 0.2;
+      during := Some (s.Zk_client.create "/blocked" ~data:"");
+      Process.sleep 5.0;
+      after := Some (s.Zk_client.create "/recovered" ~data:""));
+  Engine.schedule engine ~delay:0.05 (fun () ->
+      Ensemble.crash ensemble 2;
+      Ensemble.crash ensemble 3;
+      Ensemble.crash ensemble 4);
+  Engine.schedule engine ~delay:3.0 (fun () ->
+      Ensemble.restart ensemble 2;
+      Ensemble.restart ensemble 3);
+  Engine.run engine;
+  (match !during with
+  | Some (Error Zerror.ZOPERATIONTIMEOUT) -> ()
+  | Some (Ok _) -> Alcotest.fail "write should not commit without quorum"
+  | Some (Error e) -> Alcotest.failf "unexpected error: %s" (Zerror.to_string e)
+  | None -> Alcotest.fail "no result");
+  (match !after with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "write after quorum restore should succeed")
+
+let test_restarted_follower_catches_up () =
+  let engine, ensemble = make ~servers:3 ~config_adjust:fast_faults () in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:0 () in
+      for i = 0 to 9 do
+        ignore (ok_or_fail "pre" (s.Zk_client.create (Printf.sprintf "/a%d" i) ~data:""))
+      done;
+      Process.sleep 0.1;
+      Ensemble.crash ensemble 2;
+      for i = 0 to 9 do
+        ignore
+          (ok_or_fail "during" (s.Zk_client.create (Printf.sprintf "/b%d" i) ~data:""))
+      done;
+      Process.sleep 0.1;
+      Ensemble.restart ensemble 2);
+  Engine.run engine;
+  let restarted = Ensemble.tree_of ensemble 2 in
+  check_bool "caught up with writes made while down" true
+    (Ztree.exists restarted "/b9" <> None);
+  check_bool "states equal" true (all_trees_agree ensemble ~servers:3)
+
+let test_writes_during_crash_are_not_lost () =
+  let engine, ensemble = make ~servers:5 ~config_adjust:fast_faults () in
+  let acknowledged = ref [] in
+  for proc = 0 to 3 do
+    Process.spawn engine (fun () ->
+        let s = Ensemble.session ensemble () in
+        for i = 0 to 24 do
+          let path = Printf.sprintf "/c%d_%d" proc i in
+          match s.Zk_client.create path ~data:"" with
+          | Ok _ -> acknowledged := path :: !acknowledged
+          | Error _ -> ()
+        done)
+  done;
+  Engine.schedule engine ~delay:0.002 (fun () -> Ensemble.crash ensemble 0);
+  Engine.schedule engine ~delay:1.0 (fun () -> Ensemble.restart ensemble 0);
+  Engine.run engine;
+  check_bool "replicas agree after crash+restart" true
+    (all_trees_agree ensemble ~servers:5);
+  let tree = Ensemble.tree_of ensemble 1 in
+  List.iter
+    (fun path ->
+      check_bool (Printf.sprintf "acknowledged %s present" path) true
+        (Ztree.exists tree path <> None))
+    !acknowledged
+
+let test_snapshot_catch_up_after_long_outage () =
+  (* the gap exceeds the snapshot-transfer threshold (512), so the
+     returning follower is synchronized by whole-snapshot copy *)
+  let engine, ensemble = make ~servers:3 ~config_adjust:fast_faults () in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:0 () in
+      Ensemble.crash ensemble 2;
+      for i = 0 to 699 do
+        ignore (ok_or_fail "write" (s.Zk_client.create (Printf.sprintf "/big%04d" i) ~data:"x"))
+      done;
+      Ensemble.restart ensemble 2;
+      (* and it keeps applying live traffic afterwards *)
+      for i = 0 to 9 do
+        ignore (ok_or_fail "tail" (s.Zk_client.create (Printf.sprintf "/tail%d" i) ~data:""))
+      done);
+  Engine.run engine;
+  let restarted = Ensemble.tree_of ensemble 2 in
+  check_bool "caught up through snapshot" true (Ztree.exists restarted "/big0699" <> None);
+  check_bool "applies live traffic after snapshot" true
+    (Ztree.exists restarted "/tail9" <> None);
+  check_bool "all replicas agree" true (all_trees_agree ensemble ~servers:3)
+
+let test_single_server_ensemble () =
+  let engine, ensemble = make ~servers:1 () in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble () in
+      ignore (ok_or_fail "create" (s.Zk_client.create "/solo" ~data:"x"));
+      let data, _ = ok_or_fail "get" (s.Zk_client.get "/solo") in
+      check_string "roundtrip" "x" data);
+  Engine.run engine;
+  check_int "committed" 1 (Ensemble.writes_committed ensemble)
+
+(* {2 Observers} *)
+
+let make_with_observers ~servers ~observers () =
+  let engine = Engine.create () in
+  let cfg = { (Ensemble.default_config ~servers) with Ensemble.observers } in
+  (engine, Ensemble.start engine cfg)
+
+let test_observers_replicate_state () =
+  let engine, ensemble = make_with_observers ~servers:3 ~observers:2 () in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:0 () in
+      for i = 0 to 19 do
+        ignore (ok_or_fail "write" (s.Zk_client.create (Printf.sprintf "/o%d" i) ~data:"x"))
+      done);
+  Engine.run engine;
+  (* members 3 and 4 are observers; they hold the full state *)
+  for id = 3 to 4 do
+    check_bool
+      (Printf.sprintf "observer %d applied all writes" id)
+      true
+      (Ztree.exists (Ensemble.tree_of ensemble id) "/o19" <> None);
+    check_bool "observer state equals leader state" true
+      (Ztree.equal_state (Ensemble.tree_of ensemble 0) (Ensemble.tree_of ensemble id))
+  done
+
+let test_observers_serve_reads () =
+  let engine, ensemble = make_with_observers ~servers:3 ~observers:2 () in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble () in
+      ignore (ok_or_fail "seed" (s.Zk_client.create "/r" ~data:"")));
+  Engine.run engine;
+  (* ten sessions round-robin over 5 members: observers get their share *)
+  for _ = 0 to 9 do
+    Process.spawn engine (fun () ->
+        let s = Ensemble.session ensemble () in
+        for _ = 0 to 9 do
+          ignore (s.Zk_client.get "/r")
+        done)
+  done;
+  Engine.run engine;
+  check_bool "observer 3 served reads" true (Ensemble.reads_served ensemble 3 > 0);
+  check_bool "observer 4 served reads" true (Ensemble.reads_served ensemble 4 > 0)
+
+let test_observer_session_reads_own_writes () =
+  let engine, ensemble = make_with_observers ~servers:3 ~observers:1 () in
+  let failures = ref 0 in
+  Process.spawn engine (fun () ->
+      (* member 3 is the observer *)
+      let s = Ensemble.session ensemble ~server:3 () in
+      for i = 0 to 19 do
+        let path = Printf.sprintf "/ow%d" i in
+        ignore (ok_or_fail "create" (s.Zk_client.create path ~data:""));
+        if Result.is_error (s.Zk_client.get path) then incr failures
+      done);
+  Engine.run engine;
+  check_int "own writes visible through the observer" 0 !failures
+
+let test_observers_cheaper_than_voters_for_writes () =
+  let write_rate ~servers ~observers =
+    let engine, ensemble = make_with_observers ~servers ~observers () in
+    let barrier = Simkit.Gate.Barrier.create ~parties:8 () in
+    let t0 = ref 0. and t1 = ref 0. in
+    for proc = 0 to 7 do
+      Process.spawn engine (fun () ->
+          let s = Ensemble.session ensemble ~server:0 () in
+          Simkit.Gate.Barrier.await barrier;
+          if proc = 0 then t0 := Engine.now engine;
+          for i = 0 to 99 do
+            ignore (s.Zk_client.create (Printf.sprintf "/w%d_%d" proc i) ~data:"")
+          done;
+          Simkit.Gate.Barrier.await barrier;
+          if proc = 0 then t1 := Engine.now engine)
+    done;
+    Engine.run engine;
+    800. /. (!t1 -. !t0)
+  in
+  let with_observers = write_rate ~servers:3 ~observers:4 in
+  let with_voters = write_rate ~servers:7 ~observers:0 in
+  check_bool
+    (Printf.sprintf "3 voters + 4 observers writes (%.0f/s) > 7 voters (%.0f/s)"
+       with_observers with_voters)
+    true
+    (with_observers > with_voters)
+
+let test_observer_crash_harmless () =
+  let engine, ensemble = make_with_observers ~servers:3 ~observers:1 () in
+  let ok_write = ref false in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:0 () in
+      Ensemble.crash ensemble 3;
+      ignore (ok_or_fail "write with observer down" (s.Zk_client.create "/w" ~data:""));
+      ok_write := true;
+      Process.sleep 0.1;
+      Ensemble.restart ensemble 3;
+      ignore (ok_or_fail "write after restart" (s.Zk_client.create "/w2" ~data:"")));
+  Engine.run engine;
+  check_bool "writes unaffected by observer crash" true !ok_write;
+  (match Ensemble.leader_id ensemble with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "observer crash must not trigger an election");
+  (* the restarted observer caught up *)
+  check_bool "observer caught up" true
+    (Ztree.exists (Ensemble.tree_of ensemble 3) "/w2" <> None)
+
+(* {2 Async API} *)
+
+let test_async_completes_with_callback () =
+  let engine, ensemble = make ~servers:3 () in
+  let results = ref [] in
+  let session = Ensemble.session ensemble () in
+  session.Zk_client.multi_async
+    [ Zk_client.create_op "/async1" ~data:"x" ]
+    (fun r -> results := ("first", r) :: !results);
+  session.Zk_client.multi_async
+    [ Zk_client.create_op "/async1" ~data:"y" ]
+    (fun r -> results := ("dup", r) :: !results);
+  Engine.run engine;
+  (match List.assoc_opt "first" !results with
+  | Some (Ok [ Zk.Txn.Created "/async1" ]) -> ()
+  | _ -> Alcotest.fail "first async create should succeed");
+  (match List.assoc_opt "dup" !results with
+  | Some (Error Zerror.ZNODEEXISTS) -> ()
+  | _ -> Alcotest.fail "duplicate async create should fail with ZNODEEXISTS");
+  check_bool "write visible" true
+    (Ztree.exists (Ensemble.tree_of ensemble 0) "/async1" <> None)
+
+let test_async_pipelining_beats_sync () =
+  let run_creates ~async =
+    let engine, ensemble = make ~servers:3 () in
+    let per_client = 100 in
+    let finish = ref 0. in
+    if async then begin
+      let session = Ensemble.session ensemble () in
+      let submitted = ref 0 and completed = ref 0 in
+      let rec refill () =
+        if !submitted < per_client then begin
+          let i = !submitted in
+          incr submitted;
+          session.Zk_client.multi_async
+            [ Zk_client.create_op (Printf.sprintf "/n%d" i) ~data:"" ]
+            (fun _ ->
+              incr completed;
+              if !completed = per_client then finish := Engine.now engine
+              else refill ())
+        end
+      in
+      for _ = 1 to 8 do refill () done
+    end
+    else
+      Process.spawn engine (fun () ->
+          let session = Ensemble.session ensemble () in
+          for i = 0 to per_client - 1 do
+            ignore (ok_or_fail "create" (session.Zk_client.create (Printf.sprintf "/n%d" i) ~data:""))
+          done;
+          finish := Engine.now engine);
+    Engine.run engine;
+    float_of_int 100 /. !finish
+  in
+  let sync_rate = run_creates ~async:false in
+  let async_rate = run_creates ~async:true in
+  check_bool
+    (Printf.sprintf "async (%.0f/s) > 2x sync (%.0f/s) for one client" async_rate
+       sync_rate)
+    true
+    (async_rate > 2. *. sync_rate)
+
+let test_async_times_out_without_quorum () =
+  let engine, ensemble = make ~servers:3 ~config_adjust:fast_faults () in
+  Ensemble.crash ensemble 1;
+  Ensemble.crash ensemble 2;
+  let result = ref None in
+  let session = Ensemble.session ensemble ~server:0 () in
+  session.Zk_client.multi_async
+    [ Zk_client.create_op "/never" ~data:"" ]
+    (fun r -> result := Some r);
+  Engine.run engine;
+  (match !result with
+  | Some (Error Zerror.ZOPERATIONTIMEOUT) -> ()
+  | Some (Ok _) -> Alcotest.fail "committed without quorum"
+  | Some (Error e) -> Alcotest.failf "unexpected %s" (Zerror.to_string e)
+  | None -> Alcotest.fail "callback never fired")
+
+(* {2 Performance-model sanity (the shapes behind Fig. 7)} *)
+
+let measure_rate ~servers ~write =
+  let engine, ensemble = make ~servers () in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble () in
+      ignore (s.Zk_client.create "/bench" ~data:""));
+  Engine.run engine;
+  let sessions = Array.init 8 (fun _ -> Ensemble.session ensemble ()) in
+  let t0 = ref 0. and t1 = ref 0. in
+  let barrier = Simkit.Gate.Barrier.create ~parties:8 () in
+  for proc = 0 to 7 do
+    Process.spawn engine (fun () ->
+        Simkit.Gate.Barrier.await barrier;
+        if proc = 0 then t0 := Engine.now engine;
+        let s = sessions.(proc) in
+        for i = 0 to 99 do
+          if write then
+            ignore (s.Zk_client.create (Printf.sprintf "/bench/w%d_%d" proc i) ~data:"")
+          else ignore (s.Zk_client.get "/bench")
+        done;
+        Simkit.Gate.Barrier.await barrier;
+        if proc = 0 then t1 := Engine.now engine)
+  done;
+  Engine.run engine;
+  800. /. (!t1 -. !t0)
+
+let test_write_throughput_decreases_with_servers () =
+  let r1 = measure_rate ~servers:1 ~write:true in
+  let r8 = measure_rate ~servers:8 ~write:true in
+  check_bool
+    (Printf.sprintf "1-server writes (%.0f/s) faster than 8-server (%.0f/s)" r1 r8)
+    true (r1 > r8)
+
+let test_read_throughput_increases_with_servers () =
+  let r1 = measure_rate ~servers:1 ~write:false in
+  let r8 = measure_rate ~servers:8 ~write:false in
+  check_bool
+    (Printf.sprintf "8-server reads (%.0f/s) faster than 1-server (%.0f/s)" r8 r1)
+    true (r8 > 2. *. r1)
+
+let () =
+  Alcotest.run "ensemble"
+    [ ( "replication",
+        [ Alcotest.test_case "write replicates to all" `Quick
+            test_write_replicates_to_all;
+          Alcotest.test_case "replicas identical after many writes" `Quick
+            test_replicas_identical_after_many_writes;
+          Alcotest.test_case "total order (Fig. 1 scenario)" `Quick
+            test_total_order_observed;
+          Alcotest.test_case "session reads own writes" `Quick
+            test_session_reads_own_writes;
+          Alcotest.test_case "sequential across clients" `Quick
+            test_sequential_across_clients;
+          Alcotest.test_case "multi atomicity replicated" `Quick
+            test_multi_atomicity_replicated;
+          Alcotest.test_case "ephemerals removed on close" `Quick
+            test_ephemerals_removed_on_close;
+          Alcotest.test_case "reads distributed" `Quick
+            test_reads_distributed_across_servers;
+          Alcotest.test_case "single-server ensemble" `Quick test_single_server_ensemble
+        ] );
+      ( "faults",
+        [ Alcotest.test_case "leader crash and election" `Quick
+            test_leader_crash_and_election;
+          Alcotest.test_case "follower crash tolerated" `Quick
+            test_follower_crash_does_not_block_writes;
+          Alcotest.test_case "quorum loss blocks then recovers" `Quick
+            test_quorum_loss_blocks_then_recovers;
+          Alcotest.test_case "restarted follower catches up" `Quick
+            test_restarted_follower_catches_up;
+          Alcotest.test_case "no loss across crash+restart" `Quick
+            test_writes_during_crash_are_not_lost;
+          Alcotest.test_case "snapshot catch-up after long outage" `Quick
+            test_snapshot_catch_up_after_long_outage ] );
+      ( "observers",
+        [ Alcotest.test_case "replicate state" `Quick test_observers_replicate_state;
+          Alcotest.test_case "serve reads" `Quick test_observers_serve_reads;
+          Alcotest.test_case "session reads own writes" `Quick
+            test_observer_session_reads_own_writes;
+          Alcotest.test_case "cheaper than voters for writes" `Quick
+            test_observers_cheaper_than_voters_for_writes;
+          Alcotest.test_case "crash harmless" `Quick test_observer_crash_harmless ] );
+      ( "async",
+        [ Alcotest.test_case "completes with callback" `Quick
+            test_async_completes_with_callback;
+          Alcotest.test_case "pipelining beats sync" `Quick
+            test_async_pipelining_beats_sync;
+          Alcotest.test_case "times out without quorum" `Quick
+            test_async_times_out_without_quorum ] );
+      ( "performance-model",
+        [ Alcotest.test_case "writes slow down with ensemble size" `Quick
+            test_write_throughput_decreases_with_servers;
+          Alcotest.test_case "reads speed up with ensemble size" `Quick
+            test_read_throughput_increases_with_servers ] ) ]

@@ -1,0 +1,200 @@
+(* Tests for the GIGA+-style distributed directory index: extensible-
+   hashing correctness, split behaviour and balance, stale-client
+   redirection, scaling with servers, and the availability trade-off the
+   paper highlights (§VI). *)
+
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+module Giga = Gigaplus.Giga
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let in_sim f =
+  let engine = Engine.create () in
+  let out = ref None in
+  Process.spawn engine (fun () -> out := Some (f engine));
+  Engine.run engine;
+  Option.get !out
+
+let small_config ~servers =
+  { (Giga.default_config ~servers) with Giga.split_threshold = 50; max_radix = 8 }
+
+let test_insert_and_lookup () =
+  in_sim (fun engine ->
+      let t = Giga.create engine ~config:(small_config ~servers:3) () in
+      let c = Giga.client t in
+      for i = 0 to 399 do
+        match Giga.create_file c (Printf.sprintf "file%04d" i) with
+        | Ok () -> ()
+        | Error `Exists -> Alcotest.fail "spurious Exists"
+        | Error `Unavailable -> Alcotest.fail "spurious Unavailable"
+      done;
+      check_int "all inserted" 400 (Giga.total_entries t);
+      for i = 0 to 399 do
+        match Giga.lookup c (Printf.sprintf "file%04d" i) with
+        | Ok true -> ()
+        | Ok false -> Alcotest.failf "file%04d lost after splits" i
+        | Error `Unavailable -> Alcotest.fail "unavailable"
+      done;
+      (match Giga.lookup c "never-created" with
+      | Ok false -> ()
+      | _ -> Alcotest.fail "phantom entry"))
+
+let test_duplicate_detected () =
+  in_sim (fun engine ->
+      let t = Giga.create engine ~config:(small_config ~servers:2) () in
+      let c = Giga.client t in
+      (match Giga.create_file c "dup" with Ok () -> () | _ -> Alcotest.fail "first");
+      match Giga.create_file c "dup" with
+      | Error `Exists -> ()
+      | _ -> Alcotest.fail "duplicate accepted")
+
+let test_splits_bound_partition_size () =
+  in_sim (fun engine ->
+      let t = Giga.create engine ~config:(small_config ~servers:4) () in
+      let c = Giga.client t in
+      for i = 0 to 999 do
+        ignore (Giga.create_file c (Printf.sprintf "n%05d" i))
+      done;
+      check_bool
+        (Printf.sprintf "directory split into %d partitions" (Giga.partition_count t))
+        true
+        (Giga.partition_count t >= 8);
+      List.iter
+        (fun (p, size) ->
+          check_bool
+            (Printf.sprintf "partition %d size %d <= threshold+1" p size)
+            true
+            (size <= 51))
+        (Giga.partition_sizes t);
+      (* extensible hashing keeps sizes in the same ballpark *)
+      let sizes = List.map snd (Giga.partition_sizes t) in
+      let max_size = List.fold_left max 0 sizes in
+      check_bool "no partition dominates" true
+        (max_size * Giga.partition_count t < 1000 * 6))
+
+let test_stale_client_redirected () =
+  in_sim (fun engine ->
+      let t = Giga.create engine ~config:(small_config ~servers:3) () in
+      let writer = Giga.client t in
+      (* a client attached before any split has a maximally stale map *)
+      let stale = Giga.client t in
+      for i = 0 to 599 do
+        ignore (Giga.create_file writer (Printf.sprintf "w%05d" i))
+      done;
+      check_bool "splits happened" true (Giga.partition_count t > 1);
+      (* the stale client still finds everything, paying redirects *)
+      for i = 0 to 599 do
+        match Giga.lookup stale (Printf.sprintf "w%05d" i) with
+        | Ok true -> ()
+        | _ -> Alcotest.failf "stale client lost w%05d" i
+      done;
+      check_bool
+        (Printf.sprintf "stale client was redirected (%d times)" (Giga.redirects stale))
+        true
+        (Giga.redirects stale > 0);
+      (* after refreshing through redirects it stops paying *)
+      let before = Giga.redirects stale in
+      for i = 0 to 599 do
+        ignore (Giga.lookup stale (Printf.sprintf "w%05d" i))
+      done;
+      check_int "map converged: no further redirects" before (Giga.redirects stale))
+
+let insert_rate ~servers ~procs =
+  let engine = Engine.create () in
+  let t =
+    Giga.create engine
+      ~config:{ (Giga.default_config ~servers) with Giga.split_threshold = 100 }
+      ()
+  in
+  (* warm the directory past its early single-partition phase, untimed *)
+  Process.spawn engine (fun () ->
+      let c = Giga.client t in
+      for i = 0 to 4999 do
+        ignore (Giga.create_file c (Printf.sprintf "warm%05d" i))
+      done);
+  Engine.run engine;
+  let barrier = Simkit.Gate.Barrier.create ~parties:procs () in
+  let t0 = ref 0. and t1 = ref 0. in
+  for proc = 0 to procs - 1 do
+    Process.spawn engine (fun () ->
+        let c = Giga.client t in
+        Simkit.Gate.Barrier.await barrier;
+        if proc = 0 then t0 := Engine.now engine;
+        for i = 0 to 99 do
+          ignore (Giga.create_file c (Printf.sprintf "p%d_%d" proc i))
+        done;
+        Simkit.Gate.Barrier.await barrier;
+        if proc = 0 then t1 := Engine.now engine)
+  done;
+  Engine.run engine;
+  float_of_int (procs * 100) /. (!t1 -. !t0)
+
+let test_inserts_scale_with_servers () =
+  let r2 = insert_rate ~servers:2 ~procs:64 in
+  let r8 = insert_rate ~servers:8 ~procs:64 in
+  check_bool
+    (Printf.sprintf "8 servers (%.0f/s) > 2.5x 2 servers (%.0f/s)" r8 r2)
+    true
+    (r8 > 2.5 *. r2)
+
+let test_availability_loss_on_crash () =
+  in_sim (fun engine ->
+      let t = Giga.create engine ~config:(small_config ~servers:4) () in
+      let c = Giga.client t in
+      for i = 0 to 999 do
+        ignore (Giga.create_file c (Printf.sprintf "a%05d" i))
+      done;
+      check_bool "all available before crash" true (Giga.available_fraction t = 1.);
+      Giga.crash_server t 0;
+      let avail = Giga.available_fraction t in
+      (* ~1/4 of partitions (and so ~1/4 of entries) just vanished *)
+      check_bool (Printf.sprintf "availability dropped to %.2f" avail) true
+        (avail > 0.5 && avail < 0.95);
+      (* lookups for entries on the dead server report unavailability *)
+      let unavailable = ref 0 in
+      for i = 0 to 999 do
+        match Giga.lookup c (Printf.sprintf "a%05d" i) with
+        | Error `Unavailable -> incr unavailable
+        | Ok true -> ()
+        | Ok false -> Alcotest.fail "entry silently missing"
+      done;
+      check_bool
+        (Printf.sprintf "%d lookups hit the dead server" !unavailable)
+        true
+        (!unavailable > 0);
+      Giga.restart_server t 0;
+      check_bool "full availability after restart" true
+        (Giga.available_fraction t = 1.))
+
+let test_inserts_error_when_owner_down () =
+  in_sim (fun engine ->
+      let t = Giga.create engine ~config:(small_config ~servers:2) () in
+      let c = Giga.client t in
+      Giga.crash_server t 0;
+      (* partition 0 lives on server 0: everything addressed there fails *)
+      let failures = ref 0 in
+      for i = 0 to 9 do
+        match Giga.create_file c (Printf.sprintf "x%d" i) with
+        | Error `Unavailable -> incr failures
+        | Ok () | Error `Exists -> ()
+      done;
+      check_int "all inserts on the dead root partition fail" 10 !failures)
+
+let () =
+  Alcotest.run "gigaplus"
+    [ ( "indexing",
+        [ Alcotest.test_case "insert and lookup" `Quick test_insert_and_lookup;
+          Alcotest.test_case "duplicate detected" `Quick test_duplicate_detected;
+          Alcotest.test_case "splits bound partition size" `Quick
+            test_splits_bound_partition_size;
+          Alcotest.test_case "stale client redirected" `Quick
+            test_stale_client_redirected ] );
+      ( "scaling",
+        [ Alcotest.test_case "inserts scale with servers" `Quick
+            test_inserts_scale_with_servers ] );
+      ( "availability",
+        [ Alcotest.test_case "loss on crash" `Quick test_availability_loss_on_crash;
+          Alcotest.test_case "inserts fail when owner down" `Quick
+            test_inserts_error_when_owner_down ] ) ]

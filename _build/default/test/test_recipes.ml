@@ -1,0 +1,202 @@
+(* Tests for the coordination recipes (lock / counter / double barrier)
+   over the replicated ensemble on the simulator — mutual exclusion,
+   fairness, atomicity under concurrency, and crash-release of ephemeral
+   lock members. *)
+
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+module Ensemble = Zk.Ensemble
+module Recipes = Zk.Recipes
+module Zerror = Zk.Zerror
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label (Zerror.to_string e)
+
+let with_ensemble ?(servers = 3) f =
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers) in
+  f engine ensemble;
+  Engine.run engine
+
+(* {2 Lock} *)
+
+let test_lock_mutual_exclusion () =
+  with_ensemble (fun engine ensemble ->
+      let inside = ref 0 in
+      let peak = ref 0 in
+      let completed = ref 0 in
+      for _ = 1 to 10 do
+        Process.spawn engine (fun () ->
+            let handle = Ensemble.session ensemble () in
+            let lock = ok "acquire" (Recipes.Lock.acquire handle ~path:"/lock") in
+            incr inside;
+            peak := max !peak !inside;
+            Process.sleep 0.01;  (* hold the lock across virtual time *)
+            decr inside;
+            ok "release" (Recipes.Lock.release lock);
+            incr completed)
+      done);
+  ()
+
+let test_lock_mutual_exclusion_checked () =
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers:3) in
+  let inside = ref 0 and peak = ref 0 and completed = ref 0 in
+  for _ = 1 to 10 do
+    Process.spawn engine (fun () ->
+        let handle = Ensemble.session ensemble () in
+        let lock = ok "acquire" (Recipes.Lock.acquire handle ~path:"/lock") in
+        incr inside;
+        peak := max !peak !inside;
+        Process.sleep 0.01;
+        decr inside;
+        ok "release" (Recipes.Lock.release lock);
+        incr completed)
+  done;
+  Engine.run engine;
+  check_int "at most one holder at a time" 1 !peak;
+  check_int "all ten acquired eventually" 10 !completed
+
+let test_lock_fifo_fairness () =
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers:3) in
+  let order = ref [] in
+  for i = 0 to 4 do
+    Process.spawn engine (fun () ->
+        (* stagger arrivals so the queue order is deterministic *)
+        Process.sleep (float_of_int i *. 0.01);
+        let handle = Ensemble.session ensemble () in
+        let lock = ok "acquire" (Recipes.Lock.acquire handle ~path:"/fifo") in
+        order := i :: !order;
+        Process.sleep 0.05;
+        ok "release" (Recipes.Lock.release lock))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "granted in arrival order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order)
+
+let test_try_acquire () =
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers:3) in
+  let second_attempt = ref None in
+  Process.spawn engine (fun () ->
+      let h1 = Ensemble.session ensemble () in
+      let h2 = Ensemble.session ensemble () in
+      let lock1 = ok "first" (Recipes.Lock.try_acquire h1 ~path:"/try") in
+      check_bool "first succeeds" true (lock1 <> None);
+      second_attempt := Some (ok "second" (Recipes.Lock.try_acquire h2 ~path:"/try"));
+      ok "release" (Recipes.Lock.release (Option.get lock1));
+      let third = ok "third" (Recipes.Lock.try_acquire h2 ~path:"/try") in
+      check_bool "after release it succeeds" true (third <> None));
+  Engine.run engine;
+  check_bool "contended try fails" true (!second_attempt = Some None)
+
+let test_lock_released_by_session_close () =
+  (* lock members are ephemeral: closing the holder's session frees it *)
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers:3) in
+  let acquired_after_close = ref false in
+  Process.spawn engine (fun () ->
+      let h1 = Ensemble.session ensemble () in
+      let _lock = ok "holder" (Recipes.Lock.acquire h1 ~path:"/crash") in
+      (* the holder "crashes": its session closes without releasing *)
+      h1.Zk.Zk_client.close ());
+  Process.spawn engine (fun () ->
+      Process.sleep 0.1;
+      let h2 = Ensemble.session ensemble () in
+      let lock = ok "successor" (Recipes.Lock.acquire h2 ~path:"/crash") in
+      acquired_after_close := true;
+      ok "release" (Recipes.Lock.release lock));
+  Engine.run engine;
+  check_bool "lock recovered after holder session closed" true !acquired_after_close
+
+(* {2 Counter} *)
+
+let test_counter_concurrent_increments () =
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers:3) in
+  let final = ref 0 in
+  let procs = 8 and each = 25 in
+  let barrier = Simkit.Gate.Barrier.create ~parties:procs () in
+  for _ = 1 to procs do
+    Process.spawn engine (fun () ->
+        let handle = Ensemble.session ensemble () in
+        Simkit.Gate.Barrier.await barrier;
+        for _ = 1 to each do
+          ignore (ok "incr" (Recipes.Counter.increment handle ~path:"/ctr" ()))
+        done;
+        Simkit.Gate.Barrier.await barrier;
+        final := ok "read" (Recipes.Counter.read handle ~path:"/ctr"))
+  done;
+  Engine.run engine;
+  check_int "no lost updates under contention" (procs * each) !final
+
+let test_counter_custom_step_and_read_missing () =
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers:1) in
+  Process.spawn engine (fun () ->
+      let handle = Ensemble.session ensemble () in
+      check_int "missing counter reads 0" 0
+        (ok "read" (Recipes.Counter.read handle ~path:"/none"));
+      check_int "first increment creates" 5
+        (ok "incr" (Recipes.Counter.increment handle ~path:"/c5" ~by:5 ()));
+      check_int "second adds" 12
+        (ok "incr" (Recipes.Counter.increment handle ~path:"/c5" ~by:7 ())));
+  Engine.run engine
+
+(* {2 Double barrier} *)
+
+let test_double_barrier () =
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers:3) in
+  let parties = 5 in
+  let entered_at = ref [] and left_at = ref [] in
+  for i = 0 to parties - 1 do
+    Process.spawn engine (fun () ->
+        let handle = Ensemble.session ensemble () in
+        Process.sleep (float_of_int i *. 0.02);
+        let member =
+          ok "enter" (Recipes.Double_barrier.enter handle ~path:"/db" ~parties)
+        in
+        entered_at := Engine.now engine :: !entered_at;
+        Process.sleep (float_of_int (parties - i) *. 0.02);
+        ok "leave" (Recipes.Double_barrier.leave handle ~path:"/db" ~member);
+        left_at := Engine.now engine :: !left_at)
+  done;
+  Engine.run engine;
+  check_int "all entered" parties (List.length !entered_at);
+  check_int "all left" parties (List.length !left_at);
+  (* nobody proceeds past enter before the last arrival (~0.08s) *)
+  List.iter
+    (fun t -> check_bool "held until last entry" true (t >= 0.08 -. 1e-9))
+    !entered_at;
+  (* nobody finishes leave before the slowest leaver has deleted its
+     member (entered ~0.08s + longest post-enter sleep 0.1s)... *)
+  List.iter
+    (fun t -> check_bool "held until the last member left" true (t >= 0.18 -. 1e-6))
+    !left_at;
+  (* ... and then everyone is released together, within RPC jitter *)
+  let first = List.fold_left min infinity !left_at in
+  let last = List.fold_left max 0. !left_at in
+  check_bool "released as a group" true (last -. first < 0.005)
+
+let () =
+  Alcotest.run "zk-recipes"
+    [ ( "lock",
+        [ Alcotest.test_case "mutual exclusion" `Quick test_lock_mutual_exclusion_checked;
+          Alcotest.test_case "smoke" `Quick test_lock_mutual_exclusion;
+          Alcotest.test_case "fifo fairness" `Quick test_lock_fifo_fairness;
+          Alcotest.test_case "try_acquire" `Quick test_try_acquire;
+          Alcotest.test_case "released by session close" `Quick
+            test_lock_released_by_session_close ] );
+      ( "counter",
+        [ Alcotest.test_case "concurrent increments" `Quick
+            test_counter_concurrent_increments;
+          Alcotest.test_case "custom step, missing read" `Quick
+            test_counter_custom_step_and_read_missing ] );
+      ( "double-barrier", [ Alcotest.test_case "enter/leave" `Quick test_double_barrier ] )
+    ]

@@ -1,0 +1,577 @@
+(* Unit and property tests for the discrete-event simulation substrate. *)
+
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+module Resource = Simkit.Resource
+module Mailbox = Simkit.Mailbox
+module Gate = Simkit.Gate
+module Rng = Simkit.Rng
+module Stat = Simkit.Stat
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {2 Engine} *)
+
+let test_initial_state () =
+  let e = Engine.create () in
+  check_float "time starts at 0" 0. (Engine.now e);
+  check_int "no pending events" 0 (Engine.pending_events e);
+  check_int "no executed events" 0 (Engine.executed_events e)
+
+let test_schedule_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:3. (fun () -> log := 3 :: !log);
+  Engine.schedule e ~delay:1. (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:2. (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "timestamp order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_fifo_on_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule e ~delay:1. (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO among equal timestamps"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.schedule e ~delay:0.5 (fun () -> seen := Engine.now e :: !seen);
+  Engine.schedule e ~delay:1.5 (fun () -> seen := Engine.now e :: !seen);
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "clock at event times" [ 0.5; 1.5 ]
+    (List.rev !seen)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref 0. in
+  Engine.schedule e ~delay:1. (fun () ->
+      Engine.schedule e ~delay:1. (fun () -> fired := Engine.now e));
+  Engine.run e;
+  check_float "relative to current event" 2. !fired
+
+let test_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 5 do
+    Engine.schedule e ~delay:1. (fun () -> incr count)
+  done;
+  Engine.schedule e ~delay:10. (fun () -> incr count);
+  Engine.run ~until:5. e;
+  check_int "later event not run" 5 !count;
+  check_float "clock clamped to horizon" 5. (Engine.now e);
+  check_int "event still pending" 1 (Engine.pending_events e)
+
+let test_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Engine.schedule e ~delay:1. (fun () ->
+        incr count;
+        if !count = 3 then Engine.stop e)
+  done;
+  Engine.run e;
+  check_int "stopped after third event" 3 !count;
+  Engine.run e;
+  check_int "run resumes" 10 !count
+
+let test_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: bad delay -1") (fun () ->
+      Engine.schedule e ~delay:(-1.) ignore)
+
+let test_past_schedule_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:5. ignore;
+  Engine.run e;
+  Alcotest.check_raises "absolute time in the past"
+    (Invalid_argument "Engine.schedule_at: time 1 is before now 5") (fun () ->
+      Engine.schedule_at e ~time:1. ignore)
+
+let test_executed_counter () =
+  let e = Engine.create () in
+  for _ = 1 to 7 do
+    Engine.schedule e ~delay:1. ignore
+  done;
+  Engine.run e;
+  check_int "executed count" 7 (Engine.executed_events e)
+
+let prop_heap_order =
+  QCheck2.Test.make ~name:"events always pop in nondecreasing time order" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 200) (float_range 0. 100.))
+    (fun delays ->
+      let e = Engine.create () in
+      let times = ref [] in
+      List.iter
+        (fun d -> Engine.schedule e ~delay:d (fun () -> times := Engine.now e :: !times))
+        delays;
+      Engine.run e;
+      let ordered = List.rev !times in
+      List.length ordered = List.length delays
+      && List.for_all2 ( <= ) ordered (List.sort compare delays))
+
+(* {2 Processes} *)
+
+let test_sleep_advances_time () =
+  let e = Engine.create () in
+  let finished = ref 0. in
+  Process.spawn e (fun () ->
+      Process.sleep 1.;
+      Process.sleep 2.;
+      finished := Engine.now e);
+  Engine.run e;
+  check_float "sleeps accumulate" 3. !finished
+
+let test_interleaving () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Process.spawn e (fun () ->
+      Process.sleep 1.;
+      log := "a1" :: !log;
+      Process.sleep 2.;
+      log := "a3" :: !log);
+  Process.spawn e (fun () ->
+      Process.sleep 2.;
+      log := "b2" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "interleaved by time" [ "a1"; "b2"; "a3" ]
+    (List.rev !log)
+
+let test_suspend_resume () =
+  let e = Engine.create () in
+  let resumer = ref (fun () -> ()) in
+  let state = ref "init" in
+  Process.spawn e (fun () ->
+      Process.suspend (fun resume -> resumer := resume);
+      state := "resumed");
+  Engine.run e;
+  Alcotest.(check string) "parked" "init" !state;
+  !resumer ();
+  Engine.run e;
+  Alcotest.(check string) "resumed" "resumed" !state
+
+let test_suspend_v_carries_value () =
+  let e = Engine.create () in
+  let send = ref (fun (_ : int) -> ()) in
+  let got = ref 0 in
+  Process.spawn e (fun () -> got := Process.suspend_v (fun resume -> send := resume));
+  Engine.run e;
+  !send 42;
+  Engine.run e;
+  check_int "value delivered" 42 !got
+
+let test_double_resume_rejected () =
+  let e = Engine.create () in
+  let resumer = ref (fun () -> ()) in
+  Process.spawn e (fun () -> Process.suspend (fun resume -> resumer := resume));
+  Engine.run e;
+  !resumer ();
+  Alcotest.check_raises "double resume" (Invalid_argument "Process: double resume")
+    (fun () -> !resumer ())
+
+let test_process_failure_surfaces () =
+  let e = Engine.create () in
+  Process.spawn e (fun () -> failwith "boom");
+  (match Engine.run e with
+   | () -> Alcotest.fail "expected Process_failure"
+   | exception Process.Process_failure (Failure msg) ->
+     Alcotest.(check string) "original exception kept" "boom" msg)
+
+let test_engine_accessor () =
+  let e = Engine.create () in
+  let ok = ref false in
+  Process.spawn e (fun () ->
+      Process.sleep 0.25;
+      ok := Process.now () = 0.25 && Process.engine () == e);
+  Engine.run e;
+  check_bool "engine and now visible inside process" true !ok
+
+(* {2 Resources} *)
+
+let test_resource_capacity () =
+  let e = Engine.create () in
+  let r = Resource.create ~capacity:2 () in
+  let concurrent = ref 0 in
+  let peak = ref 0 in
+  for _ = 1 to 5 do
+    Process.spawn e (fun () ->
+        Resource.with_slot r (fun () ->
+            incr concurrent;
+            peak := max !peak !concurrent;
+            Process.sleep 1.;
+            decr concurrent))
+  done;
+  Engine.run e;
+  check_int "never above capacity" 2 !peak;
+  check_float "three waves of service" 3. (Engine.now e)
+
+let test_resource_fifo () =
+  let e = Engine.create () in
+  let r = Resource.create ~capacity:1 () in
+  let order = ref [] in
+  for i = 0 to 4 do
+    Process.spawn e (fun () ->
+        Resource.serve r 1.;
+        order := i :: !order)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO grants" [ 0; 1; 2; 3; 4 ] (List.rev !order)
+
+let test_resource_exception_releases () =
+  let e = Engine.create () in
+  let r = Resource.create ~capacity:1 () in
+  let second_ran = ref false in
+  Process.spawn e (fun () ->
+      (try Resource.with_slot r (fun () -> raise Exit) with Exit -> ()));
+  Process.spawn e (fun () -> Resource.with_slot r (fun () -> second_ran := true));
+  Engine.run e;
+  check_bool "slot released on exception" true !second_ran;
+  check_int "nothing held" 0 (Resource.in_use r)
+
+let test_release_unheld_rejected () =
+  let r = Resource.create ~capacity:1 () in
+  Alcotest.check_raises "release unheld"
+    (Invalid_argument "Resource.release: not held") (fun () -> Resource.release r)
+
+let test_queue_length () =
+  let e = Engine.create () in
+  let r = Resource.create ~capacity:1 () in
+  let seen = ref (-1) in
+  for i = 0 to 3 do
+    Process.spawn e (fun () ->
+        if i = 3 then seen := Resource.queue_length r;
+        Resource.serve r 1.)
+  done;
+  Engine.run e;
+  check_int "two were queued when the fourth arrived" 2 !seen
+
+let test_bad_capacity () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Resource.create: capacity < 1")
+    (fun () -> ignore (Resource.create ~capacity:0 ()))
+
+(* {2 Mailboxes} *)
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  Process.spawn e (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Process.spawn e (fun () ->
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3);
+  Engine.run e;
+  Alcotest.(check (list int)) "messages in order" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_blocks_until_send () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let received_at = ref 0. in
+  Process.spawn e (fun () ->
+      ignore (Mailbox.recv mb);
+      received_at := Engine.now e);
+  Process.spawn e (fun () ->
+      Process.sleep 5.;
+      Mailbox.send mb ());
+  Engine.run e;
+  check_float "receiver waited" 5. !received_at
+
+let test_mailbox_multiple_receivers () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let sum = ref 0 in
+  for _ = 1 to 3 do
+    Process.spawn e (fun () -> sum := !sum + Mailbox.recv mb)
+  done;
+  Process.spawn e (fun () ->
+      Mailbox.send mb 1;
+      Mailbox.send mb 10;
+      Mailbox.send mb 100);
+  Engine.run e;
+  check_int "each got one" 111 !sum
+
+let test_mailbox_recv_opt () =
+  let mb = Mailbox.create () in
+  Alcotest.(check (option int)) "empty" None (Mailbox.recv_opt mb);
+  Mailbox.send mb 7;
+  Alcotest.(check (option int)) "nonempty" (Some 7) (Mailbox.recv_opt mb);
+  check_bool "drained" true (Mailbox.is_empty mb)
+
+(* {2 Gates and barriers} *)
+
+let test_gate () =
+  let e = Engine.create () in
+  let g = Gate.create () in
+  let passed = ref 0 in
+  for _ = 1 to 3 do
+    Process.spawn e (fun () ->
+        Gate.wait g;
+        incr passed)
+  done;
+  Process.spawn e (fun () ->
+      Process.sleep 1.;
+      Gate.open_ g);
+  Engine.run e;
+  check_int "all released" 3 !passed;
+  check_bool "stays open" true (Gate.is_open g)
+
+let test_gate_wait_after_open () =
+  let e = Engine.create () in
+  let g = Gate.create () in
+  Gate.open_ g;
+  let ok = ref false in
+  Process.spawn e (fun () ->
+      Gate.wait g;
+      ok := true);
+  Engine.run e;
+  check_bool "immediate pass" true !ok
+
+let test_barrier_synchronizes () =
+  let e = Engine.create () in
+  let b = Gate.Barrier.create ~parties:3 () in
+  let releases = ref [] in
+  List.iter
+    (fun d ->
+      Process.spawn e (fun () ->
+          Process.sleep d;
+          Gate.Barrier.await b;
+          releases := Engine.now e :: !releases))
+    [ 1.; 2.; 3. ];
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "all release when last arrives" [ 3.; 3.; 3. ]
+    !releases
+
+let test_barrier_cyclic () =
+  let e = Engine.create () in
+  let b = Gate.Barrier.create ~parties:2 () in
+  let log = ref [] in
+  for i = 0 to 1 do
+    Process.spawn e (fun () ->
+        for round = 0 to 2 do
+          Process.sleep (float_of_int (i + 1));
+          Gate.Barrier.await b;
+          if i = 0 then log := round :: !log
+        done)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "three rounds completed" [ 0; 1; 2 ] (List.rev !log)
+
+(* {2 Rng} *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  let xs = List.init 10 (fun _ -> Rng.next a) in
+  let ys = List.init 10 (fun _ -> Rng.next b) in
+  check_bool "same seed, same stream" true (xs = ys)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:42L in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.next a) in
+  let ys = List.init 10 (fun _ -> Rng.next b) in
+  check_bool "split stream differs" true (xs <> ys)
+
+let prop_rng_float_range =
+  QCheck2.Test.make ~name:"float in [0,1)" ~count:500 QCheck2.Gen.int64 (fun seed ->
+      let rng = Rng.create ~seed in
+      let x = Rng.float rng in
+      x >= 0. && x < 1.)
+
+let prop_rng_int_range =
+  QCheck2.Test.make ~name:"int in [0,bound)" ~count:500
+    QCheck2.Gen.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create ~seed:7L in
+  for _ = 1 to 100 do
+    check_bool "exponential >= 0" true (Rng.exponential rng ~mean:2. >= 0.)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:1L in
+  let arr = Array.init 50 Fun.id in
+  let orig = Array.copy arr in
+  Rng.shuffle rng arr;
+  Array.sort compare arr;
+  check_bool "same multiset" true (arr = orig)
+
+(* {2 Stat} *)
+
+let test_counter () =
+  let c = Stat.Counter.create () in
+  Stat.Counter.incr c;
+  Stat.Counter.add c 4;
+  check_int "value" 5 (Stat.Counter.value c);
+  Stat.Counter.reset c;
+  check_int "reset" 0 (Stat.Counter.value c)
+
+let test_summary () =
+  let s = Stat.Summary.create () in
+  List.iter (Stat.Summary.add s) [ 1.; 2.; 3.; 4. ];
+  check_int "count" 4 (Stat.Summary.count s);
+  check_float "mean" 2.5 (Stat.Summary.mean s);
+  check_float "min" 1. (Stat.Summary.min s);
+  check_float "max" 4. (Stat.Summary.max s);
+  Alcotest.(check (float 1e-6)) "stddev" 1.290994 (Stat.Summary.stddev s)
+
+let test_summary_empty () =
+  let s = Stat.Summary.create () in
+  check_float "mean of empty" 0. (Stat.Summary.mean s);
+  check_float "stddev of empty" 0. (Stat.Summary.stddev s)
+
+let test_histogram_quantiles () =
+  let h = Stat.Histogram.create ~lo:1e-6 ~hi:1. ~buckets:120 () in
+  for i = 1 to 1000 do
+    Stat.Histogram.add h (float_of_int i *. 1e-4)
+  done;
+  check_int "count" 1000 (Stat.Histogram.count h);
+  let p50 = Stat.Histogram.quantile h 0.5 in
+  check_bool "median near 0.05" true (p50 > 0.04 && p50 < 0.06);
+  let p99 = Stat.Histogram.quantile h 0.99 in
+  check_bool "p99 near 0.099" true (p99 > 0.08 && p99 < 0.12)
+
+let test_histogram_empty () =
+  let h = Stat.Histogram.create ~lo:1e-6 ~hi:1. ~buckets:10 () in
+  check_float "quantile of empty" 0. (Stat.Histogram.quantile h 0.5)
+
+let test_throughput () =
+  let th = Stat.Throughput.start ~at:10. in
+  Stat.Throughput.record th;
+  Stat.Throughput.record_n th 9;
+  check_int "ops" 10 (Stat.Throughput.ops th);
+  check_float "rate" 5. (Stat.Throughput.rate th ~now:12.);
+  check_float "zero interval" 0. (Stat.Throughput.rate th ~now:10.)
+
+let test_schedule_at_absolute () =
+  let e = Engine.create () in
+  let at = ref 0. in
+  Engine.schedule e ~delay:1. (fun () ->
+      Engine.schedule_at e ~time:5. (fun () -> at := Engine.now e));
+  Engine.run e;
+  check_float "absolute time honored" 5. !at
+
+let test_histogram_clamps_out_of_range () =
+  let h = Stat.Histogram.create ~lo:1e-3 ~hi:1. ~buckets:10 () in
+  Stat.Histogram.add h 1e-9;  (* below lo: clamps to first bucket *)
+  Stat.Histogram.add h 1e9;   (* above hi: clamps to last bucket *)
+  check_int "both counted" 2 (Stat.Histogram.count h);
+  check_bool "low quantile near lo" true (Stat.Histogram.quantile h 0.25 < 3e-3);
+  check_bool "high quantile near hi" true (Stat.Histogram.quantile h 0.99 > 0.5)
+
+let test_rng_uniform_and_pick () =
+  let rng = Rng.create ~seed:3L in
+  for _ = 1 to 200 do
+    let x = Rng.uniform rng ~lo:5. ~hi:7. in
+    check_bool "uniform in [5,7)" true (x >= 5. && x < 7.)
+  done;
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    check_bool "pick from array" true (Array.mem (Rng.pick rng arr) arr)
+  done;
+  Alcotest.check_raises "pick empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+let test_resource_with_slot_returns_value () =
+  let e = Engine.create () in
+  let r = Resource.create ~capacity:1 () in
+  let got = ref 0 in
+  Process.spawn e (fun () -> got := Resource.with_slot r (fun () -> 41 + 1));
+  Engine.run e;
+  check_int "value returned" 42 !got
+
+(* {2 Determinism of a whole simulation} *)
+
+let run_mini_sim () =
+  let e = Engine.create () in
+  let r = Resource.create ~capacity:2 () in
+  let rng = Rng.create ~seed:99L in
+  let log = Buffer.create 256 in
+  for i = 0 to 9 do
+    Process.spawn e (fun () ->
+        Process.sleep (Rng.float rng);
+        Resource.serve r (Rng.float rng *. 0.1);
+        Buffer.add_string log (Printf.sprintf "%d@%.9f;" i (Engine.now e)))
+  done;
+  Engine.run e;
+  Buffer.contents log
+
+let test_whole_sim_deterministic () =
+  Alcotest.(check string) "identical traces" (run_mini_sim ()) (run_mini_sim ())
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "simkit"
+    [ ( "engine",
+        [ Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "schedule order" `Quick test_schedule_order;
+          Alcotest.test_case "fifo on ties" `Quick test_fifo_on_ties;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "stop" `Quick test_stop;
+          Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+          Alcotest.test_case "past schedule rejected" `Quick test_past_schedule_rejected;
+          Alcotest.test_case "executed counter" `Quick test_executed_counter;
+          qc prop_heap_order ] );
+      ( "process",
+        [ Alcotest.test_case "sleep advances time" `Quick test_sleep_advances_time;
+          Alcotest.test_case "interleaving" `Quick test_interleaving;
+          Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+          Alcotest.test_case "suspend_v value" `Quick test_suspend_v_carries_value;
+          Alcotest.test_case "double resume rejected" `Quick test_double_resume_rejected;
+          Alcotest.test_case "failure surfaces" `Quick test_process_failure_surfaces;
+          Alcotest.test_case "engine accessor" `Quick test_engine_accessor ] );
+      ( "resource",
+        [ Alcotest.test_case "capacity bound" `Quick test_resource_capacity;
+          Alcotest.test_case "fifo grants" `Quick test_resource_fifo;
+          Alcotest.test_case "exception releases" `Quick test_resource_exception_releases;
+          Alcotest.test_case "release unheld rejected" `Quick test_release_unheld_rejected;
+          Alcotest.test_case "queue length" `Quick test_queue_length;
+          Alcotest.test_case "bad capacity" `Quick test_bad_capacity ] );
+      ( "mailbox",
+        [ Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "blocks until send" `Quick test_mailbox_blocks_until_send;
+          Alcotest.test_case "multiple receivers" `Quick test_mailbox_multiple_receivers;
+          Alcotest.test_case "recv_opt" `Quick test_mailbox_recv_opt ] );
+      ( "gate",
+        [ Alcotest.test_case "broadcast" `Quick test_gate;
+          Alcotest.test_case "wait after open" `Quick test_gate_wait_after_open;
+          Alcotest.test_case "barrier synchronizes" `Quick test_barrier_synchronizes;
+          Alcotest.test_case "barrier cyclic" `Quick test_barrier_cyclic ] );
+      ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          qc prop_rng_float_range;
+          qc prop_rng_int_range;
+          Alcotest.test_case "exponential positive" `Quick test_rng_exponential_positive;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes ] );
+      ( "stat",
+        [ Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "summary empty" `Quick test_summary_empty;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+          Alcotest.test_case "throughput" `Quick test_throughput ] );
+      ( "edges",
+        [ Alcotest.test_case "schedule_at absolute" `Quick test_schedule_at_absolute;
+          Alcotest.test_case "histogram clamps" `Quick test_histogram_clamps_out_of_range;
+          Alcotest.test_case "rng uniform and pick" `Quick test_rng_uniform_and_pick;
+          Alcotest.test_case "with_slot returns value" `Quick
+            test_resource_with_slot_returns_value ] );
+      ( "determinism",
+        [ Alcotest.test_case "whole sim deterministic" `Quick
+            test_whole_sim_deterministic ] ) ]

@@ -1,0 +1,457 @@
+(* Tests for the operational tooling: namespace scanning, the fsck
+   consistency checker with injected corruption, the rebalancer (the
+   §VII future-work machinery), and mapping-strategy selection in the
+   client. *)
+
+module Vfs = Fuselike.Vfs
+module Errno = Fuselike.Errno
+module Memfs = Fuselike.Memfs
+module Client = Dufs.Client
+module Physical = Dufs.Physical
+module Fsck = Dufs.Fsck
+module Rebalancer = Dufs.Rebalancer
+module Namespace = Dufs.Namespace
+module Mapping = Dufs.Mapping
+module Fid = Dufs.Fid
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok_fs label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label (Errno.to_string e)
+
+let ok_zk label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label (Zk.Zerror.to_string e)
+
+let make ?(backends = 2) ?strategy () =
+  let service = Zk.Zk_local.create () in
+  let mounts = Array.init backends (fun _ -> Memfs.create ~clock:(fun () -> 0.) ()) in
+  let mount_ops = Array.map Memfs.ops mounts in
+  Array.iter
+    (fun ops -> ok_fs "format" (Physical.format Physical.default_layout ops))
+    mount_ops;
+  let coord = Zk.Zk_local.session service in
+  let client = Client.mount ~coord ?strategy ~backends:mount_ops () in
+  (service, coord, client, Client.ops client, mount_ops)
+
+let populate fs =
+  ok_fs "mkdir" (fs.Vfs.mkdir "/proj" ~mode:0o755);
+  for i = 0 to 19 do
+    let path = Printf.sprintf "/proj/f%02d" i in
+    ok_fs "create" (fs.Vfs.create path ~mode:0o644);
+    ignore (ok_fs "write" (fs.Vfs.write path ~off:0 (Printf.sprintf "data-%02d" i)))
+  done
+
+(* {2 Namespace} *)
+
+let test_namespace_scan () =
+  let _, coord, _, fs, _ = make () in
+  populate fs;
+  ok_fs "symlink" (fs.Vfs.symlink ~target:"/proj" "/link");
+  let entries = ok_zk "scan" (Namespace.scan coord ~zroot:"/dufs") in
+  let lefts = List.filter_map (function Either.Left e -> Some e | _ -> None) entries in
+  check_int "1 dir + 20 files + 1 symlink" 22 (List.length lefts);
+  (* parents precede children *)
+  let index vpath =
+    let rec find i = function
+      | [] -> -1
+      | { Namespace.vpath = v; _ } :: _ when v = vpath -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 lefts
+  in
+  check_bool "parent before child" true (index "/proj" < index "/proj/f00")
+
+let test_namespace_files () =
+  let _, coord, client, fs, _ = make () in
+  populate fs;
+  let files = ok_zk "files" (Namespace.files coord ~zroot:"/dufs") in
+  check_int "20 files" 20 (List.length files);
+  List.iter
+    (fun (_vpath, fid) ->
+      let backend = Client.locate client fid in
+      check_bool "fid maps into range" true (backend >= 0 && backend < 2))
+    files
+
+(* {2 Fsck} *)
+
+let scan_report coord mount_ops =
+  ok_zk "fsck scan" (Fsck.scan ~coord ~backends:mount_ops ())
+
+let test_fsck_clean_system () =
+  let _, coord, _, fs, mount_ops = make () in
+  populate fs;
+  let report = scan_report coord mount_ops in
+  check_bool "clean" true (Fsck.is_clean report);
+  check_int "files checked" 20 report.Fsck.files_checked;
+  check_int "dirs checked" 1 report.Fsck.dirs_checked;
+  check_int "physicals checked" 20 report.Fsck.physicals_checked
+
+let find_physical mount_ops fid =
+  let path = Physical.path Physical.default_layout fid in
+  let rec find i =
+    if i >= Array.length mount_ops then None
+    else if Vfs.exists mount_ops.(i) path then Some (i, path)
+    else find (i + 1)
+  in
+  find 0
+
+let test_fsck_detects_missing_physical () =
+  let _, coord, _, fs, mount_ops = make () in
+  populate fs;
+  (* corrupt: delete one physical file behind DUFS's back *)
+  let files = ok_zk "files" (Namespace.files coord ~zroot:"/dufs") in
+  let _, fid = List.hd files in
+  (match find_physical mount_ops fid with
+  | Some (i, path) -> ok_fs "corrupt" (mount_ops.(i).Vfs.unlink path)
+  | None -> Alcotest.fail "physical not found");
+  let report = scan_report coord mount_ops in
+  (match report.Fsck.issues with
+  | [ Fsck.Missing_physical { fid = f; _ } ] ->
+    check_bool "right fid" true (Fid.equal f fid)
+  | issues -> Alcotest.failf "expected 1 missing, got %d issues" (List.length issues));
+  (* repair recreates it (empty) *)
+  let stats = Fsck.repair ~backends:mount_ops report in
+  check_int "recreated" 1 stats.Fsck.recreated;
+  check_bool "clean after repair" true (Fsck.is_clean (scan_report coord mount_ops))
+
+let test_fsck_detects_orphan () =
+  let _, coord, _, fs, mount_ops = make () in
+  populate fs;
+  (* drop an unreferenced fid-named file onto a backend *)
+  let stray = Fid.make ~client_id:0xdeadL ~counter:0xbeefL in
+  let path = Physical.path Physical.default_layout stray in
+  ok_fs "plant orphan" (mount_ops.(0).Vfs.create path ~mode:0o644);
+  let report = scan_report coord mount_ops in
+  (match report.Fsck.issues with
+  | [ Fsck.Orphan_physical { backend = 0; path = p } ] ->
+    check_bool "path matches" true (p = path)
+  | issues -> Alcotest.failf "expected 1 orphan, got %d issues" (List.length issues));
+  let stats = Fsck.repair ~backends:mount_ops report in
+  check_int "deleted" 1 stats.Fsck.deleted;
+  check_bool "orphan gone" false (Vfs.exists mount_ops.(0) path);
+  check_bool "clean after repair" true (Fsck.is_clean (scan_report coord mount_ops))
+
+let test_fsck_detects_misplaced () =
+  let _, coord, _, fs, mount_ops = make () in
+  populate fs;
+  (* move one physical file to the wrong backend *)
+  let files = ok_zk "files" (Namespace.files coord ~zroot:"/dufs") in
+  let _, fid = List.hd files in
+  let path = Physical.path Physical.default_layout fid in
+  let home, _ = Option.get (find_physical mount_ops fid) in
+  let wrong = (home + 1) mod 2 in
+  let contents = ok_fs "read" (mount_ops.(home).Vfs.read path ~off:0 ~len:1024) in
+  ok_fs "create wrong" (mount_ops.(wrong).Vfs.create path ~mode:0o644);
+  ignore (ok_fs "write wrong" (mount_ops.(wrong).Vfs.write path ~off:0 contents));
+  ok_fs "remove right" (mount_ops.(home).Vfs.unlink path);
+  let report = scan_report coord mount_ops in
+  (match report.Fsck.issues with
+  | [ Fsck.Misplaced_physical { expected; actual; _ } ] ->
+    check_int "expected home" home expected;
+    check_int "actual wrong" wrong actual
+  | issues -> Alcotest.failf "expected 1 misplaced, got %d issues" (List.length issues));
+  let stats = Fsck.repair ~backends:mount_ops report in
+  check_int "moved" 1 stats.Fsck.moved;
+  check_bool "back home with contents" true
+    (ok_fs "read back" (mount_ops.(home).Vfs.read path ~off:0 ~len:1024) = contents);
+  check_bool "clean after repair" true (Fsck.is_clean (scan_report coord mount_ops))
+
+let test_fsck_detects_undecodable_meta () =
+  let _, coord, _, fs, mount_ops = make () in
+  populate fs;
+  ok_zk "corrupt meta" (coord.Zk.Zk_client.set "/dufs/proj/f00" ~data:"garbage!");
+  let report = scan_report coord mount_ops in
+  let has_undecodable =
+    List.exists
+      (function Fsck.Undecodable_meta { vpath; _ } -> vpath = "/proj/f00" | _ -> false)
+      report.Fsck.issues
+  in
+  check_bool "found corrupt metadata" true has_undecodable;
+  let stats = Fsck.repair ~backends:mount_ops report in
+  check_bool "reported unrepairable" true (stats.Fsck.unrepairable >= 1)
+
+(* {2 Rebalancer} *)
+
+let test_rebalance_md5_grow () =
+  let _, coord, _, fs, mount_ops = make ~backends:2 () in
+  populate fs;
+  (* grow 2 -> 3 under the paper's mod-N mapping: most files move *)
+  let moves, new_strategy =
+    ok_zk "plan"
+      (Rebalancer.plan_add_backend ~coord ~strategy:Mapping.Md5_mod ~backends_before:2 ())
+  in
+  check_bool "mod-N moves many files" true (List.length moves > 5);
+  (match new_strategy with
+  | Mapping.Md5_mod -> ()
+  | Mapping.Consistent _ -> Alcotest.fail "strategy should stay Md5_mod");
+  (* add the new mount and execute *)
+  let extra = Memfs.ops (Memfs.create ~clock:(fun () -> 0.) ()) in
+  ok_fs "format extra" (Physical.format Physical.default_layout extra);
+  let all = Array.append mount_ops [| extra |] in
+  let stats = ok_fs "execute" (Rebalancer.execute ~backends:all moves) in
+  check_int "all planned moves done" (List.length moves) stats.Rebalancer.moved;
+  check_bool "bytes moved" true (stats.Rebalancer.bytes_moved > 0L);
+  (* the system is consistent under the *new* mapping *)
+  let report =
+    ok_zk "fsck under new mapping" (Fsck.scan ~coord ~backends:all ())
+  in
+  check_bool "clean after rebalance" true (Fsck.is_clean report)
+
+let test_rebalance_consistent_moves_less () =
+  let ring = Dufs.Consistent_hash.create [ 0; 1 ] in
+  let strategy = Mapping.Consistent ring in
+  let _, coord, _, fs, mount_ops = make ~backends:2 ~strategy () in
+  populate fs;
+  let moves_ch, new_strategy =
+    ok_zk "plan ch" (Rebalancer.plan_add_backend ~coord ~strategy ~backends_before:2 ())
+  in
+  let moves_md5, _ =
+    ok_zk "plan md5"
+      (Rebalancer.plan_add_backend ~coord ~strategy:Mapping.Md5_mod ~backends_before:2 ())
+  in
+  (* consistent hashing must relocate fewer files than mod-N; with only 20
+     files allow equality but not more *)
+  check_bool
+    (Printf.sprintf "ch moves %d <= md5 moves %d" (List.length moves_ch)
+       (List.length moves_md5))
+    true
+    (List.length moves_ch <= List.length moves_md5);
+  (* execute the consistent-hash plan and verify with fsck under the new ring *)
+  let extra = Memfs.ops (Memfs.create ~clock:(fun () -> 0.) ()) in
+  ok_fs "format extra" (Physical.format Physical.default_layout extra);
+  let all = Array.append mount_ops [| extra |] in
+  let stats = ok_fs "execute" (Rebalancer.execute ~backends:all moves_ch) in
+  check_int "moves executed" (List.length moves_ch) stats.Rebalancer.moved;
+  let report =
+    ok_zk "fsck" (Fsck.scan ~coord ~backends:all ~strategy:new_strategy ())
+  in
+  check_bool "clean under new ring" true (Fsck.is_clean report)
+
+let test_rebalance_data_survives () =
+  let _, coord, _, fs, mount_ops = make ~backends:2 () in
+  populate fs;
+  let moves, _ =
+    ok_zk "plan"
+      (Rebalancer.plan_add_backend ~coord ~strategy:Mapping.Md5_mod ~backends_before:2 ())
+  in
+  let extra = Memfs.ops (Memfs.create ~clock:(fun () -> 0.) ()) in
+  ok_fs "format extra" (Physical.format Physical.default_layout extra);
+  let all = Array.append mount_ops [| extra |] in
+  ignore (ok_fs "execute" (Rebalancer.execute ~backends:all moves));
+  (* remount a client over 3 backends: every file's contents intact *)
+  let client2 = Client.mount ~coord ~backends:all ~client_id:99L () in
+  let fs2 = Client.ops client2 in
+  for i = 0 to 19 do
+    let path = Printf.sprintf "/proj/f%02d" i in
+    Alcotest.(check string)
+      (path ^ " contents intact")
+      (Printf.sprintf "data-%02d" i)
+      (ok_fs "read" (fs2.Vfs.read path ~off:0 ~len:64))
+  done
+
+let test_rebalance_empty_plan () =
+  let _, coord, _, _, mount_ops = make () in
+  (* identical mappings -> nothing to move *)
+  let moves =
+    ok_zk "plan"
+      (Rebalancer.plan ~coord
+         ~old_locate:(Mapping.md5_mod ~backends:2)
+         ~new_locate:(Mapping.md5_mod ~backends:2)
+         ())
+  in
+  check_int "no moves" 0 (List.length moves);
+  let stats = ok_fs "execute" (Rebalancer.execute ~backends:mount_ops moves) in
+  check_int "nothing moved" 0 stats.Rebalancer.moved
+
+(* {2 Client-side cache} *)
+
+module Cache = Dufs.Cache
+
+let cache_pair () =
+  let service = Zk.Zk_local.create () in
+  let writer = Zk.Zk_local.session service in
+  let cache = Cache.wrap (Zk.Zk_local.session service) in
+  (writer, cache, Cache.handle cache)
+
+let test_cache_hits_and_misses () =
+  let writer, cache, cached = cache_pair () in
+  ignore (ok_zk "seed" (writer.Zk.Zk_client.create "/n" ~data:"v1"));
+  (match cached.Zk.Zk_client.get "/n" with
+  | Ok ("v1", _) -> ()
+  | _ -> Alcotest.fail "first read");
+  check_int "first read misses" 1 (Cache.misses cache);
+  for _ = 1 to 5 do
+    ignore (cached.Zk.Zk_client.get "/n")
+  done;
+  check_int "re-reads hit" 5 (Cache.hits cache);
+  check_int "still one miss" 1 (Cache.misses cache)
+
+let test_cache_remote_invalidation () =
+  let writer, cache, cached = cache_pair () in
+  ignore (ok_zk "seed" (writer.Zk.Zk_client.create "/n" ~data:"v1"));
+  ignore (cached.Zk.Zk_client.get "/n");
+  (* another session updates; the watch evicts our entry *)
+  ok_zk "remote set" (writer.Zk.Zk_client.set "/n" ~data:"v2");
+  check_bool "invalidated" true (Cache.invalidations cache >= 1);
+  (match cached.Zk.Zk_client.get "/n" with
+  | Ok ("v2", _) -> ()
+  | Ok (d, _) -> Alcotest.failf "stale read %S" d
+  | Error e -> Alcotest.failf "read failed: %s" (Zk.Zerror.to_string e))
+
+let test_cache_negative_entries () =
+  let writer, cache, cached = cache_pair () in
+  (match cached.Zk.Zk_client.get "/future" with
+  | Error Zk.Zerror.ZNONODE -> ()
+  | _ -> Alcotest.fail "expected ZNONODE");
+  ignore (cached.Zk.Zk_client.exists "/future");
+  check_int "negative entry cached" 1 (Cache.misses cache);
+  check_int "negative re-read hits" 1 (Cache.hits cache);
+  (* creation by another session fires the exists-watch *)
+  ignore (ok_zk "create" (writer.Zk.Zk_client.create "/future" ~data:"now"));
+  (match cached.Zk.Zk_client.get "/future" with
+  | Ok ("now", _) -> ()
+  | _ -> Alcotest.fail "negative entry not invalidated on creation")
+
+let test_cache_own_writes_visible () =
+  let _, _, cached = cache_pair () in
+  (match cached.Zk.Zk_client.get "/mine" with
+  | Error Zk.Zerror.ZNONODE -> ()
+  | _ -> Alcotest.fail "expected ZNONODE");
+  ignore (ok_zk "create through cache" (cached.Zk.Zk_client.create "/mine" ~data:"a"));
+  (match cached.Zk.Zk_client.get "/mine" with
+  | Ok ("a", _) -> ()
+  | _ -> Alcotest.fail "own create invisible (stale negative entry)");
+  ok_zk "set through cache" (cached.Zk.Zk_client.set "/mine" ~data:"b");
+  (match cached.Zk.Zk_client.get "/mine" with
+  | Ok ("b", _) -> ()
+  | _ -> Alcotest.fail "own set invisible");
+  ok_zk "delete through cache" (cached.Zk.Zk_client.delete "/mine");
+  (match cached.Zk.Zk_client.get "/mine" with
+  | Error Zk.Zerror.ZNONODE -> ()
+  | _ -> Alcotest.fail "own delete invisible")
+
+let test_cache_children_invalidation () =
+  let writer, _, cached = cache_pair () in
+  ignore (ok_zk "mk" (writer.Zk.Zk_client.create "/d" ~data:""));
+  Alcotest.(check (list string)) "initially empty" []
+    (ok_zk "children" (cached.Zk.Zk_client.children "/d"));
+  ignore (ok_zk "remote child" (writer.Zk.Zk_client.create "/d/c" ~data:""));
+  Alcotest.(check (list string)) "sees the new child" [ "c" ]
+    (ok_zk "children again" (cached.Zk.Zk_client.children "/d"))
+
+let test_cache_lru_bound () =
+  let service = Zk.Zk_local.create () in
+  let writer = Zk.Zk_local.session service in
+  for i = 0 to 9 do
+    ignore (ok_zk "mk" (writer.Zk.Zk_client.create (Printf.sprintf "/n%d" i) ~data:""))
+  done;
+  let cache = Cache.wrap ~capacity:4 (Zk.Zk_local.session service) in
+  let h = Cache.handle cache in
+  for i = 0 to 9 do
+    ignore (h.Zk.Zk_client.get (Printf.sprintf "/n%d" i))
+  done;
+  check_bool
+    (Printf.sprintf "size %d bounded by capacity" (Cache.size cache))
+    true
+    (Cache.size cache <= 4);
+  (* evicted entries simply miss again *)
+  ignore (h.Zk.Zk_client.get "/n0");
+  check_int "eviction causes a re-miss" 11 (Cache.misses cache)
+
+let test_cache_dufs_end_to_end () =
+  (* DUFS mounted over a cached handle behaves identically on a mixed
+     op sequence, including cross-client visibility *)
+  let service = Zk.Zk_local.create () in
+  let mounts = Array.init 2 (fun _ -> Memfs.create ~clock:(fun () -> 0.) ()) in
+  let mount_ops = Array.map Memfs.ops mounts in
+  Array.iter
+    (fun ops -> ok_fs "format" (Physical.format Physical.default_layout ops))
+    mount_ops;
+  let cache = Cache.wrap (Zk.Zk_local.session service) in
+  let c1 =
+    Client.mount ~coord:(Cache.handle cache) ~backends:mount_ops ~client_id:1L ()
+  in
+  let c2 =
+    Client.mount ~coord:(Zk.Zk_local.session service) ~backends:mount_ops
+      ~client_id:2L ()
+  in
+  let fs1 = Client.ops c1 and fs2 = Client.ops c2 in
+  ok_fs "c1 mkdir" (fs1.Vfs.mkdir "/d" ~mode:0o755);
+  ignore (ok_fs "c1 stat" (fs1.Vfs.getattr "/d"));
+  ignore (ok_fs "c1 stat again (cached)" (fs1.Vfs.getattr "/d"));
+  check_bool "cache produced hits" true (Cache.hits cache > 0);
+  (* the uncached client renames; the cached client must observe it *)
+  ok_fs "c2 rename" (fs2.Vfs.rename "/d" "/e");
+  (match fs1.Vfs.getattr "/d" with
+  | Error Errno.ENOENT -> ()
+  | Ok _ -> Alcotest.fail "cached client saw a stale directory"
+  | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e));
+  ignore (ok_fs "c1 sees /e" (fs1.Vfs.getattr "/e"))
+
+(* {2 Client strategy selection} *)
+
+let test_client_consistent_strategy_placement () =
+  let ring = Dufs.Consistent_hash.create [ 0; 1; 2 ] in
+  let _, _, client, fs, mount_ops = make ~backends:3 ~strategy:(Mapping.Consistent ring) () in
+  for i = 0 to 59 do
+    ok_fs "create" (fs.Vfs.create (Printf.sprintf "/f%02d" i) ~mode:0o644)
+  done;
+  (* the physical placement follows the ring, not mod-N *)
+  check_int "all placed" 60
+    (Array.fold_left (fun acc m -> acc + (m.Vfs.statfs ()).Vfs.files) 0 mount_ops);
+  (match Client.strategy client with
+  | Mapping.Consistent _ -> ()
+  | Mapping.Md5_mod -> Alcotest.fail "strategy lost");
+  let gen = Fid.Gen.create ~client_id:1234L in
+  let fid = Fid.Gen.next gen in
+  check_int "locate follows the ring"
+    (Dufs.Consistent_hash.lookup ring (Fid.to_bytes fid))
+    (Client.locate client fid)
+
+let test_client_rejects_bad_ring () =
+  let ring = Dufs.Consistent_hash.create [ 0; 5 ] in
+  Alcotest.check_raises "node out of range"
+    (Invalid_argument "Client.mount: ring node outside the backend range") (fun () ->
+      let service = Zk.Zk_local.create () in
+      ignore
+        (Client.mount
+           ~coord:(Zk.Zk_local.session service)
+           ~backends:
+             (Array.init 2 (fun _ ->
+                  Memfs.ops (Memfs.create ~clock:(fun () -> 0.) ())))
+           ~strategy:(Mapping.Consistent ring) ()))
+
+let () =
+  Alcotest.run "dufs-tools"
+    [ ( "namespace",
+        [ Alcotest.test_case "scan" `Quick test_namespace_scan;
+          Alcotest.test_case "files" `Quick test_namespace_files ] );
+      ( "fsck",
+        [ Alcotest.test_case "clean system" `Quick test_fsck_clean_system;
+          Alcotest.test_case "missing physical" `Quick test_fsck_detects_missing_physical;
+          Alcotest.test_case "orphan physical" `Quick test_fsck_detects_orphan;
+          Alcotest.test_case "misplaced physical" `Quick test_fsck_detects_misplaced;
+          Alcotest.test_case "undecodable metadata" `Quick
+            test_fsck_detects_undecodable_meta ] );
+      ( "rebalancer",
+        [ Alcotest.test_case "md5 grow" `Quick test_rebalance_md5_grow;
+          Alcotest.test_case "consistent hashing moves less" `Quick
+            test_rebalance_consistent_moves_less;
+          Alcotest.test_case "data survives" `Quick test_rebalance_data_survives;
+          Alcotest.test_case "empty plan" `Quick test_rebalance_empty_plan ] );
+      ( "cache",
+        [ Alcotest.test_case "hits and misses" `Quick test_cache_hits_and_misses;
+          Alcotest.test_case "remote invalidation" `Quick test_cache_remote_invalidation;
+          Alcotest.test_case "negative entries" `Quick test_cache_negative_entries;
+          Alcotest.test_case "own writes visible" `Quick test_cache_own_writes_visible;
+          Alcotest.test_case "children invalidation" `Quick
+            test_cache_children_invalidation;
+          Alcotest.test_case "lru bound" `Quick test_cache_lru_bound;
+          Alcotest.test_case "dufs end-to-end" `Quick test_cache_dufs_end_to_end ] );
+      ( "strategy",
+        [ Alcotest.test_case "consistent placement" `Quick
+            test_client_consistent_strategy_placement;
+          Alcotest.test_case "rejects bad ring" `Quick test_client_rejects_bad_ring ] ) ]

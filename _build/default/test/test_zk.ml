@@ -1,0 +1,594 @@
+(* Tests for the coordination-service substrate: paths, the znode tree's
+   ZooKeeper semantics, transactions, watches, and the local service. *)
+
+module Zerror = Zk.Zerror
+module Zpath = Zk.Zpath
+module Ztree = Zk.Ztree
+module Txn = Zk.Txn
+module Zk_local = Zk.Zk_local
+module Zk_client = Zk.Zk_client
+
+let zerror = Alcotest.testable Zerror.pp Zerror.equal
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let ok_or_fail label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected %s" label (Zerror.to_string e)
+
+let expect_err label expected = function
+  | Ok _ -> Alcotest.failf "%s: expected %s" label (Zerror.to_string expected)
+  | Error e -> Alcotest.check zerror label expected e
+
+(* {2 Zpath} *)
+
+let test_zpath_validate () =
+  check_bool "valid" true (Result.is_ok (Zpath.validate "/a/b"));
+  check_bool "root" true (Result.is_ok (Zpath.validate "/"));
+  expect_err "trailing slash" Zerror.ZBADARGUMENTS (Zpath.validate "/a/");
+  expect_err "relative" Zerror.ZBADARGUMENTS (Zpath.validate "a");
+  expect_err "empty component" Zerror.ZBADARGUMENTS (Zpath.validate "/a//b");
+  expect_err "dot" Zerror.ZBADARGUMENTS (Zpath.validate "/a/./b");
+  expect_err "empty" Zerror.ZBADARGUMENTS (Zpath.validate "")
+
+let test_zpath_parts () =
+  check_string "parent" "/a" (Zpath.parent "/a/b");
+  check_string "parent top" "/" (Zpath.parent "/a");
+  check_string "basename" "b" (Zpath.basename "/a/b");
+  check_string "concat" "/a/b" (Zpath.concat "/a" "b");
+  check_string "concat root" "/a" (Zpath.concat "/" "a");
+  check_int "depth" 3 (Zpath.depth "/a/b/c")
+
+let test_sequential_name () =
+  check_string "padded" "lock-0000000007" (Zpath.sequential_name "lock-" 7);
+  check_string "large" "n0123456789" (Zpath.sequential_name "n" 123456789)
+
+(* {2 Ztree: creates} *)
+
+let apply_one tree ~zxid op = Ztree.apply tree ~zxid ~time:1. [ op ]
+
+let create_op ?(data = "") ?(ephemeral = 0L) ?(sequential = false) path =
+  Txn.Create { path; data; ephemeral_owner = ephemeral; sequential }
+
+let test_create_and_get () =
+  let tree = Ztree.create () in
+  (match ok_or_fail "create" (apply_one tree ~zxid:1L (create_op ~data:"hello" "/a")) with
+  | [ Txn.Created "/a" ] -> ()
+  | _ -> Alcotest.fail "unexpected result shape");
+  let data, stat = ok_or_fail "get" (Ztree.get tree "/a") in
+  check_string "data" "hello" data;
+  check_int "version 0" 0 stat.Ztree.version;
+  check_bool "czxid" true (stat.Ztree.czxid = 1L)
+
+let test_create_errors () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "create" (apply_one tree ~zxid:1L (create_op "/a")));
+  expect_err "duplicate" Zerror.ZNODEEXISTS (apply_one tree ~zxid:2L (create_op "/a"));
+  expect_err "missing parent" Zerror.ZNONODE
+    (apply_one tree ~zxid:3L (create_op "/x/y"));
+  expect_err "recreate root" Zerror.ZNODEEXISTS (apply_one tree ~zxid:4L (create_op "/"));
+  expect_err "bad path" Zerror.ZBADARGUMENTS
+    (apply_one tree ~zxid:5L (create_op "relative"))
+
+let test_parent_bookkeeping () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk a" (apply_one tree ~zxid:1L (create_op "/a")));
+  ignore (ok_or_fail "mk a/b" (apply_one tree ~zxid:2L (create_op "/a/b")));
+  ignore (ok_or_fail "mk a/c" (apply_one tree ~zxid:3L (create_op "/a/c")));
+  let _, stat = ok_or_fail "get a" (Ztree.get tree "/a") in
+  check_int "num_children" 2 stat.Ztree.num_children;
+  check_int "cversion" 2 stat.Ztree.cversion;
+  check_bool "pzxid updated" true (stat.Ztree.pzxid = 3L);
+  Alcotest.(check (list string)) "children sorted" [ "b"; "c" ]
+    (ok_or_fail "children" (Ztree.children tree "/a"))
+
+let test_sequential_create () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "parent" (apply_one tree ~zxid:1L (create_op "/q")));
+  let created n zxid =
+    match ok_or_fail "seq" (apply_one tree ~zxid (create_op ~sequential:true "/q/n-")) with
+    | [ Txn.Created path ] ->
+      check_string "sequential suffix" (Printf.sprintf "/q/n-%010d" n) path
+    | _ -> Alcotest.fail "shape"
+  in
+  created 0 2L;
+  created 1 3L;
+  created 2 4L
+
+let test_sequential_counter_not_reused_after_delete () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "parent" (apply_one tree ~zxid:1L (create_op "/q")));
+  ignore (ok_or_fail "s0" (apply_one tree ~zxid:2L (create_op ~sequential:true "/q/n-")));
+  ignore
+    (ok_or_fail "del"
+       (apply_one tree ~zxid:3L (Txn.Delete { path = "/q/n-0000000000"; expected_version = -1 })));
+  (match ok_or_fail "s1" (apply_one tree ~zxid:4L (create_op ~sequential:true "/q/n-")) with
+  | [ Txn.Created path ] -> check_string "counter advances" "/q/n-0000000001" path
+  | _ -> Alcotest.fail "shape")
+
+(* {2 Ztree: delete / set / check} *)
+
+let test_delete () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk" (apply_one tree ~zxid:1L (create_op "/a")));
+  ignore (ok_or_fail "mk child" (apply_one tree ~zxid:2L (create_op "/a/b")));
+  expect_err "not empty" Zerror.ZNOTEMPTY
+    (apply_one tree ~zxid:3L (Txn.Delete { path = "/a"; expected_version = -1 }));
+  ignore
+    (ok_or_fail "del child"
+       (apply_one tree ~zxid:4L (Txn.Delete { path = "/a/b"; expected_version = -1 })));
+  ignore
+    (ok_or_fail "del"
+       (apply_one tree ~zxid:5L (Txn.Delete { path = "/a"; expected_version = -1 })));
+  expect_err "gone" Zerror.ZNONODE (Ztree.get tree "/a");
+  expect_err "delete root" Zerror.ZBADARGUMENTS
+    (apply_one tree ~zxid:6L (Txn.Delete { path = "/"; expected_version = -1 }));
+  expect_err "delete missing" Zerror.ZNONODE
+    (apply_one tree ~zxid:7L (Txn.Delete { path = "/zz"; expected_version = -1 }))
+
+let test_version_checks () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk" (apply_one tree ~zxid:1L (create_op ~data:"v0" "/a")));
+  ignore
+    (ok_or_fail "set ok"
+       (apply_one tree ~zxid:2L
+          (Txn.Set_data { path = "/a"; data = "v1"; expected_version = 0 })));
+  let data, stat = ok_or_fail "get" (Ztree.get tree "/a") in
+  check_string "updated" "v1" data;
+  check_int "version bumped" 1 stat.Ztree.version;
+  expect_err "stale set" Zerror.ZBADVERSION
+    (apply_one tree ~zxid:3L
+       (Txn.Set_data { path = "/a"; data = "v2"; expected_version = 0 }));
+  expect_err "stale delete" Zerror.ZBADVERSION
+    (apply_one tree ~zxid:4L (Txn.Delete { path = "/a"; expected_version = 0 }));
+  ignore
+    (ok_or_fail "any-version set"
+       (apply_one tree ~zxid:5L
+          (Txn.Set_data { path = "/a"; data = "v2"; expected_version = -1 })));
+  ignore
+    (ok_or_fail "check ok"
+       (apply_one tree ~zxid:6L (Txn.Check { path = "/a"; expected_version = 2 })));
+  expect_err "check stale" Zerror.ZBADVERSION
+    (apply_one tree ~zxid:7L (Txn.Check { path = "/a"; expected_version = 0 }))
+
+let test_mzxid_tracks_set () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk" (apply_one tree ~zxid:5L (create_op "/a")));
+  ignore
+    (ok_or_fail "set"
+       (apply_one tree ~zxid:9L (Txn.Set_data { path = "/a"; data = "x"; expected_version = -1 })));
+  let _, stat = ok_or_fail "get" (Ztree.get tree "/a") in
+  check_bool "czxid stays" true (stat.Ztree.czxid = 5L);
+  check_bool "mzxid moves" true (stat.Ztree.mzxid = 9L)
+
+(* {2 Ztree: ephemerals} *)
+
+let test_ephemeral_no_children () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk eph" (apply_one tree ~zxid:1L (create_op ~ephemeral:7L "/e")));
+  expect_err "child of ephemeral" Zerror.ZNOCHILDRENFOREPHEMERALS
+    (apply_one tree ~zxid:2L (create_op "/e/c"));
+  let _, stat = ok_or_fail "get" (Ztree.get tree "/e") in
+  check_bool "owner recorded" true (stat.Ztree.ephemeral_owner = 7L)
+
+let test_ephemerals_of_owner () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk dir" (apply_one tree ~zxid:1L (create_op "/d")));
+  ignore (ok_or_fail "e1" (apply_one tree ~zxid:2L (create_op ~ephemeral:7L "/d/e1")));
+  ignore (ok_or_fail "e2" (apply_one tree ~zxid:3L (create_op ~ephemeral:7L "/e2")));
+  ignore (ok_or_fail "other" (apply_one tree ~zxid:4L (create_op ~ephemeral:9L "/x")));
+  let mine = Ztree.ephemerals_of tree ~owner:7L in
+  check_int "two ephemerals" 2 (List.length mine);
+  check_bool "deepest first" true (List.hd mine = "/d/e1");
+  ignore
+    (ok_or_fail "delete one"
+       (apply_one tree ~zxid:5L (Txn.Delete { path = "/e2"; expected_version = -1 })));
+  check_int "tracking updated" 1 (List.length (Ztree.ephemerals_of tree ~owner:7L))
+
+(* {2 Ztree: multi transactions} *)
+
+let test_multi_atomic_success () =
+  let tree = Ztree.create () in
+  let txn = [ create_op "/a"; create_op "/a/b"; create_op ~data:"x" "/a/b/c" ] in
+  let results = ok_or_fail "multi" (Ztree.apply tree ~zxid:1L ~time:0. txn) in
+  check_int "three results" 3 (List.length results);
+  check_bool "all created" true (Result.is_ok (Ztree.get tree "/a/b/c"))
+
+let test_multi_rollback_on_failure () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "pre" (apply_one tree ~zxid:1L (create_op ~data:"keep" "/pre")));
+  let before_bytes = Ztree.resident_bytes tree in
+  let txn =
+    [ create_op "/a";
+      Txn.Set_data { path = "/pre"; data = "clobbered"; expected_version = -1 };
+      create_op "/missing-parent/child" (* fails *) ]
+  in
+  expect_err "multi fails" Zerror.ZNONODE (Ztree.apply tree ~zxid:2L ~time:0. txn);
+  expect_err "first create rolled back" Zerror.ZNONODE (Ztree.get tree "/a");
+  let data, stat = ok_or_fail "pre intact" (Ztree.get tree "/pre") in
+  check_string "set rolled back" "keep" data;
+  check_int "version restored" 0 stat.Ztree.version;
+  check_int "byte accounting restored" before_bytes (Ztree.resident_bytes tree);
+  check_bool "zxid not consumed by failed txn" true (Ztree.last_zxid tree = 1L)
+
+let test_multi_rename_pattern () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk" (apply_one tree ~zxid:1L (create_op ~data:"fid123" "/old")));
+  let txn =
+    [ Txn.Check { path = "/old"; expected_version = 0 };
+      create_op ~data:"fid123" "/new";
+      Txn.Delete { path = "/old"; expected_version = -1 } ]
+  in
+  ignore (ok_or_fail "rename txn" (Ztree.apply tree ~zxid:2L ~time:0. txn));
+  expect_err "old gone" Zerror.ZNONODE (Ztree.get tree "/old");
+  let data, _ = ok_or_fail "new exists" (Ztree.get tree "/new") in
+  check_string "payload moved" "fid123" data
+
+let test_zxid_monotonicity_enforced () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk" (apply_one tree ~zxid:5L (create_op "/a")));
+  Alcotest.check_raises "reused zxid"
+    (Invalid_argument "Ztree.apply: zxid 5 not beyond 5") (fun () ->
+      ignore (apply_one tree ~zxid:5L (create_op "/b")))
+
+(* {2 Ztree: watches} *)
+
+let test_data_watch_fires_once () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk" (apply_one tree ~zxid:1L (create_op "/a")));
+  let fired = ref [] in
+  Ztree.watch_data tree "/a" (fun ev -> fired := ev :: !fired);
+  ignore
+    (ok_or_fail "set1"
+       (apply_one tree ~zxid:2L (Txn.Set_data { path = "/a"; data = "x"; expected_version = -1 })));
+  ignore
+    (ok_or_fail "set2"
+       (apply_one tree ~zxid:3L (Txn.Set_data { path = "/a"; data = "y"; expected_version = -1 })));
+  check_int "fired exactly once" 1 (List.length !fired);
+  (match !fired with
+  | [ { Ztree.kind = Ztree.Node_data_changed; path = "/a" } ] -> ()
+  | _ -> Alcotest.fail "wrong event")
+
+let test_exists_watch_fires_on_create () =
+  let tree = Ztree.create () in
+  let fired = ref [] in
+  Ztree.watch_data tree "/future" (fun ev -> fired := ev :: !fired);
+  ignore (ok_or_fail "mk" (apply_one tree ~zxid:1L (create_op "/future")));
+  (match !fired with
+  | [ { Ztree.kind = Ztree.Node_created; path = "/future" } ] -> ()
+  | _ -> Alcotest.fail "expected creation event")
+
+let test_child_watch () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk" (apply_one tree ~zxid:1L (create_op "/d")));
+  let fired = ref [] in
+  Ztree.watch_children tree "/d" (fun ev -> fired := ev :: !fired);
+  ignore (ok_or_fail "mk child" (apply_one tree ~zxid:2L (create_op "/d/c")));
+  (match !fired with
+  | [ { Ztree.kind = Ztree.Node_children_changed; path = "/d" } ] -> ()
+  | _ -> Alcotest.fail "expected children-changed");
+  (* re-arm and check delete fires too *)
+  Ztree.watch_children tree "/d" (fun ev -> fired := ev :: !fired);
+  ignore
+    (ok_or_fail "del child"
+       (apply_one tree ~zxid:3L (Txn.Delete { path = "/d/c"; expected_version = -1 })));
+  check_int "two events total" 2 (List.length !fired)
+
+let test_delete_fires_data_watch () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk" (apply_one tree ~zxid:1L (create_op "/a")));
+  let fired = ref [] in
+  Ztree.watch_data tree "/a" (fun ev -> fired := ev :: !fired);
+  ignore
+    (ok_or_fail "del"
+       (apply_one tree ~zxid:2L (Txn.Delete { path = "/a"; expected_version = -1 })));
+  (match !fired with
+  | [ { Ztree.kind = Ztree.Node_deleted; path = "/a" } ] -> ()
+  | _ -> Alcotest.fail "expected deletion event")
+
+let test_no_watch_on_failed_txn () =
+  let tree = Ztree.create () in
+  ignore (ok_or_fail "mk" (apply_one tree ~zxid:1L (create_op "/a")));
+  let fired = ref 0 in
+  Ztree.watch_data tree "/a" (fun _ -> incr fired);
+  expect_err "failing multi" Zerror.ZNONODE
+    (Ztree.apply tree ~zxid:2L ~time:0.
+       [ Txn.Set_data { path = "/a"; data = "x"; expected_version = -1 };
+         create_op "/nope/child" ]);
+  check_int "watch survived the aborted txn" 0 !fired;
+  (* the watch is still armed and fires on the next real change *)
+  ignore
+    (ok_or_fail "set"
+       (apply_one tree ~zxid:3L (Txn.Set_data { path = "/a"; data = "y"; expected_version = -1 })));
+  check_int "fires later" 1 !fired
+
+(* {2 Ztree: memory accounting and fingerprints} *)
+
+let test_bytes_scale_with_nodes () =
+  let tree = Ztree.create () in
+  let base = Ztree.resident_bytes tree in
+  for i = 0 to 99 do
+    ignore
+      (ok_or_fail "mk"
+         (apply_one tree
+            ~zxid:(Int64.of_int (i + 1))
+            (create_op ~data:"0123456789" (Printf.sprintf "/n%03d" i))))
+  done;
+  let per_node = (Ztree.resident_bytes tree - base) / 100 in
+  check_bool "per-node cost in a plausible band" true (per_node > 150 && per_node < 400);
+  check_int "node count" 101 (Ztree.node_count tree)
+
+let test_equal_state_and_fingerprint () =
+  let build () =
+    let tree = Ztree.create () in
+    ignore (ok_or_fail "a" (apply_one tree ~zxid:1L (create_op ~data:"1" "/a")));
+    ignore (ok_or_fail "b" (apply_one tree ~zxid:2L (create_op ~data:"2" "/a/b")));
+    tree
+  in
+  let t1 = build () and t2 = build () in
+  check_bool "equal states" true (Ztree.equal_state t1 t2);
+  check_int "same fingerprint" (Ztree.fingerprint t1) (Ztree.fingerprint t2);
+  ignore
+    (ok_or_fail "diverge"
+       (apply_one t2 ~zxid:3L (Txn.Set_data { path = "/a"; data = "9"; expected_version = -1 })));
+  check_bool "detects divergence" false (Ztree.equal_state t1 t2)
+
+(* {2 Property: random valid op sequences keep children/index consistent} *)
+
+let prop_tree_children_index_agree =
+  let gen_ops =
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (oneof
+           [ map (fun (a, b) -> `Create ("/" ^ a ^ (if b then "/x" else "")))
+               (pair (oneofl [ "p"; "q"; "r" ]) bool);
+             map (fun a -> `Delete ("/" ^ a)) (oneofl [ "p"; "q"; "r"; "p/x"; "q/x" ]) ]))
+  in
+  QCheck2.Test.make ~name:"every child entry points at a live node (and back)"
+    ~count:300 gen_ops (fun ops ->
+      let tree = Ztree.create () in
+      let zxid = ref 0L in
+      List.iter
+        (fun op ->
+          zxid := Int64.add !zxid 1L;
+          ignore
+            (match op with
+            | `Create path -> Ztree.apply tree ~zxid:!zxid ~time:0. [ create_op path ]
+            | `Delete path ->
+              Ztree.apply tree ~zxid:!zxid ~time:0.
+                [ Txn.Delete { path; expected_version = -1 } ]))
+        ops;
+      (* every node reachable from the root exists in the index, and
+         every child's parent linkage is consistent *)
+      let rec walk path acc =
+        match Ztree.children tree path with
+        | Error _ -> acc
+        | Ok names ->
+          List.fold_left
+            (fun acc name ->
+              let child = Zpath.concat path name in
+              if Ztree.exists tree child = None then false
+              else walk child acc)
+            acc names
+      in
+      walk "/" true)
+
+(* {2 Zk_local} *)
+
+let test_local_session_api () =
+  let svc = Zk_local.create () in
+  let s = Zk_local.session svc in
+  check_string "create returns path" "/a" (ok_or_fail "create" (s.Zk_client.create "/a" ~data:"d"));
+  let data, _ = ok_or_fail "get" (s.Zk_client.get "/a") in
+  check_string "data" "d" data;
+  ok_or_fail "set" (s.Zk_client.set "/a" ~data:"d2");
+  check_bool "exists" true (s.Zk_client.exists "/a" <> None);
+  Alcotest.(check (list string)) "children" []
+    (ok_or_fail "children" (s.Zk_client.children "/a"));
+  ok_or_fail "delete" (s.Zk_client.delete "/a");
+  check_bool "gone" true (s.Zk_client.exists "/a" = None)
+
+let test_local_sessions_share_namespace () =
+  let svc = Zk_local.create () in
+  let s1 = Zk_local.session svc and s2 = Zk_local.session svc in
+  ignore (ok_or_fail "s1 create" (s1.Zk_client.create "/shared" ~data:"x"));
+  let data, _ = ok_or_fail "s2 sees it" (s2.Zk_client.get "/shared") in
+  check_string "shared data" "x" data;
+  check_bool "distinct session ids" true
+    (s1.Zk_client.session_id <> s2.Zk_client.session_id)
+
+let test_local_ephemeral_cleanup_on_close () =
+  let svc = Zk_local.create () in
+  let s1 = Zk_local.session svc and s2 = Zk_local.session svc in
+  ignore (ok_or_fail "eph" (s1.Zk_client.create ~ephemeral:true "/tmp" ~data:""));
+  ignore (ok_or_fail "persistent" (s1.Zk_client.create "/keep" ~data:""));
+  s1.Zk_client.close ();
+  check_bool "ephemeral removed" true (s2.Zk_client.exists "/tmp" = None);
+  check_bool "persistent kept" true (s2.Zk_client.exists "/keep" <> None)
+
+let test_local_sequential () =
+  let svc = Zk_local.create () in
+  let s = Zk_local.session svc in
+  ignore (ok_or_fail "parent" (s.Zk_client.create "/q" ~data:""));
+  let p0 = ok_or_fail "s0" (s.Zk_client.create ~sequential:true "/q/n-" ~data:"") in
+  let p1 = ok_or_fail "s1" (s.Zk_client.create ~sequential:true "/q/n-" ~data:"") in
+  check_bool "ordered names" true (p0 < p1)
+
+let test_local_multi () =
+  let svc = Zk_local.create () in
+  let s = Zk_local.session svc in
+  let txn = [ Zk_client.create_op "/m" ~data:""; Zk_client.create_op "/m/c" ~data:"" ] in
+  ignore (ok_or_fail "multi" (s.Zk_client.multi txn));
+  expect_err "atomic failure"
+    Zerror.ZNONODE
+    (s.Zk_client.multi
+       [ Zk_client.create_op "/m2" ~data:""; Zk_client.create_op "/zz/c" ~data:"" ]);
+  check_bool "rolled back" true (s.Zk_client.exists "/m2" = None)
+
+(* {2 Snapshots} *)
+
+let build_rich_tree () =
+  let tree = Ztree.create () in
+  let zxid = ref 0L in
+  let next () = zxid := Int64.add !zxid 1L; !zxid in
+  ignore (ok_or_fail "a" (Ztree.apply tree ~zxid:(next ()) ~time:1.5 [ create_op ~data:"alpha" "/a" ]));
+  ignore (ok_or_fail "a/b" (Ztree.apply tree ~zxid:(next ()) ~time:2.5 [ create_op ~data:"beta\nwith|newline: stuff" "/a/b" ]));
+  ignore (ok_or_fail "eph" (Ztree.apply tree ~zxid:(next ()) ~time:3. [ create_op ~ephemeral:42L "/e" ]));
+  ignore (ok_or_fail "seq" (Ztree.apply tree ~zxid:(next ()) ~time:4. [ create_op ~sequential:true "/a/s-" ]));
+  ignore
+    (ok_or_fail "set"
+       (Ztree.apply tree ~zxid:(next ()) ~time:5.
+          [ Txn.Set_data { path = "/a"; data = "alpha2"; expected_version = 0 } ]));
+  (tree, next)
+
+let test_snapshot_roundtrip () =
+  let tree, _ = build_rich_tree () in
+  match Ztree.deserialize (Ztree.serialize tree) with
+  | Error msg -> Alcotest.fail msg
+  | Ok restored ->
+    check_bool "equal state" true (Ztree.equal_state tree restored);
+    check_int "same fingerprint" (Ztree.fingerprint tree) (Ztree.fingerprint restored);
+    check_int "same node count" (Ztree.node_count tree) (Ztree.node_count restored);
+    check_bool "same last zxid" true (Ztree.last_zxid tree = Ztree.last_zxid restored);
+    check_int "same byte accounting" (Ztree.resident_bytes tree)
+      (Ztree.resident_bytes restored);
+    (* stats survive *)
+    let _, stat = ok_or_fail "get" (Ztree.get restored "/a") in
+    check_int "version" 1 stat.Ztree.version;
+    check_int "cversion" 2 stat.Ztree.cversion;
+    (* ephemerals tracking survives *)
+    check_int "ephemerals rebuilt" 1 (List.length (Ztree.ephemerals_of restored ~owner:42L))
+
+let test_snapshot_restored_tree_keeps_working () =
+  let tree, _ = build_rich_tree () in
+  let restored = Result.get_ok (Ztree.deserialize (Ztree.serialize tree)) in
+  let zxid = Int64.add (Ztree.last_zxid restored) 1L in
+  (* sequential counter continues where it left off *)
+  (* /a's child-sequence counter was 2 (children b and s-0000000001) *)
+  (match ok_or_fail "seq" (apply_one restored ~zxid (create_op ~sequential:true "/a/s-")) with
+  | [ Txn.Created path ] -> check_string "counter continued" "/a/s-0000000002" path
+  | _ -> Alcotest.fail "shape");
+  (* mutation on the restored tree does not affect the original *)
+  check_bool "original untouched" false (Ztree.equal_state tree restored)
+
+let test_snapshot_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Ztree.deserialize s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "nonsense"; "ZTREEv1 abc\n1\n"; "ZTREEv1 5\n"; "ZTREEv1 5\n2\n1:/0: 0 0 0 1 1 1 0 0 0\n" ]
+
+let prop_snapshot_roundtrip =
+  let gen_ops =
+    QCheck2.Gen.(
+      list_size (int_range 1 50)
+        (oneof
+           [ map (fun (a, sub) -> `Create ("/" ^ a ^ (if sub then "/x" else "")))
+               (pair (oneofl [ "p"; "q"; "r" ]) bool);
+             map (fun a -> `Delete ("/" ^ a)) (oneofl [ "p"; "q"; "p/x" ]);
+             map (fun (a, d) -> `Set ("/" ^ a, d))
+               (pair (oneofl [ "p"; "q"; "r" ]) (string_size (int_range 0 12))) ]))
+  in
+  QCheck2.Test.make ~name:"snapshot roundtrip preserves state for random trees"
+    ~count:200 gen_ops (fun ops ->
+      let tree = Ztree.create () in
+      let zxid = ref 0L in
+      List.iter
+        (fun op ->
+          zxid := Int64.add !zxid 1L;
+          ignore
+            (match op with
+            | `Create path -> Ztree.apply tree ~zxid:!zxid ~time:0. [ create_op path ]
+            | `Delete path ->
+              Ztree.apply tree ~zxid:!zxid ~time:0.
+                [ Txn.Delete { path; expected_version = -1 } ]
+            | `Set (path, data) ->
+              Ztree.apply tree ~zxid:!zxid ~time:0.
+                [ Txn.Set_data { path; data; expected_version = -1 } ]))
+        ops;
+      match Ztree.deserialize (Ztree.serialize tree) with
+      | Ok restored ->
+        Ztree.equal_state tree restored
+        && Ztree.fingerprint tree = Ztree.fingerprint restored
+        && Ztree.resident_bytes tree = Ztree.resident_bytes restored
+      | Error _ -> false)
+
+(* {2 Memory model} *)
+
+let test_memory_model_slope () =
+  let svc = Zk_local.create () in
+  let s = Zk_local.session svc in
+  ignore (ok_or_fail "root" (s.Zk_client.create "/m" ~data:""));
+  let base = Zk_local.server_resident_bytes svc in
+  check_bool "baseline includes JVM" true (base >= Zk.Memory_model.jvm_baseline_bytes);
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    ignore
+      (ok_or_fail "mk"
+         (s.Zk_client.create (Printf.sprintf "/m/d%08d" i) ~data:(String.make 35 'm')))
+  done;
+  let per_node =
+    float_of_int (Zk_local.server_resident_bytes svc - base) /. float_of_int n
+  in
+  (* the paper's figure: ~417 MB per million znodes (§V-E) *)
+  check_bool
+    (Printf.sprintf "per-znode cost near 417 B (got %.0f)" per_node)
+    true
+    (per_node > 330. && per_node < 510.)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "zk"
+    [ ( "zpath",
+        [ Alcotest.test_case "validate" `Quick test_zpath_validate;
+          Alcotest.test_case "parts" `Quick test_zpath_parts;
+          Alcotest.test_case "sequential name" `Quick test_sequential_name ] );
+      ( "ztree-create",
+        [ Alcotest.test_case "create and get" `Quick test_create_and_get;
+          Alcotest.test_case "create errors" `Quick test_create_errors;
+          Alcotest.test_case "parent bookkeeping" `Quick test_parent_bookkeeping;
+          Alcotest.test_case "sequential create" `Quick test_sequential_create;
+          Alcotest.test_case "sequential counter persists" `Quick
+            test_sequential_counter_not_reused_after_delete ] );
+      ( "ztree-mutate",
+        [ Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "version checks" `Quick test_version_checks;
+          Alcotest.test_case "mzxid tracking" `Quick test_mzxid_tracks_set ] );
+      ( "ztree-ephemeral",
+        [ Alcotest.test_case "no children" `Quick test_ephemeral_no_children;
+          Alcotest.test_case "per-owner tracking" `Quick test_ephemerals_of_owner ] );
+      ( "ztree-multi",
+        [ Alcotest.test_case "atomic success" `Quick test_multi_atomic_success;
+          Alcotest.test_case "rollback on failure" `Quick test_multi_rollback_on_failure;
+          Alcotest.test_case "rename pattern" `Quick test_multi_rename_pattern;
+          Alcotest.test_case "zxid monotonicity" `Quick test_zxid_monotonicity_enforced ] );
+      ( "ztree-watches",
+        [ Alcotest.test_case "data watch fires once" `Quick test_data_watch_fires_once;
+          Alcotest.test_case "exists watch on create" `Quick
+            test_exists_watch_fires_on_create;
+          Alcotest.test_case "child watch" `Quick test_child_watch;
+          Alcotest.test_case "delete fires data watch" `Quick
+            test_delete_fires_data_watch;
+          Alcotest.test_case "no watch on failed txn" `Quick test_no_watch_on_failed_txn ] );
+      ( "ztree-invariants",
+        [ Alcotest.test_case "bytes scale with nodes" `Quick test_bytes_scale_with_nodes;
+          Alcotest.test_case "equal_state/fingerprint" `Quick
+            test_equal_state_and_fingerprint;
+          qc prop_tree_children_index_agree ] );
+      ( "zk-local",
+        [ Alcotest.test_case "session api" `Quick test_local_session_api;
+          Alcotest.test_case "shared namespace" `Quick test_local_sessions_share_namespace;
+          Alcotest.test_case "ephemeral cleanup" `Quick
+            test_local_ephemeral_cleanup_on_close;
+          Alcotest.test_case "sequential" `Quick test_local_sequential;
+          Alcotest.test_case "multi" `Quick test_local_multi ] );
+      ( "snapshot",
+        [ Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "restored tree keeps working" `Quick
+            test_snapshot_restored_tree_keeps_working;
+          Alcotest.test_case "rejects garbage" `Quick test_snapshot_rejects_garbage;
+          qc prop_snapshot_roundtrip ] );
+      ( "memory-model",
+        [ Alcotest.test_case "per-znode slope" `Quick test_memory_model_slope ] ) ]
