@@ -27,6 +27,8 @@ let experiments =
      Scenarios.Figures.ablation_observers);
     ("ablation-faults", "ensemble fault injection timeline",
      Scenarios.Figures.ablation_faults);
+    ("batching", "ZAB group commit: batched vs unbatched mdtest (writes BENCH_pr1.json)",
+     fun () -> Scenarios.Figures.batching ~json_path:"BENCH_pr1.json" ());
     ("all", "every experiment in order", Scenarios.Figures.all) ]
 
 open Cmdliner

@@ -26,11 +26,28 @@ let rec store_evict store =
        | Some _ | None -> ());
       store_evict store
 
+(* Every push can leave one stale pair behind (the entry's previous
+   generation), so a hit-heavy workload grows [order] without bound
+   unless it is periodically rebuilt from the live generations. *)
+let store_compact store =
+  if Queue.length store.order > 2 * store.capacity then begin
+    let live = Queue.create () in
+    Queue.iter
+      (fun (path, generation) ->
+        match Hashtbl.find_opt store.table path with
+        | Some (_, g) when g = generation -> Queue.push (path, generation) live
+        | Some _ | None -> ())
+      store.order;
+    Queue.clear store.order;
+    Queue.transfer live store.order
+  end
+
 let store_put store path value =
   store.generation <- store.generation + 1;
   Hashtbl.replace store.table path (value, store.generation);
   Queue.push (path, store.generation) store.order;
-  store_evict store
+  store_evict store;
+  store_compact store
 
 let store_touch store path =
   match Hashtbl.find_opt store.table path with
@@ -38,7 +55,8 @@ let store_touch store path =
   | Some (value, _) ->
     store.generation <- store.generation + 1;
     Hashtbl.replace store.table path (value, store.generation);
-    Queue.push (path, store.generation) store.order
+    Queue.push (path, store.generation) store.order;
+    store_compact store
 
 let store_remove store path = Hashtbl.remove store.table path
 
@@ -60,6 +78,7 @@ let hits t = t.hits
 let misses t = t.misses
 let invalidations t = t.invalidations
 let size t = Hashtbl.length t.data.table + Hashtbl.length t.kids.table
+let queue_length t = Queue.length t.data.order + Queue.length t.kids.order
 
 let invalidate_data t path =
   if Hashtbl.mem t.data.table path then begin
@@ -117,6 +136,53 @@ let cached_children t path =
      | Ok names -> store_put t.kids path names
      | Error _ -> ());
     result
+
+(* Bulk readdir. A hit assembles the listing from the cached child-name
+   list plus per-child data entries; a miss fetches everything in one
+   server visit and warms those same entries, so a later [get] of any
+   child is already cached. The piggybacked watches (child watch on the
+   parent, data watch per child) keep the warmed entries coherent. *)
+let cached_children_with_data t path =
+  let bulk_watch (ev : Zk.Ztree.watch_event) =
+    match ev.kind with
+    | Zk.Ztree.Node_children_changed -> invalidate_children t ev.path
+    | Zk.Ztree.Node_created | Zk.Ztree.Node_deleted
+    | Zk.Ztree.Node_data_changed ->
+      invalidate_data t ev.path
+  in
+  let fill () =
+    t.misses <- t.misses + 1;
+    let result = t.inner.Zk_client.children_with_data_watch path bulk_watch in
+    (match result with
+     | Ok entries ->
+       store_put t.kids path (List.map (fun (name, _, _) -> name) entries);
+       List.iter
+         (fun (name, data, stat) ->
+           store_put t.data (Zpath.concat path name) (Present (data, stat)))
+         entries
+     | Error _ -> ());
+    result
+  in
+  let assemble names =
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | name :: rest ->
+        (match store_find t.data (Zpath.concat path name) with
+         | Some (Present (data, stat)) -> go ((name, data, stat) :: acc) rest
+         | Some Absent | None -> None)
+    in
+    go [] names
+  in
+  match store_find t.kids path with
+  | None -> fill ()
+  | Some names ->
+    (match assemble names with
+     | None -> fill ()  (* some child's data entry was evicted *)
+     | Some entries ->
+       t.hits <- t.hits + 1;
+       store_touch t.kids path;
+       List.iter (fun name -> store_touch t.data (Zpath.concat path name)) names;
+       Ok entries)
 
 let wrap ?(capacity = 4096) inner =
   if capacity < 1 then invalid_arg "Cache.wrap: capacity < 1";
@@ -176,6 +242,8 @@ let wrap ?(capacity = 4096) inner =
         (fun path ->
           match cached_get t path with Ok (_, stat) -> Some stat | Error _ -> None);
       children = cached_children t;
+      children_with_data = cached_children_with_data t;
+      children_with_data_watch = inner.Zk_client.children_with_data_watch;
       multi;
       multi_async;
       watch_data = inner.Zk_client.watch_data;

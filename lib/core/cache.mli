@@ -31,3 +31,8 @@ val invalidations : t -> int
 
 (** Entries currently cached. *)
 val size : t -> int
+
+(** Total length of the lazy-LRU eviction queues, stale pairs included.
+    Bounded at ~2× capacity per store by compaction; exposed so tests can
+    assert hit-heavy workloads do not grow it without bound. *)
+val queue_length : t -> int

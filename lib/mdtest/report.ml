@@ -29,3 +29,41 @@ let print_figure ~title ~x_label ?(unit_label = "ops/sec") series =
   flush stdout
 
 let print_ratio ~label v = Printf.printf "  %-58s %8.2fx\n%!" label v
+
+(* {2 Machine-readable bench points} *)
+
+type bench_point = {
+  experiment : string;
+  procs : int;
+  config : string;
+  ops_per_sec : float;
+}
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit_json ~path points =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i p ->
+      Printf.fprintf oc
+        "  {\"experiment\": \"%s\", \"procs\": %d, \"config\": \"%s\", \
+         \"ops_per_sec\": %.3f}%s\n"
+        (json_escape p.experiment) p.procs (json_escape p.config) p.ops_per_sec
+        (if i < List.length points - 1 then "," else ""))
+    points;
+  output_string oc "]\n";
+  close_out oc

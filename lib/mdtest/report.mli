@@ -15,3 +15,20 @@ val print_figure :
 val print_ratio : label:string -> float -> unit
 
 val print_header : string -> unit
+
+(** {2 Machine-readable bench points}
+
+    The stable cross-PR schema for benchmark output files
+    ([BENCH_*.json]): a flat JSON array of
+    [{experiment, procs, config, ops_per_sec}] objects, so successive
+    PRs append comparable points. *)
+
+type bench_point = {
+  experiment : string;  (** e.g. ["mdtest-file-create"] *)
+  procs : int;          (** simulated client processes *)
+  config : string;      (** system + knob description, e.g. ["max_batch=16"] *)
+  ops_per_sec : float;
+}
+
+(** Write [points] to [path] as a JSON array, one object per line. *)
+val emit_json : path:string -> bench_point list -> unit

@@ -350,7 +350,7 @@ let observer_rates ~servers ~observers ~procs =
   let engine = Engine.create () in
   let ensemble =
     Zk.Ensemble.start engine
-      { (Systems.zk_config ~servers ~procs) with Zk.Ensemble.observers }
+      { (Systems.zk_config ~servers ~procs ()) with Zk.Ensemble.observers }
   in
   let sessions = Array.init procs (fun _ -> Zk.Ensemble.session ensemble ()) in
   Process.spawn engine (fun () ->
@@ -409,7 +409,7 @@ let giga_single_dir_rate ~procs variant =
              (Printf.sprintf "/huge/f%d_%d" proc item)
              ~mode:0o644))
   | `Dufs ->
-    let ensemble = Zk.Ensemble.start engine (Systems.zk_config ~servers:8 ~procs) in
+    let ensemble = Zk.Ensemble.start engine (Systems.zk_config ~servers:8 ~procs ()) in
     let sessions = Array.init procs (fun _ -> Zk.Ensemble.session ensemble ()) in
     Process.spawn engine (fun () ->
         match sessions.(0).Zk.Zk_client.create "/huge" ~data:"" with
@@ -488,7 +488,7 @@ let ablation_giga () =
    (polling / ls -l behaviour), first uncached then cached. *)
 let cache_stat_rate ~procs ~cached =
   let engine = Engine.create () in
-  let ensemble = Zk.Ensemble.start engine (Systems.zk_config ~servers:8 ~procs) in
+  let ensemble = Zk.Ensemble.start engine (Systems.zk_config ~servers:8 ~procs ()) in
   Process.spawn engine (fun () ->
       let s = Zk.Ensemble.session ensemble () in
       for i = 0 to 9 do
@@ -546,7 +546,7 @@ let ablation_cache () =
    the zoo_amulti-style API; window = 1 is the paper's synchronous API. *)
 let pipelined_create_rate ~servers ~clients ~per_client ~window =
   let engine = Engine.create () in
-  let ensemble = Zk.Ensemble.start engine (Systems.zk_config ~servers ~procs:clients) in
+  let ensemble = Zk.Ensemble.start engine (Systems.zk_config ~servers ~procs:clients ()) in
   let finish_time = ref 0. in
   let remaining_clients = ref clients in
   for client = 0 to clients - 1 do
@@ -664,6 +664,65 @@ let ablation_faults () =
     (List.rev !rows);
   flush stdout
 
+(* {2 ZAB group commit: batched vs unbatched metadata pipeline} *)
+
+let batching_max_batch = 16
+
+let batching_data () =
+  let spec =
+    { Systems.zk_servers = 8; backends = 2; backend_kind = Systems.Lustre }
+  in
+  let configs =
+    [ ("max_batch=1", Systems.Dufs spec);
+      (Printf.sprintf "max_batch=%d" batching_max_batch,
+       Systems.Dufs_batched (spec, batching_max_batch)) ]
+  in
+  List.map
+    (fun phase ->
+      ( phase,
+        List.map
+          (fun (label, system) ->
+            ( label,
+              List.map
+                (fun procs ->
+                  (procs, Runner.rate (Systems.mdtest system ~procs ()) phase))
+                bar_procs ))
+          configs ))
+    [ Runner.File_create; Runner.Dir_stat ]
+
+let batching ?json_path () =
+  let data = batching_data () in
+  List.iter
+    (fun (phase, by_config) ->
+      Report.print_figure
+        ~title:
+          (Printf.sprintf "Group commit — mdtest %s, batched vs unbatched"
+             (Runner.phase_to_string phase))
+        ~x_label:"procs"
+        (List.map (fun (label, points) -> { Report.label; points }) by_config))
+    data;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let points =
+      List.concat_map
+        (fun (phase, by_config) ->
+          List.concat_map
+            (fun (config, points) ->
+              List.map
+                (fun (procs, rate) ->
+                  { Report.experiment =
+                      "mdtest-" ^ Runner.phase_to_string phase;
+                    procs;
+                    config = config ^ "|zk=8|backends=2xLustre";
+                    ops_per_sec = rate })
+                points)
+            by_config)
+        data
+    in
+    Report.emit_json ~path points;
+    Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points)
+
 let all () =
   fig7 ();
   fig8 ();
@@ -678,4 +737,5 @@ let all () =
   ablation_cache ();
   ablation_giga ();
   ablation_observers ();
-  ablation_faults ()
+  ablation_faults ();
+  batching ()

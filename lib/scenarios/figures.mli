@@ -80,5 +80,16 @@ val ablation_observers : unit -> unit
 (** Throughput timeline across leader crash, quorum loss and recovery. *)
 val ablation_faults : unit -> unit
 
+(** {2 ZAB group commit — batched vs unbatched metadata pipeline} *)
+
+val batching_data :
+  unit -> (Mdtest.Runner.phase * (string * (int * float) list) list) list
+(** [(phase, [(config label, [(procs, ops/s)])])] for mdtest file-create
+    and dir-stat, [max_batch = 1] vs [max_batch = 16]. *)
+
+(** Print the comparison; with [json_path], also write the points in the
+    {!Mdtest.Report.bench_point} schema (the BENCH_pr1.json artifact). *)
+val batching : ?json_path:string -> unit -> unit
+
 (** Run everything (the full bench suite). *)
 val all : unit -> unit

@@ -16,6 +16,7 @@ type system =
   | Lustre_cmd of int
   | Dufs of dufs_spec
   | Dufs_cached of dufs_spec
+  | Dufs_batched of dufs_spec * int
 
 let system_label = function
   | Basic_lustre -> "Basic Lustre"
@@ -29,10 +30,15 @@ let system_label = function
     Printf.sprintf "DUFS+cache %dx%s/%dzk" backends
       (match backend_kind with Lustre -> "Lustre" | Pvfs -> "PVFS")
       zk_servers
+  | Dufs_batched ({ zk_servers; backends; backend_kind }, max_batch) ->
+    Printf.sprintf "DUFS+batch%d %dx%s/%dzk" max_batch backends
+      (match backend_kind with Lustre -> "Lustre" | Pvfs -> "PVFS")
+      zk_servers
 
-let zk_config ~servers ~procs =
+let zk_config ?(max_batch = 1) ~servers ~procs () =
   { (Zk.Ensemble.default_config ~servers) with
-    Zk.Ensemble.read_service = Pfs.Costs.Zookeeper.read_service;
+    Zk.Ensemble.max_batch;
+    read_service = Pfs.Costs.Zookeeper.read_service;
     write_service = Pfs.Costs.Zookeeper.write_service;
     delete_service = Pfs.Costs.Zookeeper.delete_service;
     set_service = Pfs.Costs.Zookeeper.set_service;
@@ -60,9 +66,14 @@ let build_system engine system ~procs =
       Pfs.Cmd_sim.create engine ~config:(Pfs.Cmd_sim.default_config ~mds_count:mds) ()
     in
     fun proc -> Pfs.Cmd_sim.client fs ~client_id:proc
-  | (Dufs { zk_servers; backends; backend_kind } | Dufs_cached { zk_servers; backends; backend_kind }) as sys ->
+  | ( Dufs { zk_servers; backends; backend_kind }
+    | Dufs_cached { zk_servers; backends; backend_kind }
+    | Dufs_batched ({ zk_servers; backends; backend_kind }, _) ) as sys ->
     let cached = match sys with Dufs_cached _ -> true | _ -> false in
-    let ensemble = Zk.Ensemble.start engine (zk_config ~servers:zk_servers ~procs) in
+    let max_batch = match sys with Dufs_batched (_, b) -> b | _ -> 1 in
+    let ensemble =
+      Zk.Ensemble.start engine (zk_config ~max_batch ~servers:zk_servers ~procs ())
+    in
     let layout = Dufs.Physical.default_layout in
     let backend_clients =
       match backend_kind with
@@ -138,7 +149,7 @@ let mdtest ?(dirs_per_proc = 60) ?(files_per_proc = 60) ?(unique = false) system
 
 let zk_raw ~servers ~procs ?(items = 80) () =
   let engine = Engine.create () in
-  let ensemble = Zk.Ensemble.start engine (zk_config ~servers ~procs) in
+  let ensemble = Zk.Ensemble.start engine (zk_config ~servers ~procs ()) in
   let sessions = Array.init procs (fun _ -> Zk.Ensemble.session ensemble ()) in
   (* setup: a parent node for all items *)
   Process.spawn engine (fun () ->

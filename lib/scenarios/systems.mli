@@ -18,6 +18,9 @@ type system =
   | Dufs of dufs_spec
   | Dufs_cached of dufs_spec
       (** DUFS with the client-side metadata cache ({!Dufs.Cache}) *)
+  | Dufs_batched of dufs_spec * int
+      (** DUFS with ZAB group commit: the leader batches up to the given
+          [max_batch] queued writes per persist + proposal round *)
 
 val system_label : system -> string
 
@@ -43,5 +46,6 @@ val reset_cache : unit -> unit
 
 (** The coordination-service configuration used for all experiments:
     cost constants from {!Pfs.Costs.Zookeeper} plus the co-located-load
-    inflation for [procs] client processes. *)
-val zk_config : servers:int -> procs:int -> Zk.Ensemble.config
+    inflation for [procs] client processes. [max_batch] (default 1)
+    enables ZAB group commit. *)
+val zk_config : ?max_batch:int -> servers:int -> procs:int -> unit -> Zk.Ensemble.config

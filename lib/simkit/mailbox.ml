@@ -16,5 +16,12 @@ let recv t =
   | None -> Process.suspend_v (fun resume -> Queue.push resume t.receivers)
 
 let recv_opt t = Queue.take_opt t.messages
+
+let take_if t pred =
+  match Queue.peek_opt t.messages with
+  | Some msg when pred msg ->
+      ignore (Queue.pop t.messages);
+      Some msg
+  | Some _ | None -> None
 let length t = Queue.length t.messages
 let is_empty t = Queue.is_empty t.messages

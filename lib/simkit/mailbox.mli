@@ -19,5 +19,10 @@ val recv : 'a t -> 'a
 (** [recv_opt t] is [Some m] if a message is immediately available. *)
 val recv_opt : 'a t -> 'a option
 
+(** [take_if t pred] dequeues the head message only when one is queued and
+    satisfies [pred]; otherwise leaves the mailbox untouched. Never blocks.
+    FIFO order is preserved: the head is never skipped over. *)
+val take_if : 'a t -> ('a -> bool) -> 'a option
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool

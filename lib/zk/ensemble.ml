@@ -16,6 +16,8 @@ type config = {
   election_timeout : float;
   request_timeout : float;
   load_factor : float;
+  max_batch : int;
+  batch_delay : float;
 }
 
 let default_config ~servers =
@@ -31,17 +33,21 @@ let default_config ~servers =
     follower_apply = 8e-6;
     election_timeout = 0.5;
     request_timeout = 2.0;
-    load_factor = 1.0 }
+    load_factor = 1.0;
+    max_batch = 1;
+    batch_delay = 0. }
 
 type reply = (Txn.result_item list, Zerror.t) result -> unit
 
 type msg =
   | Write of { txn : Txn.t; origin : int; reply : reply }
   | Read of { exec : Ztree.t -> unit }
-  | Propose of { epoch : int; zxid : int64; txn : Txn.t; time : float }
-  | Ack of { epoch : int; zxid : int64; from : int }
-  | Commit of { epoch : int; zxid : int64 }
-  | Inform of { epoch : int; zxid : int64; txn : Txn.t; time : float }
+  | Propose_batch of { epoch : int; entries : (int64 * Txn.t * float) list }
+    (* one leader->follower round carries a whole group-committed batch;
+       a singleton batch is exactly the classic per-txn PROPOSAL *)
+  | Ack_batch of { epoch : int; zxids : int64 list; from : int }
+  | Commit_batch of { epoch : int; zxids : int64 list }
+  | Inform_batch of { epoch : int; entries : (int64 * Txn.t * float) list }
     (* ZAB INFORM: commit + payload, sent to non-voting observers *)
   | Deliver_reply of {
       zxid : int64;
@@ -87,6 +93,10 @@ type t = {
   mutable next_session : int64;
   mutable next_server : int;
   mutable commits : int;
+  (* fan-out targets, precomputed so the per-batch hot path does not
+     rebuild them; refreshed whenever any member changes role *)
+  mutable follower_peers : server list;
+  mutable observer_peers : server list;
 }
 
 let config t = t.cfg
@@ -113,6 +123,19 @@ let member_count t = t.cfg.servers + t.cfg.observers
 (* Service times scaled by the co-located-load factor. *)
 let svc t base = base *. t.cfg.load_factor
 
+(* Roles are exclusive, so the leader never appears in either list. *)
+let refresh_peers t =
+  let followers = ref [] and observers = ref [] in
+  Array.iter
+    (fun (s : server) ->
+      match s.role with
+      | Follower -> followers := s :: !followers
+      | Observer -> observers := s :: !observers
+      | Leader | Down -> ())
+    t.members;
+  t.follower_peers <- List.rev !followers;
+  t.observer_peers <- List.rev !observers
+
 let send t ~dst msg =
   Engine.schedule t.engine ~delay:t.cfg.net_latency (fun () ->
       let s = t.members.(dst) in
@@ -120,36 +143,63 @@ let send t ~dst msg =
 
 (* {2 Leader commit path} *)
 
-let rec try_commit t (s : server) =
-  if s.role = Leader then
-    match Hashtbl.find_opt s.pending s.next_commit with
-    | None -> ()
-    | Some pw ->
-      (* the leader's own persisted copy counts toward the quorum *)
-      if pw.p_acks + 1 >= quorum t then begin
-         let zxid = s.next_commit in
-         Hashtbl.remove s.pending zxid;
-         s.next_commit <- Int64.add zxid 1L;
-         let result =
-           if Ztree.last_zxid s.tree < zxid then
-             Ztree.apply s.tree ~zxid ~time:pw.p_time pw.p_txn
-           else Ok []
+let try_commit t (s : server) =
+  if s.role = Leader then begin
+    (* drain every consecutive quorum-acked zxid starting at next_commit;
+       the leader's own persisted copy counts toward the quorum *)
+    let rec take acc =
+      match Hashtbl.find_opt s.pending s.next_commit with
+      | Some pw when pw.p_acks + 1 >= quorum t ->
+        let zxid = s.next_commit in
+        Hashtbl.remove s.pending zxid;
+        s.next_commit <- Int64.add zxid 1L;
+        take ((zxid, pw) :: acc)
+      | Some _ | None -> List.rev acc
+    in
+    match take [] with
+    | [] -> ()
+    | ready ->
+      let results =
+        List.map
+          (fun (zxid, pw) ->
+            (* each txn applies individually: a failing txn returns its
+               error to its own caller without touching its batch
+               neighbours (and does not consume the zxid in the tree) *)
+            let result =
+              if Ztree.last_zxid s.tree < zxid then
+                Ztree.apply s.tree ~zxid ~time:pw.p_time pw.p_txn
+              else Ok []
+            in
+            Hashtbl.replace s.log zxid (pw.p_txn, pw.p_time);
+            t.commits <- t.commits + 1;
+            (zxid, pw, result))
+          ready
+      in
+      let zxids = List.map (fun (zxid, _, _) -> zxid) results in
+      List.iter
+        (fun (peer : server) ->
+          send t ~dst:peer.id (Commit_batch { epoch = s.epoch; zxids }))
+        t.follower_peers;
+      (match t.observer_peers with
+       | [] -> ()
+       | observers ->
+         let entries =
+           List.map (fun (zxid, pw, _) -> (zxid, pw.p_txn, pw.p_time)) results
          in
-         Hashtbl.replace s.log zxid (pw.p_txn, pw.p_time);
-         t.commits <- t.commits + 1;
-         Array.iter
+         List.iter
            (fun (peer : server) ->
-             if peer.id <> s.id && peer.role = Follower then
-               send t ~dst:peer.id (Commit { epoch = s.epoch; zxid })
-             else if peer.role = Observer then
-               send t ~dst:peer.id
-                 (Inform { epoch = s.epoch; zxid; txn = pw.p_txn; time = pw.p_time }))
-           t.members;
-         if pw.p_origin = s.id then pw.p_reply result
-         else
-           send t ~dst:pw.p_origin (Deliver_reply { zxid; result; reply = pw.p_reply });
-         try_commit t s
-       end
+             send t ~dst:peer.id (Inform_batch { epoch = s.epoch; entries }))
+           observers);
+      (* replies go out after the commits: the FIFO channel back to each
+         origin then delivers Commit_batch first, preserving
+         read-your-own-writes on the origin server *)
+      List.iter
+        (fun (zxid, pw, result) ->
+          if pw.p_origin = s.id then pw.p_reply result
+          else
+            send t ~dst:pw.p_origin (Deliver_reply { zxid; result; reply = pw.p_reply }))
+        results
+  end
 
 (* Leader CPU depends on the mutation kind: creates append a fresh node;
    deletes and setData must locate an existing node, update parent state
@@ -165,23 +215,68 @@ let leader_service t txn =
   in
   List.fold_left (fun acc op -> Float.max acc (op_cost op)) t.cfg.write_service txn
 
-let leader_handle_write t (s : server) txn time origin reply =
-  Process.sleep (svc t (leader_service t txn +. t.cfg.persist));
-  let zxid = s.next_zxid in
-  s.next_zxid <- Int64.add zxid 1L;
-  Hashtbl.replace s.pending zxid
-    { p_txn = txn; p_time = time; p_origin = origin; p_reply = reply; p_acks = 0 };
-  let followers =
-    Array.to_list
-      (Array.of_seq
-         (Seq.filter
-            (fun p -> p.id <> s.id && p.role = Follower)
-            (Array.to_seq t.members)))
+let build_session_cleanup (s : server) owner =
+  List.map
+    (fun path -> Txn.Delete { path; expected_version = -1 })
+    (Ztree.ephemerals_of s.tree ~owner)
+
+(* {2 Leader group commit}
+
+   The leader drains further queued writes from its own mailbox (head
+   only, so FIFO order with reads and protocol messages is preserved)
+   and pays [persist] plus the follower RPC fan-out once for the whole
+   batch. [max_batch = 1] reproduces the classic one-txn-per-round
+   pipeline exactly. *)
+
+let is_batchable = function
+  | Write _ | Close_session _ -> true
+  | _ -> false
+
+let drain_batch t (s : server) first =
+  let rec drain acc n =
+    if n >= t.cfg.max_batch then (acc, n)
+    else
+      match Mailbox.take_if s.inbox is_batchable with
+      | None -> (acc, n)
+      | Some (Write { txn; origin; reply }) ->
+        drain ((txn, origin, reply) :: acc) (n + 1)
+      | Some (Close_session { owner; origin; reply }) ->
+        drain ((build_session_cleanup s owner, origin, reply) :: acc) (n + 1)
+      | Some _ -> (acc, n)
   in
+  let acc, n = drain [ first ] 1 in
+  let acc, _ =
+    if n < t.cfg.max_batch && t.cfg.batch_delay > 0. then begin
+      (* wait a beat for stragglers to fill the batch *)
+      Process.sleep t.cfg.batch_delay;
+      drain acc n
+    end
+    else (acc, n)
+  in
+  List.rev acc
+
+let leader_handle_batch t (s : server) batch =
+  let time = Engine.now t.engine in
+  let cpu =
+    List.fold_left (fun acc (txn, _, _) -> acc +. leader_service t txn) 0. batch
+  in
+  Process.sleep (svc t (cpu +. t.cfg.persist));
+  let entries =
+    List.map
+      (fun (txn, origin, reply) ->
+        let zxid = s.next_zxid in
+        s.next_zxid <- Int64.add zxid 1L;
+        Hashtbl.replace s.pending zxid
+          { p_txn = txn; p_time = time; p_origin = origin; p_reply = reply;
+            p_acks = 0 };
+        (zxid, txn, time))
+      batch
+  in
+  let followers = t.follower_peers in
   Process.sleep (svc t (t.cfg.rpc_cpu *. float_of_int (List.length followers)));
   List.iter
     (fun (peer : server) ->
-      send t ~dst:peer.id (Propose { epoch = s.epoch; zxid; txn; time }))
+      send t ~dst:peer.id (Propose_batch { epoch = s.epoch; entries }))
     followers;
   try_commit t s
 
@@ -201,11 +296,6 @@ let rec follower_apply_ready t (s : server) =
       Hashtbl.replace s.log zxid (txn, time);
       follower_apply_ready t s
 
-let build_session_cleanup (s : server) owner =
-  List.map
-    (fun path -> Txn.Delete { path; expected_version = -1 })
-    (Ztree.ephemerals_of s.tree ~owner)
-
 let handle t (s : server) msg =
   match msg with
   | Read { exec } ->
@@ -216,51 +306,65 @@ let handle t (s : server) msg =
     end
   | Write { txn; origin; reply } ->
     if s.role = Leader then
-      leader_handle_write t s txn (Engine.now t.engine) origin reply
+      leader_handle_batch t s (drain_batch t s (txn, origin, reply))
     else begin
       Process.sleep (svc t t.cfg.rpc_cpu);
       send t ~dst:t.leader (Write { txn; origin; reply })
     end
   | Close_session { owner; origin; reply } ->
-    if s.role = Leader then begin
+    if s.role = Leader then
       let txn = build_session_cleanup s owner in
-      leader_handle_write t s txn (Engine.now t.engine) origin reply
-    end else begin
+      leader_handle_batch t s (drain_batch t s (txn, origin, reply))
+    else begin
       Process.sleep (svc t t.cfg.rpc_cpu);
       send t ~dst:t.leader (Close_session { owner; origin; reply })
     end
-  | Propose { epoch; zxid; txn; time } ->
+  | Propose_batch { epoch; entries } ->
     if epoch = s.epoch && s.role = Follower then begin
+      (* one persist + one reply RPC covers the whole batch *)
       Process.sleep (svc t (t.cfg.persist +. t.cfg.rpc_cpu));
       if s.role = Follower && epoch = s.epoch then begin
-        Hashtbl.replace s.proposals zxid (txn, time);
-        send t ~dst:t.leader (Ack { epoch; zxid; from = s.id })
+        List.iter
+          (fun (zxid, txn, time) -> Hashtbl.replace s.proposals zxid (txn, time))
+          entries;
+        let zxids = List.map (fun (zxid, _, _) -> zxid) entries in
+        send t ~dst:t.leader (Ack_batch { epoch; zxids; from = s.id })
       end
     end
-  | Ack { epoch; zxid; from = _ } ->
+  | Ack_batch { epoch; zxids; from = _ } ->
     if epoch = s.epoch && s.role = Leader then begin
       Process.sleep (svc t t.cfg.rpc_cpu);
-      (match Hashtbl.find_opt s.pending zxid with
-       | Some pw -> pw.p_acks <- pw.p_acks + 1
-       | None -> ());
+      List.iter
+        (fun zxid ->
+          match Hashtbl.find_opt s.pending zxid with
+          | Some pw -> pw.p_acks <- pw.p_acks + 1
+          | None -> ())
+        zxids;
       try_commit t s
     end
-  | Commit { epoch; zxid } ->
+  | Commit_batch { epoch; zxids } ->
     if epoch = s.epoch && s.role = Follower then begin
-      Process.sleep (svc t t.cfg.follower_apply);
+      (* applying stays per-txn work even when the commit is batched *)
+      Process.sleep
+        (svc t (t.cfg.follower_apply *. float_of_int (List.length zxids)));
       if s.role = Follower && epoch = s.epoch then begin
-        Hashtbl.replace s.committed zxid ();
+        List.iter (fun zxid -> Hashtbl.replace s.committed zxid ()) zxids;
         follower_apply_ready t s
       end
     end
-  | Inform { epoch; zxid; txn; time } ->
+  | Inform_batch { epoch; entries } ->
     if epoch = s.epoch && s.role = Observer then begin
-      Process.sleep (svc t t.cfg.follower_apply);
+      Process.sleep
+        (svc t (t.cfg.follower_apply *. float_of_int (List.length entries)));
       (* leader->observer channel is FIFO, so informs arrive in order *)
-      if s.role = Observer && epoch = s.epoch && Ztree.last_zxid s.tree < zxid then begin
-        ignore (Ztree.apply s.tree ~zxid ~time txn);
-        Hashtbl.replace s.log zxid (txn, time)
-      end
+      if s.role = Observer && epoch = s.epoch then
+        List.iter
+          (fun (zxid, txn, time) ->
+            if Ztree.last_zxid s.tree < zxid then begin
+              ignore (Ztree.apply s.tree ~zxid ~time txn);
+              Hashtbl.replace s.log zxid (txn, time)
+            end)
+          entries
     end
   | Deliver_reply { zxid = _; result; reply } ->
     (* FIFO channels mean the matching Commit was processed already, so
@@ -294,6 +398,8 @@ let make_server id =
 let start engine cfg =
   if cfg.servers < 1 then invalid_arg "Ensemble.start: servers < 1";
   if cfg.observers < 0 then invalid_arg "Ensemble.start: observers < 0";
+  if cfg.max_batch < 1 then invalid_arg "Ensemble.start: max_batch < 1";
+  if cfg.batch_delay < 0. then invalid_arg "Ensemble.start: batch_delay < 0";
   let members = Array.init (cfg.servers + cfg.observers) make_server in
   members.(0).role <- Leader;
   for i = cfg.servers to cfg.servers + cfg.observers - 1 do
@@ -301,8 +407,9 @@ let start engine cfg =
   done;
   let t =
     { engine; cfg; members; leader = 0; next_session = 1L; next_server = 0;
-      commits = 0 }
+      commits = 0; follower_peers = []; observer_peers = [] }
   in
+  refresh_peers t;
   Array.iter (fun s -> Process.spawn engine (fun () -> server_loop t s)) members;
   t
 
@@ -369,7 +476,8 @@ let elect t =
         end)
       t.members;
     new_leader.next_zxid <- Int64.add (Ztree.last_zxid new_leader.tree) 1L;
-    new_leader.next_commit <- new_leader.next_zxid
+    new_leader.next_commit <- new_leader.next_zxid;
+    refresh_peers t
 
 let crash t id =
   let s = t.members.(id) in
@@ -377,6 +485,7 @@ let crash t id =
     let was_leader = s.role = Leader in
     s.role <- Down;
     Hashtbl.reset s.pending;
+    refresh_peers t;
     if was_leader then
       Engine.schedule t.engine ~delay:t.cfg.election_timeout (fun () -> elect t)
   end
@@ -398,17 +507,22 @@ let restart t id =
         let stalled =
           Hashtbl.fold (fun zxid pw acc -> (zxid, pw) :: acc) leader.pending []
         in
-        List.iter
-          (fun (zxid, pw) ->
-            send t ~dst:id
-              (Propose { epoch = leader.epoch; zxid; txn = pw.p_txn; time = pw.p_time }))
-          (List.sort compare stalled)
+        match
+          List.sort (fun (a, _) (b, _) -> Int64.compare a b) stalled
+        with
+        | [] -> ()
+        | stalled ->
+          let entries =
+            List.map (fun (zxid, pw) -> (zxid, pw.p_txn, pw.p_time)) stalled
+          in
+          send t ~dst:id (Propose_batch { epoch = leader.epoch; entries })
       end
     end
     else if t.members.(t.leader).role <> Leader then
       (* the whole ensemble was down: this server seeds a new election *)
       elect t;
-    s.next_apply <- Int64.add (Ztree.last_zxid s.tree) 1L
+    s.next_apply <- Int64.add (Ztree.last_zxid s.tree) 1L;
+    refresh_peers t
   end
 
 (* {2 Client side} *)
@@ -521,6 +635,24 @@ let session t ?server () =
         | Ok v -> v
         | Error _ -> None);
     children = (fun path -> or_loss (read (fun tree -> Ztree.children tree path)));
+    children_with_data =
+      (fun path ->
+        (* one Read message — one coordination round trip for the whole
+           listing, names and payloads together *)
+        or_loss (read (fun tree -> Ztree.children_with_data tree path)));
+    children_with_data_watch =
+      (fun path cb ->
+        or_loss
+          (read (fun tree ->
+               Ztree.watch_children tree path cb;
+               match Ztree.children_with_data tree path with
+               | Ok entries ->
+                 List.iter
+                   (fun (name, _, _) ->
+                     Ztree.watch_data tree (Zpath.concat path name) cb)
+                   entries;
+                 Ok entries
+               | Error _ as e -> e)));
     multi = submit;
     multi_async = submit_async;
     watch_data =

@@ -9,6 +9,10 @@
     commit* — which yields ZooKeeper's read-your-own-writes session
     guarantee. Reads are served locally by the session's server.
 
+    With [max_batch > 1] the leader group-commits: consecutive queued
+    writes share one persist and one proposal/ack/commit round, while
+    per-txn results still reach each caller in submission order.
+
     All {!Zk_client.handle} calls must run inside a simulation process. *)
 
 type config = {
@@ -30,6 +34,15 @@ type config = {
   load_factor : float;
       (** service-time inflation from co-located client processes
           (1.0 = dedicated servers); see {!Pfs.Costs} notes. *)
+  max_batch : int;
+      (** group commit: when the leader dequeues a write it drains up to
+          [max_batch - 1] further queued writes and pays [persist] plus
+          the follower fan-out once for the whole batch, while every txn
+          keeps its own zxid, result and reply. [1] (the default) is the
+          classic one-txn-per-round ZAB pipeline. *)
+  batch_delay : float;
+      (** seconds the leader waits for stragglers when a drained batch is
+          still short of [max_batch]; [0.] (the default) never waits. *)
 }
 
 val default_config : servers:int -> config

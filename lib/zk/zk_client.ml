@@ -7,6 +7,11 @@ type handle = {
   delete : ?version:int -> string -> (unit, Zerror.t) result;
   exists : string -> Ztree.stat option;
   children : string -> (string list, Zerror.t) result;
+  children_with_data :
+    string -> ((string * string * Ztree.stat) list, Zerror.t) result;
+  children_with_data_watch :
+    string -> (Ztree.watch_event -> unit) ->
+    ((string * string * Ztree.stat) list, Zerror.t) result;
   multi : Txn.t -> (Txn.result_item list, Zerror.t) result;
   multi_async : Txn.t -> ((Txn.result_item list, Zerror.t) result -> unit) -> unit;
   watch_data : string -> (Ztree.watch_event -> unit) -> unit;

@@ -15,6 +15,18 @@ type handle = {
   delete : ?version:int -> string -> (unit, Zerror.t) result;
   exists : string -> Ztree.stat option;
   children : string -> (string list, Zerror.t) result;
+  children_with_data :
+    string -> ((string * string * Ztree.stat) list, Zerror.t) result;
+      (** Bulk readdir: [(name, data, stat)] for every child, sorted by
+          name, in one server visit — N+1 round-trips become 1. *)
+  children_with_data_watch :
+    string -> (Ztree.watch_event -> unit) ->
+    ((string * string * Ztree.stat) list, Zerror.t) result;
+      (** [children_with_data] that additionally arms, in the same server
+          visit, a child watch on the parent plus a data watch on every
+          listed child — so a cache can warm per-child entries from the
+          bulk result and still hear about their invalidation. The
+          callback dispatches on the event's [path]/[kind]. *)
   multi : Txn.t -> (Txn.result_item list, Zerror.t) result;
       (** Atomic multi-op transaction (all-or-nothing). *)
   multi_async :

@@ -46,6 +46,18 @@ let session t =
     delete;
     exists = (fun path -> Ztree.exists t.tree path);
     children = (fun path -> Ztree.children t.tree path);
+    children_with_data = (fun path -> Ztree.children_with_data t.tree path);
+    children_with_data_watch =
+      (fun path cb ->
+        Ztree.watch_children t.tree path cb;
+        match Ztree.children_with_data t.tree path with
+        | Ok entries ->
+          List.iter
+            (fun (name, _, _) ->
+              Ztree.watch_data t.tree (Zpath.concat path name) cb)
+            entries;
+          Ok entries
+        | Error _ as e -> e);
     multi = submit t;
     multi_async = (fun txn callback -> callback (submit t txn));
     watch_data = (fun path cb -> Ztree.watch_data t.tree path cb);

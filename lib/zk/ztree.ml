@@ -104,6 +104,19 @@ let children t path =
     let names = Hashtbl.fold (fun name () acc -> name :: acc) n.children [] in
     Ok (List.sort String.compare names)
 
+let children_with_data t path =
+  match Hashtbl.find_opt t.nodes path with
+  | None -> Error Zerror.ZNONODE
+  | Some n ->
+    let names = Hashtbl.fold (fun name () acc -> name :: acc) n.children [] in
+    Ok
+      (List.filter_map
+         (fun name ->
+           match Hashtbl.find_opt t.nodes (Zpath.concat path name) with
+           | Some child -> Some (name, child.data, stat_of_node child)
+           | None -> None)
+         (List.sort String.compare names))
+
 (* {2 Watches} *)
 
 let add_watch table path callback =

@@ -50,6 +50,12 @@ val get : t -> string -> (string * stat, Zerror.t) result
 val exists : t -> string -> stat option
 val children : t -> string -> (string list, Zerror.t) result
 
+(** [children_with_data t path] lists [path]'s children as
+    [(name, data, stat)] triples sorted by name — the server-side
+    aggregation behind a one-round-trip readdir. *)
+val children_with_data :
+  t -> string -> ((string * string * stat) list, Zerror.t) result
+
 (** {2 Watches} *)
 
 (** Register a fire-once data watch on [path] (legal even if the node does

@@ -172,6 +172,80 @@ let test_readdir_mixed () =
     [ ("file", "file"); ("link", "symlink"); ("sub", "dir") ]
     (List.map (fun e -> (e.Vfs.name, Inode.kind_to_string e.Vfs.kind)) entries)
 
+let test_readdir_single_round_trip () =
+  (* the acceptance bar for bulk readdir: listing an N-entry directory
+     costs exactly one coordination-service round trip, down from N+1 *)
+  let engine = Simkit.Engine.create () in
+  let ensemble =
+    Zk.Ensemble.start engine (Zk.Ensemble.default_config ~servers:3)
+  in
+  let total_reads () =
+    List.fold_left (fun acc id -> acc + Zk.Ensemble.reads_served ensemble id) 0
+      [ 0; 1; 2 ]
+  in
+  Simkit.Process.spawn engine (fun () ->
+      let coord = Zk.Ensemble.session ensemble () in
+      let mounts =
+        Array.init 2 (fun _ -> Memfs.ops (Memfs.create ~clock:(fun () -> 0.) ()))
+      in
+      Array.iter
+        (fun ops -> ok_or_fail "format" (Physical.format Physical.default_layout ops))
+        mounts;
+      let fs = Client.ops (Client.mount ~coord ~backends:mounts ()) in
+      ok_or_fail "mkdir" (fs.Vfs.mkdir "/d" ~mode:0o755);
+      for i = 0 to 9 do
+        ok_or_fail "create" (fs.Vfs.create (Printf.sprintf "/d/f%d" i) ~mode:0o644)
+      done;
+      ok_or_fail "sub" (fs.Vfs.mkdir "/d/sub" ~mode:0o755);
+      let before = total_reads () in
+      let entries = ok_or_fail "readdir" (fs.Vfs.readdir "/d") in
+      check_int "all 11 entries listed" 11 (List.length entries);
+      check_int "readdir cost exactly 1 coordination read" 1
+        (total_reads () - before));
+  Simkit.Engine.run engine
+
+let test_readdir_through_cache_warms_and_invalidates () =
+  let service = Zk.Zk_local.create () in
+  let cache = Dufs.Cache.wrap (Zk.Zk_local.session service) in
+  let mounts =
+    Array.init 2 (fun _ -> Memfs.ops (Memfs.create ~clock:(fun () -> 0.) ()))
+  in
+  Array.iter
+    (fun ops -> ok_or_fail "format" (Physical.format Physical.default_layout ops))
+    mounts;
+  let fs =
+    Client.ops (Client.mount ~coord:(Dufs.Cache.handle cache) ~backends:mounts ())
+  in
+  ok_or_fail "mkdir" (fs.Vfs.mkdir "/d" ~mode:0o755);
+  ok_or_fail "file" (fs.Vfs.create "/d/a" ~mode:0o644);
+  ok_or_fail "subdir" (fs.Vfs.mkdir "/d/sub" ~mode:0o755);
+  let names entries = List.map (fun e -> e.Vfs.name) entries in
+  Alcotest.(check (list string))
+    "first listing" [ "a"; "sub" ]
+    (names (ok_or_fail "readdir 1" (fs.Vfs.readdir "/d")));
+  let misses_after_fill = Dufs.Cache.misses cache in
+  Alcotest.(check (list string))
+    "repeat listing" [ "a"; "sub" ]
+    (names (ok_or_fail "readdir 2" (fs.Vfs.readdir "/d")));
+  check_int "repeat listing is a pure cache hit" misses_after_fill
+    (Dufs.Cache.misses cache);
+  (* the bulk fill warmed each child's data entry: a stat of the listed
+     subdirectory is served without another miss *)
+  let hits_before = Dufs.Cache.hits cache in
+  ignore (ok_or_fail "getattr warmed child" (fs.Vfs.getattr "/d/sub"));
+  check_int "warmed stat adds no miss" misses_after_fill (Dufs.Cache.misses cache);
+  check_bool "warmed stat is a hit" true (Dufs.Cache.hits cache > hits_before);
+  (* own create invalidates the listing *)
+  ok_or_fail "new file" (fs.Vfs.create "/d/b" ~mode:0o644);
+  Alcotest.(check (list string))
+    "listing reflects create" [ "a"; "b"; "sub" ]
+    (names (ok_or_fail "readdir 3" (fs.Vfs.readdir "/d")));
+  (* own delete invalidates it again *)
+  ok_or_fail "unlink" (fs.Vfs.unlink "/d/a");
+  Alcotest.(check (list string))
+    "listing reflects delete" [ "b"; "sub" ]
+    (names (ok_or_fail "readdir 4" (fs.Vfs.readdir "/d")))
+
 let test_symlink () =
   let _, fs, _, _ = make () in
   ok_or_fail "symlink" (fs.Vfs.symlink ~target:"/target/path" "/l");
@@ -425,6 +499,10 @@ let () =
           Alcotest.test_case "truncate + chmod file" `Quick test_truncate_and_chmod_file;
           Alcotest.test_case "chmod dir in metadata" `Quick test_chmod_dir_via_metadata;
           Alcotest.test_case "readdir mixed kinds" `Quick test_readdir_mixed;
+          Alcotest.test_case "readdir: 1 round trip" `Quick
+            test_readdir_single_round_trip;
+          Alcotest.test_case "readdir through cache" `Quick
+            test_readdir_through_cache_warms_and_invalidates;
           Alcotest.test_case "symlink" `Quick test_symlink;
           Alcotest.test_case "access" `Quick test_access ] );
       ( "rename",

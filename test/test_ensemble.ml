@@ -514,6 +514,118 @@ let test_async_times_out_without_quorum () =
   | Some (Error e) -> Alcotest.failf "unexpected %s" (Zerror.to_string e)
   | None -> Alcotest.fail "callback never fired")
 
+(* {2 Group commit} *)
+
+let with_batch max_batch cfg = { cfg with Ensemble.max_batch }
+
+let test_batch_order_and_error_isolation () =
+  (* ten pipelined writes from one session land in the leader's queue
+     together, so max_batch = 8 groups them; per-txn replies must still
+     arrive in submission order, and the two duplicate creates must fail
+     alone without corrupting their batch neighbours *)
+  let engine, ensemble =
+    make ~servers:5 ~config_adjust:(with_batch 8) ()
+  in
+  let order = ref [] in
+  let session = Ensemble.session ensemble () in
+  let results = Array.make 10 None in
+  List.iteri
+    (fun i path ->
+      session.Zk_client.multi_async
+        [ Zk_client.create_op path ~data:"" ]
+        (fun r ->
+          order := i :: !order;
+          results.(i) <- Some r))
+    [ "/b0"; "/b1"; "/b2"; "/b0"; "/b3"; "/b4"; "/b5"; "/b1"; "/b6"; "/b7" ];
+  Engine.run engine;
+  check_bool "replies arrive in submission order" true
+    (List.rev !order = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]);
+  Array.iteri
+    (fun i r ->
+      match (i, r) with
+      | (3 | 7), Some (Error Zerror.ZNODEEXISTS) -> ()
+      | (3 | 7), _ -> Alcotest.failf "txn %d: expected ZNODEEXISTS" i
+      | _, Some (Ok _) -> ()
+      | _, _ -> Alcotest.failf "txn %d: expected success" i)
+    results;
+  check_bool "replicas agree after mixed batch" true
+    (all_trees_agree ensemble ~servers:5);
+  let tree = Ensemble.tree_of ensemble 0 in
+  List.iter
+    (fun p -> check_bool (p ^ " present") true (Ztree.exists tree p <> None))
+    [ "/b0"; "/b1"; "/b2"; "/b3"; "/b4"; "/b5"; "/b6"; "/b7" ]
+
+let run_many_writes ~max_batch =
+  let engine, ensemble =
+    make ~servers:5 ~config_adjust:(with_batch max_batch) ()
+  in
+  let acked = ref 0 in
+  for proc = 0 to 7 do
+    Process.spawn engine (fun () ->
+        let s = Ensemble.session ensemble () in
+        for i = 0 to 49 do
+          match s.Zk_client.create (Printf.sprintf "/n%d_%d" proc i) ~data:"x" with
+          | Ok _ -> incr acked
+          | Error e -> Alcotest.failf "create: %s" (Zerror.to_string e)
+        done)
+  done;
+  Engine.run engine;
+  (ensemble, !acked, Engine.now engine)
+
+let test_max_batch_one_reproduces_commit_counts () =
+  (* the knob at 1 must be today's pipeline: same acks, same commits *)
+  let ensemble, acked, _ = run_many_writes ~max_batch:1 in
+  check_int "all 400 writes acked" 400 acked;
+  check_int "exactly 400 commits at max_batch=1" 400
+    (Ensemble.writes_committed ensemble);
+  check_bool "replicas converge" true (all_trees_agree ensemble ~servers:5)
+
+let test_batched_commits_same_writes_faster () =
+  let e1, acked1, t1 = run_many_writes ~max_batch:1 in
+  let e16, acked16, t16 = run_many_writes ~max_batch:16 in
+  check_int "unbatched acks" 400 acked1;
+  check_int "batched acks" 400 acked16;
+  check_int "batching changes no commit count" (Ensemble.writes_committed e1)
+    (Ensemble.writes_committed e16);
+  check_bool "batched replicas converge" true (all_trees_agree e16 ~servers:5);
+  check_bool "batched and unbatched end states equal" true
+    (Ztree.equal_state (Ensemble.tree_of e1 0) (Ensemble.tree_of e16 0));
+  check_bool
+    (Printf.sprintf "group commit is faster (%.4fs vs %.4fs virtual)" t16 t1)
+    true (t16 < t1)
+
+let test_leader_crash_mid_batch_loses_no_committed_write () =
+  (* like the unbatched no-loss test, but with batches in flight when the
+     leader dies: every acknowledged write must survive the election *)
+  let engine, ensemble =
+    make ~servers:5
+      ~config_adjust:(fun cfg -> fast_faults (with_batch 8 cfg))
+      ()
+  in
+  let acknowledged = ref [] in
+  for proc = 0 to 3 do
+    Process.spawn engine (fun () ->
+        let s = Ensemble.session ensemble () in
+        for i = 0 to 24 do
+          let path = Printf.sprintf "/c%d_%d" proc i in
+          match s.Zk_client.create path ~data:"" with
+          | Ok _ -> acknowledged := path :: !acknowledged
+          | Error _ -> ()
+        done)
+  done;
+  Engine.schedule engine ~delay:0.002 (fun () -> Ensemble.crash ensemble 0);
+  Engine.schedule engine ~delay:1.0 (fun () -> Ensemble.restart ensemble 0);
+  Engine.run engine;
+  check_bool "some writes were acknowledged" true (!acknowledged <> []);
+  check_bool "replicas agree after crash mid-batch" true
+    (all_trees_agree ensemble ~servers:5);
+  let tree = Ensemble.tree_of ensemble 1 in
+  List.iter
+    (fun path ->
+      check_bool (Printf.sprintf "acknowledged %s survives" path) true
+        (Ztree.exists tree path <> None))
+    !acknowledged
+
 (* {2 Performance-model sanity (the shapes behind Fig. 7)} *)
 
 let measure_rate ~servers ~write =
@@ -597,6 +709,15 @@ let () =
           Alcotest.test_case "cheaper than voters for writes" `Quick
             test_observers_cheaper_than_voters_for_writes;
           Alcotest.test_case "crash harmless" `Quick test_observer_crash_harmless ] );
+      ( "group-commit",
+        [ Alcotest.test_case "per-txn order and error isolation" `Quick
+            test_batch_order_and_error_isolation;
+          Alcotest.test_case "max_batch=1 reproduces commit counts" `Quick
+            test_max_batch_one_reproduces_commit_counts;
+          Alcotest.test_case "batched commits same writes faster" `Quick
+            test_batched_commits_same_writes_faster;
+          Alcotest.test_case "leader crash mid-batch loses nothing" `Quick
+            test_leader_crash_mid_batch_loses_no_committed_write ] );
       ( "async",
         [ Alcotest.test_case "completes with callback" `Quick
             test_async_completes_with_callback;

@@ -361,6 +361,27 @@ let test_cache_lru_bound () =
   ignore (h.Zk.Zk_client.get "/n0");
   check_int "eviction causes a re-miss" 11 (Cache.misses cache)
 
+let test_cache_queue_stays_bounded () =
+  (* regression: repeated hits used to append one stale queue entry each,
+     growing the recency queue without bound on hit-heavy workloads *)
+  let service = Zk.Zk_local.create () in
+  let writer = Zk.Zk_local.session service in
+  ignore (ok_zk "seed" (writer.Zk.Zk_client.create "/hot" ~data:"v"));
+  let cache = Cache.wrap ~capacity:8 (Zk.Zk_local.session service) in
+  let h = Cache.handle cache in
+  for _ = 1 to 1000 do
+    match h.Zk.Zk_client.get "/hot" with
+    | Ok ("v", _) -> ()
+    | _ -> Alcotest.fail "hot entry misread"
+  done;
+  (* each of the two stores compacts before exceeding 2x capacity *)
+  check_bool
+    (Printf.sprintf "queue length %d bounded" (Cache.queue_length cache))
+    true
+    (Cache.queue_length cache <= 2 * 8 * 2);
+  check_int "still a single miss" 1 (Cache.misses cache);
+  check_bool "hits recorded" true (Cache.hits cache >= 999)
+
 let test_cache_dufs_end_to_end () =
   (* DUFS mounted over a cached handle behaves identically on a mixed
      op sequence, including cross-client visibility *)
@@ -450,6 +471,8 @@ let () =
           Alcotest.test_case "children invalidation" `Quick
             test_cache_children_invalidation;
           Alcotest.test_case "lru bound" `Quick test_cache_lru_bound;
+          Alcotest.test_case "queue stays bounded" `Quick
+            test_cache_queue_stays_bounded;
           Alcotest.test_case "dufs end-to-end" `Quick test_cache_dufs_end_to_end ] );
       ( "strategy",
         [ Alcotest.test_case "consistent placement" `Quick

@@ -426,6 +426,82 @@ let test_local_multi () =
        [ Zk_client.create_op "/m2" ~data:""; Zk_client.create_op "/zz/c" ~data:"" ]);
   check_bool "rolled back" true (s.Zk_client.exists "/m2" = None)
 
+(* {2 Bulk readdir (children_with_data)} *)
+
+(* the pre-bulk client behaviour: list names, then one get per child *)
+let per_child_get_loop (s : Zk_client.handle) path =
+  List.map
+    (fun name ->
+      let data, stat = ok_or_fail ("get " ^ name) (s.Zk_client.get (Zpath.concat path name)) in
+      (name, data, stat))
+    (ok_or_fail "children" (s.Zk_client.children path))
+
+let populate (s : Zk_client.handle) =
+  ignore (ok_or_fail "dir" (s.Zk_client.create "/dir" ~data:"root"));
+  List.iter
+    (fun (name, data) ->
+      ignore (ok_or_fail name (s.Zk_client.create ("/dir/" ^ name) ~data)))
+    [ ("zz", "last"); ("aa", "first"); ("mid", ""); ("sub", "dir") ];
+  ignore (ok_or_fail "grandchild" (s.Zk_client.create "/dir/sub/inner" ~data:"x"));
+  ignore (ok_or_fail "bump version" (s.Zk_client.set "/dir/mid" ~data:"v1"))
+
+let test_bulk_readdir_agrees_with_get_loop_local () =
+  let svc = Zk_local.create () in
+  let s = Zk_local.session svc in
+  populate s;
+  let bulk = ok_or_fail "bulk" (s.Zk_client.children_with_data "/dir") in
+  check_bool "entry-for-entry agreement with the per-child get loop" true
+    (bulk = per_child_get_loop s "/dir");
+  check_int "all four children listed" 4 (List.length bulk);
+  check_bool "sorted by name" true
+    (List.map (fun (n, _, _) -> n) bulk = [ "aa"; "mid"; "sub"; "zz" ]);
+  expect_err "missing parent" Zerror.ZNONODE
+    (s.Zk_client.children_with_data "/nope");
+  Alcotest.(check (list string)) "leaf node lists empty" []
+    (List.map (fun (n, _, _) -> n)
+       (ok_or_fail "leaf" (s.Zk_client.children_with_data "/dir/aa")))
+
+let test_bulk_readdir_agrees_with_get_loop_ensemble () =
+  let engine = Simkit.Engine.create () in
+  let ensemble = Zk.Ensemble.start engine (Zk.Ensemble.default_config ~servers:3) in
+  Simkit.Process.spawn engine (fun () ->
+      let s = Zk.Ensemble.session ensemble () in
+      populate s;
+      let reads_before =
+        List.fold_left (fun acc id -> acc + Zk.Ensemble.reads_served ensemble id) 0
+          [ 0; 1; 2 ]
+      in
+      let bulk = ok_or_fail "bulk" (s.Zk_client.children_with_data "/dir") in
+      let reads_after =
+        List.fold_left (fun acc id -> acc + Zk.Ensemble.reads_served ensemble id) 0
+          [ 0; 1; 2 ]
+      in
+      check_int "whole listing costs one coordination read" 1
+        (reads_after - reads_before);
+      check_bool "entry-for-entry agreement through the ensemble" true
+        (bulk = per_child_get_loop s "/dir"));
+  Simkit.Engine.run engine
+
+let test_bulk_readdir_watch_variant () =
+  let svc = Zk_local.create () in
+  let s = Zk_local.session svc in
+  populate s;
+  let events = ref [] in
+  let bulk =
+    ok_or_fail "bulk+watch"
+      (s.Zk_client.children_with_data_watch "/dir" (fun ev ->
+           events := (ev.Ztree.kind, ev.Ztree.path) :: !events))
+  in
+  check_int "same entries as the plain bulk read" 4 (List.length bulk);
+  (* data watch on each listed child: set fires with the child's path *)
+  ignore (ok_or_fail "set child" (s.Zk_client.set "/dir/aa" ~data:"new"));
+  check_bool "child data watch fired" true
+    (List.mem (Ztree.Node_data_changed, "/dir/aa") !events);
+  (* child watch on the parent: create fires children-changed *)
+  ignore (ok_or_fail "new child" (s.Zk_client.create "/dir/extra" ~data:""));
+  check_bool "parent child watch fired" true
+    (List.mem (Ztree.Node_children_changed, "/dir") !events)
+
 (* {2 Snapshots} *)
 
 let build_rich_tree () =
@@ -584,6 +660,13 @@ let () =
             test_local_ephemeral_cleanup_on_close;
           Alcotest.test_case "sequential" `Quick test_local_sequential;
           Alcotest.test_case "multi" `Quick test_local_multi ] );
+      ( "bulk-readdir",
+        [ Alcotest.test_case "agrees with get loop (local)" `Quick
+            test_bulk_readdir_agrees_with_get_loop_local;
+          Alcotest.test_case "agrees with get loop (ensemble), 1 read" `Quick
+            test_bulk_readdir_agrees_with_get_loop_ensemble;
+          Alcotest.test_case "watch variant arms child + parent watches" `Quick
+            test_bulk_readdir_watch_variant ] );
       ( "snapshot",
         [ Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "restored tree keeps working" `Quick
