@@ -29,6 +29,8 @@ let experiments =
      Scenarios.Figures.ablation_faults);
     ("batching", "ZAB group commit: batched vs unbatched mdtest (writes BENCH_pr1.json)",
      fun () -> Scenarios.Figures.batching ~json_path:"BENCH_pr1.json" ());
+    ("faults", "mdtest under fault schedules: fault-free vs faulted (writes BENCH_pr2.json)",
+     fun () -> Scenarios.Figures.faults ~json_path:"BENCH_pr2.json" ());
     ("all", "every experiment in order", Scenarios.Figures.all) ]
 
 open Cmdliner

@@ -240,7 +240,13 @@ let wrap ?(capacity = 4096) inner =
       delete;
       exists =
         (fun path ->
-          match cached_get t path with Ok (_, stat) -> Some stat | Error _ -> None);
+          (* only a definitive "no such node" answer maps to None; a
+             transient read failure (timeout, connection loss) must not
+             make an existing file look deleted *)
+          match cached_get t path with
+          | Ok (_, stat) -> Ok (Some stat)
+          | Error Zerror.ZNONODE -> Ok None
+          | Error e -> Error e);
       children = cached_children t;
       children_with_data = cached_children_with_data t;
       children_with_data_watch = inner.Zk_client.children_with_data_watch;

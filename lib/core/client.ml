@@ -17,6 +17,9 @@ type t = {
   delay : float -> unit;
   overhead : float;
   fid_gen : Fid.Gen.t;
+  (* znodes whose create rolled back but whose rollback delete also
+     failed: each is a Missing_physical orphan until fsck repairs it *)
+  mutable orphan_notes : string list;
 }
 
 let default_overhead = 15e-6
@@ -56,7 +59,8 @@ let mount ~coord ~backends ?client_id ?(layout = Physical.default_layout)
       clock;
       delay;
       overhead;
-      fid_gen = Fid.Gen.create ~client_id }
+      fid_gen = Fid.Gen.create ~client_id;
+      orphan_notes = [] }
   in
   (* the namespace root is a plain directory znode *)
   (match
@@ -69,6 +73,7 @@ let mount ~coord ~backends ?client_id ?(layout = Physical.default_layout)
   t
 
 let backend_count t = Array.length t.backends
+let orphan_notes t = List.rev t.orphan_notes
 let layout t = t.layout
 let strategy t = t.strategy
 let files_created t = Fid.Gen.generated t.fid_gen
@@ -169,20 +174,28 @@ let mkdir t vpath ~mode =
   | Ok _ -> Ok ()
   | Error e -> Error (errno_of_zerror e)
 
-let rmdir t vpath =
-  charge t;
+let rec rmdir_with_retries t ~attempts vpath =
   let* meta, stat = lookup t vpath in
   match meta.Meta.kind with
   | Meta.File _ | Meta.Symlink _ -> Error Errno.ENOTDIR
   | Meta.Dir ->
     if Fspath.normalize vpath = "/" then Error Errno.EINVAL
     else begin
-      (* the version guard makes the emptiness check race-free *)
-      ignore stat;
-      match t.coord.Zk_client.delete (zpath t vpath) with
+      (* the version guard makes the emptiness check race-free: the
+         delete only succeeds against the exact state the lookup judged,
+         and a concurrent metadata update turns into a clean re-read *)
+      match
+        t.coord.Zk_client.delete ~version:stat.Zk.Ztree.version (zpath t vpath)
+      with
       | Ok () -> Ok ()
+      | Error Zerror.ZBADVERSION when attempts > 1 ->
+        rmdir_with_retries t ~attempts:(attempts - 1) vpath
       | Error e -> Error (errno_of_zerror e)
     end
+
+let rmdir t vpath =
+  charge t;
+  rmdir_with_retries t ~attempts:8 vpath
 
 (* Create the znode first (atomically claiming the name), then the
    physical file; roll the znode back if the back-end fails. *)
@@ -208,7 +221,16 @@ let create_file t vpath ~mode =
     (match created with
      | Ok () -> Ok ()
      | Error _ ->
-       ignore (t.coord.Zk_client.delete (zpath t vpath));
+       (match t.coord.Zk_client.delete (zpath t vpath) with
+        | Ok () | Error Zerror.ZNONODE -> ()
+        | Error e ->
+          (* rollback failed too: the znode survives with no physical
+             file behind it — exactly the Missing_physical orphan
+             Fsck.scan reports. Leave a breadcrumb for the operator. *)
+          t.orphan_notes <-
+            Printf.sprintf "%s: create rolled back but znode delete failed (%s)"
+              (zpath t vpath) (Zerror.to_string e)
+            :: t.orphan_notes);
        Error Errno.EIO)
 
 let unlink t vpath =

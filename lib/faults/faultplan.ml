@@ -1,0 +1,141 @@
+module Engine = Simkit.Engine
+
+type action =
+  | Crash of int
+  | Restart of int
+  | Crash_leader
+  | Restart_all_down
+
+type anchor =
+  | At of float
+  | After_phase of string * float
+
+type event = {
+  anchor : anchor;
+  action : action;
+}
+
+type t = event list
+
+(* {2 Grammar} *)
+
+let action_to_string = function
+  | Crash id -> Printf.sprintf "crash=%d" id
+  | Restart id -> Printf.sprintf "restart=%d" id
+  | Crash_leader -> "crash-leader"
+  | Restart_all_down -> "restart-all"
+
+let anchor_to_string = function
+  | At time -> Printf.sprintf "%g" time
+  | After_phase (phase, offset) -> Printf.sprintf "%s+%g" phase offset
+
+let event_to_string e = action_to_string e.action ^ "@" ^ anchor_to_string e.anchor
+let to_string plan = String.concat ";" (List.map event_to_string plan)
+
+let ( let* ) = Result.bind
+
+let parse_action str =
+  match str with
+  | "crash-leader" -> Ok Crash_leader
+  | "restart-all" -> Ok Restart_all_down
+  | _ -> (
+    match String.index_opt str '=' with
+    | None -> Error (Printf.sprintf "unknown action %S" str)
+    | Some i -> (
+      let verb = String.sub str 0 i in
+      let arg = String.sub str (i + 1) (String.length str - i - 1) in
+      match verb, int_of_string_opt arg with
+      | "crash", Some id when id >= 0 -> Ok (Crash id)
+      | "restart", Some id when id >= 0 -> Ok (Restart id)
+      | ("crash" | "restart"), _ ->
+        Error (Printf.sprintf "bad server id %S" arg)
+      | _ -> Error (Printf.sprintf "unknown action %S" str)))
+
+let parse_anchor str =
+  match float_of_string_opt str with
+  | Some time when time >= 0. -> Ok (At time)
+  | Some _ -> Error (Printf.sprintf "negative time %S" str)
+  | None -> (
+    match String.index_opt str '+' with
+    | None ->
+      if str = "" then Error "empty anchor" else Ok (After_phase (str, 0.))
+    | Some i -> (
+      let phase = String.sub str 0 i in
+      let offset = String.sub str (i + 1) (String.length str - i - 1) in
+      match float_of_string_opt offset with
+      | Some off when off >= 0. && phase <> "" -> Ok (After_phase (phase, off))
+      | _ -> Error (Printf.sprintf "bad anchor %S" str)))
+
+let parse_event str =
+  match String.index_opt str '@' with
+  | None -> Error (Printf.sprintf "event %S: expected <action>@<anchor>" str)
+  | Some i ->
+    let* action = parse_action (String.sub str 0 i) in
+    let* anchor = parse_anchor (String.sub str (i + 1) (String.length str - i - 1)) in
+    Ok { anchor; action }
+
+let parse s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | str :: rest ->
+      let* event = parse_event (String.trim str) in
+      go (event :: acc) rest
+  in
+  go []
+    (List.filter
+       (fun str -> String.trim str <> "")
+       (String.split_on_char ';' s))
+
+(* {2 Arming a plan against a live ensemble} *)
+
+type armed = {
+  engine : Engine.t;
+  ensemble : Zk.Ensemble.t;
+  (* phase name -> events waiting for that phase to begin *)
+  by_phase : (string, (float * action) list) Hashtbl.t;
+  mutable fired : int;
+}
+
+let perform armed action =
+  armed.fired <- armed.fired + 1;
+  match action with
+  | Crash id -> Zk.Ensemble.crash armed.ensemble id
+  | Restart id -> Zk.Ensemble.restart armed.ensemble id
+  | Crash_leader -> (
+    match Zk.Ensemble.leader_id armed.ensemble with
+    | Some id -> Zk.Ensemble.crash armed.ensemble id
+    | None -> () (* no leader to kill: the previous one is still down *))
+  | Restart_all_down ->
+    let alive = Zk.Ensemble.alive_ids armed.ensemble in
+    List.iter
+      (fun id ->
+        if not (List.mem id alive) then Zk.Ensemble.restart armed.ensemble id)
+      (Zk.Ensemble.member_ids armed.ensemble)
+
+let arm engine ensemble plan =
+  let armed = { engine; ensemble; by_phase = Hashtbl.create 8; fired = 0 } in
+  List.iter
+    (fun { anchor; action } ->
+      match anchor with
+      | At time ->
+        let delay = Float.max 0. (time -. Engine.now engine) in
+        Engine.schedule engine ~delay (fun () -> perform armed action)
+      | After_phase (phase, offset) ->
+        let waiting =
+          Option.value ~default:[] (Hashtbl.find_opt armed.by_phase phase)
+        in
+        Hashtbl.replace armed.by_phase phase (waiting @ [ (offset, action) ]))
+    plan;
+  armed
+
+let notify_phase armed phase =
+  match Hashtbl.find_opt armed.by_phase phase with
+  | None -> ()
+  | Some events ->
+    Hashtbl.remove armed.by_phase phase;
+    List.iter
+      (fun (offset, action) ->
+        Engine.schedule armed.engine ~delay:offset (fun () -> perform armed action))
+      events
+
+let fired armed = armed.fired

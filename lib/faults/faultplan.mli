@@ -1,0 +1,57 @@
+(** Declarative fault schedules for the replicated metadata ensemble.
+
+    A plan is a list of timed crash/restart events. Each event fires at
+    an absolute virtual time or at an offset after a named workload
+    phase begins (the [?on_phase] hook of {!Mdtest.Runner.run} supplies
+    the phase notifications). [arm] turns the plan into engine events,
+    so a benchmark runs unchanged while servers fail underneath it.
+
+    Textual grammar ([parse] / [to_string] are inverses):
+
+    {v
+    plan   ::= event (";" event)*
+    event  ::= action "@" anchor
+    action ::= "crash=" <id> | "restart=" <id>
+             | "crash-leader" | "restart-all"
+    anchor ::= <seconds> | <phase-name> | <phase-name> "+" <seconds>
+    v}
+
+    e.g. ["crash-leader@file-create+0.05;restart-all@file-create+1.5"]
+    crashes whoever leads 50 ms into the file-create phase and restarts
+    every down server 1.5 s into it. *)
+
+type action =
+  | Crash of int        (** crash server [id] *)
+  | Restart of int      (** restart server [id] (no-op if alive) *)
+  | Crash_leader        (** crash the current leader, resolved at fire time *)
+  | Restart_all_down    (** restart every currently-down server *)
+
+type anchor =
+  | At of float                   (** absolute virtual time, seconds *)
+  | After_phase of string * float (** seconds after the named phase begins *)
+
+type event = {
+  anchor : anchor;
+  action : action;
+}
+
+type t = event list
+
+val parse : string -> (t, string) result
+val to_string : t -> string
+
+(** A plan instantiated against one engine + ensemble. *)
+type armed
+
+(** [arm engine ensemble plan] schedules every [At] event now and holds
+    the [After_phase] events until {!notify_phase} names their phase. *)
+val arm : Simkit.Engine.t -> Zk.Ensemble.t -> t -> armed
+
+(** [notify_phase armed name] — a workload phase named [name] is
+    starting; its pending events are scheduled at their offsets. Wire
+    this to {!Mdtest.Runner.run}'s [?on_phase] via
+    {!Mdtest.Runner.phase_to_string}. *)
+val notify_phase : armed -> string -> unit
+
+(** Events executed so far. *)
+val fired : armed -> int

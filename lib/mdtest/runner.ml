@@ -61,7 +61,7 @@ let perform cfg (ops : Vfs.ops) errors phase ~proc ~item =
   | File_remove ->
     count_result errors (ops.Vfs.unlink (Workload.file_path cfg ~proc ~item))
 
-let run engine cfg ~ops_for_proc =
+let run ?(on_phase = fun (_ : phase) -> ()) engine cfg ~ops_for_proc =
   let procs = cfg.Workload.procs in
   let barrier = Barrier.create ~parties:procs () in
   let errors = ref 0 in
@@ -89,6 +89,7 @@ let run engine cfg ~ops_for_proc =
     Barrier.await barrier;
     List.iter
       (fun phase ->
+        if proc = 0 then on_phase phase;
         let t0 = Engine.now engine in
         let items = phase_items cfg phase in
         let histogram, summary = List.assoc phase histograms in

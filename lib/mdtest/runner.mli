@@ -37,8 +37,13 @@ val latency_of : results -> phase -> latency
     [ops_for_proc p] supplies client [p]'s operation table (its own DUFS
     client instance, or a shared native-filesystem client). Process 0
     creates the skeleton before the first barrier (outside every
-    measurement window). The engine is run to completion. *)
+    measurement window). The engine is run to completion.
+
+    [on_phase] fires once per phase (from process 0, at the phase's
+    start, after the preceding barrier) — the hook a fault schedule uses
+    to anchor crash/restart events to workload phases. *)
 val run :
+  ?on_phase:(phase -> unit) ->
   Simkit.Engine.t ->
   Workload.config ->
   ops_for_proc:(int -> Fuselike.Vfs.ops) ->

@@ -723,6 +723,93 @@ let batching ?json_path () =
     Report.emit_json ~path points;
     Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points)
 
+(* {2 mdtest under declarative fault schedules (failure-path benchmark)} *)
+
+let faults_spec = { Systems.zk_servers = 5; backends = 2; backend_kind = Systems.Lustre }
+let faults_procs = 64
+
+(* Two complementary failure shapes. The quorum-loss schedule holds the
+   ensemble below quorum for longer than the client request timeout, so
+   retries of still-pending writes must be answered by re-pointing the
+   in-flight proposal (not by a second apply). The rolling schedule
+   kills follower homes of committed writes, so retries are answered
+   from the replicated dedup table. Offsets are virtual seconds after
+   the named mdtest phase begins. *)
+let fault_plans =
+  [ ("leader-quorum-loss",
+     "crash-leader@file-create+0.05;crash=1@file-create+0.1;\
+      crash=2@file-create+0.15;restart-all@file-create+4.5");
+    ("rolling-followers",
+     "crash=1@dir-create+0.05;restart=1@dir-create+1.5;\
+      crash=2@file-create+0.05;restart=2@file-create+1.5") ]
+
+let faults_data () =
+  let parse label text =
+    match Faults.Faultplan.parse text with
+    | Ok plan -> plan
+    | Error msg -> failwith (Printf.sprintf "fault plan %s: %s" label msg)
+  in
+  let run label plan =
+    (label, Systems.mdtest_faulted ~spec:faults_spec ~procs:faults_procs ~plan ())
+  in
+  run "fault-free" []
+  :: List.map (fun (label, text) -> run label (parse label text)) fault_plans
+
+let faults ?json_path () =
+  Report.print_header
+    (Printf.sprintf
+       "Faults — mdtest %d procs over DUFS 2xLustre/5zk while the ensemble \
+        crashes and recovers"
+       faults_procs);
+  List.iter
+    (fun (label, text) -> Printf.printf "  %-20s %s\n" label text)
+    fault_plans;
+  print_newline ();
+  let data = faults_data () in
+  Printf.printf "%-14s" "ops/sec";
+  List.iter (fun (label, _) -> Printf.printf " %20s" label) data;
+  print_newline ();
+  List.iter
+    (fun phase ->
+      Printf.printf "%-14s" (Runner.phase_to_string phase);
+      List.iter
+        (fun (_, (r : Systems.fault_run)) ->
+          Printf.printf " %20.0f" (Runner.rate r.Systems.results phase))
+        data;
+      print_newline ())
+    Runner.all_phases;
+  print_newline ();
+  List.iter
+    (fun (label, (r : Systems.fault_run)) ->
+      Printf.printf
+        "%-20s errors=%d  dedup_hits=%d  faults_fired=%d  znodes@file-stat=%d \
+         (expected %d%s)\n"
+        label r.Systems.results.Runner.errors r.Systems.dedup_hits
+        r.Systems.faults_fired r.Systems.znodes_after_create
+        r.Systems.expected_znodes_after_create
+        (if r.Systems.znodes_after_create = r.Systems.expected_znodes_after_create
+         then ", exact"
+         else ", MISMATCH"))
+    data;
+  flush stdout;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let points =
+      List.concat_map
+        (fun (label, (r : Systems.fault_run)) ->
+          List.map
+            (fun phase ->
+              { Report.experiment = "mdtest-" ^ Runner.phase_to_string phase;
+                procs = faults_procs;
+                config = label ^ "|zk=5|backends=2xLustre";
+                ops_per_sec = Runner.rate r.Systems.results phase })
+            Runner.all_phases)
+        data
+    in
+    Report.emit_json ~path points;
+    Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points)
+
 let all () =
   fig7 ();
   fig8 ();
@@ -738,4 +825,5 @@ let all () =
   ablation_giga ();
   ablation_observers ();
   ablation_faults ();
-  batching ()
+  batching ();
+  faults ()

@@ -91,5 +91,22 @@ val batching_data :
     {!Mdtest.Report.bench_point} schema (the BENCH_pr1.json artifact). *)
 val batching : ?json_path:string -> unit -> unit
 
+(** {2 The failure path — mdtest under declarative fault schedules} *)
+
+val fault_plans : (string * string) list
+(** Named {!Faults.Faultplan} schedules exercised by the benchmark:
+    sub-quorum leader loss with delayed recovery, and rolling follower
+    crash/restart. Parseable with {!Faults.Faultplan.parse}. *)
+
+val faults_data : unit -> (string * Systems.fault_run) list
+(** One {!Systems.mdtest_faulted} run per configuration, headed by the
+    exactly-comparable fault-free baseline (empty plan). *)
+
+(** Print per-phase rates plus the exactly-once invariants (errors,
+    dedup hits, znode accounting) for each schedule; with [json_path],
+    also write the points in the {!Mdtest.Report.bench_point} schema
+    (the BENCH_pr2.json artifact). *)
+val faults : ?json_path:string -> unit -> unit
+
 (** Run everything (the full bench suite). *)
 val all : unit -> unit

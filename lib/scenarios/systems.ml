@@ -50,6 +50,64 @@ let zk_config ?(max_batch = 1) ~servers ~procs () =
       Pfs.Costs.colocated_load_factor ~procs ~nodes:Pfs.Costs.client_nodes
         ~cores:Pfs.Costs.cores_per_node }
 
+(* DUFS stack builder, exposed separately from [build_system] so fault
+   experiments can keep a handle on the ensemble they are crashing. *)
+let build_dufs engine ~spec ~config ~cached =
+  let { backends; backend_kind; zk_servers = _ } = spec in
+  let ensemble = Zk.Ensemble.start engine config in
+  let layout = Dufs.Physical.default_layout in
+  let backend_clients =
+    match backend_kind with
+    | Lustre ->
+      let mounts =
+        Array.init backends (fun _ ->
+            Pfs.Lustre_sim.create engine ~config:(Pfs.Lustre_sim.backend_config ()) ())
+      in
+      Array.iter
+        (fun mount ->
+          match Dufs.Physical.format layout (Pfs.Lustre_sim.local_ops mount) with
+          | Ok () -> ()
+          | Error e -> failwith (Fuselike.Errno.to_string e))
+        mounts;
+      fun proc ->
+        Array.mapi
+          (fun i mount ->
+            Pfs.Lustre_sim.client mount ~client_id:((proc * backends) + i))
+          mounts
+    | Pvfs ->
+      let mounts =
+        Array.init backends (fun _ ->
+            Pfs.Pvfs_sim.create engine ~config:(Pfs.Pvfs_sim.backend_config ()) ())
+      in
+      Array.iter
+        (fun mount ->
+          match Dufs.Physical.format layout (Pfs.Pvfs_sim.local_ops mount) with
+          | Ok () -> ()
+          | Error e -> failwith (Fuselike.Errno.to_string e))
+        mounts;
+      fun proc ->
+        Array.mapi
+          (fun i mount -> Pfs.Pvfs_sim.client mount ~client_id:((proc * backends) + i))
+          mounts
+  in
+  let ops_for_proc proc =
+    let session = Zk.Ensemble.session ensemble () in
+    let coord =
+      if cached then Dufs.Cache.handle (Dufs.Cache.wrap session) else session
+    in
+    let client =
+      Dufs.Client.mount ~coord ~backends:(backend_clients proc)
+        ~client_id:(Int64.of_int (proc + 1))
+        ~layout
+        ~clock:(fun () -> Engine.now engine)
+        ~delay:Process.sleep
+        ~overhead:(Pfs.Costs.fuse_crossing +. Pfs.Costs.dufs_overhead)
+        ()
+    in
+    Dufs.Client.ops client
+  in
+  (ensemble, ops_for_proc)
+
 (* Build per-process operation tables for one system on [engine]. The
    returned closure must be invoked from inside the process's own
    simulation context (Runner.run does). *)
@@ -66,64 +124,11 @@ let build_system engine system ~procs =
       Pfs.Cmd_sim.create engine ~config:(Pfs.Cmd_sim.default_config ~mds_count:mds) ()
     in
     fun proc -> Pfs.Cmd_sim.client fs ~client_id:proc
-  | ( Dufs { zk_servers; backends; backend_kind }
-    | Dufs_cached { zk_servers; backends; backend_kind }
-    | Dufs_batched ({ zk_servers; backends; backend_kind }, _) ) as sys ->
+  | (Dufs spec | Dufs_cached spec | Dufs_batched (spec, _)) as sys ->
     let cached = match sys with Dufs_cached _ -> true | _ -> false in
     let max_batch = match sys with Dufs_batched (_, b) -> b | _ -> 1 in
-    let ensemble =
-      Zk.Ensemble.start engine (zk_config ~max_batch ~servers:zk_servers ~procs ())
-    in
-    let layout = Dufs.Physical.default_layout in
-    let backend_clients =
-      match backend_kind with
-      | Lustre ->
-        let mounts =
-          Array.init backends (fun _ ->
-              Pfs.Lustre_sim.create engine ~config:(Pfs.Lustre_sim.backend_config ()) ())
-        in
-        Array.iter
-          (fun mount ->
-            match Dufs.Physical.format layout (Pfs.Lustre_sim.local_ops mount) with
-            | Ok () -> ()
-            | Error e -> failwith (Fuselike.Errno.to_string e))
-          mounts;
-        fun proc ->
-          Array.mapi
-            (fun i mount ->
-              Pfs.Lustre_sim.client mount ~client_id:((proc * backends) + i))
-            mounts
-      | Pvfs ->
-        let mounts =
-          Array.init backends (fun _ ->
-              Pfs.Pvfs_sim.create engine ~config:(Pfs.Pvfs_sim.backend_config ()) ())
-        in
-        Array.iter
-          (fun mount ->
-            match Dufs.Physical.format layout (Pfs.Pvfs_sim.local_ops mount) with
-            | Ok () -> ()
-            | Error e -> failwith (Fuselike.Errno.to_string e))
-          mounts;
-        fun proc ->
-          Array.mapi
-            (fun i mount -> Pfs.Pvfs_sim.client mount ~client_id:((proc * backends) + i))
-            mounts
-    in
-    fun proc ->
-      let session = Zk.Ensemble.session ensemble () in
-      let coord =
-        if cached then Dufs.Cache.handle (Dufs.Cache.wrap session) else session
-      in
-      let client =
-        Dufs.Client.mount ~coord ~backends:(backend_clients proc)
-          ~client_id:(Int64.of_int (proc + 1))
-          ~layout
-          ~clock:(fun () -> Engine.now engine)
-          ~delay:Process.sleep
-          ~overhead:(Pfs.Costs.fuse_crossing +. Pfs.Costs.dufs_overhead)
-          ()
-      in
-      Dufs.Client.ops client
+    let config = zk_config ~max_batch ~servers:spec.zk_servers ~procs () in
+    snd (build_dufs engine ~spec ~config ~cached)
 
 let cache : (string, Mdtest.Runner.results) Hashtbl.t = Hashtbl.create 64
 let reset_cache () = Hashtbl.reset cache
@@ -146,6 +151,53 @@ let mdtest ?(dirs_per_proc = 60) ?(files_per_proc = 60) ?(unique = false) system
     let results = Mdtest.Runner.run engine cfg ~ops_for_proc in
     Hashtbl.replace cache key results;
     results
+
+(* {2 mdtest under a fault schedule} *)
+
+type fault_run = {
+  results : Mdtest.Runner.results;
+  dedup_hits : int;
+  writes_committed : int;
+  faults_fired : int;
+  znodes_after_create : int;
+  expected_znodes_after_create : int;
+}
+
+let mdtest_faulted ?(dirs_per_proc = 60) ?(files_per_proc = 60) ?(unique = false)
+    ?(cached = false) ?(config_adjust = fun c -> c) ~spec ~procs ~plan () =
+  let engine = Engine.create () in
+  let config = config_adjust (zk_config ~servers:spec.zk_servers ~procs ()) in
+  let ensemble, ops_for_proc = build_dufs engine ~spec ~config ~cached in
+  let armed = Faults.Faultplan.arm engine ensemble plan in
+  let cfg =
+    Mdtest.Workload.config ~dirs_per_proc ~files_per_proc
+      ~unique_working_dirs:unique ~procs ()
+  in
+  let znodes_after_create = ref 0 in
+  let on_phase phase =
+    (* the file-stat barrier is the moment every file create has
+       committed and no removal has begun: the znode population should
+       equal exactly root + zroot + skeleton + files created — any
+       surplus is a duplicated apply, any deficit a lost write *)
+    (if phase = Mdtest.Runner.File_stat then
+       let id =
+         match Zk.Ensemble.leader_id ensemble with
+         | Some id -> id
+         | None -> List.hd (Zk.Ensemble.alive_ids ensemble)
+       in
+       znodes_after_create :=
+         Zk.Ztree.node_count (Zk.Ensemble.tree_of ensemble id));
+    Faults.Faultplan.notify_phase armed (Mdtest.Runner.phase_to_string phase)
+  in
+  let results = Mdtest.Runner.run ~on_phase engine cfg ~ops_for_proc in
+  { results;
+    dedup_hits = Zk.Ensemble.dedup_hits ensemble;
+    writes_committed = Zk.Ensemble.writes_committed ensemble;
+    faults_fired = Faults.Faultplan.fired armed;
+    znodes_after_create = !znodes_after_create;
+    expected_znodes_after_create =
+      (* ztree root "/" + the DUFS namespace root znode + skeleton dirs *)
+      2 + List.length (Mdtest.Workload.skeleton cfg) + (procs * files_per_proc) }
 
 let zk_raw ~servers ~procs ?(items = 80) () =
   let engine = Engine.create () in

@@ -36,6 +36,50 @@ val mdtest :
   unit ->
   Mdtest.Runner.results
 
+(** [build_dufs engine ~spec ~config ~cached] assembles the DUFS stack
+    (ensemble + formatted back-ends + per-proc client factory) and keeps
+    the ensemble visible — fault experiments need it to schedule crashes
+    while the workload runs. *)
+val build_dufs :
+  Simkit.Engine.t ->
+  spec:dufs_spec ->
+  config:Zk.Ensemble.config ->
+  cached:bool ->
+  Zk.Ensemble.t * (int -> Fuselike.Vfs.ops)
+
+(** One mdtest run under a fault schedule, plus the invariants the
+    failure path must preserve. *)
+type fault_run = {
+  results : Mdtest.Runner.results;
+  dedup_hits : int;          (** retried writes answered exactly-once *)
+  writes_committed : int;
+  faults_fired : int;        (** schedule events that executed *)
+  znodes_after_create : int;
+      (** znode population at the file-stat barrier (all creates
+          committed, no removes yet) *)
+  expected_znodes_after_create : int;
+      (** root + namespace root + skeleton + files created: equality
+          with [znodes_after_create] rules out duplicate or lost
+          applies *)
+}
+
+(** [mdtest_faulted ~spec ~procs ~plan ()] — mdtest over DUFS while
+    [plan] crashes and restarts ensemble servers underneath it.
+    [config_adjust] tweaks the ensemble configuration (tests shrink the
+    timeouts); an empty plan gives the exactly-comparable fault-free
+    baseline. Not memoized. *)
+val mdtest_faulted :
+  ?dirs_per_proc:int ->
+  ?files_per_proc:int ->
+  ?unique:bool ->
+  ?cached:bool ->
+  ?config_adjust:(Zk.Ensemble.config -> Zk.Ensemble.config) ->
+  spec:dufs_spec ->
+  procs:int ->
+  plan:Faults.Faultplan.t ->
+  unit ->
+  fault_run
+
 (** Raw coordination-service throughput (Fig. 7): closed loop of [items]
     ops per client for each of the four basic operations. Returns
     [(op name, ops/sec)] in order create, get, set, delete. *)

@@ -39,46 +39,67 @@ let default_config ~servers =
 
 type reply = (Txn.result_item list, Zerror.t) result -> unit
 
+(* Session-scoped request id (ZooKeeper's session id + client xid): the
+   client stamps every write once and reuses the stamp across timeout
+   retries, so the leader can recognize a resubmission of a transaction
+   it already committed and return the original result instead of
+   applying it twice. *)
+type rid = {
+  rsession : int64;
+  rcxid : int64;
+}
+
 type msg =
-  | Write of { txn : Txn.t; origin : int; reply : reply }
+  | Write of { txn : Txn.t; rid : rid; origin : int; reply : reply }
   | Read of { exec : Ztree.t -> unit }
-  | Propose_batch of { epoch : int; entries : (int64 * Txn.t * float) list }
+  | Propose_batch of { epoch : int; entries : (int64 * Txn.t * float * rid) list }
     (* one leader->follower round carries a whole group-committed batch;
        a singleton batch is exactly the classic per-txn PROPOSAL *)
   | Ack_batch of { epoch : int; zxids : int64 list; from : int }
   | Commit_batch of { epoch : int; zxids : int64 list }
-  | Inform_batch of { epoch : int; entries : (int64 * Txn.t * float) list }
+  | Inform_batch of { epoch : int; entries : (int64 * Txn.t * float * rid) list }
     (* ZAB INFORM: commit + payload, sent to non-voting observers *)
   | Deliver_reply of {
       zxid : int64;
       result : (Txn.result_item list, Zerror.t) result;
       reply : reply;
     }
-  | Close_session of { owner : int64; origin : int; reply : reply }
+  | Close_session of { owner : int64; rid : rid; origin : int; reply : reply }
 
 type role = Leader | Follower | Observer | Down
 
 type pending_write = {
   p_txn : Txn.t;
   p_time : float;
-  p_origin : int;
-  p_reply : reply;
+  p_rid : rid;
+  (* a timed-out retry of a still-in-flight write re-points the reply
+     (and its route home) at the retry's continuation *)
+  mutable p_origin : int;
+  mutable p_reply : reply;
   mutable p_acks : int;
 }
+
+type applied_result = (Txn.result_item list, Zerror.t) result
 
 type server = {
   id : int;
   mutable role : role;
   mutable epoch : int;
   mutable tree : Ztree.t;
-  log : (int64, Txn.t * float) Hashtbl.t;  (* committed txns, by zxid *)
+  log : (int64, Txn.t * float * rid) Hashtbl.t;  (* committed txns, by zxid *)
+  (* request id -> result of every txn this replica has applied: the
+     dedup table behind exactly-once writes. Replicated implicitly —
+     each replica records entries as it applies the same committed
+     sequence — so it survives leader failover. *)
+  applied : (rid, applied_result) Hashtbl.t;
   inbox : msg Mailbox.t;
   (* leader state *)
   pending : (int64, pending_write) Hashtbl.t;
+  pending_rids : (rid, int64) Hashtbl.t;  (* in-flight request ids *)
   mutable next_zxid : int64;
   mutable next_commit : int64;
   (* follower state *)
-  proposals : (int64, Txn.t * float) Hashtbl.t;
+  proposals : (int64, Txn.t * float * rid) Hashtbl.t;
   committed : (int64, unit) Hashtbl.t;
   mutable next_apply : int64;
   (* counters *)
@@ -93,6 +114,7 @@ type t = {
   mutable next_session : int64;
   mutable next_server : int;
   mutable commits : int;
+  mutable dedup_hits : int;
   (* fan-out targets, precomputed so the per-batch hot path does not
      rebuild them; refreshed whenever any member changes role *)
   mutable follower_peers : server list;
@@ -115,10 +137,12 @@ let server_resident_bytes t id =
 
 let reads_served t id = t.members.(id).reads
 let writes_committed t = t.commits
+let dedup_hits t = t.dedup_hits
 
 let quorum t = (t.cfg.servers / 2) + 1
 let is_observer_id t id = id >= t.cfg.servers
 let member_count t = t.cfg.servers + t.cfg.observers
+let member_ids t = List.init (member_count t) Fun.id
 
 (* Service times scaled by the co-located-load factor. *)
 let svc t base = base *. t.cfg.load_factor
@@ -168,9 +192,16 @@ let try_commit t (s : server) =
             let result =
               if Ztree.last_zxid s.tree < zxid then
                 Ztree.apply s.tree ~zxid ~time:pw.p_time pw.p_txn
-              else Ok []
+              else
+                (* already applied (state transfer raced ahead): answer
+                   from the dedup table rather than re-applying *)
+                match Hashtbl.find_opt s.applied pw.p_rid with
+                | Some result -> result
+                | None -> Ok []
             in
-            Hashtbl.replace s.log zxid (pw.p_txn, pw.p_time);
+            Hashtbl.replace s.applied pw.p_rid result;
+            Hashtbl.remove s.pending_rids pw.p_rid;
+            Hashtbl.replace s.log zxid (pw.p_txn, pw.p_time, pw.p_rid);
             t.commits <- t.commits + 1;
             (zxid, pw, result))
           ready
@@ -184,7 +215,9 @@ let try_commit t (s : server) =
        | [] -> ()
        | observers ->
          let entries =
-           List.map (fun (zxid, pw, _) -> (zxid, pw.p_txn, pw.p_time)) results
+           List.map
+             (fun (zxid, pw, _) -> (zxid, pw.p_txn, pw.p_time, pw.p_rid))
+             results
          in
          List.iter
            (fun (peer : server) ->
@@ -238,10 +271,10 @@ let drain_batch t (s : server) first =
     else
       match Mailbox.take_if s.inbox is_batchable with
       | None -> (acc, n)
-      | Some (Write { txn; origin; reply }) ->
-        drain ((txn, origin, reply) :: acc) (n + 1)
-      | Some (Close_session { owner; origin; reply }) ->
-        drain ((build_session_cleanup s owner, origin, reply) :: acc) (n + 1)
+      | Some (Write { txn; rid; origin; reply }) ->
+        drain ((txn, rid, origin, reply) :: acc) (n + 1)
+      | Some (Close_session { owner; rid; origin; reply }) ->
+        drain ((build_session_cleanup s owner, rid, origin, reply) :: acc) (n + 1)
       | Some _ -> (acc, n)
   in
   let acc, n = drain [ first ] 1 in
@@ -255,30 +288,63 @@ let drain_batch t (s : server) first =
   in
   List.rev acc
 
+(* The exactly-once gate. A request id the leader has already applied is
+   answered from the dedup table (no new zxid, nothing re-applied); one
+   that is still in flight re-points the pending write's reply at the
+   retry, so the eventual commit answers the attempt the client is
+   actually waiting on instead of producing a second proposal. *)
+let dedup_filter t (s : server) batch =
+  List.filter
+    (fun (_, rid, origin, reply) ->
+      match Hashtbl.find_opt s.applied rid with
+      | Some result ->
+        t.dedup_hits <- t.dedup_hits + 1;
+        if origin = s.id then reply result
+        else send t ~dst:origin (Deliver_reply { zxid = 0L; result; reply });
+        false
+      | None -> (
+        match Hashtbl.find_opt s.pending_rids rid with
+        | Some zxid -> (
+          match Hashtbl.find_opt s.pending zxid with
+          | Some pw ->
+            t.dedup_hits <- t.dedup_hits + 1;
+            pw.p_origin <- origin;
+            pw.p_reply <- reply;
+            false
+          | None ->
+            Hashtbl.remove s.pending_rids rid;
+            true)
+        | None -> true))
+    batch
+
 let leader_handle_batch t (s : server) batch =
-  let time = Engine.now t.engine in
-  let cpu =
-    List.fold_left (fun acc (txn, _, _) -> acc +. leader_service t txn) 0. batch
-  in
-  Process.sleep (svc t (cpu +. t.cfg.persist));
-  let entries =
-    List.map
-      (fun (txn, origin, reply) ->
-        let zxid = s.next_zxid in
-        s.next_zxid <- Int64.add zxid 1L;
-        Hashtbl.replace s.pending zxid
-          { p_txn = txn; p_time = time; p_origin = origin; p_reply = reply;
-            p_acks = 0 };
-        (zxid, txn, time))
-      batch
-  in
-  let followers = t.follower_peers in
-  Process.sleep (svc t (t.cfg.rpc_cpu *. float_of_int (List.length followers)));
-  List.iter
-    (fun (peer : server) ->
-      send t ~dst:peer.id (Propose_batch { epoch = s.epoch; entries }))
-    followers;
-  try_commit t s
+  match dedup_filter t s batch with
+  | [] -> ()
+  | batch ->
+    let time = Engine.now t.engine in
+    let cpu =
+      List.fold_left (fun acc (txn, _, _, _) -> acc +. leader_service t txn) 0. batch
+    in
+    Process.sleep (svc t (cpu +. t.cfg.persist));
+    let entries =
+      List.map
+        (fun (txn, rid, origin, reply) ->
+          let zxid = s.next_zxid in
+          s.next_zxid <- Int64.add zxid 1L;
+          Hashtbl.replace s.pending zxid
+            { p_txn = txn; p_time = time; p_rid = rid; p_origin = origin;
+              p_reply = reply; p_acks = 0 };
+          Hashtbl.replace s.pending_rids rid zxid;
+          (zxid, txn, time, rid))
+        batch
+    in
+    let followers = t.follower_peers in
+    Process.sleep (svc t (t.cfg.rpc_cpu *. float_of_int (List.length followers)));
+    List.iter
+      (fun (peer : server) ->
+        send t ~dst:peer.id (Propose_batch { epoch = s.epoch; entries }))
+      followers;
+    try_commit t s
 
 (* {2 Follower apply path} *)
 
@@ -286,14 +352,14 @@ let rec follower_apply_ready t (s : server) =
   if Hashtbl.mem s.committed s.next_apply then
     match Hashtbl.find_opt s.proposals s.next_apply with
     | None -> ()  (* proposal not yet received (cleared by election) *)
-    | Some (txn, time) ->
+    | Some (txn, time, rid) ->
       let zxid = s.next_apply in
       Hashtbl.remove s.committed zxid;
       Hashtbl.remove s.proposals zxid;
       s.next_apply <- Int64.add zxid 1L;
       if Ztree.last_zxid s.tree < zxid then
-        ignore (Ztree.apply s.tree ~zxid ~time txn);
-      Hashtbl.replace s.log zxid (txn, time);
+        Hashtbl.replace s.applied rid (Ztree.apply s.tree ~zxid ~time txn);
+      Hashtbl.replace s.log zxid (txn, time, rid);
       follower_apply_ready t s
 
 let handle t (s : server) msg =
@@ -304,20 +370,20 @@ let handle t (s : server) msg =
       s.reads <- s.reads + 1;
       exec s.tree
     end
-  | Write { txn; origin; reply } ->
+  | Write { txn; rid; origin; reply } ->
     if s.role = Leader then
-      leader_handle_batch t s (drain_batch t s (txn, origin, reply))
+      leader_handle_batch t s (drain_batch t s (txn, rid, origin, reply))
     else begin
       Process.sleep (svc t t.cfg.rpc_cpu);
-      send t ~dst:t.leader (Write { txn; origin; reply })
+      send t ~dst:t.leader (Write { txn; rid; origin; reply })
     end
-  | Close_session { owner; origin; reply } ->
+  | Close_session { owner; rid; origin; reply } ->
     if s.role = Leader then
       let txn = build_session_cleanup s owner in
-      leader_handle_batch t s (drain_batch t s (txn, origin, reply))
+      leader_handle_batch t s (drain_batch t s (txn, rid, origin, reply))
     else begin
       Process.sleep (svc t t.cfg.rpc_cpu);
-      send t ~dst:t.leader (Close_session { owner; origin; reply })
+      send t ~dst:t.leader (Close_session { owner; rid; origin; reply })
     end
   | Propose_batch { epoch; entries } ->
     if epoch = s.epoch && s.role = Follower then begin
@@ -325,9 +391,10 @@ let handle t (s : server) msg =
       Process.sleep (svc t (t.cfg.persist +. t.cfg.rpc_cpu));
       if s.role = Follower && epoch = s.epoch then begin
         List.iter
-          (fun (zxid, txn, time) -> Hashtbl.replace s.proposals zxid (txn, time))
+          (fun (zxid, txn, time, rid) ->
+            Hashtbl.replace s.proposals zxid (txn, time, rid))
           entries;
-        let zxids = List.map (fun (zxid, _, _) -> zxid) entries in
+        let zxids = List.map (fun (zxid, _, _, _) -> zxid) entries in
         send t ~dst:t.leader (Ack_batch { epoch; zxids; from = s.id })
       end
     end
@@ -359,10 +426,10 @@ let handle t (s : server) msg =
       (* leader->observer channel is FIFO, so informs arrive in order *)
       if s.role = Observer && epoch = s.epoch then
         List.iter
-          (fun (zxid, txn, time) ->
+          (fun (zxid, txn, time, rid) ->
             if Ztree.last_zxid s.tree < zxid then begin
-              ignore (Ztree.apply s.tree ~zxid ~time txn);
-              Hashtbl.replace s.log zxid (txn, time)
+              Hashtbl.replace s.applied rid (Ztree.apply s.tree ~zxid ~time txn);
+              Hashtbl.replace s.log zxid (txn, time, rid)
             end)
           entries
     end
@@ -386,8 +453,10 @@ let make_server id =
     epoch = 0;
     tree = Ztree.create ();
     log = Hashtbl.create 1024;
+    applied = Hashtbl.create 1024;
     inbox = Mailbox.create ();
     pending = Hashtbl.create 64;
+    pending_rids = Hashtbl.create 64;
     next_zxid = 1L;
     next_commit = 1L;
     proposals = Hashtbl.create 64;
@@ -407,7 +476,7 @@ let start engine cfg =
   done;
   let t =
     { engine; cfg; members; leader = 0; next_session = 1L; next_server = 0;
-      commits = 0; follower_peers = []; observer_peers = [] }
+      commits = 0; dedup_hits = 0; follower_peers = []; observer_peers = [] }
   in
   refresh_peers t;
   Array.iter (fun s -> Process.spawn engine (fun () -> server_loop t s)) members;
@@ -426,9 +495,20 @@ let state_transfer t ~from ~target =
   if gap > snapshot_transfer_threshold then begin
     match Ztree.deserialize (Ztree.serialize src.tree) with
     | Ok tree ->
+      (* swapping in the snapshot must not orphan the watches armed on
+         the old tree: still-connected sessions (e.g. client caches)
+         rely on them for invalidation. Unchanged watches re-arm on the
+         new tree; watches whose node changed during the gap fire the
+         missed event now. *)
+      let stale = dst.tree in
       dst.tree <- tree;
+      Ztree.migrate_watches ~from:stale ~into:tree;
       Hashtbl.reset dst.log;
-      Hashtbl.iter (fun zxid entry -> Hashtbl.replace dst.log zxid entry) src.log
+      Hashtbl.iter (fun zxid entry -> Hashtbl.replace dst.log zxid entry) src.log;
+      Hashtbl.reset dst.applied;
+      Hashtbl.iter
+        (fun rid result -> Hashtbl.replace dst.applied rid result)
+        src.applied
     | Error msg ->
       (* a snapshot failure must not lose the replica: fall back to replay *)
       ignore msg
@@ -436,9 +516,9 @@ let state_transfer t ~from ~target =
   let zxid = ref (Int64.add (Ztree.last_zxid dst.tree) 1L) in
   while !zxid <= Ztree.last_zxid src.tree do
     (match Hashtbl.find_opt src.log !zxid with
-     | Some (txn, time) ->
-       ignore (Ztree.apply dst.tree ~zxid:!zxid ~time txn);
-       Hashtbl.replace dst.log !zxid (txn, time)
+     | Some (txn, time, rid) ->
+       Hashtbl.replace dst.applied rid (Ztree.apply dst.tree ~zxid:!zxid ~time txn);
+       Hashtbl.replace dst.log !zxid (txn, time, rid)
      | None -> ());
     zxid := Int64.add !zxid 1L
   done
@@ -467,6 +547,7 @@ let elect t =
           Hashtbl.reset s.proposals;
           Hashtbl.reset s.committed;
           Hashtbl.reset s.pending;
+          Hashtbl.reset s.pending_rids;
           if s.id = new_leader.id then s.role <- Leader
           else begin
             s.role <- (if is_observer_id t s.id then Observer else Follower);
@@ -485,6 +566,7 @@ let crash t id =
     let was_leader = s.role = Leader in
     s.role <- Down;
     Hashtbl.reset s.pending;
+    Hashtbl.reset s.pending_rids;
     refresh_peers t;
     if was_leader then
       Engine.schedule t.engine ~delay:t.cfg.election_timeout (fun () -> elect t)
@@ -513,7 +595,7 @@ let restart t id =
         | [] -> ()
         | stalled ->
           let entries =
-            List.map (fun (zxid, pw) -> (zxid, pw.p_txn, pw.p_time)) stalled
+            List.map (fun (zxid, pw) -> (zxid, pw.p_txn, pw.p_time, pw.p_rid)) stalled
           in
           send t ~dst:id (Propose_batch { epoch = leader.epoch; entries })
       end
@@ -545,15 +627,19 @@ let pick_alive t preferred =
     | [] -> preferred
     | ids -> List.nth ids (preferred mod List.length ids)
 
-let rec submit t ~server ~attempts txn =
+(* The request id is fixed by the caller and reused verbatim across
+   timeout retries: if the timed-out attempt actually committed, the
+   leader's dedup table answers the retry with the original result
+   instead of applying the transaction a second time. *)
+let rec submit t ~server ~attempts ~rid txn =
   let target = pick_alive t server in
   let result =
     await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
-        send t ~dst:target (Write { txn; origin = target; reply }))
+        send t ~dst:target (Write { txn; rid; origin = target; reply }))
   in
   match result with
   | Error Zerror.ZOPERATIONTIMEOUT when attempts > 1 ->
-    submit t ~server ~attempts:(attempts - 1) txn
+    submit t ~server ~attempts:(attempts - 1) ~rid txn
   | result -> result
 
 let rec read t ~server ~attempts exec_read =
@@ -582,7 +668,15 @@ let session t ?server () =
   in
   let session_id = t.next_session in
   t.next_session <- Int64.add session_id 1L;
-  let submit txn = submit t ~server:home ~attempts:max_attempts txn in
+  (* ZooKeeper's cxid: one monotone stamp per client request; retries of
+     the same request keep the stamp *)
+  let next_cxid = ref 0L in
+  let fresh_rid () =
+    let cxid = !next_cxid in
+    next_cxid := Int64.add cxid 1L;
+    { rsession = session_id; rcxid = cxid }
+  in
+  let submit txn = submit t ~server:home ~attempts:max_attempts ~rid:(fresh_rid ()) txn in
   let submit_async txn callback =
     (* fire-and-callback: no retry; the deadline still bounds the wait *)
     let settled = ref false in
@@ -598,6 +692,7 @@ let session t ?server () =
     send t ~dst:target
       (Write
          { txn;
+           rid = fresh_rid ();
            origin = target;
            reply =
              (fun result ->
@@ -620,20 +715,18 @@ let session t ?server () =
     Result.map ignore (submit [ Zk_client.delete_op ~version path ])
   in
   let close () =
+    let rid = fresh_rid () in
     ignore
       (await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
-           send t ~dst:(pick_alive t home)
-             (Close_session { owner = session_id; origin = pick_alive t home; reply })))
+           let origin = pick_alive t home in
+           send t ~dst:origin
+             (Close_session { owner = session_id; rid; origin; reply })))
   in
   { Zk_client.create;
     get = (fun path -> or_loss (read (fun tree -> Ztree.get tree path)));
     set;
     delete;
-    exists =
-      (fun path ->
-        match read (fun tree -> Ztree.exists tree path) with
-        | Ok v -> v
-        | Error _ -> None);
+    exists = (fun path -> read (fun tree -> Ztree.exists tree path));
     children = (fun path -> or_loss (read (fun tree -> Ztree.children tree path)));
     children_with_data =
       (fun path ->

@@ -70,6 +70,9 @@ val restart : t -> int -> unit
 val leader_id : t -> int option
 val alive_ids : t -> int list
 
+(** Every member id, voters then observers, alive or not. *)
+val member_ids : t -> int list
+
 (** {2 Introspection (tests, benches)} *)
 
 val tree_of : t -> int -> Ztree.t
@@ -79,3 +82,13 @@ val server_resident_bytes : t -> int -> int
 val reads_served : t -> int -> int
 
 val writes_committed : t -> int
+
+(** Retried writes answered from the dedup table instead of re-applied.
+    Every session stamps each write with a session-scoped request id
+    (ZooKeeper's session + cxid) and reuses it across timeout retries;
+    the leader remembers the result of every applied transaction, so a
+    retry of a write that actually committed — the classic
+    timeout-during-failover window — returns the original result
+    exactly once instead of failing with ZNODEEXISTS/ZNONODE or, worse,
+    applying twice. *)
+val dedup_hits : t -> int

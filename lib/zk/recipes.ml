@@ -75,7 +75,10 @@ module Lock = struct
             ~check:(fun () ->
               (* if the predecessor vanished between listing and watching,
                  don't park — re-list instead *)
-              if handle.Zk_client.exists predecessor = None then Ok `Done else Ok `Retry)
+              match handle.Zk_client.exists predecessor with
+              | Ok None -> Ok `Done
+              | Ok (Some _) -> Ok `Retry
+              | Error _ as e -> e)
         in
         (match round with `Done | `Retry -> wait ())
     in

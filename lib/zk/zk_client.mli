@@ -13,7 +13,10 @@ type handle = {
   get : string -> (string * Ztree.stat, Zerror.t) result;
   set : ?version:int -> string -> data:string -> (unit, Zerror.t) result;
   delete : ?version:int -> string -> (unit, Zerror.t) result;
-  exists : string -> Ztree.stat option;
+  exists : string -> (Ztree.stat option, Zerror.t) result;
+      (** [Ok None] means the service answered and the node is absent;
+          transport failures (timeout, connection loss) surface as
+          [Error] instead of masquerading as "no such node". *)
   children : string -> (string list, Zerror.t) result;
   children_with_data :
     string -> ((string * string * Ztree.stat) list, Zerror.t) result;

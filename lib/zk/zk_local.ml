@@ -44,7 +44,7 @@ let session t =
     get = (fun path -> Ztree.get t.tree path);
     set;
     delete;
-    exists = (fun path -> Ztree.exists t.tree path);
+    exists = (fun path -> Ok (Ztree.exists t.tree path));
     children = (fun path -> Ztree.children t.tree path);
     children_with_data = (fun path -> Ztree.children_with_data t.tree path);
     children_with_data_watch =

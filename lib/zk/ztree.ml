@@ -146,6 +146,51 @@ let trigger acc table kind path =
     let event = { kind; path } in
     List.fold_left (fun acc cb -> (table, cb, event) :: acc) acc callbacks
 
+(* {2 Watch migration}
+
+   When a replica resyncs from a snapshot it swaps in a freshly
+   deserialized tree, which carries no watch registries. The watches the
+   old tree held belong to still-connected sessions, so they must survive
+   the swap: a watch whose node is identical in both states re-arms on
+   the new tree; a watch whose node changed while the replica was behind
+   fires right away with the event the session missed — ZooKeeper's
+   setWatches-on-reconnect behaviour. *)
+
+let drain_watch_table table =
+  let entries = Hashtbl.fold (fun path cbs acc -> (path, !cbs) :: acc) table [] in
+  Hashtbl.reset table;
+  entries
+
+let migrate_watches ~from ~into =
+  let fire callbacks kind path =
+    let event = { kind; path } in
+    List.iter (fun cb -> cb event) (List.rev callbacks)
+  in
+  (* callbacks are stored newest-first; re-arming oldest-first rebuilds
+     the same internal order on the destination table *)
+  let rearm table path callbacks =
+    List.iter (fun cb -> add_watch table path cb) (List.rev callbacks)
+  in
+  List.iter
+    (fun (path, callbacks) ->
+      match Hashtbl.find_opt from.nodes path, Hashtbl.find_opt into.nodes path with
+      | None, None -> rearm into.data_watches path callbacks
+      | Some o, Some n when o.mzxid = n.mzxid && o.version = n.version ->
+        rearm into.data_watches path callbacks
+      | None, Some _ -> fire callbacks Node_created path
+      | Some _, None -> fire callbacks Node_deleted path
+      | Some _, Some _ -> fire callbacks Node_data_changed path)
+    (drain_watch_table from.data_watches);
+  List.iter
+    (fun (path, callbacks) ->
+      match Hashtbl.find_opt from.nodes path, Hashtbl.find_opt into.nodes path with
+      | None, None -> rearm into.child_watches path callbacks
+      | Some o, Some n when o.pzxid = n.pzxid && o.cversion = n.cversion ->
+        rearm into.child_watches path callbacks
+      | Some _, None -> fire callbacks Node_deleted path
+      | None, Some _ | Some _, Some _ -> fire callbacks Node_children_changed path)
+    (drain_watch_table from.child_watches)
+
 (* {2 Ephemeral bookkeeping} *)
 
 let record_ephemeral t ~owner path =

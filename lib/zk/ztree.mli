@@ -65,6 +65,16 @@ val watch_data : t -> string -> (watch_event -> unit) -> unit
 (** Register a fire-once child watch on an existing node. *)
 val watch_children : t -> string -> (watch_event -> unit) -> unit
 
+(** [migrate_watches ~from ~into] carries [from]'s armed watch registries
+    over to [into] — the setWatches-on-reconnect step of a snapshot-based
+    resync, where the receiving replica swaps in a deserialized tree that
+    has no watches. A watch whose node is unchanged between the two
+    states (same mzxid/version for data watches, same pzxid/cversion for
+    child watches) re-arms on [into]; a watch whose node was created,
+    deleted, or modified in the gap fires immediately with the missed
+    event. [from]'s registries are emptied. *)
+val migrate_watches : from:t -> into:t -> unit
+
 (** {2 Sessions} *)
 
 (** All paths currently owned by [owner], deepest first (safe to delete in

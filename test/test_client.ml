@@ -246,6 +246,91 @@ let test_readdir_through_cache_warms_and_invalidates () =
     "listing reflects delete" [ "b"; "sub" ]
     (names (ok_or_fail "readdir 4" (fs.Vfs.readdir "/d")))
 
+let test_rmdir_version_guard_retries () =
+  (* a concurrent metadata update lands between rmdir's emptiness check
+     and its delete: the version guard turns it into ZBADVERSION and the
+     client re-reads and retries instead of deleting stale state *)
+  let service = Zk.Zk_local.create () in
+  let real = Zk.Zk_local.session service in
+  let observed = ref [] in
+  let raced = ref false in
+  let coord =
+    { real with
+      Zk.Zk_client.delete =
+        (fun ?version path ->
+          if Filename.basename path = "d" then begin
+            observed := version :: !observed;
+            if not !raced then begin
+              raced := true;
+              (* the interleaved chmod bumps the znode's version *)
+              match real.Zk.Zk_client.get path with
+              | Ok (data, _) -> ignore (real.Zk.Zk_client.set path ~data)
+              | Error e -> Alcotest.failf "race setup: %s" (Zk.Zerror.to_string e)
+            end
+          end;
+          real.Zk.Zk_client.delete ?version path) }
+  in
+  let mounts =
+    Array.init 2 (fun _ -> Memfs.ops (Memfs.create ~clock:(fun () -> 0.) ()))
+  in
+  Array.iter
+    (fun ops -> ok_or_fail "format" (Physical.format Physical.default_layout ops))
+    mounts;
+  let fs = Client.ops (Client.mount ~coord ~backends:mounts ()) in
+  ok_or_fail "mkdir" (fs.Vfs.mkdir "/d" ~mode:0o755);
+  ok_or_fail "rmdir survives the race" (fs.Vfs.rmdir "/d");
+  (match List.rev !observed with
+  | [ Some v1; Some v2 ] ->
+    check_bool "retry re-reads the bumped version" true (v2 = v1 + 1)
+  | attempts ->
+    Alcotest.failf "expected 2 version-guarded deletes, saw %d with guards [%s]"
+      (List.length attempts)
+      (String.concat ";"
+         (List.map
+            (function Some v -> string_of_int v | None -> "unguarded")
+            attempts)));
+  expect_err "directory is gone" Errno.ENOENT (fs.Vfs.getattr "/d")
+
+let test_cache_not_stale_after_snapshot_transfer () =
+  (* regression: a follower recovering by whole-snapshot copy used to
+     drop its armed watches, so a client cache attached to it kept
+     serving the pre-crash value forever *)
+  let engine = Simkit.Engine.create () in
+  let cfg =
+    { (Zk.Ensemble.default_config ~servers:3) with
+      Zk.Ensemble.election_timeout = 0.2;
+      request_timeout = 0.3 }
+  in
+  let ensemble = Zk.Ensemble.start engine cfg in
+  let zk_ok label = function
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: unexpected %s" label (Zk.Zerror.to_string e)
+  in
+  Simkit.Process.spawn engine (fun () ->
+      let writer = Zk.Ensemble.session ensemble ~server:0 () in
+      ignore (zk_ok "seed" (writer.Zk.Zk_client.create "/hot" ~data:"old"));
+      let cache = Dufs.Cache.wrap (Zk.Ensemble.session ensemble ~server:2 ()) in
+      let cached = Dufs.Cache.handle cache in
+      let data, _ = zk_ok "warm" (cached.Zk.Zk_client.get "/hot") in
+      check_string "cache warmed with the pre-crash value" "old" data;
+      Zk.Ensemble.crash ensemble 2;
+      (* enough writes while the follower is down to force SNAP sync *)
+      for i = 0 to 599 do
+        ignore
+          (zk_ok "bulk"
+             (writer.Zk.Zk_client.create (Printf.sprintf "/bulk%03d" i) ~data:""))
+      done;
+      ignore (zk_ok "update" (writer.Zk.Zk_client.set "/hot" ~data:"new"));
+      Zk.Ensemble.restart ensemble 2;
+      Simkit.Process.sleep 0.1;
+      (* the migrated watch fired the missed change and invalidated the
+         entry, so this read refetches instead of serving stale data *)
+      let data, _ = zk_ok "re-read" (cached.Zk.Zk_client.get "/hot") in
+      check_string "cache serves the post-snapshot value" "new" data;
+      check_bool "the stale entry was invalidated, not refreshed by luck" true
+        (Dufs.Cache.invalidations cache > 0));
+  Simkit.Engine.run engine
+
 let test_symlink () =
   let _, fs, _, _ = make () in
   ok_or_fail "symlink" (fs.Vfs.symlink ~target:"/target/path" "/l");
@@ -484,6 +569,8 @@ let () =
             test_dirs_not_on_backends;
           Alcotest.test_case "rmdir" `Quick test_rmdir;
           Alcotest.test_case "rmdir on file" `Quick test_rmdir_on_file;
+          Alcotest.test_case "rmdir version guard retries" `Quick
+            test_rmdir_version_guard_retries;
           Alcotest.test_case "dir size counts children" `Quick
             test_dir_stat_size_counts_children ] );
       ( "files",
@@ -503,6 +590,8 @@ let () =
             test_readdir_single_round_trip;
           Alcotest.test_case "readdir through cache" `Quick
             test_readdir_through_cache_warms_and_invalidates;
+          Alcotest.test_case "cache fresh after snapshot transfer" `Quick
+            test_cache_not_stale_after_snapshot_transfer;
           Alcotest.test_case "symlink" `Quick test_symlink;
           Alcotest.test_case "access" `Quick test_access ] );
       ( "rename",

@@ -162,8 +162,8 @@ let test_ephemerals_removed_on_close () =
       ignore (ok_or_fail "keep" (s1.Zk_client.create "/keep" ~data:""));
       s1.Zk_client.close ();
       s2.Zk_client.sync ();
-      check_bool "ephemeral gone" true (s2.Zk_client.exists "/tmp" = None);
-      check_bool "persistent kept" true (s2.Zk_client.exists "/keep" <> None));
+      check_bool "ephemeral gone" true (s2.Zk_client.exists "/tmp" = Ok None);
+      check_bool "persistent kept" true (s2.Zk_client.exists "/keep" <> Ok None));
   Engine.run engine
 
 (* {2 Read scaling sanity} *)
@@ -331,6 +331,76 @@ let test_single_server_ensemble () =
       check_string "roundtrip" "x" data);
   Engine.run engine;
   check_int "committed" 1 (Ensemble.writes_committed ensemble)
+
+(* {2 Exactly-once writes and watch survival} *)
+
+let test_retried_committed_create_applies_once () =
+  (* the origin follower dies after forwarding a create but before the
+     commit's reply reaches it: the client times out and retries against
+     another server, and the replicated dedup table answers with the
+     original result instead of applying the transaction twice *)
+  let engine, ensemble = make ~servers:5 ~config_adjust:fast_faults () in
+  let result = ref (Error Zerror.ZCONNECTIONLOSS) in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:4 () in
+      result := s.Zk_client.create "/once" ~data:"payload");
+  (* 200 us: after server 4 forwarded the write to the leader, before
+     the commit's Deliver_reply makes it back to server 4 *)
+  Engine.schedule engine ~delay:0.0002 (fun () -> Ensemble.crash ensemble 4);
+  Engine.run engine;
+  (match !result with
+  | Ok path -> check_string "retry returns the original result" "/once" path
+  | Error e -> Alcotest.failf "retried create failed: %s" (Zerror.to_string e));
+  check_int "transaction committed exactly once" 1
+    (Ensemble.writes_committed ensemble);
+  check_int "retry answered from the dedup table" 1 (Ensemble.dedup_hits ensemble);
+  check_int "no duplicate znode" 2 (Ztree.node_count (Ensemble.tree_of ensemble 0))
+
+let test_watches_survive_snapshot_transfer () =
+  (* a follower that recovers via whole-snapshot copy must not lose its
+     armed watches: nodes changed while it was down fire the missed
+     event on reconnect, untouched ones are transplanted into the new
+     tree and stay armed for later changes *)
+  let engine, ensemble = make ~servers:3 ~config_adjust:fast_faults () in
+  let hot_events = ref [] and cold_events = ref [] in
+  Process.spawn engine (fun () ->
+      let writer = Ensemble.session ensemble ~server:0 () in
+      ignore (ok_or_fail "hot" (writer.Zk_client.create "/hot" ~data:"old"));
+      ignore (ok_or_fail "cold" (writer.Zk_client.create "/cold" ~data:"keep"));
+      let watcher = Ensemble.session ensemble ~server:2 () in
+      ignore
+        (ok_or_fail "arm hot"
+           (watcher.Zk_client.get_watch "/hot" (fun e ->
+                hot_events := e :: !hot_events)));
+      ignore
+        (ok_or_fail "arm cold"
+           (watcher.Zk_client.get_watch "/cold" (fun e ->
+                cold_events := e :: !cold_events)));
+      Ensemble.crash ensemble 2;
+      (* enough traffic while it is down to force SNAP (not DIFF) sync *)
+      for i = 0 to 599 do
+        ignore
+          (ok_or_fail "bulk"
+             (writer.Zk_client.create (Printf.sprintf "/bulk%03d" i) ~data:""))
+      done;
+      ignore (ok_or_fail "set hot" (writer.Zk_client.set "/hot" ~data:"new"));
+      Ensemble.restart ensemble 2;
+      Process.sleep 0.1;
+      check_int "missed data change fires on reconnect" 1 (List.length !hot_events);
+      (match !hot_events with
+      | [ e ] ->
+        check_bool "fires as a data-changed event" true
+          (e.Ztree.kind = Ztree.Node_data_changed)
+      | _ -> ());
+      check_int "untouched watch does not fire spuriously" 0
+        (List.length !cold_events);
+      (* the transplanted watch is still armed in the new tree *)
+      ignore (ok_or_fail "set cold" (writer.Zk_client.set "/cold" ~data:"now"));
+      Process.sleep 0.1;
+      check_int "transplanted watch fires on a later change" 1
+        (List.length !cold_events));
+  Engine.run engine;
+  check_bool "replicas converge" true (all_trees_agree ensemble ~servers:3)
 
 (* {2 Observers} *)
 
@@ -699,6 +769,10 @@ let () =
             test_restarted_follower_catches_up;
           Alcotest.test_case "no loss across crash+restart" `Quick
             test_writes_during_crash_are_not_lost;
+          Alcotest.test_case "retried committed create applies once" `Quick
+            test_retried_committed_create_applies_once;
+          Alcotest.test_case "watches survive snapshot transfer" `Quick
+            test_watches_survive_snapshot_transfer;
           Alcotest.test_case "snapshot catch-up after long outage" `Quick
             test_snapshot_catch_up_after_long_outage ] );
       ( "observers",

@@ -1,0 +1,115 @@
+(* Tests for the declarative fault-schedule harness: the plan grammar,
+   arming a plan against a live ensemble, and the headline failure-path
+   run — mdtest at 64 processes with the leader (and two followers)
+   crashed mid file-create must complete error-free, with every retried
+   write answered exactly once and the znode population accounted for. *)
+
+module Engine = Simkit.Engine
+module Ensemble = Zk.Ensemble
+module Faultplan = Faults.Faultplan
+module Systems = Scenarios.Systems
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let plan_of_string text =
+  match Faultplan.parse text with
+  | Ok plan -> plan
+  | Error msg -> Alcotest.failf "parse %S: %s" text msg
+
+(* {2 Grammar} *)
+
+let test_parse_roundtrip () =
+  let text =
+    "crash-leader@file-create+0.05;crash=1@0.25;restart=1@dir-stat+0.2;\
+     restart-all@file-create+1.5"
+  in
+  let plan = plan_of_string text in
+  check_int "four events" 4 (List.length plan);
+  check_string "to_string inverts parse" text (Faultplan.to_string plan);
+  match plan with
+  | { Faultplan.action = Faultplan.Crash_leader;
+      anchor = Faultplan.After_phase ("file-create", offset) }
+    :: { Faultplan.action = Faultplan.Crash 1; anchor = Faultplan.At t } :: _ ->
+    check_bool "phase offset parsed" true (offset = 0.05);
+    check_bool "absolute time parsed" true (t = 0.25)
+  | _ -> Alcotest.fail "events decoded in the wrong shape"
+
+let test_parse_bare_phase_anchor () =
+  match plan_of_string "crash=0@file-remove" with
+  | [ { Faultplan.action = Faultplan.Crash 0;
+        anchor = Faultplan.After_phase ("file-remove", 0.) } ] -> ()
+  | _ -> Alcotest.fail "bare phase anchor should mean offset 0"
+
+let test_parse_rejects_malformed () =
+  List.iter
+    (fun text ->
+      match Faultplan.parse text with
+      | Ok _ -> Alcotest.failf "parse %S should fail" text
+      | Error _ -> ())
+    [ "boom@1"; "crash=x@1"; "crash=1"; "crash=1@-2"; "crash=-1@1";
+      "crash=1@dir-create+x"; "crash=1@+" ]
+
+(* {2 Arming against a live ensemble} *)
+
+let test_arm_executes_timed_and_phase_events () =
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers:3) in
+  let armed =
+    Faultplan.arm engine ensemble (plan_of_string "crash=2@0.01;restart=2@boot+0.05")
+  in
+  Engine.schedule engine ~delay:0.02 (fun () ->
+      check_bool "timed crash fired" true
+        (not (List.mem 2 (Ensemble.alive_ids ensemble)));
+      check_int "phase-anchored event still held" 1 (Faultplan.fired armed);
+      Faultplan.notify_phase armed "boot");
+  Engine.run engine;
+  check_int "both events fired" 2 (Faultplan.fired armed);
+  check_bool "server restarted by the phase event" true
+    (List.mem 2 (Ensemble.alive_ids ensemble))
+
+(* {2 The acceptance run: mdtest under leader crash and quorum loss} *)
+
+let test_mdtest_64_procs_survives_leader_crash () =
+  (* leader down 20 ms into file-create, then two followers: the
+     ensemble sits below quorum for ~1.1 s — longer than the request
+     timeout, so clients must retry writes that are still pending, and
+     the dedup table has to answer them without a second apply *)
+  let plan =
+    plan_of_string
+      "crash-leader@file-create+0.02;crash=1@file-create+0.05;\
+       crash=2@file-create+0.08;restart-all@file-create+1.2"
+  in
+  let spec =
+    { Systems.zk_servers = 5; backends = 2; backend_kind = Systems.Lustre }
+  in
+  let run =
+    Systems.mdtest_faulted ~dirs_per_proc:40 ~files_per_proc:40
+      ~config_adjust:(fun c ->
+        { c with Ensemble.election_timeout = 0.2; request_timeout = 0.3 })
+      ~spec ~procs:64 ~plan ()
+  in
+  check_int "mdtest completes error-free" 0
+    run.Systems.results.Mdtest.Runner.errors;
+  check_int "all four fault events fired" 4 run.Systems.faults_fired;
+  check_bool "retried writes answered from the dedup table" true
+    (run.Systems.dedup_hits > 0);
+  check_int "znode population exact: nothing lost, nothing applied twice"
+    run.Systems.expected_znodes_after_create run.Systems.znodes_after_create;
+  check_bool "every create committed" true
+    (run.Systems.writes_committed >= 64 * 40)
+
+let () =
+  Alcotest.run "faults"
+    [ ( "grammar",
+        [ Alcotest.test_case "parse/to_string roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "bare phase anchor" `Quick test_parse_bare_phase_anchor;
+          Alcotest.test_case "rejects malformed plans" `Quick
+            test_parse_rejects_malformed ] );
+      ( "arming",
+        [ Alcotest.test_case "timed and phase-anchored events" `Quick
+            test_arm_executes_timed_and_phase_events ] );
+      ( "acceptance",
+        [ Alcotest.test_case "mdtest 64 procs survives leader crash" `Slow
+            test_mdtest_64_procs_survives_leader_crash ] ) ]

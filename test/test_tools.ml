@@ -173,6 +173,62 @@ let test_fsck_detects_undecodable_meta () =
   let stats = Fsck.repair ~backends:mount_ops report in
   check_bool "reported unrepairable" true (stats.Fsck.unrepairable >= 1)
 
+let test_create_rollback_failure_flags_orphan () =
+  (* the worst-case create: the back-end rejects the physical file AND
+     the compensating znode delete times out. The client must surface
+     EIO, record the stuck rollback, and fsck must find and clear the
+     orphaned znode *)
+  let service = Zk.Zk_local.create () in
+  let real = Zk.Zk_local.session service in
+  let fail_backend = ref false and fail_rollback = ref false in
+  let coord =
+    { real with
+      Zk.Zk_client.delete =
+        (fun ?version path ->
+          if !fail_rollback && Filename.basename path = "f" then
+            Error Zk.Zerror.ZOPERATIONTIMEOUT
+          else real.Zk.Zk_client.delete ?version path) }
+  in
+  let mounts = Array.init 2 (fun _ -> Memfs.ops (Memfs.create ~clock:(fun () -> 0.) ())) in
+  Array.iter
+    (fun ops -> ok_fs "format" (Physical.format Physical.default_layout ops))
+    mounts;
+  let flaky =
+    Array.map
+      (fun ops ->
+        { ops with
+          Vfs.create =
+            (fun path ~mode ->
+              if !fail_backend then Error Errno.EIO else ops.Vfs.create path ~mode) })
+      mounts
+  in
+  let client = Client.mount ~coord ~backends:flaky () in
+  let fs = Client.ops client in
+  fail_backend := true;
+  fail_rollback := true;
+  (match fs.Vfs.create "/f" ~mode:0o644 with
+  | Error Errno.EIO -> ()
+  | Ok () -> Alcotest.fail "create must fail when the back-end does"
+  | Error e -> Alcotest.failf "expected EIO, got %s" (Errno.to_string e));
+  (match Client.orphan_notes client with
+  | [ note ] ->
+    check_bool "the note names the orphaned znode" true
+      (String.length note > 0
+      && String.sub note 0 (String.length "/dufs/f") = "/dufs/f")
+  | notes -> Alcotest.failf "expected 1 orphan note, got %d" (List.length notes));
+  fail_backend := false;
+  fail_rollback := false;
+  let report = ok_zk "fsck scan" (Fsck.scan ~coord:real ~backends:mounts ()) in
+  (match report.Fsck.issues with
+  | [ Fsck.Missing_physical _ ] -> ()
+  | issues ->
+    Alcotest.failf "expected the orphaned znode flagged, got %d issues"
+      (List.length issues));
+  let stats = Fsck.repair ~backends:mounts report in
+  check_int "repair recreates the physical" 1 stats.Fsck.recreated;
+  check_bool "clean after repair" true
+    (Fsck.is_clean (ok_zk "rescan" (Fsck.scan ~coord:real ~backends:mounts ())))
+
 (* {2 Rebalancer} *)
 
 let test_rebalance_md5_grow () =
@@ -456,7 +512,9 @@ let () =
           Alcotest.test_case "orphan physical" `Quick test_fsck_detects_orphan;
           Alcotest.test_case "misplaced physical" `Quick test_fsck_detects_misplaced;
           Alcotest.test_case "undecodable metadata" `Quick
-            test_fsck_detects_undecodable_meta ] );
+            test_fsck_detects_undecodable_meta;
+          Alcotest.test_case "create rollback failure flags orphan" `Quick
+            test_create_rollback_failure_flags_orphan ] );
       ( "rebalancer",
         [ Alcotest.test_case "md5 grow" `Quick test_rebalance_md5_grow;
           Alcotest.test_case "consistent hashing moves less" `Quick

@@ -383,11 +383,11 @@ let test_local_session_api () =
   let data, _ = ok_or_fail "get" (s.Zk_client.get "/a") in
   check_string "data" "d" data;
   ok_or_fail "set" (s.Zk_client.set "/a" ~data:"d2");
-  check_bool "exists" true (s.Zk_client.exists "/a" <> None);
+  check_bool "exists" true (s.Zk_client.exists "/a" <> Ok None);
   Alcotest.(check (list string)) "children" []
     (ok_or_fail "children" (s.Zk_client.children "/a"));
   ok_or_fail "delete" (s.Zk_client.delete "/a");
-  check_bool "gone" true (s.Zk_client.exists "/a" = None)
+  check_bool "gone" true (s.Zk_client.exists "/a" = Ok None)
 
 let test_local_sessions_share_namespace () =
   let svc = Zk_local.create () in
@@ -404,8 +404,8 @@ let test_local_ephemeral_cleanup_on_close () =
   ignore (ok_or_fail "eph" (s1.Zk_client.create ~ephemeral:true "/tmp" ~data:""));
   ignore (ok_or_fail "persistent" (s1.Zk_client.create "/keep" ~data:""));
   s1.Zk_client.close ();
-  check_bool "ephemeral removed" true (s2.Zk_client.exists "/tmp" = None);
-  check_bool "persistent kept" true (s2.Zk_client.exists "/keep" <> None)
+  check_bool "ephemeral removed" true (s2.Zk_client.exists "/tmp" = Ok None);
+  check_bool "persistent kept" true (s2.Zk_client.exists "/keep" <> Ok None)
 
 let test_local_sequential () =
   let svc = Zk_local.create () in
@@ -424,7 +424,7 @@ let test_local_multi () =
     Zerror.ZNONODE
     (s.Zk_client.multi
        [ Zk_client.create_op "/m2" ~data:""; Zk_client.create_op "/zz/c" ~data:"" ]);
-  check_bool "rolled back" true (s.Zk_client.exists "/m2" = None)
+  check_bool "rolled back" true (s.Zk_client.exists "/m2" = Ok None)
 
 (* {2 Bulk readdir (children_with_data)} *)
 
