@@ -31,6 +31,12 @@ let experiments =
      fun () -> Scenarios.Figures.batching ~json_path:"BENCH_pr1.json" ());
     ("faults", "mdtest under fault schedules: fault-free vs faulted (writes BENCH_pr2.json)",
      fun () -> Scenarios.Figures.faults ~json_path:"BENCH_pr2.json" ());
+    ("profile", "span-traced mdtest: latency percentiles + quorum phase breakdown (writes BENCH_pr3.json)",
+     fun () -> Scenarios.Figures.profile ~json_path:"BENCH_pr3.json" ());
+    ("profile-smoke", "profile at 64 procs only (CI; writes BENCH_pr3_smoke.json)",
+     fun () ->
+       Scenarios.Figures.profile ~procs_list:[ 64 ]
+         ~json_path:"BENCH_pr3_smoke.json" ());
     ("all", "every experiment in order", Scenarios.Figures.all) ]
 
 open Cmdliner

@@ -16,6 +16,7 @@ type t = {
   clock : unit -> float;
   delay : float -> unit;
   overhead : float;
+  trace : Obs.Trace.t;
   fid_gen : Fid.Gen.t;
   (* znodes whose create rolled back but whose rollback delete also
      failed: each is a Missing_physical orphan until fsck repairs it *)
@@ -37,7 +38,8 @@ let errno_of_zerror = function
 
 let mount ~coord ~backends ?client_id ?(layout = Physical.default_layout)
     ?(strategy = Mapping.Md5_mod) ?(zroot = "/dufs") ?(clock = fun () -> 0.)
-    ?(delay = fun _ -> ()) ?(overhead = default_overhead) () =
+    ?(delay = fun _ -> ()) ?(overhead = default_overhead)
+    ?(trace = Obs.Trace.null) () =
   if Array.length backends = 0 then invalid_arg "Client.mount: no backends";
   (match strategy with
   | Mapping.Md5_mod -> ()
@@ -59,6 +61,7 @@ let mount ~coord ~backends ?client_id ?(layout = Physical.default_layout)
       clock;
       delay;
       overhead;
+      trace;
       fid_gen = Fid.Gen.create ~client_id;
       orphan_notes = [] }
   in
@@ -455,19 +458,35 @@ let statfs t () =
     { Vfs.files = 0; directories = 0; symlinks = 0; bytes_used = 0L }
     t.backends
 
+(* Root span around one POSIX op against the simulated clock. Recording
+   is accumulator-only, so traced and untraced runs tick identically. *)
+let traced t name f =
+  if Obs.Trace.enabled t.trace then begin
+    let t0 = t.clock () in
+    let r = f () in
+    Obs.Trace.record_span t.trace name (t.clock () -. t0);
+    r
+  end
+  else f ()
+
 let ops t =
-  { Vfs.getattr = getattr t;
-    access = access t;
-    mkdir = mkdir t;
-    rmdir = rmdir t;
-    create = create_file t;
-    unlink = unlink t;
-    rename = rename t;
-    readdir = readdir t;
-    symlink = (fun ~target vpath -> symlink t ~target vpath);
-    readlink = readlink t;
-    chmod = chmod t;
-    truncate = truncate t;
-    read = read t;
-    write = write t;
-    statfs = statfs t }
+  { Vfs.getattr = (fun p -> traced t "dufs.getattr" (fun () -> getattr t p));
+    access = (fun p -> traced t "dufs.access" (fun () -> access t p));
+    mkdir = (fun p ~mode -> traced t "dufs.mkdir" (fun () -> mkdir t p ~mode));
+    rmdir = (fun p -> traced t "dufs.rmdir" (fun () -> rmdir t p));
+    create =
+      (fun p ~mode -> traced t "dufs.create" (fun () -> create_file t p ~mode));
+    unlink = (fun p -> traced t "dufs.unlink" (fun () -> unlink t p));
+    rename = (fun a b -> traced t "dufs.rename" (fun () -> rename t a b));
+    readdir = (fun p -> traced t "dufs.readdir" (fun () -> readdir t p));
+    symlink =
+      (fun ~target p -> traced t "dufs.symlink" (fun () -> symlink t ~target p));
+    readlink = (fun p -> traced t "dufs.readlink" (fun () -> readlink t p));
+    chmod = (fun p ~mode -> traced t "dufs.chmod" (fun () -> chmod t p ~mode));
+    truncate =
+      (fun p ~size -> traced t "dufs.truncate" (fun () -> truncate t p ~size));
+    read =
+      (fun p ~off ~len -> traced t "dufs.read" (fun () -> read t p ~off ~len));
+    write =
+      (fun p ~off data -> traced t "dufs.write" (fun () -> write t p ~off data));
+    statfs = (fun () -> traced t "dufs.statfs" (fun () -> statfs t ())) }

@@ -32,12 +32,34 @@ let print_ratio ~label v = Printf.printf "  %-58s %8.2fx\n%!" label v
 
 (* {2 Machine-readable bench points} *)
 
+type latency_stats = {
+  samples : int;
+  mean_s : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  max_s : float;
+}
+
 type bench_point = {
   experiment : string;
   procs : int;
   config : string;
   ops_per_sec : float;
+  latency : latency_stats option;
+  phases : (string * float) list;
 }
+
+let point ~experiment ~procs ~config ~ops_per_sec ?latency ?(phases = []) () =
+  { experiment; procs; config; ops_per_sec; latency; phases }
+
+let latency_of_runner (l : Runner.latency) =
+  { samples = l.Runner.samples;
+    mean_s = l.Runner.mean;
+    p50_s = l.Runner.p50;
+    p95_s = l.Runner.p95;
+    p99_s = l.Runner.p99;
+    max_s = l.Runner.max }
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -54,16 +76,49 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Every float is checked before it reaches the file: a bench JSON with
+   NaN/Infinity in it is worse than a crashed bench run. *)
+let finite ~experiment ~field v =
+  if Float.is_finite v then v
+  else
+    invalid_arg
+      (Printf.sprintf "Report.emit_json: %s.%s is not finite" experiment field)
+
 let emit_json ~path points =
   let oc = open_out path in
   output_string oc "[\n";
   List.iteri
     (fun i p ->
+      let f = finite ~experiment:p.experiment in
       Printf.fprintf oc
         "  {\"experiment\": \"%s\", \"procs\": %d, \"config\": \"%s\", \
-         \"ops_per_sec\": %.3f}%s\n"
-        (json_escape p.experiment) p.procs (json_escape p.config) p.ops_per_sec
-        (if i < List.length points - 1 then "," else ""))
+         \"ops_per_sec\": %.3f"
+        (json_escape p.experiment) p.procs (json_escape p.config)
+        (f ~field:"ops_per_sec" p.ops_per_sec);
+      (match p.latency with
+       | None -> ()
+       | Some l ->
+         Printf.fprintf oc
+           ", \"latency\": {\"samples\": %d, \"mean_s\": %.9g, \"p50_s\": \
+            %.9g, \"p95_s\": %.9g, \"p99_s\": %.9g, \"max_s\": %.9g}"
+           l.samples
+           (f ~field:"mean_s" l.mean_s)
+           (f ~field:"p50_s" l.p50_s)
+           (f ~field:"p95_s" l.p95_s)
+           (f ~field:"p99_s" l.p99_s)
+           (f ~field:"max_s" l.max_s));
+      (match p.phases with
+       | [] -> ()
+       | phases ->
+         output_string oc ", \"phases\": {";
+         List.iteri
+           (fun j (name, dur) ->
+             if j > 0 then output_string oc ", ";
+             Printf.fprintf oc "\"%s\": %.9g" (json_escape name)
+               (f ~field:name dur))
+           phases;
+         output_string oc "}");
+      Printf.fprintf oc "}%s\n" (if i < List.length points - 1 then "," else ""))
     points;
   output_string oc "]\n";
   close_out oc

@@ -21,14 +21,44 @@ val print_header : string -> unit
     The stable cross-PR schema for benchmark output files
     ([BENCH_*.json]): a flat JSON array of
     [{experiment, procs, config, ops_per_sec}] objects, so successive
-    PRs append comparable points. *)
+    PRs append comparable points. Points may additionally carry a
+    latency-percentile block and a per-phase breakdown; points without
+    them serialize exactly as before. *)
+
+(** Operation-latency percentiles (virtual seconds), [samples > 0]. *)
+type latency_stats = {
+  samples : int;
+  mean_s : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  max_s : float;
+}
 
 type bench_point = {
   experiment : string;  (** e.g. ["mdtest-file-create"] *)
   procs : int;          (** simulated client processes *)
   config : string;      (** system + knob description, e.g. ["max_batch=16"] *)
   ops_per_sec : float;
+  latency : latency_stats option;
+  phases : (string * float) list;
+      (** named critical-path phase durations (seconds), e.g. the quorum
+          phases of a coordination write; empty for throughput-only points *)
 }
 
-(** Write [points] to [path] as a JSON array, one object per line. *)
+val point :
+  experiment:string ->
+  procs:int ->
+  config:string ->
+  ops_per_sec:float ->
+  ?latency:latency_stats ->
+  ?phases:(string * float) list ->
+  unit ->
+  bench_point
+
+val latency_of_runner : Runner.latency -> latency_stats
+
+(** Write [points] to [path] as a JSON array, one object per line.
+    @raise Invalid_argument on NaN/infinite values — a bench file is
+    either honest JSON or an error, never silently poisoned. *)
 val emit_json : path:string -> bench_point list -> unit

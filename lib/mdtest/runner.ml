@@ -22,8 +22,10 @@ let phase_to_string = function
   | File_remove -> "file-remove"
 
 type latency = {
+  samples : int;
   mean : float;
   p50 : float;
+  p95 : float;
   p99 : float;
   max : float;
 }
@@ -36,7 +38,10 @@ type results = {
 }
 
 let rate results phase = List.assoc phase results.rates
-let latency_of results phase = List.assoc phase results.latencies
+
+(* [None] for a phase that recorded no samples: an empty distribution has
+   no honest mean or quantiles, so it reports nothing instead of zeros. *)
+let latency_of results phase = List.assoc_opt phase results.latencies
 
 let count_result errors = function
   | Ok _ -> ()
@@ -105,13 +110,18 @@ let run ?(on_phase = fun (_ : phase) -> ()) engine cfg ~ops_for_proc =
           let dt = Engine.now engine -. t0 in
           let total = float_of_int (items * procs) in
           rates := (phase, if dt > 0. then total /. dt else 0.) :: !rates;
-          latencies :=
-            ( phase,
-              { mean = Simkit.Stat.Summary.mean summary;
-                p50 = Simkit.Stat.Histogram.quantile histogram 0.5;
-                p99 = Simkit.Stat.Histogram.quantile histogram 0.99;
-                max = Simkit.Stat.Summary.max summary } )
-            :: !latencies
+          match Simkit.Stat.Summary.max summary with
+          | None -> ()  (* no samples: no latency row *)
+          | Some max ->
+            latencies :=
+              ( phase,
+                { samples = Simkit.Stat.Summary.count summary;
+                  mean = Simkit.Stat.Summary.mean summary;
+                  p50 = Simkit.Stat.Histogram.quantile histogram 0.5;
+                  p95 = Simkit.Stat.Histogram.quantile histogram 0.95;
+                  p99 = Simkit.Stat.Histogram.quantile histogram 0.99;
+                  max } )
+              :: !latencies
         end)
       all_phases;
     if proc = 0 then finished := Engine.now engine

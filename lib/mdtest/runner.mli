@@ -15,10 +15,13 @@ type phase =
 val all_phases : phase list
 val phase_to_string : phase -> string
 
-(** Per-phase operation-latency distribution (virtual seconds). *)
+(** Per-phase operation-latency distribution (virtual seconds). [max] is
+    the exact observed maximum, not a histogram-bucket upper bound. *)
 type latency = {
+  samples : int;
   mean : float;
   p50 : float;
+  p95 : float;
   p99 : float;
   max : float;
 }
@@ -26,12 +29,16 @@ type latency = {
 type results = {
   rates : (phase * float) list;  (** ops/second per phase *)
   latencies : (phase * latency) list;
+      (** only phases that recorded at least one sample *)
   errors : int;                  (** operations that returned an error *)
   wall : float;                  (** virtual seconds for the whole run *)
 }
 
 val rate : results -> phase -> float
-val latency_of : results -> phase -> latency
+
+(** [None] when the phase recorded no samples — an empty distribution has
+    no honest statistics to report. *)
+val latency_of : results -> phase -> latency option
 
 (** [run engine cfg ~ops_for_proc] executes the six mdtest phases.
     [ops_for_proc p] supplies client [p]'s operation table (its own DUFS

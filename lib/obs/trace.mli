@@ -1,0 +1,77 @@
+(** Lightweight span tracing over a {!Metrics} registry.
+
+    Default-off and cheap when off: a disabled trace records nothing and
+    allocates nothing per event. Recording is pure accumulator
+    bookkeeping — it never schedules events or advances the virtual
+    clock, so a traced run and an untraced run of the same workload
+    produce identical simulated timelines. *)
+
+type t
+
+(** A fresh, disabled trace with its own metrics registry. *)
+val create : unit -> t
+
+(** The shared always-off sink, for components built without a trace. *)
+val null : t
+
+(** @raise Invalid_argument on {!null}. *)
+val enable : t -> unit
+
+val disable : t -> unit
+val enabled : t -> bool
+val metrics : t -> Metrics.t
+
+(** [record_span t name dur] records one completed span: [name] holds
+    the latency histogram, [name ^ ".sum"] the exact online summary. *)
+val record_span : t -> string -> float -> unit
+
+(** Scalar observation (queue depth, batch size, ...): summary only. *)
+val observe : t -> string -> float -> unit
+
+(** {2 Reading spans back} *)
+
+val span_count : t -> string -> int
+
+(** Exact mean from the [.sum] summary; [None] if absent or empty. *)
+val span_mean : t -> string -> float option
+
+val span_max : t -> string -> float option
+
+(** Bucketed quantile from the histogram; [None] if absent or empty. *)
+val span_quantile : t -> string -> float -> float option
+
+(** {2 Write-path span context}
+
+    One [wspan] travels with a coordination write. The client stamps the
+    send time, the leader stamps batch start / persist share / proposal
+    fan-out / quorum commit, and the client calls {!finish_write} when
+    the reply lands, folding the stamps into the five quorum phases
+    (queue-wait, propose, persist, ack, commit) plus the op total. The
+    stamps tile the op's timeline, so the phase durations sum to the
+    measured op latency by construction. *)
+
+type wspan = {
+  mutable w_sent : float;
+  mutable w_batch : float;
+  mutable w_persist : float;  (** duration, not a stamp *)
+  mutable w_proposed : float;
+  mutable w_quorum : float;
+}
+
+(** The shared dummy carried by untraced writes; stamps on it are never
+    read back. *)
+val no_wspan : wspan
+
+(** Fresh span stamped with [w_sent = now] when the trace is enabled;
+    {!no_wspan} otherwise (no allocation). *)
+val wspan : t -> now:float -> wspan
+
+val is_real : wspan -> bool
+
+(** The five quorum phases, in timeline order. *)
+val phases : string list
+
+(** [finish_write t ~op w ~now] records [zk.<op>.total] and the five
+    [zk.<op>.<phase>] spans. Skips silently when the trace is off or the
+    span is missing stamps / non-monotone (e.g. a retried write). *)
+val finish_write : t -> op:string -> wspan -> now:float -> unit

@@ -71,6 +71,8 @@ let config t = t.cfg
 let local_ops t = t.fs_ops
 let lock_revokes t = t.revokes
 let mds_served t = Mdserver.served t.mds
+let mds_wait_summary t = Mdserver.wait_summary t.mds
+let mds_hold_summary t = Mdserver.hold_summary t.mds
 
 (* Cost of taking the parent directory's DLM update lock: free if this
    client already holds it, a blocking-AST round trip if it must be

@@ -50,3 +50,8 @@ val lock_revokes : t -> int
 
 (** Requests served by the MDS. *)
 val mds_served : t -> int
+
+(** MDS handler-queue wait vs service (hold) time distributions. *)
+val mds_wait_summary : t -> Simkit.Stat.Summary.t
+
+val mds_hold_summary : t -> Simkit.Stat.Summary.t

@@ -16,6 +16,8 @@ let create _engine ~threads ~thrash ~net_latency () =
 
 let load t = Resource.in_use t.handlers + Resource.queue_length t.handlers
 let served t = t.served
+let wait_summary t = Resource.wait_summary t.handlers
+let hold_summary t = Resource.hold_summary t.handlers
 
 let request t ~service ?(extra = 0.) f =
   Process.sleep t.net_latency;

@@ -28,3 +28,10 @@ val load : t -> int
 
 (** Total requests served. *)
 val served : t -> int
+
+(** Handler-queue wait vs in-service (hold) time distributions, from the
+    underlying {!Simkit.Resource} — the wait-vs-service split behind
+    every latency this station reports. *)
+val wait_summary : t -> Simkit.Stat.Summary.t
+
+val hold_summary : t -> Simkit.Stat.Summary.t

@@ -61,6 +61,8 @@ let create engine ?config () =
 let config t = t.cfg
 let local_ops t = t.fs_ops
 let served_per_server t = Array.map Mdserver.served t.servers
+let wait_summaries t = Array.map Mdserver.wait_summary t.servers
+let hold_summaries t = Array.map Mdserver.hold_summary t.servers
 
 (* The handle space is statically hash-partitioned over the servers. *)
 let server_for t key = t.servers.(Hashtbl.hash key mod Array.length t.servers)

@@ -34,3 +34,8 @@ val local_ops : t -> Fuselike.Vfs.ops
 
 (** Requests served per metadata server. *)
 val served_per_server : t -> int array
+
+(** Per-server handler-queue wait vs service (hold) time distributions. *)
+val wait_summaries : t -> Simkit.Stat.Summary.t array
+
+val hold_summaries : t -> Simkit.Stat.Summary.t array

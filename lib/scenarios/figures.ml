@@ -711,11 +711,11 @@ let batching ?json_path () =
             (fun (config, points) ->
               List.map
                 (fun (procs, rate) ->
-                  { Report.experiment =
-                      "mdtest-" ^ Runner.phase_to_string phase;
-                    procs;
-                    config = config ^ "|zk=8|backends=2xLustre";
-                    ops_per_sec = rate })
+                  Report.point
+                    ~experiment:("mdtest-" ^ Runner.phase_to_string phase)
+                    ~procs
+                    ~config:(config ^ "|zk=8|backends=2xLustre")
+                    ~ops_per_sec:rate ())
                 points)
             by_config)
         data
@@ -800,12 +800,188 @@ let faults ?json_path () =
         (fun (label, (r : Systems.fault_run)) ->
           List.map
             (fun phase ->
-              { Report.experiment = "mdtest-" ^ Runner.phase_to_string phase;
-                procs = faults_procs;
-                config = label ^ "|zk=5|backends=2xLustre";
-                ops_per_sec = Runner.rate r.Systems.results phase })
+              Report.point
+                ~experiment:("mdtest-" ^ Runner.phase_to_string phase)
+                ~procs:faults_procs
+                ~config:(label ^ "|zk=5|backends=2xLustre")
+                ~ops_per_sec:(Runner.rate r.Systems.results phase) ())
             Runner.all_phases)
         data
+    in
+    Report.emit_json ~path points;
+    Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points)
+
+(* {2 Span-trace profile: where inside the stack does an op's time go?}
+
+   One mdtest run per scale with the trace enabled end to end. The
+   quorum phase durations are stamped on each write's wspan, so per op
+   they sum to the measured op latency exactly — the coverage column is
+   the honesty check, not a modelling assumption. *)
+
+let profile_spec =
+  { Systems.zk_servers = 8; backends = 2; backend_kind = Systems.Lustre }
+
+let profile_config = "profile|zk=8|backends=2xLustre"
+let zk_write_ops = [ "create"; "delete"; "set"; "multi" ]
+
+(* Mean duration of each quorum phase of [op], with the op count and the
+   exact total mean; [None] if no such op was traced. *)
+let quorum_breakdown trace op =
+  let base = "zk." ^ op in
+  match Obs.Trace.span_mean trace (base ^ ".total") with
+  | None -> None
+  | Some total ->
+    let phases =
+      List.map
+        (fun p ->
+          ( p,
+            Option.value ~default:0.
+              (Obs.Trace.span_mean trace (base ^ "." ^ p)) ))
+        Obs.Trace.phases
+    in
+    Some (Obs.Trace.span_count trace (base ^ ".total"), total, phases)
+
+let summary_line label (s : Simkit.Stat.Summary.t) =
+  match Simkit.Stat.Summary.max s with
+  | None -> Printf.printf "  %-28s (no samples)\n" label
+  | Some max ->
+    Printf.printf "  %-28s count=%-7d mean=%.3g  max=%.3g\n" label
+      (Simkit.Stat.Summary.count s)
+      (Simkit.Stat.Summary.mean s)
+      max
+
+let profile ?(procs_list = [ 64; 128; 256 ]) ?json_path () =
+  let runs =
+    List.map
+      (fun procs ->
+        (procs, Systems.mdtest_profiled ~spec:profile_spec ~procs ()))
+      procs_list
+  in
+  let coverage_failures = ref [] in
+  List.iter
+    (fun (procs, (r : Systems.profile_run)) ->
+      let trace = r.Systems.trace in
+      Report.print_header
+        (Printf.sprintf
+           "Profile — mdtest over DUFS 2xLustre/8zk, %d procs (span tracing on)"
+           procs);
+      Printf.printf "  %-12s %10s %8s %10s %10s %10s %10s %10s\n" "phase"
+        "ops/sec" "samples" "mean_s" "p50_s" "p95_s" "p99_s" "max_s";
+      List.iter
+        (fun phase ->
+          match Runner.latency_of r.Systems.results phase with
+          | None -> ()
+          | Some l ->
+            Printf.printf
+              "  %-12s %10.0f %8d %10.3g %10.3g %10.3g %10.3g %10.3g\n"
+              (Runner.phase_to_string phase)
+              (Runner.rate r.Systems.results phase)
+              l.Runner.samples l.Runner.mean l.Runner.p50 l.Runner.p95
+              l.Runner.p99 l.Runner.max)
+        Runner.all_phases;
+      Printf.printf "\n  quorum write phases (mean seconds per op):\n";
+      Printf.printf "  %-8s %8s %10s" "op" "count" "total_s";
+      List.iter (fun p -> Printf.printf " %10s" p) Obs.Trace.phases;
+      Printf.printf " %10s %9s\n" "phase_sum" "coverage";
+      List.iter
+        (fun op ->
+          match quorum_breakdown trace op with
+          | None -> ()
+          | Some (count, total, phases) ->
+            let sum = List.fold_left (fun acc (_, m) -> acc +. m) 0. phases in
+            let coverage = 100. *. sum /. total in
+            Printf.printf "  %-8s %8d %10.3g" op count total;
+            List.iter (fun (_, m) -> Printf.printf " %10.3g" m) phases;
+            Printf.printf " %10.3g %8.2f%%\n" sum coverage;
+            if Float.abs (sum -. total) > 0.05 *. total then
+              coverage_failures :=
+                Printf.sprintf "%d procs, zk.%s: phase sum %.6g vs total %.6g"
+                  procs op sum total
+                :: !coverage_failures)
+        zk_write_ops;
+      print_newline ();
+      (match Obs.Trace.span_mean trace "zk.read.total" with
+       | None -> ()
+       | Some mean ->
+         Printf.printf
+           "  zk reads: count=%d  mean=%.3g  p99=%.3g\n"
+           (Obs.Trace.span_count trace "zk.read.total")
+           mean
+           (Option.value ~default:0.
+              (Obs.Trace.span_quantile trace "zk.read.total" 0.99)));
+      let metrics = Obs.Trace.metrics trace in
+      List.iter
+        (fun name ->
+          match Obs.Metrics.summary_opt metrics name with
+          | Some s -> summary_line name s
+          | None -> ())
+        [ "zk.leader.queue_depth"; "zk.leader.batch_size" ];
+      Array.iteri
+        (fun i (wait, hold) ->
+          summary_line (Printf.sprintf "backend[%d] MDS wait_s" i) wait;
+          summary_line (Printf.sprintf "backend[%d] MDS hold_s" i) hold)
+        r.Systems.backend_stations)
+    runs;
+  (match !coverage_failures with
+   | [] ->
+     Printf.printf
+       "\n  check: quorum phase sums within 5%% of measured op latency — OK\n%!"
+   | failures ->
+     List.iter (Printf.printf "  COVERAGE FAIL: %s\n") (List.rev failures);
+     failwith "profile: quorum phase sums diverge from measured op latency");
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let points =
+      List.concat_map
+        (fun (procs, (r : Systems.profile_run)) ->
+          let client_points =
+            List.filter_map
+              (fun phase ->
+                match Runner.latency_of r.Systems.results phase with
+                | None -> None
+                | Some l ->
+                  Some
+                    (Report.point
+                       ~experiment:("mdtest-" ^ Runner.phase_to_string phase)
+                       ~procs ~config:profile_config
+                       ~ops_per_sec:(Runner.rate r.Systems.results phase)
+                       ~latency:(Report.latency_of_runner l) ()))
+              Runner.all_phases
+          in
+          let trace = r.Systems.trace in
+          let wall = r.Systems.results.Runner.wall in
+          let breakdown_points =
+            List.filter_map
+              (fun op ->
+                match quorum_breakdown trace op with
+                | None -> None
+                | Some (count, total, phases) ->
+                  let base = "zk." ^ op in
+                  let q p =
+                    Option.value ~default:total
+                      (Obs.Trace.span_quantile trace (base ^ ".total") p)
+                  in
+                  Some
+                    (Report.point
+                       ~experiment:("zk-" ^ op ^ "-breakdown")
+                       ~procs ~config:profile_config
+                       ~ops_per_sec:
+                         (if wall > 0. then float_of_int count /. wall else 0.)
+                       ~latency:
+                         { Report.samples = count;
+                           mean_s = total;
+                           p50_s = q 0.5;
+                           p95_s = q 0.95;
+                           p99_s = q 0.99;
+                           max_s =
+                             Option.value ~default:total
+                               (Obs.Trace.span_max trace (base ^ ".total")) }
+                       ~phases ()))
+              zk_write_ops
+          in
+          client_points @ breakdown_points)
+        runs
     in
     Report.emit_json ~path points;
     Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points)
@@ -826,4 +1002,5 @@ let all () =
   ablation_observers ();
   ablation_faults ();
   batching ();
-  faults ()
+  faults ();
+  profile ()

@@ -108,5 +108,22 @@ val faults_data : unit -> (string * Systems.fault_run) list
     (the BENCH_pr2.json artifact). *)
 val faults : ?json_path:string -> unit -> unit
 
+(** The DUFS stack every profile run traces: 2 Lustre back-ends, 8
+    coordination servers. *)
+val profile_spec : Systems.dufs_spec
+
+(** [profile ()] runs mdtest with span tracing on at each scale in
+    [procs_list] (default 64/128/256) and prints, per scale: client op
+    latency percentiles (p50/p95/p99 per op type), the quorum-phase
+    critical-path breakdown of each coordination write kind (with its
+    coverage against the measured op latency), read latency, leader
+    queue/batch distributions, and each back-end MDS station's
+    wait-vs-service split. With [json_path], also writes the points (the
+    BENCH_pr3.json artifact): mdtest points carry the latency block,
+    [zk-<op>-breakdown] points carry the phase durations.
+    @raise Failure if any op's phase sum diverges more than 5% from its
+    measured mean latency. *)
+val profile : ?procs_list:int list -> ?json_path:string -> unit -> unit
+
 (** Run everything (the full bench suite). *)
 val all : unit -> unit

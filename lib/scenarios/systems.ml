@@ -51,12 +51,15 @@ let zk_config ?(max_batch = 1) ~servers ~procs () =
         ~cores:Pfs.Costs.cores_per_node }
 
 (* DUFS stack builder, exposed separately from [build_system] so fault
-   experiments can keep a handle on the ensemble they are crashing. *)
-let build_dufs engine ~spec ~config ~cached =
+   experiments can keep a handle on the ensemble they are crashing, and
+   profile runs can thread a span trace through the whole request path
+   (ensemble quorum phases + client root spans) and read back each
+   back-end metadata station's wait-vs-service split. *)
+let build_dufs ?(trace = Obs.Trace.null) engine ~spec ~config ~cached =
   let { backends; backend_kind; zk_servers = _ } = spec in
-  let ensemble = Zk.Ensemble.start engine config in
+  let ensemble = Zk.Ensemble.start ~trace engine config in
   let layout = Dufs.Physical.default_layout in
-  let backend_clients =
+  let backend_clients, backend_stations =
     match backend_kind with
     | Lustre ->
       let mounts =
@@ -69,11 +72,16 @@ let build_dufs engine ~spec ~config ~cached =
           | Ok () -> ()
           | Error e -> failwith (Fuselike.Errno.to_string e))
         mounts;
-      fun proc ->
-        Array.mapi
-          (fun i mount ->
-            Pfs.Lustre_sim.client mount ~client_id:((proc * backends) + i))
-          mounts
+      ( (fun proc ->
+          Array.mapi
+            (fun i mount ->
+              Pfs.Lustre_sim.client mount ~client_id:((proc * backends) + i))
+            mounts),
+        Array.map
+          (fun mount ->
+            (Pfs.Lustre_sim.mds_wait_summary mount,
+             Pfs.Lustre_sim.mds_hold_summary mount))
+          mounts )
     | Pvfs ->
       let mounts =
         Array.init backends (fun _ ->
@@ -85,10 +93,19 @@ let build_dufs engine ~spec ~config ~cached =
           | Ok () -> ()
           | Error e -> failwith (Fuselike.Errno.to_string e))
         mounts;
-      fun proc ->
-        Array.mapi
-          (fun i mount -> Pfs.Pvfs_sim.client mount ~client_id:((proc * backends) + i))
-          mounts
+      ( (fun proc ->
+          Array.mapi
+            (fun i mount -> Pfs.Pvfs_sim.client mount ~client_id:((proc * backends) + i))
+            mounts),
+        Array.concat
+          (Array.to_list
+             (Array.map
+                (fun mount ->
+                  Array.map2
+                    (fun w h -> (w, h))
+                    (Pfs.Pvfs_sim.wait_summaries mount)
+                    (Pfs.Pvfs_sim.hold_summaries mount))
+                mounts)) )
   in
   let ops_for_proc proc =
     let session = Zk.Ensemble.session ensemble () in
@@ -102,11 +119,12 @@ let build_dufs engine ~spec ~config ~cached =
         ~clock:(fun () -> Engine.now engine)
         ~delay:Process.sleep
         ~overhead:(Pfs.Costs.fuse_crossing +. Pfs.Costs.dufs_overhead)
+        ~trace
         ()
     in
     Dufs.Client.ops client
   in
-  (ensemble, ops_for_proc)
+  (ensemble, ops_for_proc, backend_stations)
 
 (* Build per-process operation tables for one system on [engine]. The
    returned closure must be invoked from inside the process's own
@@ -128,7 +146,8 @@ let build_system engine system ~procs =
     let cached = match sys with Dufs_cached _ -> true | _ -> false in
     let max_batch = match sys with Dufs_batched (_, b) -> b | _ -> 1 in
     let config = zk_config ~max_batch ~servers:spec.zk_servers ~procs () in
-    snd (build_dufs engine ~spec ~config ~cached)
+    let _, ops_for_proc, _ = build_dufs engine ~spec ~config ~cached in
+    ops_for_proc
 
 let cache : (string, Mdtest.Runner.results) Hashtbl.t = Hashtbl.create 64
 let reset_cache () = Hashtbl.reset cache
@@ -167,7 +186,7 @@ let mdtest_faulted ?(dirs_per_proc = 60) ?(files_per_proc = 60) ?(unique = false
     ?(cached = false) ?(config_adjust = fun c -> c) ~spec ~procs ~plan () =
   let engine = Engine.create () in
   let config = config_adjust (zk_config ~servers:spec.zk_servers ~procs ()) in
-  let ensemble, ops_for_proc = build_dufs engine ~spec ~config ~cached in
+  let ensemble, ops_for_proc, _ = build_dufs engine ~spec ~config ~cached in
   let armed = Faults.Faultplan.arm engine ensemble plan in
   let cfg =
     Mdtest.Workload.config ~dirs_per_proc ~files_per_proc
@@ -198,6 +217,26 @@ let mdtest_faulted ?(dirs_per_proc = 60) ?(files_per_proc = 60) ?(unique = false
     expected_znodes_after_create =
       (* ztree root "/" + the DUFS namespace root znode + skeleton dirs *)
       2 + List.length (Mdtest.Workload.skeleton cfg) + (procs * files_per_proc) }
+
+(* {2 mdtest with the span trace enabled (profile runs)} *)
+
+type profile_run = {
+  results : Mdtest.Runner.results;
+  trace : Obs.Trace.t;
+  backend_stations : (Simkit.Stat.Summary.t * Simkit.Stat.Summary.t) array;
+}
+
+let mdtest_profiled ?(dirs_per_proc = 60) ?(files_per_proc = 60) ~spec ~procs () =
+  let engine = Engine.create () in
+  let trace = Obs.Trace.create () in
+  Obs.Trace.enable trace;
+  let config = zk_config ~servers:spec.zk_servers ~procs () in
+  let _ensemble, ops_for_proc, backend_stations =
+    build_dufs ~trace engine ~spec ~config ~cached:false
+  in
+  let cfg = Mdtest.Workload.config ~dirs_per_proc ~files_per_proc ~procs () in
+  let results = Mdtest.Runner.run engine cfg ~ops_for_proc in
+  { results; trace; backend_stations }
 
 let zk_raw ~servers ~procs ?(items = 80) () =
   let engine = Engine.create () in

@@ -39,13 +39,19 @@ val mdtest :
 (** [build_dufs engine ~spec ~config ~cached] assembles the DUFS stack
     (ensemble + formatted back-ends + per-proc client factory) and keeps
     the ensemble visible — fault experiments need it to schedule crashes
-    while the workload runs. *)
+    while the workload runs. The third component is each back-end
+    metadata station's (wait, hold) time summaries. [trace] (default
+    off) threads one span trace through the ensemble's quorum phases and
+    every client's root spans. *)
 val build_dufs :
+  ?trace:Obs.Trace.t ->
   Simkit.Engine.t ->
   spec:dufs_spec ->
   config:Zk.Ensemble.config ->
   cached:bool ->
-  Zk.Ensemble.t * (int -> Fuselike.Vfs.ops)
+  Zk.Ensemble.t
+  * (int -> Fuselike.Vfs.ops)
+  * (Simkit.Stat.Summary.t * Simkit.Stat.Summary.t) array
 
 (** One mdtest run under a fault schedule, plus the invariants the
     failure path must preserve. *)
@@ -79,6 +85,28 @@ val mdtest_faulted :
   plan:Faults.Faultplan.t ->
   unit ->
   fault_run
+
+(** One mdtest run with the span trace enabled end to end. *)
+type profile_run = {
+  results : Mdtest.Runner.results;
+  trace : Obs.Trace.t;
+      (** spans recorded during the run: [dufs.<op>] client root spans,
+          [zk.<op>.<phase>] quorum phases, leader queue/batch gauges *)
+  backend_stations : (Simkit.Stat.Summary.t * Simkit.Stat.Summary.t) array;
+      (** per back-end metadata station: (handler-queue wait, in-service
+          hold) time summaries *)
+}
+
+(** [mdtest_profiled ~spec ~procs ()] — mdtest over DUFS with tracing
+    on. Not memoized; the trace belongs to this run alone. Tracing never
+    sleeps or schedules, so throughput equals the untraced run's. *)
+val mdtest_profiled :
+  ?dirs_per_proc:int ->
+  ?files_per_proc:int ->
+  spec:dufs_spec ->
+  procs:int ->
+  unit ->
+  profile_run
 
 (** Raw coordination-service throughput (Fig. 7): closed loop of [items]
     ops per client for each of the four basic operations. Returns

@@ -31,3 +31,18 @@ val with_slot : t -> (unit -> 'a) -> 'a
 (** [serve t d] models one service visit: acquire a slot, hold it for [d]
     seconds of virtual time, release. *)
 val serve : t -> float -> unit
+
+(** {2 Wait-vs-service decomposition}
+
+    Every acquire records its queueing delay (0. when a slot was free)
+    and every [with_slot]/[serve] visit records its holding time, so a
+    station can report how much of its latency is contention and how
+    much is service. Recording is pure bookkeeping on the virtual clock:
+    it never schedules events, so instrumented and uninstrumented runs
+    are identical. *)
+
+(** Per-acquire queueing delay, seconds. *)
+val wait_summary : t -> Stat.Summary.t
+
+(** Per-visit slot-holding time, seconds. *)
+val hold_summary : t -> Stat.Summary.t

@@ -22,8 +22,18 @@ let float t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
-  let v = Int64.shift_right_logical (next t) 1 in
-  Int64.to_int (Int64.rem v (Int64.of_int bound))
+  (* Rejection sampling: [Int64.rem] over a non-power-of-two bound maps
+     the draw range unevenly onto [0, bound), biasing small residues.
+     Draw 62 bits and retry the (rare) draws at or above the largest
+     exact multiple of [bound]. *)
+  let b = Int64.of_int bound in
+  let range = 0x4000000000000000L (* 2^62 > max_int, so any bound fits *) in
+  let limit = Int64.mul b (Int64.div range b) in
+  let rec draw () =
+    let v = Int64.shift_right_logical (next t) 2 in
+    if v < limit then Int64.to_int (Int64.rem v b) else draw ()
+  in
+  draw ()
 
 let exponential t ~mean =
   let u = float t in

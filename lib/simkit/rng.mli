@@ -13,7 +13,8 @@ val next : t -> int64
 (** Uniform float in [0, 1). *)
 val float : t -> float
 
-(** Uniform int in [0, bound). @raise Invalid_argument if [bound <= 0]. *)
+(** Uniform int in [0, bound), bias-free (rejection sampling rather than
+    a plain modulo fold). @raise Invalid_argument if [bound <= 0]. *)
 val int : t -> int -> int
 
 (** Exponentially distributed value with the given [mean]. *)

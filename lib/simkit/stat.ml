@@ -30,30 +30,46 @@ module Summary = struct
 
   let count t = t.count
   let mean t = if t.count = 0 then 0. else t.mean
-  let min t = if t.count = 0 then 0. else t.min
-  let max t = if t.count = 0 then 0. else t.max
+
+  (* An empty summary has no extrema: returning 0.0 here would be
+     indistinguishable from a genuine zero-latency sample downstream. *)
+  let min t = if t.count = 0 then None else Some t.min
+  let max t = if t.count = 0 then None else Some t.max
 
   let stddev t =
-    if t.count < 2 then 0. else sqrt (t.m2 /. float_of_int (t.count - 1))
+    if t.count < 2 then 0.
+    else
+      (* catastrophic cancellation can drive m2 a hair below zero; sqrt
+         of that is NaN, which then poisons every aggregate it meets *)
+      let v = t.m2 /. float_of_int (t.count - 1) in
+      if v > 0. then sqrt v else 0.
 end
 
 module Histogram = struct
   type t = {
     lo : float;
+    hi : float;
     log_lo : float;
     log_step : float;
     buckets : int array;
+    (* samples above [hi] land here instead of being folded into the top
+       bucket, so tail quantiles cannot silently report [hi] as the max *)
+    mutable overflow : int;
     mutable count : int;
+    mutable max_seen : float;
   }
 
   let create ~lo ~hi ~buckets () =
     if not (lo > 0. && hi > lo && buckets > 0) then
       invalid_arg "Histogram.create: need 0 < lo < hi and buckets > 0";
     { lo;
+      hi;
       log_lo = log lo;
       log_step = (log hi -. log lo) /. float_of_int buckets;
       buckets = Array.make buckets 0;
-      count = 0 }
+      overflow = 0;
+      count = 0;
+      max_seen = Float.neg_infinity }
 
   let index t x =
     if x <= t.lo then 0
@@ -62,11 +78,17 @@ module Histogram = struct
       Stdlib.min i (Array.length t.buckets - 1)
 
   let add t x =
-    let i = index t x in
-    t.buckets.(i) <- t.buckets.(i) + 1;
-    t.count <- t.count + 1
+    if x > t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let i = index t x in
+      t.buckets.(i) <- t.buckets.(i) + 1
+    end;
+    t.count <- t.count + 1;
+    if x > t.max_seen then t.max_seen <- x
 
   let count t = t.count
+  let overflow t = t.overflow
+  let max_seen t = if t.count = 0 then None else Some t.max_seen
 
   let bucket_upper t i = exp (t.log_lo +. (t.log_step *. float_of_int (i + 1)))
 
@@ -76,10 +98,14 @@ module Histogram = struct
       let target = int_of_float (Float.round (q *. float_of_int t.count)) in
       let target = Stdlib.max 1 (Stdlib.min t.count target) in
       let rec scan i acc =
-        if i >= Array.length t.buckets then bucket_upper t (Array.length t.buckets - 1)
+        if i >= Array.length t.buckets then
+          (* the target falls among overflow samples: the honest answer
+             is the exact observed maximum, not the [hi] clamp *)
+          t.max_seen
         else
           let acc = acc + t.buckets.(i) in
-          if acc >= target then bucket_upper t i else scan (i + 1) acc
+          if acc >= target then Stdlib.min (bucket_upper t i) t.max_seen
+          else scan (i + 1) acc
       in
       scan 0 0
     end

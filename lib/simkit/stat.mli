@@ -18,8 +18,17 @@ module Summary : sig
   val add : t -> float -> unit
   val count : t -> int
   val mean : t -> float
-  val min : t -> float
-  val max : t -> float
+
+  (** [None] when no sample has been recorded — an empty summary has no
+      minimum, and reporting [0.0] would masquerade as a real sample. *)
+  val min : t -> float option
+
+  (** [None] when no sample has been recorded. *)
+  val max : t -> float option
+
+  (** Sample standard deviation; [0.] below two samples. Guarded against
+      floating-point cancellation driving the variance negative (never
+      returns NaN). *)
   val stddev : t -> float
 end
 
@@ -28,14 +37,26 @@ module Histogram : sig
   type t
 
   (** [create ~lo ~hi ~buckets ()] covers [lo, hi] seconds with
-      logarithmically spaced buckets; out-of-range samples clamp.
+      logarithmically spaced buckets. Samples below [lo] clamp into the
+      first bucket; samples above [hi] are counted in a separate
+      overflow bucket (see {!overflow}) and the exact observed maximum
+      is tracked, so tail quantiles never silently report [hi].
       @raise Invalid_argument unless [0 < lo < hi] and [buckets > 0]. *)
   val create : lo:float -> hi:float -> buckets:int -> unit -> t
 
   val add : t -> float -> unit
   val count : t -> int
 
-  (** [quantile t q] for q in [0,1]; 0. when empty. *)
+  (** Samples recorded above [hi]. *)
+  val overflow : t -> int
+
+  (** Exact largest sample recorded; [None] when empty. *)
+  val max_seen : t -> float option
+
+  (** [quantile t q] for q in [0,1]; 0. when empty. In-range quantiles
+      report the matching bucket's upper bound (capped at the observed
+      maximum); a quantile that falls among overflow samples reports the
+      exact observed maximum. *)
   val quantile : t -> float -> float
 end
 

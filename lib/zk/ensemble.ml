@@ -50,7 +50,13 @@ type rid = {
 }
 
 type msg =
-  | Write of { txn : Txn.t; rid : rid; origin : int; reply : reply }
+  | Write of {
+      txn : Txn.t;
+      rid : rid;
+      origin : int;
+      reply : reply;
+      span : Obs.Trace.wspan;
+    }
   | Read of { exec : Ztree.t -> unit }
   | Propose_batch of { epoch : int; entries : (int64 * Txn.t * float * rid) list }
     (* one leader->follower round carries a whole group-committed batch;
@@ -64,7 +70,13 @@ type msg =
       result : (Txn.result_item list, Zerror.t) result;
       reply : reply;
     }
-  | Close_session of { owner : int64; rid : rid; origin : int; reply : reply }
+  | Close_session of {
+      owner : int64;
+      rid : rid;
+      origin : int;
+      reply : reply;
+      span : Obs.Trace.wspan;
+    }
 
 type role = Leader | Follower | Observer | Down
 
@@ -77,6 +89,7 @@ type pending_write = {
   mutable p_origin : int;
   mutable p_reply : reply;
   mutable p_acks : int;
+  p_span : Obs.Trace.wspan;
 }
 
 type applied_result = (Txn.result_item list, Zerror.t) result
@@ -109,6 +122,7 @@ type server = {
 type t = {
   engine : Engine.t;
   cfg : config;
+  trace : Obs.Trace.t;
   members : server array;
   mutable leader : int;
   mutable next_session : int64;
@@ -122,7 +136,12 @@ type t = {
 }
 
 let config t = t.cfg
+let trace t = t.trace
 let leader_id t = if t.members.(t.leader).role = Leader then Some t.leader else None
+
+let leader_queue_depth t =
+  let s = t.members.(t.leader) in
+  if s.role = Leader then Mailbox.length s.inbox else 0
 
 let alive_ids t =
   Array.to_list
@@ -183,6 +202,13 @@ let try_commit t (s : server) =
     match take [] with
     | [] -> ()
     | ready ->
+      (if Obs.Trace.enabled t.trace then
+         let now = Engine.now t.engine in
+         List.iter
+           (fun (_, pw) ->
+             if Obs.Trace.is_real pw.p_span then
+               pw.p_span.Obs.Trace.w_quorum <- now)
+           ready);
       let results =
         List.map
           (fun (zxid, pw) ->
@@ -271,10 +297,12 @@ let drain_batch t (s : server) first =
     else
       match Mailbox.take_if s.inbox is_batchable with
       | None -> (acc, n)
-      | Some (Write { txn; rid; origin; reply }) ->
-        drain ((txn, rid, origin, reply) :: acc) (n + 1)
-      | Some (Close_session { owner; rid; origin; reply }) ->
-        drain ((build_session_cleanup s owner, rid, origin, reply) :: acc) (n + 1)
+      | Some (Write { txn; rid; origin; reply; span }) ->
+        drain ((txn, rid, origin, reply, span) :: acc) (n + 1)
+      | Some (Close_session { owner; rid; origin; reply; span }) ->
+        drain
+          ((build_session_cleanup s owner, rid, origin, reply, span) :: acc)
+          (n + 1)
       | Some _ -> (acc, n)
   in
   let acc, n = drain [ first ] 1 in
@@ -295,7 +323,7 @@ let drain_batch t (s : server) first =
    actually waiting on instead of producing a second proposal. *)
 let dedup_filter t (s : server) batch =
   List.filter
-    (fun (_, rid, origin, reply) ->
+    (fun (_, rid, origin, reply, _) ->
       match Hashtbl.find_opt s.applied rid with
       | Some result ->
         t.dedup_hits <- t.dedup_hits + 1;
@@ -322,24 +350,48 @@ let leader_handle_batch t (s : server) batch =
   | [] -> ()
   | batch ->
     let time = Engine.now t.engine in
+    (* Stamping and gauge observations are pure accumulator writes: the
+       traced run sleeps exactly as long as the untraced one. *)
+    (if Obs.Trace.enabled t.trace then begin
+       Obs.Trace.observe t.trace "zk.leader.queue_depth"
+         (float_of_int (Mailbox.length s.inbox));
+       Obs.Trace.observe t.trace "zk.leader.batch_size"
+         (float_of_int (List.length batch));
+       let persist_dur = svc t t.cfg.persist in
+       List.iter
+         (fun (_, _, _, _, span) ->
+           if Obs.Trace.is_real span then begin
+             span.Obs.Trace.w_batch <- time;
+             span.Obs.Trace.w_persist <- persist_dur
+           end)
+         batch
+     end);
     let cpu =
-      List.fold_left (fun acc (txn, _, _, _) -> acc +. leader_service t txn) 0. batch
+      List.fold_left
+        (fun acc (txn, _, _, _, _) -> acc +. leader_service t txn)
+        0. batch
     in
     Process.sleep (svc t (cpu +. t.cfg.persist));
     let entries =
       List.map
-        (fun (txn, rid, origin, reply) ->
+        (fun (txn, rid, origin, reply, span) ->
           let zxid = s.next_zxid in
           s.next_zxid <- Int64.add zxid 1L;
           Hashtbl.replace s.pending zxid
             { p_txn = txn; p_time = time; p_rid = rid; p_origin = origin;
-              p_reply = reply; p_acks = 0 };
+              p_reply = reply; p_acks = 0; p_span = span };
           Hashtbl.replace s.pending_rids rid zxid;
           (zxid, txn, time, rid))
         batch
     in
     let followers = t.follower_peers in
     Process.sleep (svc t (t.cfg.rpc_cpu *. float_of_int (List.length followers)));
+    (if Obs.Trace.enabled t.trace then
+       let now = Engine.now t.engine in
+       List.iter
+         (fun (_, _, _, _, span) ->
+           if Obs.Trace.is_real span then span.Obs.Trace.w_proposed <- now)
+         batch);
     List.iter
       (fun (peer : server) ->
         send t ~dst:peer.id (Propose_batch { epoch = s.epoch; entries }))
@@ -370,20 +422,20 @@ let handle t (s : server) msg =
       s.reads <- s.reads + 1;
       exec s.tree
     end
-  | Write { txn; rid; origin; reply } ->
+  | Write { txn; rid; origin; reply; span } ->
     if s.role = Leader then
-      leader_handle_batch t s (drain_batch t s (txn, rid, origin, reply))
+      leader_handle_batch t s (drain_batch t s (txn, rid, origin, reply, span))
     else begin
       Process.sleep (svc t t.cfg.rpc_cpu);
-      send t ~dst:t.leader (Write { txn; rid; origin; reply })
+      send t ~dst:t.leader (Write { txn; rid; origin; reply; span })
     end
-  | Close_session { owner; rid; origin; reply } ->
+  | Close_session { owner; rid; origin; reply; span } ->
     if s.role = Leader then
       let txn = build_session_cleanup s owner in
-      leader_handle_batch t s (drain_batch t s (txn, rid, origin, reply))
+      leader_handle_batch t s (drain_batch t s (txn, rid, origin, reply, span))
     else begin
       Process.sleep (svc t t.cfg.rpc_cpu);
-      send t ~dst:t.leader (Close_session { owner; rid; origin; reply })
+      send t ~dst:t.leader (Close_session { owner; rid; origin; reply; span })
     end
   | Propose_batch { epoch; entries } ->
     if epoch = s.epoch && s.role = Follower then begin
@@ -464,7 +516,7 @@ let make_server id =
     next_apply = 1L;
     reads = 0 }
 
-let start engine cfg =
+let start ?(trace = Obs.Trace.null) engine cfg =
   if cfg.servers < 1 then invalid_arg "Ensemble.start: servers < 1";
   if cfg.observers < 0 then invalid_arg "Ensemble.start: observers < 0";
   if cfg.max_batch < 1 then invalid_arg "Ensemble.start: max_batch < 1";
@@ -475,7 +527,7 @@ let start engine cfg =
     members.(i).role <- Observer
   done;
   let t =
-    { engine; cfg; members; leader = 0; next_session = 1L; next_server = 0;
+    { engine; cfg; trace; members; leader = 0; next_session = 1L; next_server = 0;
       commits = 0; dedup_hits = 0; follower_peers = []; observer_peers = [] }
   in
   refresh_peers t;
@@ -627,22 +679,38 @@ let pick_alive t preferred =
     | [] -> preferred
     | ids -> List.nth ids (preferred mod List.length ids)
 
+(* Span label for a client write, by mutation kind. *)
+let txn_label = function
+  | [ Txn.Create _ ] -> "create"
+  | [ Txn.Delete _ ] -> "delete"
+  | [ Txn.Set_data _ ] -> "set"
+  | _ -> "multi"
+
 (* The request id is fixed by the caller and reused verbatim across
    timeout retries: if the timed-out attempt actually committed, the
    leader's dedup table answers the retry with the original result
    instead of applying the transaction a second time. *)
-let rec submit t ~server ~attempts ~rid txn =
+let rec submit_attempts t ~server ~attempts ~rid ~span txn =
   let target = pick_alive t server in
   let result =
     await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
-        send t ~dst:target (Write { txn; rid; origin = target; reply }))
+        send t ~dst:target (Write { txn; rid; origin = target; reply; span }))
   in
   match result with
   | Error Zerror.ZOPERATIONTIMEOUT when attempts > 1 ->
-    submit t ~server ~attempts:(attempts - 1) ~rid txn
+    submit_attempts t ~server ~attempts:(attempts - 1) ~rid ~span txn
   | result -> result
 
-let rec read t ~server ~attempts exec_read =
+let submit t ~server ~attempts ~rid txn =
+  let span = Obs.Trace.wspan t.trace ~now:(Engine.now t.engine) in
+  let result = submit_attempts t ~server ~attempts ~rid ~span txn in
+  (* finish_write rejects half-stamped spans, so a retried or failed-over
+     write drops out of the breakdown instead of skewing it *)
+  Obs.Trace.finish_write t.trace ~op:(txn_label txn) span
+    ~now:(Engine.now t.engine);
+  result
+
+let rec read_attempts t ~server ~attempts exec_read =
   let target = pick_alive t server in
   let result =
     await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
@@ -650,9 +718,15 @@ let rec read t ~server ~attempts exec_read =
   in
   match result with
   | Error Zerror.ZOPERATIONTIMEOUT when attempts > 1 ->
-    read t ~server ~attempts:(attempts - 1) exec_read
+    read_attempts t ~server ~attempts:(attempts - 1) exec_read
   | Error e -> Error e
   | Ok v -> Ok v
+
+let read t ~server ~attempts exec_read =
+  let t0 = Engine.now t.engine in
+  let result = read_attempts t ~server ~attempts exec_read in
+  Obs.Trace.record_span t.trace "zk.read.total" (Engine.now t.engine -. t0);
+  result
 
 let max_attempts = 8
 
@@ -694,6 +768,7 @@ let session t ?server () =
          { txn;
            rid = fresh_rid ();
            origin = target;
+           span = Obs.Trace.no_wspan;
            reply =
              (fun result ->
                Engine.schedule t.engine ~delay:t.cfg.net_latency (fun () ->
@@ -720,7 +795,9 @@ let session t ?server () =
       (await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
            let origin = pick_alive t home in
            send t ~dst:origin
-             (Close_session { owner = session_id; rid; origin; reply })))
+             (Close_session
+                { owner = session_id; rid; origin; reply;
+                  span = Obs.Trace.no_wspan })))
   in
   { Zk_client.create;
     get = (fun path -> or_loss (read (fun tree -> Ztree.get tree path)));

@@ -49,8 +49,17 @@ val default_config : servers:int -> config
 
 type t
 
-val start : Simkit.Engine.t -> config -> t
+(** [start ?trace engine cfg] boots the ensemble. When [trace] is enabled
+    the write path stamps each request's {!Obs.Trace.wspan} as it crosses
+    the quorum phases (queue-wait, propose, persist, ack, commit) and the
+    leader observes queue depth and batch size per group commit; spans
+    land under [zk.<op>.<phase>] in the trace's metrics registry. Tracing
+    is pure accumulator bookkeeping — it never sleeps or schedules, so a
+    traced run's simulated clock is identical to an untraced run's. *)
+val start : ?trace:Obs.Trace.t -> Simkit.Engine.t -> config -> t
+
 val config : t -> config
+val trace : t -> Obs.Trace.t
 
 (** [session t ()] opens a session, assigned round-robin (or to [server]).
     Handle calls must be made from inside a simulation process. *)
@@ -92,3 +101,6 @@ val writes_committed : t -> int
     exactly once instead of failing with ZNODEEXISTS/ZNONODE or, worse,
     applying twice. *)
 val dedup_hits : t -> int
+
+(** Messages waiting in the current leader's inbox (0 if leaderless). *)
+val leader_queue_depth : t -> int

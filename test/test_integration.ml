@@ -107,12 +107,20 @@ let test_latency_percentiles_sane () =
   let cfg = Workload.config ~procs:8 ~dirs_per_proc:25 ~files_per_proc:25 () in
   let results = Runner.run engine cfg ~ops_for_proc in
   check_int "six latency rows" 6 (List.length results.Runner.latencies);
+  let latency phase =
+    match Runner.latency_of results phase with
+    | Some l -> l
+    | None -> Alcotest.fail (Runner.phase_to_string phase ^ ": no latency row")
+  in
   List.iter
     (fun phase ->
-      let l = Runner.latency_of results phase in
+      let l = latency phase in
       let name = Runner.phase_to_string phase in
+      check_bool (name ^ " samples positive") true (l.Runner.samples > 0);
       check_bool (name ^ " mean positive") true (l.Runner.mean > 0.);
-      check_bool (name ^ " p50 <= p99") true (l.Runner.p50 <= l.Runner.p99 +. 1e-12);
+      check_bool (name ^ " p50 <= p95 <= p99") true
+        (l.Runner.p50 <= l.Runner.p95 +. 1e-12
+        && l.Runner.p95 <= l.Runner.p99 +. 1e-12);
       check_bool (name ^ " p99 <= max (bucket slack)") true
         (l.Runner.p99 <= l.Runner.max *. 1.5 +. 1e-6);
       check_bool (name ^ " latencies are sub-second at this scale") true
@@ -120,7 +128,7 @@ let test_latency_percentiles_sane () =
     Runner.all_phases;
   (* rough consistency: throughput ~ procs / mean latency *)
   let rate = Runner.rate results Runner.Dir_create in
-  let l = Runner.latency_of results Runner.Dir_create in
+  let l = latency Runner.Dir_create in
   let expected = 8. /. l.Runner.mean in
   check_bool
     (Printf.sprintf "rate %.0f within 2x of procs/mean %.0f" rate expected)

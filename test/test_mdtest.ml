@@ -85,9 +85,11 @@ let test_runner_rates_match_unit_cost () =
   (* latency = exactly the unit cost *)
   List.iter
     (fun phase ->
-      let l = Runner.latency_of results phase in
-      Alcotest.(check (float 1e-9)) "mean latency = cost" cost l.Runner.mean;
-      Alcotest.(check (float 1e-9)) "max latency = cost" cost l.Runner.max)
+      match Runner.latency_of results phase with
+      | None -> Alcotest.fail (Runner.phase_to_string phase ^ ": no latency row")
+      | Some l ->
+        Alcotest.(check (float 1e-9)) "mean latency = cost" cost l.Runner.mean;
+        Alcotest.(check (float 1e-9)) "max latency = cost" cost l.Runner.max)
     Runner.all_phases
 
 let test_runner_counts_errors () =

@@ -1,0 +1,192 @@
+(* The obs layer's contract: get-or-create metric registry with one
+   honest JSON snapshot path, and span tracing that is default-off and
+   — when on — pure accumulator bookkeeping, so a traced run replays the
+   exact same simulated timeline as an untraced one. *)
+
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+module Stat = Simkit.Stat
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* {2 Metrics registry} *)
+
+let test_get_or_create () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "ops" in
+  Stat.Counter.incr c;
+  (* same name, same instrument *)
+  Stat.Counter.incr (Metrics.counter m "ops");
+  check_int "one instrument under the name" 2
+    (Stat.Counter.value (Metrics.counter m "ops"));
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Metrics: \"ops\" already registered as a counter")
+    (fun () -> ignore (Metrics.summary m "ops"))
+
+let test_names_in_registration_order () =
+  let m = Metrics.create () in
+  ignore (Metrics.summary m "b");
+  ignore (Metrics.counter m "a");
+  ignore (Metrics.histogram m "c");
+  Alcotest.(check (list string)) "registration order" [ "b"; "a"; "c" ]
+    (Metrics.names m)
+
+let test_json_snapshot () =
+  let m = Metrics.create () in
+  Stat.Counter.add (Metrics.counter m "ops") 7;
+  Metrics.Gauge.set (Metrics.gauge m "depth") 3.5;
+  let s = Metrics.summary m "lat.sum" in
+  Stat.Summary.add s 0.25;
+  Stat.Summary.add s 0.75;
+  let h = Metrics.histogram m "lat" in
+  Stat.Histogram.add h 0.25;
+  ignore (Metrics.summary m "empty");
+  let json = Metrics.to_json m in
+  check_bool "counter value present" true
+    (String.length json > 0
+    && contains json "\"value\": 7");
+  check_bool "no NaN anywhere" true (not (contains json "nan"));
+  check_bool "summary mean present" true
+    (contains json "\"mean\": 0.5");
+  check_bool "empty summary omits mean" true
+    (contains json "\"empty\": {\"kind\": \"summary\", \"count\": 0}")
+
+let test_json_rejects_non_finite () =
+  let m = Metrics.create () in
+  Metrics.Gauge.set (Metrics.gauge m "bad") Float.nan;
+  check_bool "non-finite raises" true
+    (try
+       ignore (Metrics.to_json m);
+       false
+     with Invalid_argument _ -> true)
+
+(* {2 Trace basics} *)
+
+let test_trace_off_by_default () =
+  let t = Trace.create () in
+  check_bool "disabled on creation" false (Trace.enabled t);
+  Trace.record_span t "x" 1.0;
+  check_int "nothing recorded while off" 0 (Trace.span_count t "x");
+  Trace.enable t;
+  Trace.record_span t "x" 1.0;
+  check_int "recorded once on" 1 (Trace.span_count t "x");
+  Alcotest.check_raises "null trace cannot be enabled"
+    (Invalid_argument "Trace.enable: the null trace stays off") (fun () ->
+      Trace.enable Trace.null)
+
+let test_wspan_allocation_gate () =
+  let t = Trace.create () in
+  check_bool "disabled trace hands out the shared dummy" true
+    (not (Trace.is_real (Trace.wspan t ~now:1.0)));
+  Trace.enable t;
+  check_bool "enabled trace allocates a real span" true
+    (Trace.is_real (Trace.wspan t ~now:1.0))
+
+let test_finish_write_rejects_half_stamped () =
+  let t = Trace.create () in
+  Trace.enable t;
+  let w = Trace.wspan t ~now:1.0 in
+  (* only w_sent stamped: a write that timed out mid-flight *)
+  Trace.finish_write t ~op:"create" w ~now:2.0;
+  check_int "half-stamped span dropped" 0 (Trace.span_count t "zk.create.total")
+
+(* {2 End-to-end: ensemble + client, traced vs untraced} *)
+
+let workload trace =
+  let engine = Engine.create () in
+  let cfg =
+    { (Zk.Ensemble.default_config ~servers:5) with Zk.Ensemble.max_batch = 8 }
+  in
+  let ensemble = Zk.Ensemble.start ?trace engine cfg in
+  let final = ref 0. in
+  for proc = 0 to 3 do
+    Process.spawn engine (fun () ->
+        let s = Zk.Ensemble.session ensemble () in
+        for i = 0 to 24 do
+          (match s.Zk.Zk_client.create (Printf.sprintf "/n%d_%d" proc i) ~data:"x" with
+           | Ok _ -> ()
+           | Error e -> failwith (Zk.Zerror.to_string e));
+          ignore (s.Zk.Zk_client.get (Printf.sprintf "/n%d_%d" proc i));
+          match s.Zk.Zk_client.delete (Printf.sprintf "/n%d_%d" proc i) with
+          | Ok _ -> ()
+          | Error e -> failwith (Zk.Zerror.to_string e)
+        done;
+        final := Engine.now engine)
+  done;
+  Engine.run engine;
+  !final
+
+let test_tracing_preserves_determinism () =
+  let untraced = workload None in
+  let trace = Trace.create () in
+  Trace.enable trace;
+  let traced = workload (Some trace) in
+  check_bool "final clocks bit-identical"
+    true (untraced = traced);
+  check_int "creates all traced" 100 (Trace.span_count trace "zk.create.total");
+  check_int "deletes all traced" 100 (Trace.span_count trace "zk.delete.total");
+  check_int "reads all traced" 100 (Trace.span_count trace "zk.read.total")
+
+let test_phase_telescoping () =
+  let trace = Trace.create () in
+  Trace.enable trace;
+  ignore (workload (Some trace));
+  List.iter
+    (fun op ->
+      let base = "zk." ^ op in
+      let mean name =
+        match Trace.span_mean trace name with
+        | Some m -> m
+        | None -> Alcotest.fail (name ^ ": no samples")
+      in
+      let total = mean (base ^ ".total") in
+      let sum =
+        List.fold_left
+          (fun acc p -> acc +. mean (base ^ "." ^ p))
+          0. Trace.phases
+      in
+      (* the stamps tile the write's timeline: the phases must sum to the
+         measured op latency well within the 5% acceptance bound *)
+      check_bool
+        (Printf.sprintf "%s: phase sum %.9g within 5%% of total %.9g" op sum total)
+        true
+        (Float.abs (sum -. total) <= 0.05 *. total);
+      check_bool (op ^ ": every phase nonnegative") true
+        (List.for_all (fun p -> mean (base ^ "." ^ p) >= 0.) Trace.phases))
+    [ "create"; "delete" ];
+  (* group commit visible in the leader gauges *)
+  let batch =
+    match Metrics.summary_opt (Trace.metrics trace) "zk.leader.batch_size" with
+    | Some s -> s
+    | None -> Alcotest.fail "no batch-size gauge"
+  in
+  check_bool "batches observed" true (Stat.Summary.count batch > 0);
+  check_bool "some batching happened (max_batch=8, 4 writers)" true
+    (match Stat.Summary.max batch with Some m -> m >= 1. | None -> false)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "get-or-create" `Quick test_get_or_create;
+          Alcotest.test_case "names ordered" `Quick test_names_in_registration_order;
+          Alcotest.test_case "json snapshot" `Quick test_json_snapshot;
+          Alcotest.test_case "json rejects non-finite" `Quick
+            test_json_rejects_non_finite ] );
+      ( "trace",
+        [ Alcotest.test_case "off by default" `Quick test_trace_off_by_default;
+          Alcotest.test_case "wspan allocation gate" `Quick test_wspan_allocation_gate;
+          Alcotest.test_case "half-stamped dropped" `Quick
+            test_finish_write_rejects_half_stamped ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "tracing preserves determinism" `Quick
+            test_tracing_preserves_determinism;
+          Alcotest.test_case "phases telescope to op latency" `Quick
+            test_phase_telescoping ] ) ]

@@ -424,8 +424,8 @@ let test_summary () =
   List.iter (Stat.Summary.add s) [ 1.; 2.; 3.; 4. ];
   check_int "count" 4 (Stat.Summary.count s);
   check_float "mean" 2.5 (Stat.Summary.mean s);
-  check_float "min" 1. (Stat.Summary.min s);
-  check_float "max" 4. (Stat.Summary.max s);
+  Alcotest.(check (option (float 1e-12))) "min" (Some 1.) (Stat.Summary.min s);
+  Alcotest.(check (option (float 1e-12))) "max" (Some 4.) (Stat.Summary.max s);
   Alcotest.(check (float 1e-6)) "stddev" 1.290994 (Stat.Summary.stddev s)
 
 let test_summary_empty () =
@@ -471,6 +471,108 @@ let test_histogram_clamps_out_of_range () =
   check_int "both counted" 2 (Stat.Histogram.count h);
   check_bool "low quantile near lo" true (Stat.Histogram.quantile h 0.25 < 3e-3);
   check_bool "high quantile near hi" true (Stat.Histogram.quantile h 0.99 > 0.5)
+
+let test_summary_empty_minmax () =
+  let s = Stat.Summary.create () in
+  Alcotest.(check (option (float 0.))) "min of empty" None (Stat.Summary.min s);
+  Alcotest.(check (option (float 0.))) "max of empty" None (Stat.Summary.max s)
+
+let test_summary_stddev_no_nan () =
+  (* identical large samples: catastrophic cancellation can drive the
+     Welford m2 accumulator a hair below zero; stddev must clamp to 0,
+     never sqrt a negative into NaN *)
+  let s = Stat.Summary.create () in
+  for _ = 1 to 1000 do
+    Stat.Summary.add s 1.000000000001e9
+  done;
+  let sd = Stat.Summary.stddev s in
+  check_bool "stddev finite" true (Float.is_finite sd);
+  check_bool "stddev >= 0" true (sd >= 0.)
+
+let test_histogram_overflow_honest () =
+  let h = Stat.Histogram.create ~lo:1e-3 ~hi:1. ~buckets:10 () in
+  Stat.Histogram.add h 0.5;
+  Stat.Histogram.add h 7.25;   (* above hi *)
+  Stat.Histogram.add h 120.;   (* far above hi *)
+  check_int "count includes overflow" 3 (Stat.Histogram.count h);
+  check_int "overflow counted separately" 2 (Stat.Histogram.overflow h);
+  Alcotest.(check (option (float 0.)))
+    "max_seen is the exact observed max" (Some 120.) (Stat.Histogram.max_seen h);
+  (* 2 of 3 samples exceed hi: the upper quantiles land in the overflow
+     region and must report the exact observed max, not hi *)
+  check_float "p99 = observed max, not clamped to hi" 120.
+    (Stat.Histogram.quantile h 0.99);
+  check_float "p67 also in overflow" 120. (Stat.Histogram.quantile h 0.67);
+  (* the in-range sample still answers the low quantile from its bucket,
+     not from the overflow region *)
+  check_bool "p25 stays in range (not overflow)" true
+    (Stat.Histogram.quantile h 0.25 <= 1.0 +. 1e-9)
+
+(* Golden check: bucketed quantiles against the exact sorted-sample
+   quantiles, within one log-bucket of relative error. *)
+let test_histogram_golden_quantiles () =
+  let lo = 1e-6 and hi = 10. and buckets = 300 in
+  let h = Stat.Histogram.create ~lo ~hi ~buckets () in
+  let rng = Rng.create ~seed:42L in
+  let samples = Array.init 5000 (fun _ -> Rng.exponential rng ~mean:2e-3) in
+  Array.iter (Stat.Histogram.add h) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  (* one bucket spans a ratio of (hi/lo)^(1/buckets); allow two buckets *)
+  let tol = ((hi /. lo) ** (2. /. float_of_int buckets)) +. 0.001 in
+  List.iter
+    (fun q ->
+      let exact = sorted.(int_of_float (q *. float_of_int (Array.length sorted - 1))) in
+      let est = Stat.Histogram.quantile h q in
+      check_bool
+        (Printf.sprintf "q%.2f: est %.6g within tol of exact %.6g" q est exact)
+        true
+        (est <= exact *. tol && est >= exact /. tol))
+    [ 0.5; 0.9; 0.95; 0.99 ];
+  check_float "q1.0 is the exact max"
+    sorted.(Array.length sorted - 1)
+    (Stat.Histogram.quantile h 1.0)
+
+let test_rng_int_rejection () =
+  let rng = Rng.create ~seed:9L in
+  (* a bound that is nowhere near a power of two: modulo would bias it *)
+  let bound = 3 in
+  let counts = Array.make bound 0 in
+  let draws = 30_000 in
+  for _ = 1 to draws do
+    let v = Rng.int rng bound in
+    check_bool "in range" true (v >= 0 && v < bound);
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expect = float_of_int draws /. float_of_int bound in
+  Array.iteri
+    (fun i c ->
+      check_bool
+        (Printf.sprintf "bucket %d within 5%% of uniform (%d)" i c)
+        true
+        (Float.abs (float_of_int c -. expect) < 0.05 *. expect))
+    counts;
+  (* huge bounds must not overflow or loop: 2^62 holds any OCaml bound *)
+  for _ = 1 to 100 do
+    let v = Rng.int rng max_int in
+    check_bool "max_int bound in range" true (v >= 0)
+  done
+
+let test_resource_wait_hold_summaries () =
+  let e = Engine.create () in
+  let r = Resource.create ~capacity:1 () in
+  for _ = 1 to 3 do
+    Process.spawn e (fun () ->
+        Resource.with_slot r (fun () -> Process.sleep 2.))
+  done;
+  Engine.run e;
+  let wait = Resource.wait_summary r and hold = Resource.hold_summary r in
+  check_int "three waits recorded" 3 (Stat.Summary.count wait);
+  check_int "three holds recorded" 3 (Stat.Summary.count hold);
+  (* arrivals tie at t=0: waits are 0, 2 and 4 seconds *)
+  Alcotest.(check (option (float 1e-9))) "longest wait" (Some 4.)
+    (Stat.Summary.max wait);
+  Alcotest.(check (float 1e-9)) "mean hold = service" 2. (Stat.Summary.mean hold)
 
 let test_rng_uniform_and_pick () =
   let rng = Rng.create ~seed:3L in
@@ -563,8 +665,17 @@ let () =
         [ Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "summary" `Quick test_summary;
           Alcotest.test_case "summary empty" `Quick test_summary_empty;
+          Alcotest.test_case "summary empty min/max" `Quick test_summary_empty_minmax;
+          Alcotest.test_case "summary stddev no NaN" `Quick test_summary_stddev_no_nan;
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+          Alcotest.test_case "histogram overflow honest" `Quick
+            test_histogram_overflow_honest;
+          Alcotest.test_case "histogram golden quantiles" `Quick
+            test_histogram_golden_quantiles;
+          Alcotest.test_case "rng int rejection sampling" `Quick test_rng_int_rejection;
+          Alcotest.test_case "resource wait/hold summaries" `Quick
+            test_resource_wait_hold_summaries;
           Alcotest.test_case "throughput" `Quick test_throughput ] );
       ( "edges",
         [ Alcotest.test_case "schedule_at absolute" `Quick test_schedule_at_absolute;
