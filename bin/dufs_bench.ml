@@ -37,6 +37,15 @@ let experiments =
      fun () ->
        Scenarios.Figures.profile ~procs_list:[ 64 ]
          ~json_path:"BENCH_pr3_smoke.json" ());
+    ("sharding", "namespace sharded across 1/2/4 ZAB ensembles, batched and \
+                  unbatched (writes BENCH_pr4.json)",
+     fun () -> Scenarios.Figures.sharding ~json_path:"BENCH_pr4.json" ());
+    ("sharding-smoke", "sharding at 64 procs, 1x8 vs 2x4 batched (CI; writes \
+                        BENCH_pr4_smoke.json)",
+     fun () ->
+       Scenarios.Figures.sharding ~procs_list:[ 64 ]
+         ~topologies:[ (1, 8); (2, 4) ] ~batches:[ 16 ]
+         ~json_path:"BENCH_pr4_smoke.json" ());
     ("all", "every experiment in order", Scenarios.Figures.all) ]
 
 open Cmdliner

@@ -371,11 +371,16 @@ let rec rename_with_retries t ~attempts vsrc vdst =
       match dst_state with
       | `Err e -> Error e
       | `Absent -> Ok None
-      | `Exists (dst_meta, dst_stat) ->
+      | `Exists (dst_meta, _) ->
         (match src_meta.Meta.kind, dst_meta.Meta.kind with
          | Meta.Dir, Meta.Dir ->
-           if dst_stat.Zk.Ztree.num_children > 0 then Error Errno.ENOTEMPTY
-           else Ok (Some ())
+           (* a children query, not the stat's [num_children]: under a
+              sharded coordination service the primary of a directory
+              homed apart from its children always reports 0 there *)
+           (match t.coord.Zk_client.children zdst with
+            | Ok (_ :: _) -> Error Errno.ENOTEMPTY
+            | Ok [] -> Ok (Some ())
+            | Error e -> Error (errno_of_zerror e))
          | Meta.Dir, (Meta.File _ | Meta.Symlink _) -> Error Errno.ENOTDIR
          | (Meta.File _ | Meta.Symlink _), Meta.Dir -> Error Errno.EISDIR
          | (Meta.File _ | Meta.Symlink _), (Meta.File _ | Meta.Symlink _) ->

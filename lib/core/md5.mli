@@ -1,26 +1,7 @@
-(** MD5 message digest (RFC 1321), implemented from scratch.
+(** Alias of {!Zk.Md5} (the implementation lives beside the shard
+    router, which consistent-hashes znode paths; DUFS keeps using it as
+    the uniform hash inside its deterministic mapping function). *)
 
-    DUFS uses MD5 only as the uniform hash inside its deterministic
-    mapping function (§IV-F); implementing it in-repo keeps the mapping
-    fully specified and testable against the RFC vectors. *)
-
-type ctx
-
-val init : unit -> ctx
-
-(** Absorb [len] bytes of [s] starting at [off] (defaults: whole string). *)
-val update : ctx -> ?off:int -> ?len:int -> string -> unit
-
-(** Finish and return the 16-byte raw digest. The context must not be
-    reused afterwards. *)
-val finalize : ctx -> string
-
-(** One-shot digest: 16 raw bytes. *)
-val digest : string -> string
-
-(** One-shot digest as 32 lowercase hex characters. *)
-val hex : string -> string
-
-(** First 8 digest bytes as a non-negative int (big-endian, sign bit
-    cleared) — the integer the mapping function reduces mod N. *)
-val to_int : string -> int
+include module type of struct
+  include Zk.Md5
+end

@@ -5,6 +5,9 @@ type action =
   | Restart of int
   | Crash_leader
   | Restart_all_down
+  | Crash_on of int * int
+  | Restart_on of int * int
+  | Crash_leader_of of int
 
 type anchor =
   | At of float
@@ -24,6 +27,9 @@ let action_to_string = function
   | Restart id -> Printf.sprintf "restart=%d" id
   | Crash_leader -> "crash-leader"
   | Restart_all_down -> "restart-all"
+  | Crash_on (shard, id) -> Printf.sprintf "crash=%d/%d" shard id
+  | Restart_on (shard, id) -> Printf.sprintf "restart=%d/%d" shard id
+  | Crash_leader_of shard -> Printf.sprintf "crash-leader@shard=%d" shard
 
 let anchor_to_string = function
   | At time -> Printf.sprintf "%g" time
@@ -44,11 +50,28 @@ let parse_action str =
     | Some i -> (
       let verb = String.sub str 0 i in
       let arg = String.sub str (i + 1) (String.length str - i - 1) in
-      match verb, int_of_string_opt arg with
-      | "crash", Some id when id >= 0 -> Ok (Crash id)
-      | "restart", Some id when id >= 0 -> Ok (Restart id)
+      (* a "<shard>/<id>" argument targets one shard of a sharded
+         deployment; a bare "<id>" keeps the single-ensemble meaning *)
+      let target =
+        match String.index_opt arg '/' with
+        | None -> Option.map (fun id -> (None, id)) (int_of_string_opt arg)
+        | Some j -> (
+          let shard = String.sub arg 0 j
+          and id = String.sub arg (j + 1) (String.length arg - j - 1) in
+          match (int_of_string_opt shard, int_of_string_opt id) with
+          | Some s, Some id -> Some (Some s, id)
+          | _ -> None)
+      in
+      match verb, target with
+      | "crash", Some (None, id) when id >= 0 -> Ok (Crash id)
+      | "restart", Some (None, id) when id >= 0 -> Ok (Restart id)
+      | "crash", Some (Some s, id) when s >= 0 && id >= 0 -> Ok (Crash_on (s, id))
+      | "restart", Some (Some s, id) when s >= 0 && id >= 0 ->
+        Ok (Restart_on (s, id))
       | ("crash" | "restart"), _ ->
         Error (Printf.sprintf "bad server id %S" arg)
+      | "crash-leader@shard", Some (None, s) when s >= 0 ->
+        Ok (Crash_leader_of s)
       | _ -> Error (Printf.sprintf "unknown action %S" str)))
 
 let parse_anchor str =
@@ -67,7 +90,9 @@ let parse_anchor str =
       | _ -> Error (Printf.sprintf "bad anchor %S" str)))
 
 let parse_event str =
-  match String.index_opt str '@' with
+  (* the anchor follows the LAST '@': anchors never contain one, while
+     the sharded action "crash-leader@shard=<k>" does *)
+  match String.rindex_opt str '@' with
   | None -> Error (Printf.sprintf "event %S: expected <action>@<anchor>" str)
   | Some i ->
     let* action = parse_action (String.sub str 0 i) in
@@ -90,30 +115,45 @@ let parse s =
 
 type armed = {
   engine : Engine.t;
-  ensemble : Zk.Ensemble.t;
+  (* shard 0 is the whole deployment for single-ensemble plans *)
+  ensembles : Zk.Ensemble.t array;
   (* phase name -> events waiting for that phase to begin *)
   by_phase : (string, (float * action) list) Hashtbl.t;
   mutable fired : int;
 }
 
+let crash_leader_of ensemble =
+  match Zk.Ensemble.leader_id ensemble with
+  | Some id -> Zk.Ensemble.crash ensemble id
+  | None -> () (* no leader to kill: the previous one is still down *)
+
+let restart_down ensemble =
+  let alive = Zk.Ensemble.alive_ids ensemble in
+  List.iter
+    (fun id -> if not (List.mem id alive) then Zk.Ensemble.restart ensemble id)
+    (Zk.Ensemble.member_ids ensemble)
+
+(* A shard index beyond the deployment is a plan/deployment mismatch:
+   ignoring it would silently weaken the schedule under test. *)
+let shard armed s =
+  if s < 0 || s >= Array.length armed.ensembles then
+    invalid_arg (Printf.sprintf "Faultplan: no shard %d in this deployment" s)
+  else armed.ensembles.(s)
+
 let perform armed action =
   armed.fired <- armed.fired + 1;
   match action with
-  | Crash id -> Zk.Ensemble.crash armed.ensemble id
-  | Restart id -> Zk.Ensemble.restart armed.ensemble id
-  | Crash_leader -> (
-    match Zk.Ensemble.leader_id armed.ensemble with
-    | Some id -> Zk.Ensemble.crash armed.ensemble id
-    | None -> () (* no leader to kill: the previous one is still down *))
-  | Restart_all_down ->
-    let alive = Zk.Ensemble.alive_ids armed.ensemble in
-    List.iter
-      (fun id ->
-        if not (List.mem id alive) then Zk.Ensemble.restart armed.ensemble id)
-      (Zk.Ensemble.member_ids armed.ensemble)
+  | Crash id -> Zk.Ensemble.crash armed.ensembles.(0) id
+  | Restart id -> Zk.Ensemble.restart armed.ensembles.(0) id
+  | Crash_leader -> crash_leader_of armed.ensembles.(0)
+  | Crash_on (s, id) -> Zk.Ensemble.crash (shard armed s) id
+  | Restart_on (s, id) -> Zk.Ensemble.restart (shard armed s) id
+  | Crash_leader_of s -> crash_leader_of (shard armed s)
+  | Restart_all_down -> Array.iter restart_down armed.ensembles
 
-let arm engine ensemble plan =
-  let armed = { engine; ensemble; by_phase = Hashtbl.create 8; fired = 0 } in
+let arm_shards engine ensembles plan =
+  if Array.length ensembles = 0 then invalid_arg "Faultplan.arm_shards: no shards";
+  let armed = { engine; ensembles; by_phase = Hashtbl.create 8; fired = 0 } in
   List.iter
     (fun { anchor; action } ->
       match anchor with
@@ -127,6 +167,8 @@ let arm engine ensemble plan =
         Hashtbl.replace armed.by_phase phase (waiting @ [ (offset, action) ]))
     plan;
   armed
+
+let arm engine ensemble plan = arm_shards engine [| ensemble |] plan
 
 let notify_phase armed phase =
   match Hashtbl.find_opt armed.by_phase phase with

@@ -12,19 +12,30 @@
     plan   ::= event (";" event)*
     event  ::= action "@" anchor
     action ::= "crash=" <id> | "restart=" <id>
-             | "crash-leader" | "restart-all"
+             | "crash=" <shard> "/" <id> | "restart=" <shard> "/" <id>
+             | "crash-leader" | "crash-leader@shard=" <shard>
+             | "restart-all"
     anchor ::= <seconds> | <phase-name> | <phase-name> "+" <seconds>
     v}
+
+    The anchor follows the {e last} ["@"] of an event, so the sharded
+    ["crash-leader@shard=2@file-create+0.05"] parses as expected; plans
+    written for single-ensemble deployments parse unchanged (a bare
+    server id or ["crash-leader"] addresses shard 0, and
+    ["restart-all"] restarts every down server of {e every} shard).
 
     e.g. ["crash-leader@file-create+0.05;restart-all@file-create+1.5"]
     crashes whoever leads 50 ms into the file-create phase and restarts
     every down server 1.5 s into it. *)
 
 type action =
-  | Crash of int        (** crash server [id] *)
+  | Crash of int        (** crash server [id] (shard 0) *)
   | Restart of int      (** restart server [id] (no-op if alive) *)
-  | Crash_leader        (** crash the current leader, resolved at fire time *)
-  | Restart_all_down    (** restart every currently-down server *)
+  | Crash_leader        (** crash shard 0's leader, resolved at fire time *)
+  | Restart_all_down    (** restart every down server on every shard *)
+  | Crash_on of int * int    (** crash server [id] of shard [s] *)
+  | Restart_on of int * int  (** restart server [id] of shard [s] *)
+  | Crash_leader_of of int   (** crash shard [s]'s current leader *)
 
 type anchor =
   | At of float                   (** absolute virtual time, seconds *)
@@ -44,8 +55,16 @@ val to_string : t -> string
 type armed
 
 (** [arm engine ensemble plan] schedules every [At] event now and holds
-    the [After_phase] events until {!notify_phase} names their phase. *)
+    the [After_phase] events until {!notify_phase} names their phase.
+    Equivalent to [arm_shards] with a one-ensemble deployment. *)
 val arm : Simkit.Engine.t -> Zk.Ensemble.t -> t -> armed
+
+(** [arm_shards engine ensembles plan] arms the plan against a sharded
+    deployment ([ensembles.(s)] is shard [s], e.g.
+    {!Zk.Shard_router.ensembles}). Unqualified actions address shard 0;
+    an event naming a shard the deployment does not have raises
+    [Invalid_argument] at fire time. *)
+val arm_shards : Simkit.Engine.t -> Zk.Ensemble.t array -> t -> armed
 
 (** [notify_phase armed name] — a workload phase named [name] is
     starting; its pending events are scheduled at their offsets. Wire

@@ -41,6 +41,14 @@ type latency_stats = {
   max_s : float;
 }
 
+type shard_stat = {
+  shard : int;
+  znodes : int;
+  writes_committed : int;
+  dedup_hits : int;
+  queue_wait_mean_s : float option;
+}
+
 type bench_point = {
   experiment : string;
   procs : int;
@@ -48,10 +56,12 @@ type bench_point = {
   ops_per_sec : float;
   latency : latency_stats option;
   phases : (string * float) list;
+  shards : shard_stat list;
 }
 
-let point ~experiment ~procs ~config ~ops_per_sec ?latency ?(phases = []) () =
-  { experiment; procs; config; ops_per_sec; latency; phases }
+let point ~experiment ~procs ~config ~ops_per_sec ?latency ?(phases = [])
+    ?(shards = []) () =
+  { experiment; procs; config; ops_per_sec; latency; phases; shards }
 
 let latency_of_runner (l : Runner.latency) =
   { samples = l.Runner.samples;
@@ -118,6 +128,25 @@ let emit_json ~path points =
                (f ~field:name dur))
            phases;
          output_string oc "}");
+      (match p.shards with
+       | [] -> ()
+       | shards ->
+         output_string oc ", \"shards\": [";
+         List.iteri
+           (fun j s ->
+             if j > 0 then output_string oc ", ";
+             Printf.fprintf oc
+               "{\"shard\": %d, \"znodes\": %d, \"writes_committed\": %d, \
+                \"dedup_hits\": %d"
+               s.shard s.znodes s.writes_committed s.dedup_hits;
+             (match s.queue_wait_mean_s with
+              | None -> ()
+              | Some q ->
+                Printf.fprintf oc ", \"queue_wait_mean_s\": %.9g"
+                  (f ~field:(Printf.sprintf "shard%d.queue_wait" s.shard) q));
+             output_string oc "}")
+           shards;
+         output_string oc "]");
       Printf.fprintf oc "}%s\n" (if i < List.length points - 1 then "," else ""))
     points;
   output_string oc "]\n";

@@ -35,6 +35,19 @@ type latency_stats = {
   max_s : float;
 }
 
+(** Per-shard balance of a sharded coordination deployment at the end
+    of a run. [znodes] counts everything resident on the shard (its own
+    root and any stubs included); [queue_wait_mean_s] is the mean
+    client-send-to-leader-batch wait of writes the shard served (absent
+    when the run was untraced or the shard saw no writes). *)
+type shard_stat = {
+  shard : int;
+  znodes : int;
+  writes_committed : int;
+  dedup_hits : int;
+  queue_wait_mean_s : float option;
+}
+
 type bench_point = {
   experiment : string;  (** e.g. ["mdtest-file-create"] *)
   procs : int;          (** simulated client processes *)
@@ -44,6 +57,8 @@ type bench_point = {
   phases : (string * float) list;
       (** named critical-path phase durations (seconds), e.g. the quorum
           phases of a coordination write; empty for throughput-only points *)
+  shards : shard_stat list;
+      (** per-shard balance; empty for unsharded deployments *)
 }
 
 val point :
@@ -53,6 +68,7 @@ val point :
   ops_per_sec:float ->
   ?latency:latency_stats ->
   ?phases:(string * float) list ->
+  ?shards:shard_stat list ->
   unit ->
   bench_point
 

@@ -915,7 +915,13 @@ let profile ?(procs_list = [ 64; 128; 256 ]) ?json_path () =
           match Obs.Metrics.summary_opt metrics name with
           | Some s -> summary_line name s
           | None -> ())
-        [ "zk.leader.queue_depth"; "zk.leader.batch_size" ];
+        ([ "zk.leader.queue_depth"; "zk.leader.batch_size" ]
+         (* sharded deployments tag per-shard instruments zk.shard<i>.*;
+            list them too so the per-shard queue wait is visible in the
+            same breakdown *)
+         @ List.filter
+             (fun n -> String.length n > 8 && String.sub n 0 8 = "zk.shard")
+             (Obs.Metrics.names metrics));
       Array.iteri
         (fun i (wait, hold) ->
           summary_line (Printf.sprintf "backend[%d] MDS wait_s" i) wait;
@@ -986,6 +992,225 @@ let profile ?(procs_list = [ 64; 128; 256 ]) ?json_path () =
     Report.emit_json ~path points;
     Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points)
 
+(* {2 Sharded coordination: N independent ZAB leaders}
+
+   PR 3 measured that a coordination write spends ~96% of its latency in
+   leader queue-wait + ack: one ZAB leader serializes every mutation.
+   This experiment partitions the znode namespace across independent
+   ensembles (Zk.Shard_router) at a constant total server count and
+   constant back-end count, so the only variable is how many leaders
+   share the write load. Every run is span-traced; the per-shard
+   queue-wait summaries make the backlog collapse directly visible. *)
+
+(* 8 Lustre back-ends keep the physical layer off the critical path at
+   256 procs — the experiment isolates the coordination bottleneck. (At
+   4 back-ends the file-create phase saturates the back-end MDSes near
+   20k ops/s and every sharded configuration flatlines there.) *)
+let sharding_spec ~servers =
+  { Systems.zk_servers = servers; backends = 8; backend_kind = Systems.Lustre }
+
+(* shards x servers-per-shard, all 8 servers in total *)
+let sharding_topologies = [ (1, 8); (2, 4); (4, 2) ]
+let sharding_batches = [ 1; 16 ]
+
+let sharding_config_label ~shards ~servers ~max_batch =
+  Printf.sprintf "shards=%dx%d|max_batch=%d|backends=8xLustre" shards servers
+    max_batch
+
+let sharding_data ?(procs_list = bar_procs) ?(topologies = sharding_topologies)
+    ?(batches = sharding_batches) () =
+  List.concat_map
+    (fun (shards, servers) ->
+      List.concat_map
+        (fun max_batch ->
+          List.map
+            (fun procs ->
+              ( (shards, servers, max_batch, procs),
+                Systems.mdtest_sharded_profiled ~spec:(sharding_spec ~servers)
+                  ~shards ~max_batch ~procs () ))
+            procs_list)
+        batches)
+    topologies
+
+let sharding_phases =
+  [ Runner.Dir_create; Runner.File_create; Runner.Dir_stat; Runner.File_stat ]
+
+let shard_queue_wait_mean trace i =
+  match
+    Obs.Metrics.summary_opt (Obs.Trace.metrics trace)
+      (Printf.sprintf "zk.shard%d.queue_wait" i)
+  with
+  | Some s when Simkit.Stat.Summary.count s > 0 ->
+    Some (Simkit.Stat.Summary.mean s)
+  | Some _ | None -> None
+
+let shard_stats_of (r : Systems.sharded_profile_run) =
+  let writes = Zk.Shard_router.writes_committed_by_shard r.Systems.router
+  and hits = Zk.Shard_router.dedup_hits_by_shard r.Systems.router in
+  Array.to_list
+    (Array.mapi
+       (fun i znodes ->
+         { Report.shard = i;
+           znodes;
+           writes_committed = writes.(i);
+           dedup_hits = hits.(i);
+           queue_wait_mean_s = shard_queue_wait_mean r.Systems.trace i })
+       r.Systems.per_shard_znodes)
+
+let sharding ?procs_list ?topologies ?batches ?json_path () =
+  let data = sharding_data ?procs_list ?topologies ?batches () in
+  let label_of (shards, servers, max_batch, _) =
+    sharding_config_label ~shards ~servers ~max_batch
+  in
+  (* throughput, one figure per op of interest *)
+  List.iter
+    (fun phase ->
+      let by_config =
+        List.sort_uniq compare
+          (List.map (fun ((s, v, b, _), _) -> (s, v, b)) data)
+      in
+      Report.print_figure
+        ~title:
+          (Printf.sprintf "Sharding — mdtest %s, %d coordination servers total"
+             (Runner.phase_to_string phase)
+             (match by_config with (s, v, _) :: _ -> s * v | [] -> 0))
+        ~x_label:"procs"
+        (List.map
+           (fun (s, v, b) ->
+             { Report.label = sharding_config_label ~shards:s ~servers:v ~max_batch:b;
+               points =
+                 List.filter_map
+                   (fun ((s', v', b', procs), (r : Systems.sharded_profile_run)) ->
+                     if (s', v', b') = (s, v, b) then
+                       Some (procs, Runner.rate r.Systems.results phase)
+                     else None)
+                   data })
+           by_config))
+    sharding_phases;
+  (* the backlog itself: mean queue-wait per coordination write, overall
+     and per shard, plus the znode balance and accounting *)
+  Report.print_header
+    "Sharding — leader queue-wait per create (mean seconds) and per-shard balance";
+  Printf.printf "  %-44s %6s %12s %14s  %s\n" "config" "procs" "create_qw_s"
+    "znodes@stat" "per-shard [znodes qw_s]";
+  let accounting_failures = ref [] in
+  List.iter
+    (fun (key, (r : Systems.sharded_profile_run)) ->
+      let _, _, _, procs = key in
+      let trace = r.Systems.trace in
+      let qw =
+        Option.value ~default:Float.nan
+          (Obs.Trace.span_mean trace "zk.create.queue-wait")
+      in
+      Printf.printf "  %-44s %6d %12.3g %7d/%-6d " (label_of key) procs qw
+        r.Systems.logical_znodes_at_stat r.Systems.expected_logical_znodes;
+      Array.iteri
+        (fun i n ->
+          Printf.printf " [%d: %d %.3g]" i n
+            (Option.value ~default:Float.nan (shard_queue_wait_mean trace i)))
+        r.Systems.per_shard_znodes;
+      print_newline ();
+      if r.Systems.logical_znodes_at_stat <> r.Systems.expected_logical_znodes
+      then
+        accounting_failures :=
+          Printf.sprintf "%s procs=%d: logical znodes %d, expected %d"
+            (label_of key) procs r.Systems.logical_znodes_at_stat
+            r.Systems.expected_logical_znodes
+          :: !accounting_failures)
+    data;
+  (match !accounting_failures with
+   | [] ->
+     Printf.printf
+       "\n  check: per-shard znode accounting exact on every run — OK\n"
+   | failures ->
+     List.iter (Printf.printf "  ACCOUNTING FAIL: %s\n") (List.rev failures);
+     failwith "sharding: per-shard znode accounting does not balance");
+  (* headline ratios at the largest scale: most shards vs single
+     ensemble, both batched (the strongest baseline) *)
+  let max_procs = List.fold_left (fun a ((_, _, _, p), _) -> max a p) 0 data in
+  let max_shards = List.fold_left (fun a ((s, _, _, _), _) -> max a s) 0 data in
+  let max_batch = List.fold_left (fun a ((_, _, b, _), _) -> max a b) 0 data in
+  let find shards =
+    List.find_opt
+      (fun ((s, _, b, p), _) -> s = shards && b = max_batch && p = max_procs)
+      data
+  in
+  (match (find 1, find max_shards) with
+   | Some (_, base), Some (_, best) when max_shards > 1 ->
+     Report.print_header
+       (Printf.sprintf
+          "Sharding — %d shards vs one ensemble (both max_batch=%d, %d procs)"
+          max_shards max_batch max_procs);
+     List.iter
+       (fun phase ->
+         let b = Runner.rate base.Systems.results phase
+         and s = Runner.rate best.Systems.results phase in
+         Report.print_ratio
+           ~label:(Printf.sprintf "%s: %d shards / 1 ensemble"
+                     (Runner.phase_to_string phase) max_shards)
+           (if b > 0. then s /. b else 0.))
+       sharding_phases
+   | _ -> ());
+  flush stdout;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let points =
+      List.concat_map
+        (fun ((shards, servers, max_batch, procs), (r : Systems.sharded_profile_run)) ->
+          let config = sharding_config_label ~shards ~servers ~max_batch in
+          let mdtest_points =
+            List.filter_map
+              (fun phase ->
+                match Runner.latency_of r.Systems.results phase with
+                | None -> None
+                | Some l ->
+                  Some
+                    (Report.point
+                       ~experiment:("mdtest-" ^ Runner.phase_to_string phase)
+                       ~procs ~config
+                       ~ops_per_sec:(Runner.rate r.Systems.results phase)
+                       ~latency:(Report.latency_of_runner l) ()))
+              Runner.all_phases
+          in
+          let breakdown =
+            match quorum_breakdown r.Systems.trace "create" with
+            | None -> []
+            | Some (count, total, phases) ->
+              let wall = r.Systems.results.Runner.wall in
+              let q p =
+                Option.value ~default:total
+                  (Obs.Trace.span_quantile r.Systems.trace "zk.create.total" p)
+              in
+              [ Report.point ~experiment:"zk-create-breakdown" ~procs ~config
+                  ~ops_per_sec:
+                    (if wall > 0. then float_of_int count /. wall else 0.)
+                  ~latency:
+                    { Report.samples = count;
+                      mean_s = total;
+                      p50_s = q 0.5;
+                      p95_s = q 0.95;
+                      p99_s = q 0.99;
+                      max_s =
+                        Option.value ~default:total
+                          (Obs.Trace.span_max r.Systems.trace "zk.create.total") }
+                  ~phases () ]
+          in
+          let accounting =
+            [ Report.point ~experiment:"sharding-znode-accounting" ~procs
+                ~config:
+                  (Printf.sprintf "%s|expected_logical=%d|live_stubs=%d" config
+                     r.Systems.expected_logical_znodes
+                     r.Systems.live_stubs_at_stat)
+                ~ops_per_sec:0.0
+                ~shards:(shard_stats_of r) () ]
+          in
+          mdtest_points @ breakdown @ accounting)
+        data
+    in
+    Report.emit_json ~path points;
+    Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points)
+
 let all () =
   fig7 ();
   fig8 ();
@@ -1003,4 +1228,5 @@ let all () =
   ablation_faults ();
   batching ();
   faults ();
-  profile ()
+  profile ();
+  sharding ()

@@ -125,5 +125,37 @@ val profile_spec : Systems.dufs_spec
     measured mean latency. *)
 val profile : ?procs_list:int list -> ?json_path:string -> unit -> unit
 
+(** {2 Sharded coordination — N independent ZAB leaders}
+
+    mdtest over {!Zk.Shard_router} deployments at a constant total
+    server count (8) and constant back-end count (8 Lustre): one
+    8-server ensemble vs 2x4 vs 4x2 shards, unbatched and batched.
+    Every run is span-traced, so the same run yields throughput, the
+    create queue-wait breakdown, per-shard queue-wait/balance, and the
+    per-shard znode accounting (checked exact — the run fails on any
+    surplus or deficit). With [json_path] writes the BENCH_pr4.json
+    artifact: [mdtest-*] points with latency blocks,
+    [zk-create-breakdown] points with phase durations, and
+    [sharding-znode-accounting] points whose [shards] block records the
+    per-shard balance ([expected_logical] and [live_stubs] ride in the
+    config string for external validation). *)
+
+val sharding_data :
+  ?procs_list:int list ->
+  ?topologies:(int * int) list ->
+  ?batches:int list ->
+  unit ->
+  ((int * int * int * int) * Systems.sharded_profile_run) list
+(** [((shards, servers_per_shard, max_batch, procs), run)] for each
+    combination, defaults 1x8/2x4/4x2 x batch 1/16 x 64/128/256. *)
+
+val sharding :
+  ?procs_list:int list ->
+  ?topologies:(int * int) list ->
+  ?batches:int list ->
+  ?json_path:string ->
+  unit ->
+  unit
+
 (** Run everything (the full bench suite). *)
 val all : unit -> unit

@@ -17,6 +17,8 @@ type system =
   | Dufs of dufs_spec
   | Dufs_cached of dufs_spec
   | Dufs_batched of dufs_spec * int
+  | Dufs_sharded of dufs_spec * int * int
+      (* spec (zk_servers = servers PER shard), shard count, max_batch *)
 
 let system_label = function
   | Basic_lustre -> "Basic Lustre"
@@ -34,6 +36,10 @@ let system_label = function
     Printf.sprintf "DUFS+batch%d %dx%s/%dzk" max_batch backends
       (match backend_kind with Lustre -> "Lustre" | Pvfs -> "PVFS")
       zk_servers
+  | Dufs_sharded ({ zk_servers; backends; backend_kind }, shards, max_batch) ->
+    Printf.sprintf "DUFS+shards%dx%d+batch%d %dx%s" shards zk_servers max_batch
+      backends
+      (match backend_kind with Lustre -> "Lustre" | Pvfs -> "PVFS")
 
 let zk_config ?(max_batch = 1) ~servers ~procs () =
   { (Zk.Ensemble.default_config ~servers) with
@@ -55,12 +61,10 @@ let zk_config ?(max_batch = 1) ~servers ~procs () =
    profile runs can thread a span trace through the whole request path
    (ensemble quorum phases + client root spans) and read back each
    back-end metadata station's wait-vs-service split. *)
-let build_dufs ?(trace = Obs.Trace.null) engine ~spec ~config ~cached =
+let build_backends engine ~spec =
   let { backends; backend_kind; zk_servers = _ } = spec in
-  let ensemble = Zk.Ensemble.start ~trace engine config in
   let layout = Dufs.Physical.default_layout in
-  let backend_clients, backend_stations =
-    match backend_kind with
+  match backend_kind with
     | Lustre ->
       let mounts =
         Array.init backends (fun _ ->
@@ -106,25 +110,49 @@ let build_dufs ?(trace = Obs.Trace.null) engine ~spec ~config ~cached =
                     (Pfs.Pvfs_sim.wait_summaries mount)
                     (Pfs.Pvfs_sim.hold_summaries mount))
                 mounts)) )
+
+(* Per-proc VFS ops over an arbitrary coordination session factory —
+   shared by the single-ensemble and sharded builders. *)
+let dufs_ops_for_proc ~trace engine ~session_of ~backend_clients ~cached proc =
+  let session : Zk.Zk_client.handle = session_of () in
+  let coord =
+    if cached then Dufs.Cache.handle (Dufs.Cache.wrap session) else session
   in
-  let ops_for_proc proc =
-    let session = Zk.Ensemble.session ensemble () in
-    let coord =
-      if cached then Dufs.Cache.handle (Dufs.Cache.wrap session) else session
-    in
-    let client =
-      Dufs.Client.mount ~coord ~backends:(backend_clients proc)
-        ~client_id:(Int64.of_int (proc + 1))
-        ~layout
-        ~clock:(fun () -> Engine.now engine)
-        ~delay:Process.sleep
-        ~overhead:(Pfs.Costs.fuse_crossing +. Pfs.Costs.dufs_overhead)
-        ~trace
-        ()
-    in
-    Dufs.Client.ops client
+  let client =
+    Dufs.Client.mount ~coord ~backends:(backend_clients proc)
+      ~client_id:(Int64.of_int (proc + 1))
+      ~layout:Dufs.Physical.default_layout
+      ~clock:(fun () -> Engine.now engine)
+      ~delay:Process.sleep
+      ~overhead:(Pfs.Costs.fuse_crossing +. Pfs.Costs.dufs_overhead)
+      ~trace
+      ()
+  in
+  Dufs.Client.ops client
+
+let build_dufs ?(trace = Obs.Trace.null) engine ~spec ~config ~cached =
+  let ensemble = Zk.Ensemble.start ~trace engine config in
+  let backend_clients, backend_stations = build_backends engine ~spec in
+  let ops_for_proc =
+    dufs_ops_for_proc ~trace engine
+      ~session_of:(fun () -> Zk.Ensemble.session ensemble ())
+      ~backend_clients ~cached
   in
   (ensemble, ops_for_proc, backend_stations)
+
+(* The sharded stack: [shards] independent ensembles, each built from
+   [config] (so [shards * config.servers] coordination servers in
+   total), behind a {!Zk.Shard_router} session per client process. *)
+let build_dufs_sharded ?(trace = Obs.Trace.null) engine ~spec ~config ~shards
+    ~cached =
+  let router = Zk.Shard_router.start ~trace engine ~shards config in
+  let backend_clients, backend_stations = build_backends engine ~spec in
+  let ops_for_proc =
+    dufs_ops_for_proc ~trace engine
+      ~session_of:(fun () -> Zk.Shard_router.session router ())
+      ~backend_clients ~cached
+  in
+  (router, ops_for_proc, backend_stations)
 
 (* Build per-process operation tables for one system on [engine]. The
    returned closure must be invoked from inside the process's own
@@ -147,6 +175,12 @@ let build_system engine system ~procs =
     let max_batch = match sys with Dufs_batched (_, b) -> b | _ -> 1 in
     let config = zk_config ~max_batch ~servers:spec.zk_servers ~procs () in
     let _, ops_for_proc, _ = build_dufs engine ~spec ~config ~cached in
+    ops_for_proc
+  | Dufs_sharded (spec, shards, max_batch) ->
+    let config = zk_config ~max_batch ~servers:spec.zk_servers ~procs () in
+    let _, ops_for_proc, _ =
+      build_dufs_sharded engine ~spec ~config ~shards ~cached:false
+    in
     ops_for_proc
 
 let cache : (string, Mdtest.Runner.results) Hashtbl.t = Hashtbl.create 64
@@ -237,6 +271,110 @@ let mdtest_profiled ?(dirs_per_proc = 60) ?(files_per_proc = 60) ~spec ~procs ()
   let cfg = Mdtest.Workload.config ~dirs_per_proc ~files_per_proc ~procs () in
   let results = Mdtest.Runner.run engine cfg ~ops_for_proc in
   { results; trace; backend_stations }
+
+(* {2 Sharded mdtest runs}
+
+   Shared accounting: at the file-stat barrier every file create has
+   committed and no removal has begun, so the logical znode population
+   (per-shard node counts minus each shard's own root minus live stubs)
+   must equal zroot + skeleton + files exactly — any surplus is a
+   doubled apply or a leaked stub, any deficit a lost write. *)
+
+let expected_logical_znodes cfg ~procs ~files_per_proc =
+  1 + List.length (Mdtest.Workload.skeleton cfg) + (procs * files_per_proc)
+
+type sharded_profile_run = {
+  results : Mdtest.Runner.results;
+  trace : Obs.Trace.t;
+  router : Zk.Shard_router.t;
+  backend_stations : (Simkit.Stat.Summary.t * Simkit.Stat.Summary.t) array;
+  per_shard_znodes : int array;   (* at the file-stat barrier *)
+  live_stubs_at_stat : int;
+  logical_znodes_at_stat : int;
+  expected_logical_znodes : int;
+}
+
+let mdtest_sharded_profiled ?(dirs_per_proc = 60) ?(files_per_proc = 60)
+    ?(max_batch = 1) ~spec ~shards ~procs () =
+  let engine = Engine.create () in
+  let trace = Obs.Trace.create () in
+  Obs.Trace.enable trace;
+  let config = zk_config ~max_batch ~servers:spec.zk_servers ~procs () in
+  let router, ops_for_proc, backend_stations =
+    build_dufs_sharded ~trace engine ~spec ~config ~shards ~cached:false
+  in
+  let cfg = Mdtest.Workload.config ~dirs_per_proc ~files_per_proc ~procs () in
+  let per_shard_znodes = ref [||] and live_stubs_at_stat = ref 0 in
+  let on_phase phase =
+    if phase = Mdtest.Runner.File_stat then begin
+      per_shard_znodes := Zk.Shard_router.node_counts router;
+      live_stubs_at_stat :=
+        Zk.Shard_router.live_stubs (Zk.Shard_router.stats router)
+    end
+  in
+  let results = Mdtest.Runner.run ~on_phase engine cfg ~ops_for_proc in
+  Zk.Shard_router.publish router (Obs.Trace.metrics trace);
+  { results;
+    trace;
+    router;
+    backend_stations;
+    per_shard_znodes = !per_shard_znodes;
+    live_stubs_at_stat = !live_stubs_at_stat;
+    logical_znodes_at_stat =
+      Array.fold_left (fun acc n -> acc + (n - 1)) 0 !per_shard_znodes
+      - !live_stubs_at_stat;
+    expected_logical_znodes = expected_logical_znodes cfg ~procs ~files_per_proc }
+
+type sharded_fault_run = {
+  results : Mdtest.Runner.results;
+  dedup_hits : int;
+  dedup_hits_by_shard : int array;
+  writes_committed : int;
+  writes_committed_by_shard : int array;
+  faults_fired : int;
+  per_shard_znodes : int array;
+  live_stubs_at_stat : int;
+  logical_znodes_at_stat : int;
+  expected_logical_znodes : int;
+  router_stats : Zk.Shard_router.stats;
+}
+
+let mdtest_sharded_faulted ?(dirs_per_proc = 60) ?(files_per_proc = 60)
+    ?(max_batch = 1) ?(config_adjust = fun c -> c) ~spec ~shards ~procs ~plan () =
+  let engine = Engine.create () in
+  let config =
+    config_adjust (zk_config ~max_batch ~servers:spec.zk_servers ~procs ())
+  in
+  let router, ops_for_proc, _ =
+    build_dufs_sharded engine ~spec ~config ~shards ~cached:false
+  in
+  let armed =
+    Faults.Faultplan.arm_shards engine (Zk.Shard_router.ensembles router) plan
+  in
+  let cfg = Mdtest.Workload.config ~dirs_per_proc ~files_per_proc ~procs () in
+  let per_shard_znodes = ref [||] and live_stubs_at_stat = ref 0 in
+  let on_phase phase =
+    if phase = Mdtest.Runner.File_stat then begin
+      per_shard_znodes := Zk.Shard_router.node_counts router;
+      live_stubs_at_stat :=
+        Zk.Shard_router.live_stubs (Zk.Shard_router.stats router)
+    end;
+    Faults.Faultplan.notify_phase armed (Mdtest.Runner.phase_to_string phase)
+  in
+  let results = Mdtest.Runner.run ~on_phase engine cfg ~ops_for_proc in
+  { results;
+    dedup_hits = Zk.Shard_router.dedup_hits router;
+    dedup_hits_by_shard = Zk.Shard_router.dedup_hits_by_shard router;
+    writes_committed = Zk.Shard_router.writes_committed router;
+    writes_committed_by_shard = Zk.Shard_router.writes_committed_by_shard router;
+    faults_fired = Faults.Faultplan.fired armed;
+    per_shard_znodes = !per_shard_znodes;
+    live_stubs_at_stat = !live_stubs_at_stat;
+    logical_znodes_at_stat =
+      Array.fold_left (fun acc n -> acc + (n - 1)) 0 !per_shard_znodes
+      - !live_stubs_at_stat;
+    expected_logical_znodes = expected_logical_znodes cfg ~procs ~files_per_proc;
+    router_stats = Zk.Shard_router.stats router }
 
 let zk_raw ~servers ~procs ?(items = 80) () =
   let engine = Engine.create () in

@@ -21,6 +21,11 @@ type system =
   | Dufs_batched of dufs_spec * int
       (** DUFS with ZAB group commit: the leader batches up to the given
           [max_batch] queued writes per persist + proposal round *)
+  | Dufs_sharded of dufs_spec * int * int
+      (** DUFS over a {!Zk.Shard_router} deployment:
+          [(spec, shards, max_batch)] with [spec.zk_servers] servers
+          {e per shard}, so [shards * zk_servers] coordination servers
+          in total, each shard its own batched ZAB ensemble *)
 
 val system_label : system -> string
 
@@ -50,6 +55,23 @@ val build_dufs :
   config:Zk.Ensemble.config ->
   cached:bool ->
   Zk.Ensemble.t
+  * (int -> Fuselike.Vfs.ops)
+  * (Simkit.Stat.Summary.t * Simkit.Stat.Summary.t) array
+
+(** [build_dufs_sharded engine ~spec ~config ~shards ~cached] — the
+    sharded counterpart of {!build_dufs}: [shards] independent
+    ensembles, each built from [config], behind a {!Zk.Shard_router}
+    session per client process. The router stays visible so fault
+    experiments can crash individual shards and accounting can read
+    per-shard populations. *)
+val build_dufs_sharded :
+  ?trace:Obs.Trace.t ->
+  Simkit.Engine.t ->
+  spec:dufs_spec ->
+  config:Zk.Ensemble.config ->
+  shards:int ->
+  cached:bool ->
+  Zk.Shard_router.t
   * (int -> Fuselike.Vfs.ops)
   * (Simkit.Stat.Summary.t * Simkit.Stat.Summary.t) array
 
@@ -107,6 +129,69 @@ val mdtest_profiled :
   procs:int ->
   unit ->
   profile_run
+
+(** {2 Sharded runs}
+
+    Both sharded run types carry the same accounting, sampled at the
+    file-stat barrier (every file create committed, no removal begun):
+    per-shard raw node counts, the router's live stub count at that
+    instant, and the derived logical population
+    [sum (counts - 1) - live_stubs], which must equal
+    [expected_logical_znodes] (zroot + skeleton + files) exactly —
+    a surplus is a doubled apply or leaked stub, a deficit a lost
+    write. *)
+
+(** Sharded mdtest with the span trace enabled end to end ([publish]ed
+    per-shard gauges included). Not memoized. *)
+type sharded_profile_run = {
+  results : Mdtest.Runner.results;
+  trace : Obs.Trace.t;
+  router : Zk.Shard_router.t;
+  backend_stations : (Simkit.Stat.Summary.t * Simkit.Stat.Summary.t) array;
+  per_shard_znodes : int array;
+  live_stubs_at_stat : int;
+  logical_znodes_at_stat : int;
+  expected_logical_znodes : int;
+}
+
+val mdtest_sharded_profiled :
+  ?dirs_per_proc:int ->
+  ?files_per_proc:int ->
+  ?max_batch:int ->
+  spec:dufs_spec ->
+  shards:int ->
+  procs:int ->
+  unit ->
+  sharded_profile_run
+
+(** Sharded mdtest under a fault schedule (see {!mdtest_faulted});
+    the plan may address shards with the [crash=<shard>/<id>] /
+    [crash-leader@shard=<k>] syntax. Untraced. *)
+type sharded_fault_run = {
+  results : Mdtest.Runner.results;
+  dedup_hits : int;
+  dedup_hits_by_shard : int array;
+  writes_committed : int;
+  writes_committed_by_shard : int array;
+  faults_fired : int;
+  per_shard_znodes : int array;
+  live_stubs_at_stat : int;
+  logical_znodes_at_stat : int;
+  expected_logical_znodes : int;
+  router_stats : Zk.Shard_router.stats;
+}
+
+val mdtest_sharded_faulted :
+  ?dirs_per_proc:int ->
+  ?files_per_proc:int ->
+  ?max_batch:int ->
+  ?config_adjust:(Zk.Ensemble.config -> Zk.Ensemble.config) ->
+  spec:dufs_spec ->
+  shards:int ->
+  procs:int ->
+  plan:Faults.Faultplan.t ->
+  unit ->
+  sharded_fault_run
 
 (** Raw coordination-service throughput (Fig. 7): closed loop of [items]
     ops per client for each of the four basic operations. Returns

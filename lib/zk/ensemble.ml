@@ -123,6 +123,10 @@ type t = {
   engine : Engine.t;
   cfg : config;
   trace : Obs.Trace.t;
+  (* metric-name prefix for per-shard instruments ("" = unsharded); a
+     tagged ensemble additionally records its gauges and queue-wait
+     under [zk.<tag>.*] so a sharded deployment's balance is visible. *)
+  tag : string;
   members : server array;
   mutable leader : int;
   mutable next_session : int64;
@@ -353,14 +357,24 @@ let leader_handle_batch t (s : server) batch =
     (* Stamping and gauge observations are pure accumulator writes: the
        traced run sleeps exactly as long as the untraced one. *)
     (if Obs.Trace.enabled t.trace then begin
-       Obs.Trace.observe t.trace "zk.leader.queue_depth"
-         (float_of_int (Mailbox.length s.inbox));
-       Obs.Trace.observe t.trace "zk.leader.batch_size"
-         (float_of_int (List.length batch));
+       let depth = float_of_int (Mailbox.length s.inbox)
+       and size = float_of_int (List.length batch) in
+       Obs.Trace.observe t.trace "zk.leader.queue_depth" depth;
+       Obs.Trace.observe t.trace "zk.leader.batch_size" size;
+       if t.tag <> "" then begin
+         Obs.Trace.observe t.trace ("zk." ^ t.tag ^ ".leader.queue_depth") depth;
+         Obs.Trace.observe t.trace ("zk." ^ t.tag ^ ".leader.batch_size") size
+       end;
        let persist_dur = svc t t.cfg.persist in
        List.iter
          (fun (_, _, _, _, span) ->
            if Obs.Trace.is_real span then begin
+             (* per-shard queue wait, measured where the backlog lives:
+                client send -> leader batch start *)
+             if t.tag <> "" then
+               Obs.Trace.observe t.trace
+                 ("zk." ^ t.tag ^ ".queue_wait")
+                 (time -. span.Obs.Trace.w_sent);
              span.Obs.Trace.w_batch <- time;
              span.Obs.Trace.w_persist <- persist_dur
            end)
@@ -516,7 +530,7 @@ let make_server id =
     next_apply = 1L;
     reads = 0 }
 
-let start ?(trace = Obs.Trace.null) engine cfg =
+let start ?(trace = Obs.Trace.null) ?(tag = "") engine cfg =
   if cfg.servers < 1 then invalid_arg "Ensemble.start: servers < 1";
   if cfg.observers < 0 then invalid_arg "Ensemble.start: observers < 0";
   if cfg.max_batch < 1 then invalid_arg "Ensemble.start: max_batch < 1";
@@ -527,7 +541,7 @@ let start ?(trace = Obs.Trace.null) engine cfg =
     members.(i).role <- Observer
   done;
   let t =
-    { engine; cfg; trace; members; leader = 0; next_session = 1L; next_server = 0;
+    { engine; cfg; trace; tag; members; leader = 0; next_session = 1L; next_server = 0;
       commits = 0; dedup_hits = 0; follower_peers = []; observer_peers = [] }
   in
   refresh_peers t;

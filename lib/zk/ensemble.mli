@@ -55,8 +55,11 @@ type t
     leader observes queue depth and batch size per group commit; spans
     land under [zk.<op>.<phase>] in the trace's metrics registry. Tracing
     is pure accumulator bookkeeping — it never sleeps or schedules, so a
-    traced run's simulated clock is identical to an untraced run's. *)
-val start : ?trace:Obs.Trace.t -> Simkit.Engine.t -> config -> t
+    traced run's simulated clock is identical to an untraced run's.
+    A [tag] (e.g. ["shard2"]) makes the ensemble additionally record its
+    leader gauges and per-write queue wait under [zk.<tag>.*], so a
+    sharded deployment's per-shard balance shows up in the same trace. *)
+val start : ?trace:Obs.Trace.t -> ?tag:string -> Simkit.Engine.t -> config -> t
 
 val config : t -> config
 val trace : t -> Obs.Trace.t

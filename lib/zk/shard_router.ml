@@ -1,0 +1,437 @@
+(* Shard router: the full client surface over N independent ensembles.
+   See the .mli for the routing invariant (parent-directory co-location)
+   and the cross-shard atomicity boundary; DESIGN.md §sharding for the
+   honest list of caveats. *)
+
+type stats = {
+  mutable cross_shard_multis : int;
+  mutable cross_shard_deletes : int;
+  mutable stub_creates : int;
+  mutable stub_deletes : int;
+  mutable rollbacks : int;
+  mutable rollback_failures : int;
+  mutable orphan_notes : string list;
+}
+
+let fresh_stats () =
+  { cross_shard_multis = 0;
+    cross_shard_deletes = 0;
+    stub_creates = 0;
+    stub_deletes = 0;
+    rollbacks = 0;
+    rollback_failures = 0;
+    orphan_notes = [] }
+
+let live_stubs s = s.stub_creates - s.stub_deletes
+
+let note stats msg =
+  stats.rollback_failures <- stats.rollback_failures + 1;
+  stats.orphan_notes <- msg :: stats.orphan_notes
+
+(* {2 Placement — consistent hashing with bounded loads}
+
+   The ring alone cannot balance a small key population: a namespace
+   with ~100 populated directories hashed onto 4 shards leaves the hot
+   shard with ~28% of the keys (binomial spread), and read throughput
+   tracks the hottest shard. So each key's shard is the ring's choice
+   {e unless} that shard already holds [ceil ((1+eps) * keys / shards)]
+   keys, in which case the next shard (ascending id, wrapping) under
+   the cap takes it. With [eps = 0] (the default) per-shard key counts
+   never differ by more than one. Assignments are memoized, so a key's
+   shard is stable for the lifetime of the placement — the table models
+   the durable directory-placement map a real deployment would keep in
+   a (small, cacheable) coordination namespace, IndexFS-style. *)
+
+type placement = {
+  p_ring : Consistent_hash.t;
+  p_shards : int;
+  eps : float;
+  assigned : (string, int) Hashtbl.t; (* directory key -> shard *)
+  loads : int array;                  (* keys per shard *)
+  mutable total : int;
+}
+
+let make_ring ~shards =
+  if shards < 1 then invalid_arg "Shard_router: shards < 1";
+  Consistent_hash.create (List.init shards Fun.id)
+
+let make_placement ?(eps = 0.) ~shards () =
+  if eps < 0. then invalid_arg "Shard_router.make_placement: eps < 0";
+  { p_ring = make_ring ~shards;
+    p_shards = shards;
+    eps;
+    assigned = Hashtbl.create 256;
+    loads = Array.make shards 0;
+    total = 0 }
+
+let placement_ring p = p.p_ring
+
+let place p key =
+  match Hashtbl.find_opt p.assigned key with
+  | Some s -> s
+  | None ->
+    let cap =
+      max
+        ((p.total / p.p_shards) + 1)
+        (int_of_float
+           (ceil
+              ((1. +. p.eps) *. float_of_int (p.total + 1)
+              /. float_of_int p.p_shards)))
+    in
+    let pref = Consistent_hash.lookup p.p_ring key in
+    let rec pick j =
+      (* some shard is under cap: min load <= total/shards < cap *)
+      if j >= p.p_shards then pref
+      else
+        let s = (pref + j) mod p.p_shards in
+        if p.loads.(s) < cap then s else pick (j + 1)
+    in
+    let s = pick 0 in
+    Hashtbl.replace p.assigned key s;
+    p.loads.(s) <- p.loads.(s) + 1;
+    p.total <- p.total + 1;
+    s
+
+(* {2 The routed handle} *)
+
+(* [home p]: the shard holding p's primary (placed by the parent, so
+   siblings co-locate). [kids p]: the shard holding p's children
+   (placed by p itself). For "/" both reduce to [place pl "/"]. *)
+let home_of pl path =
+  place pl (if path = "/" then "/" else Zpath.parent path)
+
+let kids_of pl path = place pl path
+
+let wrap ?(stats = fresh_stats ()) ~placement (h : Zk_client.handle array) =
+  let home p = home_of placement p and kids p = kids_of placement p in
+  let ( let* ) = Result.bind in
+  (* Make [path] exist on shard [s], mirroring primaries into empty
+     stubs top-down. Refuses to materialize anything the primary shard
+     does not have, so a genuine ZNONODE stays ZNONODE. *)
+  let rec ensure_on s path =
+    if path = "/" then Ok ()
+    else
+      match h.(s).Zk_client.exists path with
+      | Error _ as e -> e |> Result.map ignore
+      | Ok (Some _) -> Ok ()
+      | Ok None -> (
+        match h.(home path).Zk_client.exists path with
+        | Error _ as e -> e |> Result.map ignore
+        | Ok None -> Error Zerror.ZNONODE
+        | Ok (Some st) ->
+          if st.Ztree.ephemeral_owner <> 0L then
+            (* ephemerals cannot have children; never stub one *)
+            Error Zerror.ZNOCHILDRENFOREPHEMERALS
+          else
+            let* () = ensure_on s (Zpath.parent path) in
+            (match h.(s).Zk_client.create path ~data:"" with
+             | Ok _ ->
+               stats.stub_creates <- stats.stub_creates + 1;
+               Ok ()
+             | Error Zerror.ZNODEEXISTS -> Ok ()
+             | Error _ as e -> e |> Result.map ignore))
+  in
+  let create ?ephemeral ?sequential path ~data =
+    let s = home path in
+    match h.(s).Zk_client.create ?ephemeral ?sequential path ~data with
+    | Error Zerror.ZNONODE when path <> "/" && Zpath.parent path <> "/" -> (
+      (* the parent may be a primary elsewhere with no stub here yet *)
+      match ensure_on s (Zpath.parent path) with
+      | Ok () -> h.(s).Zk_client.create ?ephemeral ?sequential path ~data
+      | Error e -> Error e)
+    | r -> r
+  in
+  let delete ?version path =
+    let s = home path and k = kids path in
+    if s = k then h.(s).Zk_client.delete ?version path
+    else
+      (* cheap read probe: most nodes (all files) never grow a stub *)
+      match h.(k).Zk_client.exists path with
+      | Error e -> Error e
+      | Ok None -> h.(s).Zk_client.delete ?version path
+      | Ok (Some _) -> (
+        stats.cross_shard_deletes <- stats.cross_shard_deletes + 1;
+        (* ordered two-phase: the stub holds the children, so deleting
+           it first preserves ZNOTEMPTY semantics exactly *)
+        match h.(k).Zk_client.delete path with
+        | Error Zerror.ZNONODE -> h.(s).Zk_client.delete ?version path
+        | Error e -> Error e
+        | Ok () -> (
+          stats.stub_deletes <- stats.stub_deletes + 1;
+          match h.(s).Zk_client.delete ?version path with
+          | Ok () -> Ok ()
+          | Error e ->
+            (* primary refused (version conflict, concurrent delete):
+               restore the stub so the pair stays consistent *)
+            (match h.(k).Zk_client.create path ~data:"" with
+             | Ok _ ->
+               stats.stub_creates <- stats.stub_creates + 1;
+               stats.rollbacks <- stats.rollbacks + 1
+             | Error Zerror.ZNODEEXISTS -> stats.rollbacks <- stats.rollbacks + 1
+             | Error e2 ->
+               note stats
+                 (Printf.sprintf
+                    "delete %s: stub lost on shard %d after primary refused (%s; %s)"
+                    path k (Zerror.to_string e) (Zerror.to_string e2)));
+            Error e))
+  in
+  (* children-family fallback: an existing directory whose children
+     shard never saw a stub is an {e empty} directory, not a missing
+     one. The underlying call has already armed any requested child
+     watch on [kids path] (watch registries accept absent paths). *)
+  let absent_fallback : 'a. string -> empty:'a -> ('a, Zerror.t) result =
+    fun path ~empty ->
+     if home path = kids path then Error Zerror.ZNONODE
+     else
+       match h.(home path).Zk_client.exists path with
+       | Ok (Some _) -> Ok empty
+       | Ok None -> Error Zerror.ZNONODE
+       | Error e -> Error e
+  in
+  let children path =
+    match h.(kids path).Zk_client.children path with
+    | Error Zerror.ZNONODE -> absent_fallback path ~empty:[]
+    | r -> r
+  in
+  let children_with_data path =
+    match h.(kids path).Zk_client.children_with_data path with
+    | Error Zerror.ZNONODE -> absent_fallback path ~empty:[]
+    | r -> r
+  in
+  let children_with_data_watch path cb =
+    match h.(kids path).Zk_client.children_with_data_watch path cb with
+    | Error Zerror.ZNONODE -> absent_fallback path ~empty:[]
+    | r -> r
+  in
+  let children_watch path cb =
+    match h.(kids path).Zk_client.children_watch path cb with
+    | Error Zerror.ZNONODE -> absent_fallback path ~empty:[]
+    | r -> r
+  in
+  (* {2 Multi} *)
+  let shard_of_op op = home (Txn.op_path op) in
+  (* Retry a single-shard multi once after materializing stubs for its
+     create parents — same lazy-stub rule as the create path. *)
+  let multi_on s txn =
+    match h.(s).Zk_client.multi txn with
+    | Error Zerror.ZNONODE as err ->
+      let planted =
+        List.fold_left
+          (fun planted op ->
+            match op with
+            | Txn.Create { path; _ } when Zpath.parent path <> "/" ->
+              let before = stats.stub_creates in
+              (match ensure_on s (Zpath.parent path) with
+               | Ok () -> planted || stats.stub_creates > before
+               | Error _ -> planted)
+            | _ -> planted)
+          false txn
+      in
+      if planted then h.(s).Zk_client.multi txn else err
+    | r -> r
+  in
+  (* Ops grouped by shard in ascending shard order; each op keeps its
+     original index so results re-assemble in request order. *)
+  let group_by_shard txn =
+    let tbl = Hashtbl.create 4 in
+    List.iteri
+      (fun i op ->
+        let s = shard_of_op op in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt tbl s) in
+        Hashtbl.replace tbl s ((i, op) :: prev))
+      txn;
+    Hashtbl.fold (fun s ops acc -> (s, List.rev ops) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  (* Undo one committed group: created nodes are deleted (deepest-first);
+     committed deletes and data writes are unrecoverable — note them. *)
+  let rollback_group (s, iops, items) =
+    let undo =
+      List.rev
+        (List.filter_map
+           (fun ((_, op), item) ->
+             match (op, item) with
+             | Txn.Create _, Txn.Created actual ->
+               Some (Zk_client.delete_op actual)
+             | _ -> None)
+           (List.combine iops items))
+    in
+    let lost =
+      List.exists
+        (fun (_, op) ->
+          match op with Txn.Delete _ | Txn.Set_data _ -> true | _ -> false)
+        iops
+    in
+    (if undo <> [] then
+       match h.(s).Zk_client.multi undo with
+       | Ok _ -> stats.rollbacks <- stats.rollbacks + 1
+       | Error e ->
+         note stats
+           (Printf.sprintf
+              "multi rollback failed on shard %d: %d created node(s) left (%s)"
+              s (List.length undo) (Zerror.to_string e)));
+    if lost then
+      note stats
+        (Printf.sprintf
+           "multi partially committed on shard %d: delete/set ops cannot be rolled back"
+           s)
+  in
+  let stitch txn groups_done =
+    let results = Hashtbl.create 16 in
+    List.iter
+      (fun (_, iops, items) ->
+        List.iter2 (fun (i, _) item -> Hashtbl.replace results i item) iops items)
+      groups_done;
+    List.mapi (fun i _ -> Hashtbl.find results i) txn
+  in
+  let multi txn =
+    match group_by_shard txn with
+    | [] -> h.(0).Zk_client.multi txn (* empty txn: a sync, any shard *)
+    | [ (s, _) ] -> multi_on s txn
+    | groups ->
+      stats.cross_shard_multis <- stats.cross_shard_multis + 1;
+      let rec run done_groups = function
+        | [] -> Ok (stitch txn (List.rev done_groups))
+        | (s, iops) :: rest -> (
+          match multi_on s (List.map snd iops) with
+          | Ok items -> run ((s, iops, items) :: done_groups) rest
+          | Error e ->
+            List.iter rollback_group done_groups;
+            Error e)
+      in
+      run [] groups
+  in
+  let multi_async txn callback =
+    match group_by_shard txn with
+    | [] -> h.(0).Zk_client.multi_async txn callback
+    | [ (s, _) ] ->
+      (* pass-through; no lazy stubbing on the async path (DESIGN.md) *)
+      h.(s).Zk_client.multi_async txn callback
+    | groups ->
+      stats.cross_shard_multis <- stats.cross_shard_multis + 1;
+      let rec step done_groups = function
+        | [] -> callback (Ok (stitch txn (List.rev done_groups)))
+        | (s, iops) :: rest ->
+          h.(s).Zk_client.multi_async (List.map snd iops) (function
+            | Ok items -> step ((s, iops, items) :: done_groups) rest
+            | Error e ->
+              List.iter rollback_group done_groups;
+              callback (Error e))
+      in
+      step [] groups
+  in
+  { Zk_client.create;
+    get = (fun path -> h.(home path).Zk_client.get path);
+    set = (fun ?version path ~data -> h.(home path).Zk_client.set ?version path ~data);
+    delete;
+    exists = (fun path -> h.(home path).Zk_client.exists path);
+    children;
+    children_with_data;
+    children_with_data_watch;
+    multi;
+    multi_async;
+    watch_data = (fun path cb -> h.(home path).Zk_client.watch_data path cb);
+    watch_children = (fun path cb -> h.(kids path).Zk_client.watch_children path cb);
+    get_watch = (fun path cb -> h.(home path).Zk_client.get_watch path cb);
+    children_watch;
+    sync = (fun () -> Array.iter (fun s -> s.Zk_client.sync ()) h);
+    close = (fun () -> Array.iter (fun s -> s.Zk_client.close ()) h);
+    session_id = h.(0).Zk_client.session_id }
+
+(* {2 Deployments} *)
+
+type backend =
+  | Ens of Ensemble.t
+  | Local of Zk_local.t
+
+type t = {
+  placement : placement;
+  backends : backend array;
+  stats : stats;
+}
+
+let start ?trace engine ~shards cfg =
+  let placement = make_placement ~shards () in
+  let backends =
+    Array.init shards (fun i ->
+        Ens (Ensemble.start ?trace ~tag:(Printf.sprintf "shard%d" i) engine cfg))
+  in
+  { placement; backends; stats = fresh_stats () }
+
+let local ?clock ~shards () =
+  let placement = make_placement ~shards () in
+  let backends = Array.init shards (fun _ -> Local (Zk_local.create ?clock ())) in
+  { placement; backends; stats = fresh_stats () }
+
+let session t () =
+  wrap ~stats:t.stats ~placement:t.placement
+    (Array.map
+       (function
+         | Ens e -> Ensemble.session e ()
+         | Local l -> Zk_local.session l)
+       t.backends)
+
+let shard_count t = Array.length t.backends
+let stats t = t.stats
+let ring t = t.placement.p_ring
+let placement t = t.placement
+let home_shard t path = home_of t.placement path
+
+let ensembles t =
+  Array.map
+    (function
+      | Ens e -> e
+      | Local _ -> invalid_arg "Shard_router.ensembles: local deployment")
+    t.backends
+
+let tree_of_shard t i =
+  match t.backends.(i) with
+  | Local l -> Zk_local.tree l
+  | Ens e ->
+    let id =
+      match Ensemble.leader_id e with
+      | Some id -> id
+      | None -> ( match Ensemble.alive_ids e with id :: _ -> id | [] -> 0)
+    in
+    Ensemble.tree_of e id
+
+let node_counts t =
+  Array.init (shard_count t) (fun i -> Ztree.node_count (tree_of_shard t i))
+
+let logical_population t =
+  Array.fold_left (fun acc n -> acc + (n - 1)) 0 (node_counts t)
+  - live_stubs t.stats
+
+let writes_committed_by_shard t =
+  Array.map
+    (function Ens e -> Ensemble.writes_committed e | Local _ -> 0)
+    t.backends
+
+let writes_committed t = Array.fold_left ( + ) 0 (writes_committed_by_shard t)
+
+let dedup_hits_by_shard t =
+  Array.map (function Ens e -> Ensemble.dedup_hits e | Local _ -> 0) t.backends
+
+let dedup_hits t = Array.fold_left ( + ) 0 (dedup_hits_by_shard t)
+
+let publish t metrics =
+  let set name v = Obs.Metrics.Gauge.set (Obs.Metrics.gauge metrics name) v in
+  let counts = node_counts t
+  and writes = writes_committed_by_shard t
+  and hits = dedup_hits_by_shard t in
+  Array.iteri
+    (fun i n ->
+      set (Printf.sprintf "zk.shard%d.znodes" i) (float_of_int n);
+      set
+        (Printf.sprintf "zk.shard%d.writes_committed" i)
+        (float_of_int writes.(i));
+      set (Printf.sprintf "zk.shard%d.dedup_hits" i) (float_of_int hits.(i)))
+    counts;
+  let s = t.stats in
+  set "zk.router.cross_shard_multis" (float_of_int s.cross_shard_multis);
+  set "zk.router.cross_shard_deletes" (float_of_int s.cross_shard_deletes);
+  set "zk.router.stub_creates" (float_of_int s.stub_creates);
+  set "zk.router.stub_deletes" (float_of_int s.stub_deletes);
+  set "zk.router.rollbacks" (float_of_int s.rollbacks);
+  set "zk.router.rollback_failures" (float_of_int s.rollback_failures);
+  set "zk.router.live_stubs" (float_of_int (live_stubs s))

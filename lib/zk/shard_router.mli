@@ -1,0 +1,151 @@
+(** Sharded coordination: the znode namespace partitioned across
+    independent ZAB ensembles, behind the unchanged {!Zk_client.handle}
+    surface.
+
+    {2 Routing invariant — parent-directory co-location}
+
+    A znode [p]'s primary copy lives on the shard owning [parent p]
+    under the {!placement} ([home p]); consequently {e all children of
+    a directory live on one shard} ([kids d], the shard owning [d]
+    itself). Sibling creates, sequential-suffix allocation,
+    [children]/[children_with_data[_watch]] and child watches are
+    therefore always single-shard operations, and each shard keeps its
+    own sessions, watches, request-id dedup table and exactly-once retry
+    semantics untouched.
+
+    When [home d <> kids d] (the directory hashes apart from its own
+    children), the children's shard holds a lazily materialized {e stub}
+    of [d]: an empty placeholder created on first cross-shard child
+    create, invisible to every read (listings of [d] route to [kids d],
+    where the stub is the parent; listings of [parent d] route to
+    [home d], where the primary is the child). Stat reads of such a
+    directory come from the primary, whose [num_children] stays 0 — the
+    child count lives on the stub. This drift, and every other
+    cross-shard caveat, is documented in DESIGN.md §sharding.
+
+    {2 Atomicity boundary}
+
+    Single-shard {!Txn.t} multis (all op paths homed on one shard) route
+    through unchanged and stay atomic. A cross-shard multi is executed
+    as ordered per-shard sub-transactions (ascending shard id); each
+    sub-transaction is atomic, the whole is not. On a failing
+    sub-transaction the router rolls back the already-committed shards'
+    creates (deletes of the created paths); committed deletes and
+    data writes cannot be restored — those leave an orphan note for
+    {!Fsck}-style repair and bump [rollback_failures]. Cross-shard
+    deletes of a stubbed directory are an ordered two-phase write
+    (stub first — it holds the children, so ZNOTEMPTY semantics are
+    preserved — then primary, recreating the stub if the primary
+    delete refuses). All occurrences are counted in {!stats}. *)
+
+type stats = {
+  mutable cross_shard_multis : int;
+  mutable cross_shard_deletes : int;  (** two-phase stub+primary deletes *)
+  mutable stub_creates : int;
+  mutable stub_deletes : int;
+  mutable rollbacks : int;            (** undo transactions that succeeded *)
+  mutable rollback_failures : int;    (** partial commits left in place *)
+  mutable orphan_notes : string list; (** newest first; repair work items *)
+}
+
+val fresh_stats : unit -> stats
+
+(** Live stubs currently standing in for cross-shard directories
+    ([stub_creates - stub_deletes]). *)
+val live_stubs : stats -> int
+
+(** {2 Placement — consistent hashing with bounded loads}
+
+    The ring alone cannot balance a small key population (a namespace
+    with ~100 populated directories hashed onto 4 shards leaves the
+    hottest shard near 28% of the keys, and read throughput tracks the
+    hottest shard), so a directory key's shard is the ring's choice
+    {e unless} that shard already holds [ceil ((1+eps) * keys/shards)]
+    keys — then the next shard id (wrapping) under the cap takes it.
+    With [eps = 0] (the default) per-shard key counts never differ by
+    more than one. Assignments are memoized and therefore stable for
+    the placement's lifetime; the table models the durable
+    directory-placement map a real deployment would keep in a small,
+    cacheable coordination namespace (IndexFS-style). *)
+
+type placement
+
+(** @raise Invalid_argument if [shards < 1] or [eps < 0]. *)
+val make_placement : ?eps:float -> shards:int -> unit -> placement
+
+(** The shard owning [key] (a directory path), assigning it if new. *)
+val place : placement -> string -> int
+
+val placement_ring : placement -> Consistent_hash.t
+
+(** {2 Deployments} *)
+
+type t
+
+(** [start ?trace engine ~shards cfg] boots [shards] independent
+    ensembles, each from [cfg] (so [shards * cfg.servers] servers in
+    total), tagged [shard0..shardN-1] for per-shard trace instruments.
+    @raise Invalid_argument if [shards < 1]. *)
+val start : ?trace:Obs.Trace.t -> Simkit.Engine.t -> shards:int -> Ensemble.config -> t
+
+(** Immediate-mode deployment over [shards] {!Zk_local} trees (same
+    router logic, no simulation required). *)
+val local : ?clock:(unit -> float) -> shards:int -> unit -> t
+
+(** [session t ()] opens one sub-session per shard and returns the
+    routed handle. [close] closes every sub-session (per-shard ephemeral
+    cleanup); [sync] syncs every shard; [session_id] is shard 0's. *)
+val session : t -> unit -> Zk_client.handle
+
+(** Route an explicit handle array (shard [i] = [handles.(i)]) — the
+    seam fault-injection tests use to wrap individual shards. [stats]
+    defaults to a fresh record. Sessions of one deployment must share
+    one [placement] (and its memoized assignments). *)
+val wrap :
+  ?stats:stats -> placement:placement -> Zk_client.handle array ->
+  Zk_client.handle
+
+(** The raw ring a placement prefers: one point set per shard id.
+    @raise Invalid_argument if [shards < 1]. *)
+val make_ring : shards:int -> Consistent_hash.t
+
+(** {2 Introspection} *)
+
+val shard_count : t -> int
+val stats : t -> stats
+val ring : t -> Consistent_hash.t
+val placement : t -> placement
+
+(** The shard holding [path]'s primary copy. *)
+val home_shard : t -> string -> int
+
+(** The underlying ensembles.
+    @raise Invalid_argument on a {!local} deployment. *)
+val ensembles : t -> Ensemble.t array
+
+(** Current data tree of shard [i] (leader's tree, or the first live
+    replica's if the shard has no leader right now). *)
+val tree_of_shard : t -> int -> Ztree.t
+
+(** Per-shard znode counts (each includes that shard's own root ["/"]
+    and any stubs it hosts). *)
+val node_counts : t -> int array
+
+(** Logical znode population: total nodes minus the per-shard roots and
+    minus live stubs — the number a single-ensemble deployment would
+    report minus its root. Exact iff no write was lost or doubled. *)
+val logical_population : t -> int
+
+val writes_committed : t -> int
+val writes_committed_by_shard : t -> int array
+val dedup_hits : t -> int
+val dedup_hits_by_shard : t -> int array
+
+(** [publish t metrics] snapshots the per-shard balance into gauges:
+    [zk.shard<i>.znodes], [zk.shard<i>.writes_committed],
+    [zk.shard<i>.dedup_hits], and router counters
+    [zk.router.cross_shard_multis], [zk.router.cross_shard_deletes],
+    [zk.router.stub_creates], [zk.router.stub_deletes],
+    [zk.router.rollbacks], [zk.router.rollback_failures],
+    [zk.router.live_stubs]. *)
+val publish : t -> Obs.Metrics.t -> unit

@@ -51,6 +51,81 @@ let test_parse_rejects_malformed () =
     [ "boom@1"; "crash=x@1"; "crash=1"; "crash=1@-2"; "crash=-1@1";
       "crash=1@dir-create+x"; "crash=1@+" ]
 
+(* {2 The sharded grammar extension} *)
+
+let test_parse_shard_roundtrip () =
+  let text =
+    "crash=2/1@0.25;restart=2/1@dir-stat+0.2;\
+     crash-leader@shard=3@file-create+0.05"
+  in
+  let plan = plan_of_string text in
+  check_string "to_string inverts parse" text (Faultplan.to_string plan);
+  match plan with
+  | { Faultplan.action = Faultplan.Crash_on (2, 1); anchor = Faultplan.At t }
+    :: { Faultplan.action = Faultplan.Restart_on (2, 1); _ }
+    :: [ { Faultplan.action = Faultplan.Crash_leader_of 3;
+           anchor = Faultplan.After_phase ("file-create", offset) } ] ->
+    check_bool "absolute time parsed" true (t = 0.25);
+    check_bool "last @ splits action from anchor" true (offset = 0.05)
+  | _ -> Alcotest.fail "sharded events decoded in the wrong shape"
+
+let test_parse_unqualified_plans_unchanged () =
+  (* every pre-sharding plan keeps its meaning: bare ids stay [Crash]/
+     [Restart] (shard 0 at arm time), not [Crash_on] *)
+  match plan_of_string "crash-leader@file-create+0.05;crash=1@0.25;restart-all@1.5" with
+  | [ { Faultplan.action = Faultplan.Crash_leader; _ };
+      { Faultplan.action = Faultplan.Crash 1; _ };
+      { Faultplan.action = Faultplan.Restart_all_down; _ } ] -> ()
+  | _ -> Alcotest.fail "unqualified plan decoded differently"
+
+let test_parse_shard_rejects_malformed () =
+  List.iter
+    (fun text ->
+      match Faultplan.parse text with
+      | Ok _ -> Alcotest.failf "parse %S should fail" text
+      | Error _ -> ())
+    [ "crash=1/@1"; "crash=/2@1"; "crash=1/2/3@1"; "crash=1/-2@1";
+      "crash=-1/2@1"; "crash-leader@shard=@1"; "crash-leader@shard=x@dir-create";
+      "crash-leader@shard=1/2@1" ]
+
+let test_arm_shards_targets_the_right_shard () =
+  let engine = Engine.create () in
+  let router =
+    Zk.Shard_router.start engine ~shards:2 (Ensemble.default_config ~servers:3)
+  in
+  let ensembles = Zk.Shard_router.ensembles router in
+  let armed =
+    Faultplan.arm_shards engine ensembles
+      (plan_of_string "crash=1/2@0.01;crash=0@0.01;restart-all@boot+0.01")
+  in
+  Engine.schedule engine ~delay:0.02 (fun () ->
+      let alive i = Ensemble.alive_ids ensembles.(i) in
+      check_bool "server 2 of shard 1 down" false (List.mem 2 (alive 1));
+      check_bool "server 2 of shard 0 untouched" true (List.mem 2 (alive 0));
+      check_bool "unqualified crash hit shard 0" false (List.mem 0 (alive 0));
+      check_bool "server 0 of shard 1 untouched" true (List.mem 0 (alive 1));
+      Faultplan.notify_phase armed "boot");
+  Engine.run engine;
+  check_int "all three events fired" 3 (Faultplan.fired armed);
+  Array.iteri
+    (fun i e ->
+      check_int (Printf.sprintf "shard %d fully restarted" i) 3
+        (List.length (Ensemble.alive_ids e)))
+    ensembles
+
+let test_arm_shards_rejects_bad_deployments () =
+  let engine = Engine.create () in
+  (match Faultplan.arm_shards engine [||] (plan_of_string "crash=0@1") with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "empty deployment should be rejected");
+  (* a shard index beyond the deployment is a plan/deployment mismatch
+     and must fail loudly at fire time, not silently no-op *)
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers:3) in
+  ignore (Faultplan.arm engine ensemble (plan_of_string "crash=3/0@0.01"));
+  match Engine.run engine with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range shard should raise when it fires"
+
 (* {2 Arming against a live ensemble} *)
 
 let test_arm_executes_timed_and_phase_events () =
@@ -106,10 +181,19 @@ let () =
         [ Alcotest.test_case "parse/to_string roundtrip" `Quick test_parse_roundtrip;
           Alcotest.test_case "bare phase anchor" `Quick test_parse_bare_phase_anchor;
           Alcotest.test_case "rejects malformed plans" `Quick
-            test_parse_rejects_malformed ] );
+            test_parse_rejects_malformed;
+          Alcotest.test_case "sharded roundtrip" `Quick test_parse_shard_roundtrip;
+          Alcotest.test_case "unqualified plans unchanged" `Quick
+            test_parse_unqualified_plans_unchanged;
+          Alcotest.test_case "rejects malformed sharded plans" `Quick
+            test_parse_shard_rejects_malformed ] );
       ( "arming",
         [ Alcotest.test_case "timed and phase-anchored events" `Quick
-            test_arm_executes_timed_and_phase_events ] );
+            test_arm_executes_timed_and_phase_events;
+          Alcotest.test_case "shard-qualified events target their shard" `Quick
+            test_arm_shards_targets_the_right_shard;
+          Alcotest.test_case "rejects bad deployments" `Quick
+            test_arm_shards_rejects_bad_deployments ] );
       ( "acceptance",
         [ Alcotest.test_case "mdtest 64 procs survives leader crash" `Slow
             test_mdtest_64_procs_survives_leader_crash ] ) ]
