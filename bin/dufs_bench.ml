@@ -46,6 +46,12 @@ let experiments =
        Scenarios.Figures.sharding ~procs_list:[ 64 ]
          ~topologies:[ (1, 8); (2, 4) ] ~batches:[ 16 ]
          ~json_path:"BENCH_pr4_smoke.json" ());
+    ("chaos", "randomized network-fault schedules + linearizability checker \
+               (writes BENCH_pr5.json)",
+     fun () -> Scenarios.Figures.chaos ~json_path:"BENCH_pr5.json" ());
+    ("chaos-smoke", "chaos at 64 procs, 2 fixed seeds (CI; writes \
+                     BENCH_pr5_smoke.json)",
+     fun () -> Scenarios.Figures.chaos_smoke ~json_path:"BENCH_pr5_smoke.json" ());
     ("all", "every experiment in order", Scenarios.Figures.all) ]
 
 open Cmdliner

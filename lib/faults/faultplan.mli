@@ -6,7 +6,9 @@
     the phase notifications). [arm] turns the plan into engine events,
     so a benchmark runs unchanged while servers fail underneath it.
 
-    Textual grammar ([parse] / [to_string] are inverses):
+    Textual grammar ([parse] / [to_string] are inverses on canonical
+    forms; [parse] additionally accepts "ms"/"us"/"s" suffixes on
+    durations, which [to_string] prints as bare seconds):
 
     {v
     plan   ::= event (";" event)*
@@ -15,8 +17,23 @@
              | "crash=" <shard> "/" <id> | "restart=" <shard> "/" <id>
              | "crash-leader" | "crash-leader@shard=" <shard>
              | "restart-all"
+             | "partition=" [<shard> "/"] <group> ("|" <group>)*
+             | "heal" | "heal@shard=" <shard>
+             | "drop="  [<shard> "/"] <probability>
+             | "delay+=" [<shard> "/"] <duration>
+             | "dup="   [<shard> "/"] <probability>
+             | "reorder=" [<shard> "/"] <probability> ":" <duration>
+    group  ::= <id> ("," <id>)*
     anchor ::= <seconds> | <phase-name> | <phase-name> "+" <seconds>
     v}
+
+    Network actions drive the target ensemble's {!Simkit.Net} fault
+    state: [partition] installs a symmetric split (members not named
+    form the implicit other side, and clients ride with their home
+    server), [drop]/[dup]/[delay+]/[reorder] set the probabilistic
+    knobs, and [heal] restores the network completely — partition gone
+    {e and} every probabilistic knob back to zero (["heal"] heals every
+    shard; ["heal@shard=k"] just one).
 
     The anchor follows the {e last} ["@"] of an event, so the sharded
     ["crash-leader@shard=2@file-create+0.05"] parses as expected; plans
@@ -36,6 +53,15 @@ type action =
   | Crash_on of int * int    (** crash server [id] of shard [s] *)
   | Restart_on of int * int  (** restart server [id] of shard [s] *)
   | Crash_leader_of of int   (** crash shard [s]'s current leader *)
+  | Partition of int option * int list list
+      (** symmetric partition of the shard's members ([None] = shard 0) *)
+  | Heal of int option  (** restore the network ([None] = every shard) *)
+  | Drop of int option * float       (** P(message lost) *)
+  | Delay of int option * float      (** seconds added to every hop *)
+  | Duplicate of int option * float  (** P(message delivered twice) *)
+  | Reorder of int option * float * float
+      (** (probability, window): see {!Simkit.Net.set_reorder} — this
+          knowingly violates the protocol's FIFO-link assumption *)
 
 type anchor =
   | At of float                   (** absolute virtual time, seconds *)
@@ -74,3 +100,21 @@ val notify_phase : armed -> string -> unit
 
 (** Events executed so far. *)
 val fired : armed -> int
+
+(** [chaos ~seed ~servers ~start ~heal_at ~events ()] emits a
+    seed-deterministic random schedule: [events] faults (partitions,
+    loss, extra delay, duplication, crashes, mid-run heals and
+    restarts) at sorted random times in [[start, heal_at)], closed by a
+    full ["heal"] and ["restart-all"] at [heal_at]. With [shards > 1]
+    the network and crash faults are shard-qualified at random. Reorder
+    is deliberately excluded (FIFO-link assumption; DESIGN.md §7).
+    Identical arguments produce identical plans. *)
+val chaos :
+  seed:int64 ->
+  servers:int ->
+  ?shards:int ->
+  start:float ->
+  heal_at:float ->
+  events:int ->
+  unit ->
+  t

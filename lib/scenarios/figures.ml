@@ -1211,6 +1211,146 @@ let sharding ?procs_list ?topologies ?batches ?json_path () =
     Report.emit_json ~path points;
     Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points)
 
+(* {2 Chaos — randomized network fault schedules + linearizability oracle} *)
+
+let chaos_servers = 5
+let chaos_clients = 8
+
+let chaos_runs_default =
+  List.map (fun s -> (1, Int64.of_int s)) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+  @ List.map (fun s -> (4, Int64.of_int s)) [ 101; 102; 103; 104; 105; 106; 107; 108 ]
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> Float.nan
+  | n ->
+    let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let chaos ?(runs = chaos_runs_default) ?(clients = chaos_clients)
+    ?(registers = 6) ?(heal_at = 15.) ?(post_heal = 10.) ?(events = 12)
+    ?json_path () =
+  Report.print_header
+    (Printf.sprintf
+       "Chaos — %d seeded random fault schedules (partitions, loss, delay, \
+        duplication, crashes) over %d-server-per-shard ensembles, %d clients; \
+        Wing-Gong linearizability check over every recorded history"
+       (List.length runs) chaos_servers clients);
+  Printf.printf "%6s %7s %9s %8s %7s %7s %11s %11s %9s %8s\n" "shards" "seed"
+    "recorded" "checked" "undet" "expired" "dedup_hits" "evictions" "recovery"
+    "violations";
+  let results =
+    List.map
+      (fun (shards, seed) ->
+        let r =
+          Systems.chaos_run ~servers:chaos_servers ~shards ~clients ~registers
+            ~heal_at ~post_heal ~events ~seed ()
+        in
+        Printf.printf "%6d %7Ld %9d %8d %7d %7d %11d %11d %8.2fs %10d\n%!"
+          shards seed r.Systems.recorded r.Systems.checked
+          r.Systems.undetermined_ops r.Systems.sessions_expired
+          r.Systems.dedup_hits r.Systems.dedup_evictions r.Systems.recovery_s
+          (List.length r.Systems.violations);
+        List.iter
+          (fun (v : Zk.History.violation) ->
+            Printf.printf "    VIOLATION [%s] %s: %s\n" v.Zk.History.v_kind
+              v.Zk.History.v_path v.Zk.History.v_detail)
+          r.Systems.violations;
+        r)
+      runs
+  in
+  (* Determinism: the first schedule again, bit-identical history. *)
+  let shards0, seed0 = List.hd runs in
+  let again =
+    Systems.chaos_run ~servers:chaos_servers ~shards:shards0 ~clients ~registers
+      ~heal_at ~post_heal ~events ~seed:seed0 ()
+  in
+  let deterministic = again.Systems.digest = (List.hd results).Systems.digest in
+  let total_checked =
+    List.fold_left (fun acc r -> acc + r.Systems.checked) 0 results
+  in
+  let total_violations =
+    List.fold_left
+      (fun acc r -> acc + List.length r.Systems.violations)
+      0 results
+  in
+  let recoveries =
+    let a =
+      Array.of_list
+        (List.filter Float.is_finite
+           (List.map (fun (r : Systems.chaos_run) -> r.Systems.recovery_s) results))
+    in
+    Array.sort compare a;
+    a
+  in
+  let all_recovered = Array.length recoveries = List.length results in
+  Printf.printf
+    "\ntotal: %d ops checked, %d violations; recovery p50=%.2fs p95=%.2fs \
+     max=%.2fs (%d/%d runs recovered); seed %Ld re-run digest %s\n%!"
+    total_checked total_violations (percentile recoveries 0.50)
+    (percentile recoveries 0.95) (percentile recoveries 1.0)
+    (Array.length recoveries) (List.length results)
+    seed0
+    (if deterministic then "identical" else "DIFFERS (nondeterminism!)");
+  (match json_path with
+   | None -> ()
+   | Some path ->
+     let duration = heal_at +. post_heal in
+     let points =
+       List.map
+         (fun (r : Systems.chaos_run) ->
+           Report.point ~experiment:"chaos" ~procs:clients
+             ~config:
+               (Printf.sprintf "seed=%Ld|shards=%d|zk=%d" r.Systems.seed
+                  r.Systems.shards chaos_servers)
+             ~ops_per_sec:(float_of_int r.Systems.ops_ok /. duration)
+             ~phases:
+               [ ("violations", float_of_int (List.length r.Systems.violations));
+                 ("ops_checked", float_of_int r.Systems.checked);
+                 ("ops_recorded", float_of_int r.Systems.recorded);
+                 ("undetermined", float_of_int r.Systems.undetermined_ops);
+                 ( "recovery_s",
+                   if Float.is_finite r.Systems.recovery_s then
+                     r.Systems.recovery_s
+                   else -1. );
+                 ("sessions_expired", float_of_int r.Systems.sessions_expired);
+                 ("dedup_hits", float_of_int r.Systems.dedup_hits);
+                 ("dedup_evictions", float_of_int r.Systems.dedup_evictions);
+                 ( "writes_failed_fast",
+                   float_of_int r.Systems.writes_failed_fast );
+                 ( "stale_reads_served",
+                   float_of_int r.Systems.stale_reads_served ) ]
+             ())
+         results
+       @ [ Report.point ~experiment:"chaos-summary" ~procs:clients
+             ~config:
+               (Printf.sprintf "runs=%d|zk=%d" (List.length results)
+                  chaos_servers)
+             ~ops_per_sec:(float_of_int total_checked /. duration)
+             ~phases:
+               [ ("violations_total", float_of_int total_violations);
+                 ("ops_checked_total", float_of_int total_checked);
+                 ("recovery_p50_s", percentile recoveries 0.50);
+                 ("recovery_p95_s", percentile recoveries 0.95);
+                 ("recovery_max_s", percentile recoveries 1.0);
+                 ("runs_recovered", float_of_int (Array.length recoveries));
+                 ("runs", float_of_int (List.length results));
+                 ("deterministic", if deterministic then 1. else 0.) ]
+             () ]
+     in
+     Report.emit_json ~path points;
+     Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points));
+  if not all_recovered then failwith "chaos: a run never recovered after heal";
+  if not deterministic then
+    failwith "chaos: identical seed produced a different history";
+  if total_violations > 0 then
+    failwith "chaos: linearizability violations found"
+
+let chaos_smoke ?json_path () =
+  chaos
+    ~runs:[ (1, 11L); (4, 12L) ]
+    ~clients:64 ~registers:16 ~heal_at:8. ~post_heal:6. ~events:8 ?json_path ()
+
 let all () =
   fig7 ();
   fig8 ();
@@ -1229,4 +1369,5 @@ let all () =
   batching ();
   faults ();
   profile ();
-  sharding ()
+  sharding ();
+  chaos ()

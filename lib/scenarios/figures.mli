@@ -157,5 +157,38 @@ val sharding :
   unit ->
   unit
 
+(** {2 Chaos — randomized network fault schedules + linearizability
+    oracle}
+
+    [chaos ()] runs one {!Systems.chaos_run} per [(shards, seed)] entry
+    of [runs] (default: 12 single-shard + 8 four-shard schedules),
+    prints a per-run table (ops recorded/checked, undetermined ops,
+    expired sessions, dedup activity, post-heal recovery time,
+    violations), re-runs the first schedule to prove bit-identical
+    history digests, and summarizes recovery percentiles. With
+    [json_path] writes the BENCH_pr5.json artifact: one [chaos] point
+    per run (violations, ops checked, recovery and the degradation
+    counters in the [phases] block; [recovery_s = -1] means the run
+    never recovered) plus a [chaos-summary] point with totals and
+    recovery percentiles.
+    @raise Failure on any linearizability violation, on a run that
+    never recovers after the closing heal, or if the re-run digest
+    differs (the run is then not seed-deterministic). *)
+val chaos :
+  ?runs:(int * int64) list ->
+  ?clients:int ->
+  ?registers:int ->
+  ?heal_at:float ->
+  ?post_heal:float ->
+  ?events:int ->
+  ?json_path:string ->
+  unit ->
+  unit
+
+(** The CI variant: 2 fixed schedules (1-shard and 4-shard) at 64
+    client processes over a shorter window — the BENCH_pr5_smoke.json
+    artifact. Same failure conditions as {!chaos}. *)
+val chaos_smoke : ?json_path:string -> unit -> unit
+
 (** Run everything (the full bench suite). *)
 val all : unit -> unit

@@ -376,6 +376,199 @@ let mdtest_sharded_faulted ?(dirs_per_proc = 60) ?(files_per_proc = 60)
     expected_logical_znodes = expected_logical_znodes cfg ~procs ~files_per_proc;
     router_stats = Zk.Shard_router.stats router }
 
+(* {2 Chaos: randomized network-fault schedules with a linearizability
+      oracle}
+
+   Clients speak to the coordination layer directly (no PFS back-ends —
+   the oracle checks the quorum, not the data path) through a
+   {!Zk.History} recorder, while a seeded {!Faults.Faultplan.chaos}
+   schedule partitions, drops, delays, duplicates and crashes
+   underneath them. Register paths are one-per-directory so a sharded
+   deployment spreads them across shards (children co-locate with
+   their parent). After the closing heal a probe measures how long
+   each shard takes to commit a write again; after the run the
+   Wing–Gong checker searches the recorded history. *)
+
+type chaos_run = {
+  seed : int64;
+  shards : int;
+  recorded : int;
+  checked : int;
+  undetermined_ops : int;
+  violations : Zk.History.violation list;
+  digest : string;
+  recovery_s : float;  (** heal → every probed shard committed; nan = never *)
+  faults_fired : int;
+  ops_ok : int;        (** client ops with a determined outcome *)
+  ops_err : int;       (** transport-failed client ops (undetermined) *)
+  dedup_hits : int;
+  dedup_evictions : int;
+  sessions_expired : int;
+  writes_failed_fast : int;
+  stale_reads_served : int;
+  writes_committed : int;
+}
+
+let chaos_reg_dir k = Printf.sprintf "/d%d" k
+let chaos_seq_dir = "/dseq"
+
+let chaos_run ?(servers = 5) ?(shards = 1) ?(clients = 8) ?(registers = 6)
+    ?(heal_at = 15.) ?(post_heal = 10.) ?(events = 12) ?(think = 0.05)
+    ?(unsafe_no_dedup = false) ?plan ~seed () =
+  let engine = Engine.create () in
+  let config =
+    { (zk_config ~servers ~procs:clients ()) with
+      Zk.Ensemble.seed;
+      request_timeout = 0.5;
+      retry_backoff = 0.05;
+      retry_backoff_cap = 1.0;
+      session_timeout = 6.0;
+      stale_read_after = 1.0;
+      serve_stale_reads = true;
+      fail_fast_after = 2.0;
+      unsafe_no_dedup }
+  in
+  let router = Zk.Shard_router.start engine ~shards config in
+  let hist = Zk.History.create engine in
+  let plan =
+    match plan with
+    | Some p -> p
+    | None ->
+      Faults.Faultplan.chaos ~seed:(Int64.add seed 101L) ~servers ~shards
+        ~start:1.0 ~heal_at ~events ()
+  in
+  let armed =
+    Faults.Faultplan.arm_shards engine (Zk.Shard_router.ensembles router) plan
+  in
+  let stop = heal_at +. post_heal in
+  let ops_ok = ref 0 and ops_err = ref 0 in
+  (* Setup: the register directories, so each register's children land
+     on that directory's shard. Runs before the chaos window opens. *)
+  Process.spawn engine (fun () ->
+      let s = Zk.Shard_router.session router () in
+      let mk p =
+        match s.Zk.Zk_client.create p ~data:"" with
+        | Ok _ -> ()
+        | Error e -> failwith ("chaos setup " ^ p ^ ": " ^ Zk.Zerror.to_string e)
+      in
+      for k = 0 to registers - 1 do
+        mk (chaos_reg_dir k)
+      done;
+      mk chaos_seq_dir);
+  for i = 0 to clients - 1 do
+    let rng =
+      Simkit.Rng.create ~seed:(Int64.add seed (Int64.of_int ((i + 1) * 7919)))
+    in
+    Process.spawn engine (fun () ->
+        let h =
+          ref (Zk.History.wrap hist ~client:i (Zk.Shard_router.session router ()))
+        in
+        let n = ref 0 in
+        let fresh_data () =
+          incr n;
+          Printf.sprintf "%d.%d" i !n
+        in
+        (* let the setup commits land before the first register op *)
+        Process.sleep (0.2 +. Simkit.Rng.exponential rng ~mean:think);
+        while Engine.now engine < stop do
+          let reg =
+            chaos_reg_dir (Simkit.Rng.int rng registers) ^ "/r"
+          in
+          let outcome =
+            match Simkit.Rng.int rng 100 with
+            | x when x < 25 ->
+              Result.map ignore ((!h).Zk.Zk_client.create reg ~data:(fresh_data ()))
+            | x when x < 45 -> (!h).Zk.Zk_client.set reg ~data:(fresh_data ())
+            | x when x < 60 -> (!h).Zk.Zk_client.delete reg
+            | x when x < 80 -> Result.map ignore ((!h).Zk.Zk_client.get reg)
+            | x when x < 90 -> Result.map ignore ((!h).Zk.Zk_client.exists reg)
+            | _ ->
+              Result.map ignore
+                ((!h).Zk.Zk_client.create ~sequential:true
+                   (chaos_seq_dir ^ "/s-") ~data:(fresh_data ()))
+          in
+          (match outcome with
+           | Ok () -> incr ops_ok
+           | Error
+               (Zk.Zerror.ZNONODE | Zk.Zerror.ZNODEEXISTS | Zk.Zerror.ZNOTEMPTY
+               | Zk.Zerror.ZBADVERSION) ->
+             (* semantic outcome of racing clients: the service answered *)
+             incr ops_ok
+           | Error Zk.Zerror.ZSESSIONEXPIRED ->
+             incr ops_err;
+             h :=
+               Zk.History.wrap hist ~client:i (Zk.Shard_router.session router ());
+             Process.sleep (Simkit.Rng.exponential rng ~mean:0.2)
+           | Error _ ->
+             incr ops_err;
+             Process.sleep (Simkit.Rng.exponential rng ~mean:0.3));
+          Process.sleep (Simkit.Rng.exponential rng ~mean:think)
+        done;
+        (!h).Zk.Zk_client.close ())
+  done;
+  (* Recovery probe: one representative register directory per shard;
+     recovery is the time from heal until every one of them has
+     committed a fresh write. *)
+  let recovery = ref Float.nan in
+  Engine.schedule engine ~delay:heal_at (fun () ->
+      Process.spawn engine (fun () ->
+          let by_shard = Hashtbl.create 8 in
+          for k = registers - 1 downto 0 do
+            let dir = chaos_reg_dir k in
+            Hashtbl.replace by_shard
+              (Zk.Shard_router.home_shard router (dir ^ "/r"))
+              dir
+          done;
+          let dirs =
+            List.sort compare
+              (Hashtbl.fold (fun _ dir acc -> dir :: acc) by_shard [])
+          in
+          let s = ref (Zk.Shard_router.session router ()) in
+          let n = ref 0 in
+          List.iter
+            (fun dir ->
+              let rec attempt () =
+                incr n;
+                let path = Printf.sprintf "%s/probe%d" dir !n in
+                match (!s).Zk.Zk_client.create path ~data:"" with
+                | Ok _ -> ()
+                | Error Zk.Zerror.ZSESSIONEXPIRED ->
+                  s := Zk.Shard_router.session router ();
+                  Process.sleep 0.05;
+                  attempt ()
+                | Error _ ->
+                  Process.sleep 0.05;
+                  attempt ()
+              in
+              attempt ())
+            dirs;
+          recovery := Engine.now engine -. heal_at));
+  Engine.run engine;
+  let violations = Zk.History.check ~max_states:2_000_000 hist in
+  let sum f =
+    Array.fold_left
+      (fun acc e -> acc + f e)
+      0
+      (Zk.Shard_router.ensembles router)
+  in
+  { seed;
+    shards;
+    recorded = Zk.History.recorded hist;
+    checked = Zk.History.checked_ops hist;
+    undetermined_ops = Zk.History.undetermined hist;
+    violations;
+    digest = Zk.History.digest hist;
+    recovery_s = !recovery;
+    faults_fired = Faults.Faultplan.fired armed;
+    ops_ok = !ops_ok;
+    ops_err = !ops_err;
+    dedup_hits = sum Zk.Ensemble.dedup_hits;
+    dedup_evictions = sum Zk.Ensemble.dedup_evictions;
+    sessions_expired = sum Zk.Ensemble.sessions_expired;
+    writes_failed_fast = sum Zk.Ensemble.writes_failed_fast;
+    stale_reads_served = sum Zk.Ensemble.stale_reads_served;
+    writes_committed = sum Zk.Ensemble.writes_committed }
+
 let zk_raw ~servers ~procs ?(items = 80) () =
   let engine = Engine.create () in
   let ensemble = Zk.Ensemble.start engine (zk_config ~servers ~procs ()) in

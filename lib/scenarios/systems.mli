@@ -193,6 +193,55 @@ val mdtest_sharded_faulted :
   unit ->
   sharded_fault_run
 
+(** {2 Chaos runs — randomized network faults + linearizability oracle}
+
+    One seeded schedule: [clients] processes hammer [registers]
+    register znodes (one per directory, so a sharded deployment spreads
+    them) and a sequential-create directory through a {!Zk.History}
+    recorder while a {!Faults.Faultplan.chaos} plan (or the explicit
+    [?plan]) partitions, drops, delays, duplicates and crashes the
+    deployment until [heal_at]; the run continues [post_heal] seconds
+    of healthy traffic, a probe measures per-shard write recovery, and
+    the checker searches the whole recorded history. Identical
+    arguments (seed included) reproduce bit-identical histories —
+    compare [digest]s. [unsafe_no_dedup] exists for the checker's
+    teeth test only. *)
+
+type chaos_run = {
+  seed : int64;
+  shards : int;
+  recorded : int;
+  checked : int;
+  undetermined_ops : int;
+  violations : Zk.History.violation list;
+  digest : string;
+  recovery_s : float;  (** heal → every probed shard committed; nan = never *)
+  faults_fired : int;
+  ops_ok : int;        (** client ops with a determined outcome *)
+  ops_err : int;       (** transport-failed client ops (undetermined) *)
+  dedup_hits : int;
+  dedup_evictions : int;
+  sessions_expired : int;
+  writes_failed_fast : int;
+  stale_reads_served : int;
+  writes_committed : int;
+}
+
+val chaos_run :
+  ?servers:int ->
+  ?shards:int ->
+  ?clients:int ->
+  ?registers:int ->
+  ?heal_at:float ->
+  ?post_heal:float ->
+  ?events:int ->
+  ?think:float ->
+  ?unsafe_no_dedup:bool ->
+  ?plan:Faults.Faultplan.t ->
+  seed:int64 ->
+  unit ->
+  chaos_run
+
 (** Raw coordination-service throughput (Fig. 7): closed loop of [items]
     ops per client for each of the four basic operations. Returns
     [(op name, ops/sec)] in order create, get, set, delete. *)

@@ -25,3 +25,4 @@ let take_if t pred =
   | Some _ | None -> None
 let length t = Queue.length t.messages
 let is_empty t = Queue.is_empty t.messages
+let clear t = Queue.clear t.messages

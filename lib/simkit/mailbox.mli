@@ -26,3 +26,8 @@ val take_if : 'a t -> ('a -> bool) -> 'a option
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** Discard every queued message. Parked receivers stay parked — they
+    resume on the next [send]. Models a host losing its RAM-resident
+    socket buffers on crash: what was queued but unprocessed is gone. *)
+val clear : 'a t -> unit

@@ -1,0 +1,181 @@
+type endpoint = int
+
+type latency =
+  | Fixed of float
+  | Uniform_lat of float * float
+  | Exp_lat of float
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  default_latency : latency;
+  mutable names : string array;
+  mutable follows : int array;  (* endpoint -> endpoint whose side it shares *)
+  mutable count : int;
+  links : (int * int, latency) Hashtbl.t;
+  (* fault state *)
+  mutable sides : (int, int) Hashtbl.t option;  (* endpoint -> partition group *)
+  mutable oneway : (int * int) list;            (* blocked (src, dst) pairs *)
+  mutable drop_p : float;
+  mutable dup_p : float;
+  mutable extra_delay : float;
+  mutable reorder_p : float;
+  mutable reorder_window : float;
+  (* counters *)
+  mutable n_sent : int;
+  mutable n_delivered : int;
+  mutable n_dropped : int;
+  mutable n_duplicated : int;
+}
+
+let create ?(default_latency = Fixed 0.) ~seed engine =
+  { engine;
+    rng = Rng.create ~seed;
+    default_latency;
+    names = Array.make 8 "";
+    follows = Array.make 8 0;
+    count = 0;
+    links = Hashtbl.create 16;
+    sides = None;
+    oneway = [];
+    drop_p = 0.;
+    dup_p = 0.;
+    extra_delay = 0.;
+    reorder_p = 0.;
+    reorder_window = 0.;
+    n_sent = 0;
+    n_delivered = 0;
+    n_dropped = 0;
+    n_duplicated = 0 }
+
+let endpoint ?follow t name =
+  if t.count = Array.length t.names then begin
+    let grow a fill =
+      let b = Array.make (2 * Array.length a) fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    t.names <- grow t.names "";
+    t.follows <- grow t.follows 0
+  end;
+  let e = t.count in
+  t.count <- e + 1;
+  t.names.(e) <- name;
+  (match follow with
+   | Some f when f < 0 || f >= e ->
+     invalid_arg (Printf.sprintf "Net.endpoint: cannot follow %d" f)
+   | Some f -> t.follows.(e) <- f
+   | None -> t.follows.(e) <- e);
+  e
+
+let check t e op =
+  if e < 0 || e >= t.count then
+    invalid_arg (Printf.sprintf "Net.%s: unknown endpoint %d" op e)
+
+let name t e =
+  check t e "name";
+  t.names.(e)
+
+let set_link_latency t ~src ~dst lat =
+  check t src "set_link_latency";
+  check t dst "set_link_latency";
+  Hashtbl.replace t.links (src, dst) lat
+
+(* A follower chain is one hop deep by construction ([endpoint] only
+   lets a fresh endpoint follow an existing one, and servers follow
+   themselves), but resolving iteratively keeps this robust. *)
+let resolve t e =
+  let rec go e = if t.follows.(e) = e then e else go t.follows.(e) in
+  go e
+
+let partition t groups =
+  let sides = Hashtbl.create 16 in
+  List.iteri
+    (fun side members ->
+      List.iter
+        (fun e ->
+          check t e "partition";
+          Hashtbl.replace sides e side)
+        members)
+    groups;
+  t.sides <- (if Hashtbl.length sides = 0 then None else Some sides)
+
+let block_oneway t ~src ~dst =
+  check t src "block_oneway";
+  check t dst "block_oneway";
+  t.oneway <- (resolve t src, resolve t dst) :: t.oneway
+
+let heal t =
+  t.sides <- None;
+  t.oneway <- []
+
+let check_p op p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Net.%s: probability %g outside [0,1]" op p)
+
+let set_drop t p = check_p "set_drop" p; t.drop_p <- p
+let set_duplicate t p = check_p "set_duplicate" p; t.dup_p <- p
+
+let set_extra_delay t d =
+  if not (d >= 0.) then invalid_arg "Net.set_extra_delay: negative delay";
+  t.extra_delay <- d
+
+let set_reorder t ~p ~window =
+  check_p "set_reorder" p;
+  if not (window >= 0.) then invalid_arg "Net.set_reorder: negative window";
+  t.reorder_p <- p;
+  t.reorder_window <- window
+
+let unreachable t src dst =
+  let s = resolve t src and d = resolve t dst in
+  (match t.sides with
+   | None -> false
+   | Some sides -> (
+     match (Hashtbl.find_opt sides s, Hashtbl.find_opt sides d) with
+     | Some a, Some b -> a <> b
+     | _ -> false))
+  || (t.oneway <> [] && List.mem (s, d) t.oneway)
+
+(* Each guard below tests its knob before touching the RNG, so a
+   network with every fault at rest consumes no randomness at all —
+   the fault-free schedule is bit-identical to bare Engine.schedule. *)
+let sample_latency t lat =
+  match lat with
+  | Fixed d -> d
+  | Uniform_lat (lo, hi) -> Rng.uniform t.rng ~lo ~hi
+  | Exp_lat mean -> Rng.exponential t.rng ~mean
+
+let hop_delay t ~src ~dst =
+  let lat =
+    match Hashtbl.find_opt t.links (src, dst) with
+    | Some lat -> lat
+    | None -> t.default_latency
+  in
+  let jitter =
+    if t.reorder_p > 0. && Rng.float t.rng < t.reorder_p then
+      Rng.uniform t.rng ~lo:0. ~hi:t.reorder_window
+    else 0.
+  in
+  sample_latency t lat +. t.extra_delay +. jitter
+
+let send t ~src ~dst deliver =
+  check t src "send";
+  check t dst "send";
+  t.n_sent <- t.n_sent + 1;
+  if unreachable t src dst then t.n_dropped <- t.n_dropped + 1
+  else if t.drop_p > 0. && Rng.float t.rng < t.drop_p then
+    t.n_dropped <- t.n_dropped + 1
+  else begin
+    Engine.schedule t.engine ~delay:(hop_delay t ~src ~dst) deliver;
+    t.n_delivered <- t.n_delivered + 1;
+    if t.dup_p > 0. && Rng.float t.rng < t.dup_p then begin
+      t.n_duplicated <- t.n_duplicated + 1;
+      t.n_delivered <- t.n_delivered + 1;
+      Engine.schedule t.engine ~delay:(hop_delay t ~src ~dst) deliver
+    end
+  end
+
+let sent t = t.n_sent
+let delivered t = t.n_delivered
+let dropped t = t.n_dropped
+let duplicated t = t.n_duplicated

@@ -1,6 +1,8 @@
 module Engine = Simkit.Engine
 module Process = Simkit.Process
 module Mailbox = Simkit.Mailbox
+module Net = Simkit.Net
+module Rng = Simkit.Rng
 
 type config = {
   servers : int;
@@ -18,6 +20,14 @@ type config = {
   load_factor : float;
   max_batch : int;
   batch_delay : float;
+  seed : int64;
+  retry_backoff : float;
+  retry_backoff_cap : float;
+  session_timeout : float;
+  stale_read_after : float;
+  serve_stale_reads : bool;
+  fail_fast_after : float;
+  unsafe_no_dedup : bool;
 }
 
 let default_config ~servers =
@@ -35,7 +45,15 @@ let default_config ~servers =
     request_timeout = 2.0;
     load_factor = 1.0;
     max_batch = 1;
-    batch_delay = 0. }
+    batch_delay = 0.;
+    seed = 1L;
+    retry_backoff = 0.;
+    retry_backoff_cap = 1.;
+    session_timeout = 60.;
+    stale_read_after = infinity;
+    serve_stale_reads = true;
+    fail_fast_after = infinity;
+    unsafe_no_dedup = false }
 
 type reply = (Txn.result_item list, Zerror.t) result -> unit
 
@@ -49,6 +67,12 @@ type rid = {
   rcxid : int64;
 }
 
+(* A committed entry carries [close_of = Some owner] when it is the
+   cleanup transaction of a Close_session: every replica that applies it
+   also evicts that session's dedup entries (the session can never retry
+   again, so keeping its results would grow leader state without bound). *)
+type entry = int64 * Txn.t * float * rid * int64 option
+
 type msg =
   | Write of {
       txn : Txn.t;
@@ -57,13 +81,13 @@ type msg =
       reply : reply;
       span : Obs.Trace.wspan;
     }
-  | Read of { exec : Ztree.t -> unit }
-  | Propose_batch of { epoch : int; entries : (int64 * Txn.t * float * rid) list }
+  | Read of { exec : Ztree.t -> unit; refuse : Zerror.t -> unit }
+  | Propose_batch of { epoch : int; entries : entry list }
     (* one leader->follower round carries a whole group-committed batch;
        a singleton batch is exactly the classic per-txn PROPOSAL *)
   | Ack_batch of { epoch : int; zxids : int64 list; from : int }
   | Commit_batch of { epoch : int; zxids : int64 list }
-  | Inform_batch of { epoch : int; entries : (int64 * Txn.t * float * rid) list }
+  | Inform_batch of { epoch : int; entries : entry list }
     (* ZAB INFORM: commit + payload, sent to non-voting observers *)
   | Deliver_reply of {
       zxid : int64;
@@ -77,6 +101,10 @@ type msg =
       reply : reply;
       span : Obs.Trace.wspan;
     }
+  | Fetch of { epoch : int; from_zxid : int64; upto : int64; who : int }
+    (* follower->leader gap repair: a lossy link dropped a proposal or
+       commit; the leader answers with the missing entries (as a
+       Propose_batch) followed by the commit marks it already holds *)
 
 type role = Leader | Follower | Observer | Down
 
@@ -88,7 +116,14 @@ type pending_write = {
      (and its route home) at the retry's continuation *)
   mutable p_origin : int;
   mutable p_reply : reply;
-  mutable p_acks : int;
+  (* acking server ids, not a bare count: under duplication or gap
+     repair the same follower may ack the same zxid more than once, and
+     double-counting would commit without a true quorum *)
+  mutable p_acked : int list;
+  (* when this entry last went out as a Propose_batch: rate-limits the
+     stalled-head re-propose so a lossy burst cannot snowball *)
+  mutable p_proposed_at : float;
+  p_close : int64 option;
   p_span : Obs.Trace.wspan;
 }
 
@@ -99,12 +134,13 @@ type server = {
   mutable role : role;
   mutable epoch : int;
   mutable tree : Ztree.t;
-  log : (int64, Txn.t * float * rid) Hashtbl.t;  (* committed txns, by zxid *)
-  (* request id -> result of every txn this replica has applied: the
-     dedup table behind exactly-once writes. Replicated implicitly —
+  log : (int64, Txn.t * float * rid * int64 option) Hashtbl.t
+    (* committed txns, by zxid *);
+  (* request id -> (zxid, result) of every txn this replica has applied:
+     the dedup table behind exactly-once writes. Replicated implicitly —
      each replica records entries as it applies the same committed
      sequence — so it survives leader failover. *)
-  applied : (rid, applied_result) Hashtbl.t;
+  applied : (rid, int64 * applied_result) Hashtbl.t;
   inbox : msg Mailbox.t;
   (* leader state *)
   pending : (int64, pending_write) Hashtbl.t;
@@ -112,9 +148,16 @@ type server = {
   mutable next_zxid : int64;
   mutable next_commit : int64;
   (* follower state *)
-  proposals : (int64, Txn.t * float * rid) Hashtbl.t;
+  proposals : (int64, Txn.t * float * rid * int64 option) Hashtbl.t;
   committed : (int64, unit) Hashtbl.t;
   mutable next_apply : int64;
+  (* when this replica last heard from its leader (proposal, commit,
+     inform, or sync): the freshness clock behind stale-read detection *)
+  mutable fresh_at : float;
+  (* client replies held back because this server has not yet applied
+     the zxid they answer for (a dropped commit broke the usual
+     FIFO commit-before-reply ordering); flushed as applies catch up *)
+  mutable deferred : (int64 * (unit -> unit)) list;
   (* counters *)
   mutable reads : int;
 }
@@ -128,11 +171,22 @@ type t = {
      under [zk.<tag>.*] so a sharded deployment's balance is visible. *)
   tag : string;
   members : server array;
+  net : Net.t;
+  (* server id -> network endpoint; client sessions get their own
+     endpoints that follow their home server's partition side *)
+  eps : Net.endpoint array;
+  session_rng : Rng.t;
   mutable leader : int;
   mutable next_session : int64;
   mutable next_server : int;
   mutable commits : int;
+  mutable last_commit_at : float;
   mutable dedup_hits : int;
+  mutable dedup_evictions : int;
+  mutable stale_served : int;
+  mutable stale_refused : int;
+  mutable failed_fast : int;
+  mutable sessions_expired : int;
   (* fan-out targets, precomputed so the per-batch hot path does not
      rebuild them; refreshed whenever any member changes role *)
   mutable follower_peers : server list;
@@ -141,6 +195,7 @@ type t = {
 
 let config t = t.cfg
 let trace t = t.trace
+let net t = t.net
 let leader_id t = if t.members.(t.leader).role = Leader then Some t.leader else None
 
 let leader_queue_depth t =
@@ -161,6 +216,31 @@ let server_resident_bytes t id =
 let reads_served t id = t.members.(id).reads
 let writes_committed t = t.commits
 let dedup_hits t = t.dedup_hits
+let dedup_evictions t = t.dedup_evictions
+let stale_reads_served t = t.stale_served
+let stale_reads_refused t = t.stale_refused
+let writes_failed_fast t = t.failed_fast
+let sessions_expired t = t.sessions_expired
+
+let debug_dump t =
+  String.concat "\n"
+    (Array.to_list
+       (Array.map
+          (fun s ->
+            Printf.sprintf
+              "  srv%d role=%s epoch=%d next_zxid=%Ld next_commit=%Ld \
+               next_apply=%Ld pending=%d proposals=%d inbox=%d"
+              s.id
+              (match s.role with
+              | Leader -> "L"
+              | Follower -> "F"
+              | Observer -> "O"
+              | Down -> "D")
+              s.epoch s.next_zxid s.next_commit s.next_apply
+              (Hashtbl.length s.pending)
+              (Hashtbl.length s.proposals)
+              (Mailbox.length s.inbox))
+          t.members))
 
 let quorum t = (t.cfg.servers / 2) + 1
 let is_observer_id t id = id >= t.cfg.servers
@@ -183,10 +263,80 @@ let refresh_peers t =
   t.follower_peers <- List.rev !followers;
   t.observer_peers <- List.rev !observers
 
-let send t ~dst msg =
-  Engine.schedule t.engine ~delay:t.cfg.net_latency (fun () ->
+(* Every message crosses the fault-injectable network. [src] is the
+   sending member's id; client traffic uses [send_from] with the
+   session's own endpoint. Delivery to a Down server is discarded at
+   arrival time (its mailbox was flushed at crash; nothing may sneak in
+   afterwards either). *)
+let send_from t ~src_ep ~dst msg =
+  Net.send t.net ~src:src_ep ~dst:t.eps.(dst) (fun () ->
       let s = t.members.(dst) in
       if s.role <> Down then Mailbox.send s.inbox msg)
+
+let send t ~src ~dst msg = send_from t ~src_ep:t.eps.(src) ~dst msg
+
+(* {2 Fault-state control} *)
+
+(* [partition t groups] over member ids; members not named form one
+   implicit extra group, so [partition t [[0; 1]]] isolates servers 0-1
+   (and their clients) from everyone else. *)
+let partition t groups =
+  let named = List.concat groups in
+  List.iter
+    (fun id ->
+      if id < 0 || id >= member_count t then
+        invalid_arg (Printf.sprintf "Ensemble.partition: no member %d" id))
+    named;
+  let rest = List.filter (fun id -> not (List.mem id named)) (member_ids t) in
+  let groups = if rest = [] then groups else groups @ [ rest ] in
+  Net.partition t.net (List.map (List.map (fun id -> t.eps.(id))) groups)
+
+let partition_oneway t ~from ~to_ =
+  Net.block_oneway t.net ~src:t.eps.(from) ~dst:t.eps.(to_)
+
+let heal t = Net.heal t.net
+let set_drop t p = Net.set_drop t.net p
+let set_extra_delay t d = Net.set_extra_delay t.net d
+let set_duplicate t p = Net.set_duplicate t.net p
+let set_reorder t ~p ~window = Net.set_reorder t.net ~p ~window
+
+(* {2 Dedup-table bounding} *)
+
+(* Applying a session's close evicts its dedup entries on this replica:
+   a closed session can never retry, so its results are dead weight.
+   [keep] is the close txn's own rid — that one entry stays so a retried
+   close still answers from the table instead of re-running cleanup. *)
+let evict_session_applied t (s : server) ~keep owner =
+  let victims =
+    Hashtbl.fold
+      (fun rid _ acc ->
+        if rid.rsession = owner && rid <> keep then rid :: acc else acc)
+      s.applied []
+  in
+  List.iter (fun rid -> Hashtbl.remove s.applied rid) victims;
+  if s.role = Leader then
+    t.dedup_evictions <- t.dedup_evictions + List.length victims
+
+let note_close_applied t (s : server) ~rid close_of =
+  match close_of with
+  | None -> ()
+  | Some owner -> evict_session_applied t s ~keep:rid owner
+
+(* {2 Deferred replies} *)
+
+(* Flush replies whose zxid this server has now processed, oldest first.
+   Progress is measured by [next_apply], not the tree's last zxid: an
+   errored transaction never touches the tree, but its commit still
+   advances the apply cursor. *)
+let flush_deferred (s : server) =
+  match s.deferred with
+  | [] -> ()
+  | ds ->
+    let ready, still = List.partition (fun (z, _) -> z < s.next_apply) ds in
+    s.deferred <- still;
+    List.iter
+      (fun (_, k) -> k ())
+      (List.sort (fun (a, _) (b, _) -> Int64.compare a b) ready)
 
 (* {2 Leader commit path} *)
 
@@ -196,7 +346,7 @@ let try_commit t (s : server) =
        the leader's own persisted copy counts toward the quorum *)
     let rec take acc =
       match Hashtbl.find_opt s.pending s.next_commit with
-      | Some pw when pw.p_acks + 1 >= quorum t ->
+      | Some pw when List.length pw.p_acked + 1 >= quorum t ->
         let zxid = s.next_commit in
         Hashtbl.remove s.pending zxid;
         s.next_commit <- Int64.add zxid 1L;
@@ -206,6 +356,7 @@ let try_commit t (s : server) =
     match take [] with
     | [] -> ()
     | ready ->
+      t.last_commit_at <- Engine.now t.engine;
       (if Obs.Trace.enabled t.trace then
          let now = Engine.now t.engine in
          List.iter
@@ -226,12 +377,13 @@ let try_commit t (s : server) =
                 (* already applied (state transfer raced ahead): answer
                    from the dedup table rather than re-applying *)
                 match Hashtbl.find_opt s.applied pw.p_rid with
-                | Some result -> result
+                | Some (_, result) -> result
                 | None -> Ok []
             in
-            Hashtbl.replace s.applied pw.p_rid result;
+            Hashtbl.replace s.applied pw.p_rid (zxid, result);
             Hashtbl.remove s.pending_rids pw.p_rid;
-            Hashtbl.replace s.log zxid (pw.p_txn, pw.p_time, pw.p_rid);
+            Hashtbl.replace s.log zxid (pw.p_txn, pw.p_time, pw.p_rid, pw.p_close);
+            note_close_applied t s ~rid:pw.p_rid pw.p_close;
             t.commits <- t.commits + 1;
             (zxid, pw, result))
           ready
@@ -239,19 +391,19 @@ let try_commit t (s : server) =
       let zxids = List.map (fun (zxid, _, _) -> zxid) results in
       List.iter
         (fun (peer : server) ->
-          send t ~dst:peer.id (Commit_batch { epoch = s.epoch; zxids }))
+          send t ~src:s.id ~dst:peer.id (Commit_batch { epoch = s.epoch; zxids }))
         t.follower_peers;
       (match t.observer_peers with
        | [] -> ()
        | observers ->
          let entries =
            List.map
-             (fun (zxid, pw, _) -> (zxid, pw.p_txn, pw.p_time, pw.p_rid))
+             (fun (zxid, pw, _) -> (zxid, pw.p_txn, pw.p_time, pw.p_rid, pw.p_close))
              results
          in
          List.iter
            (fun (peer : server) ->
-             send t ~dst:peer.id (Inform_batch { epoch = s.epoch; entries }))
+             send t ~src:s.id ~dst:peer.id (Inform_batch { epoch = s.epoch; entries }))
            observers);
       (* replies go out after the commits: the FIFO channel back to each
          origin then delivers Commit_batch first, preserving
@@ -260,7 +412,8 @@ let try_commit t (s : server) =
         (fun (zxid, pw, result) ->
           if pw.p_origin = s.id then pw.p_reply result
           else
-            send t ~dst:pw.p_origin (Deliver_reply { zxid; result; reply = pw.p_reply }))
+            send t ~src:s.id ~dst:pw.p_origin
+              (Deliver_reply { zxid; result; reply = pw.p_reply }))
         results
   end
 
@@ -302,10 +455,11 @@ let drain_batch t (s : server) first =
       match Mailbox.take_if s.inbox is_batchable with
       | None -> (acc, n)
       | Some (Write { txn; rid; origin; reply; span }) ->
-        drain ((txn, rid, origin, reply, span) :: acc) (n + 1)
+        drain ((txn, rid, origin, reply, span, None) :: acc) (n + 1)
       | Some (Close_session { owner; rid; origin; reply; span }) ->
         drain
-          ((build_session_cleanup s owner, rid, origin, reply, span) :: acc)
+          ((build_session_cleanup s owner, rid, origin, reply, span, Some owner)
+           :: acc)
           (n + 1)
       | Some _ -> (acc, n)
   in
@@ -324,30 +478,92 @@ let drain_batch t (s : server) first =
    answered from the dedup table (no new zxid, nothing re-applied); one
    that is still in flight re-points the pending write's reply at the
    retry, so the eventual commit answers the attempt the client is
-   actually waiting on instead of producing a second proposal. *)
+   actually waiting on instead of producing a second proposal.
+
+   [unsafe_no_dedup] disables the gate — it exists only so tests can
+   demonstrate that the linearizability checker catches the double-apply
+   this filter prevents. *)
 let dedup_filter t (s : server) batch =
-  List.filter
-    (fun (_, rid, origin, reply, _) ->
-      match Hashtbl.find_opt s.applied rid with
-      | Some result ->
-        t.dedup_hits <- t.dedup_hits + 1;
-        if origin = s.id then reply result
-        else send t ~dst:origin (Deliver_reply { zxid = 0L; result; reply });
-        false
-      | None -> (
-        match Hashtbl.find_opt s.pending_rids rid with
-        | Some zxid -> (
-          match Hashtbl.find_opt s.pending zxid with
-          | Some pw ->
-            t.dedup_hits <- t.dedup_hits + 1;
-            pw.p_origin <- origin;
-            pw.p_reply <- reply;
-            false
-          | None ->
-            Hashtbl.remove s.pending_rids rid;
-            true)
-        | None -> true))
-    batch
+  if t.cfg.unsafe_no_dedup then batch
+  else
+    List.filter
+      (fun (_, rid, origin, reply, _, _) ->
+        match Hashtbl.find_opt s.applied rid with
+        | Some (zxid, result) ->
+          t.dedup_hits <- t.dedup_hits + 1;
+          if origin = s.id then reply result
+          else send t ~src:s.id ~dst:origin (Deliver_reply { zxid; result; reply });
+          false
+        | None -> (
+          match Hashtbl.find_opt s.pending_rids rid with
+          | Some zxid -> (
+            match Hashtbl.find_opt s.pending zxid with
+            | Some pw ->
+              t.dedup_hits <- t.dedup_hits + 1;
+              pw.p_origin <- origin;
+              pw.p_reply <- reply;
+              pw.p_proposed_at <- Engine.now t.engine;
+              (* the retry proves the original propose round may have
+                 been lost: re-propose so a write stalled by a lossy
+                 link can still reach quorum (duplicate proposals and
+                 acks are idempotent) *)
+              List.iter
+                (fun (peer : server) ->
+                  send t ~src:s.id ~dst:peer.id
+                    (Propose_batch
+                       { epoch = s.epoch;
+                         entries =
+                           [ (zxid, pw.p_txn, pw.p_time, pw.p_rid, pw.p_close) ] }))
+                t.follower_peers;
+              false
+            | None ->
+              Hashtbl.remove s.pending_rids rid;
+              true)
+          | None -> true))
+      batch
+
+(* Graceful degradation under quorum loss: when the leader has pending
+   writes and has not committed anything for [fail_fast_after] seconds,
+   new writes are refused immediately with ZCONNECTIONLOSS instead of
+   queueing behind a stalled quorum (default: queue forever). *)
+let failing_fast t (s : server) =
+  t.cfg.fail_fast_after < infinity
+  && Hashtbl.length s.pending > 0
+  && Engine.now t.engine -. t.last_commit_at > t.cfg.fail_fast_after
+
+(* A pending commit head older than [request_timeout] is evidence of a
+   lost proposal or lost acks: re-propose it to every follower (re-acks
+   are idempotent), refreshing the stamp so a lossy burst cannot
+   snowball. Called only on message arrival — repair rides on flowing
+   traffic, so a quiesced engine stays quiesced, and the age gate keeps
+   fault-free schedules untouched (healthy commits finish far inside
+   the timeout). *)
+let repropose_stalled_head t (s : server) =
+  match Hashtbl.find_opt s.pending s.next_commit with
+  | Some pw
+    when Engine.now t.engine -. pw.p_proposed_at > t.cfg.request_timeout ->
+    pw.p_proposed_at <- Engine.now t.engine;
+    let entries =
+      [ (s.next_commit, pw.p_txn, pw.p_time, pw.p_rid, pw.p_close) ]
+    in
+    List.iter
+      (fun (peer : server) ->
+        send t ~src:s.id ~dst:peer.id
+          (Propose_batch { epoch = s.epoch; entries }))
+      t.follower_peers
+  | _ -> ()
+
+let refuse_fast t (s : server) ~origin ~reply =
+  t.failed_fast <- t.failed_fast + 1;
+  let result = Error Zerror.ZCONNECTIONLOSS in
+  (if origin = s.id then reply result
+   else send t ~src:s.id ~dst:origin (Deliver_reply { zxid = 0L; result; reply }));
+  (* The stall that triggered fail-fast may itself be a stranded head
+     (every follower missed the proposal during a partition, so no ack
+     will ever arrive unprompted). Refusing every write would then also
+     starve the repair that unwedges the commit path — so each refused
+     write doubles as a repair attempt. *)
+  repropose_stalled_head t s
 
 let leader_handle_batch t (s : server) batch =
   match dedup_filter t s batch with
@@ -367,7 +583,7 @@ let leader_handle_batch t (s : server) batch =
        end;
        let persist_dur = svc t t.cfg.persist in
        List.iter
-         (fun (_, _, _, _, span) ->
+         (fun (_, _, _, _, span, _) ->
            if Obs.Trace.is_real span then begin
              (* per-shard queue wait, measured where the backlog lives:
                 client send -> leader batch start *)
@@ -382,35 +598,42 @@ let leader_handle_batch t (s : server) batch =
      end);
     let cpu =
       List.fold_left
-        (fun acc (txn, _, _, _, _) -> acc +. leader_service t txn)
+        (fun acc (txn, _, _, _, _, _) -> acc +. leader_service t txn)
         0. batch
     in
     Process.sleep (svc t (cpu +. t.cfg.persist));
-    let entries =
-      List.map
-        (fun (txn, rid, origin, reply, span) ->
-          let zxid = s.next_zxid in
-          s.next_zxid <- Int64.add zxid 1L;
-          Hashtbl.replace s.pending zxid
-            { p_txn = txn; p_time = time; p_rid = rid; p_origin = origin;
-              p_reply = reply; p_acks = 0; p_span = span };
-          Hashtbl.replace s.pending_rids rid zxid;
-          (zxid, txn, time, rid))
-        batch
-    in
-    let followers = t.follower_peers in
-    Process.sleep (svc t (t.cfg.rpc_cpu *. float_of_int (List.length followers)));
-    (if Obs.Trace.enabled t.trace then
-       let now = Engine.now t.engine in
-       List.iter
-         (fun (_, _, _, _, span) ->
-           if Obs.Trace.is_real span then span.Obs.Trace.w_proposed <- now)
-         batch);
-    List.iter
-      (fun (peer : server) ->
-        send t ~dst:peer.id (Propose_batch { epoch = s.epoch; entries }))
-      followers;
-    try_commit t s
+    (* a crash may have landed mid-sleep: a deposed leader must not
+       propose with stale state *)
+    if s.role = Leader then begin
+      let entries =
+        List.map
+          (fun (txn, rid, origin, reply, span, close) ->
+            let zxid = s.next_zxid in
+            s.next_zxid <- Int64.add zxid 1L;
+            Hashtbl.replace s.pending zxid
+              { p_txn = txn; p_time = time; p_rid = rid; p_origin = origin;
+                p_reply = reply; p_acked = []; p_proposed_at = time;
+                p_close = close; p_span = span };
+            Hashtbl.replace s.pending_rids rid zxid;
+            (zxid, txn, time, rid, close))
+          batch
+      in
+      let followers = t.follower_peers in
+      Process.sleep (svc t (t.cfg.rpc_cpu *. float_of_int (List.length followers)));
+      if s.role = Leader then begin
+        (if Obs.Trace.enabled t.trace then
+           let now = Engine.now t.engine in
+           List.iter
+             (fun (_, _, _, _, span, _) ->
+               if Obs.Trace.is_real span then span.Obs.Trace.w_proposed <- now)
+             batch);
+        List.iter
+          (fun (peer : server) ->
+            send t ~src:s.id ~dst:peer.id (Propose_batch { epoch = s.epoch; entries }))
+          followers;
+        try_commit t s
+      end
+    end
 
 (* {2 Follower apply path} *)
 
@@ -418,62 +641,126 @@ let rec follower_apply_ready t (s : server) =
   if Hashtbl.mem s.committed s.next_apply then
     match Hashtbl.find_opt s.proposals s.next_apply with
     | None -> ()  (* proposal not yet received (cleared by election) *)
-    | Some (txn, time, rid) ->
+    | Some (txn, time, rid, close) ->
       let zxid = s.next_apply in
       Hashtbl.remove s.committed zxid;
       Hashtbl.remove s.proposals zxid;
       s.next_apply <- Int64.add zxid 1L;
-      if Ztree.last_zxid s.tree < zxid then
-        Hashtbl.replace s.applied rid (Ztree.apply s.tree ~zxid ~time txn);
-      Hashtbl.replace s.log zxid (txn, time, rid);
+      if Ztree.last_zxid s.tree < zxid then begin
+        Hashtbl.replace s.applied rid (zxid, Ztree.apply s.tree ~zxid ~time txn);
+        note_close_applied t s ~rid close
+      end;
+      Hashtbl.replace s.log zxid (txn, time, rid, close);
       follower_apply_ready t s
+
+(* Commit marks this follower cannot apply yet mean a proposal or an
+   earlier commit was lost on the wire: ask the leader to resend. *)
+let request_gap_repair t (s : server) =
+  if Hashtbl.length s.committed > 0 then begin
+    let upto = Hashtbl.fold (fun zxid () acc -> Int64.max zxid acc) s.committed 0L in
+    send t ~src:s.id ~dst:t.leader
+      (Fetch { epoch = s.epoch; from_zxid = s.next_apply; upto; who = s.id })
+  end
 
 let handle t (s : server) msg =
   match msg with
-  | Read { exec } ->
+  | Read { exec; refuse } ->
     Process.sleep (svc t t.cfg.read_service);
     if s.role <> Down then begin
-      s.reads <- s.reads + 1;
-      exec s.tree
+      let stale =
+        (s.role = Follower || s.role = Observer)
+        && t.cfg.stale_read_after < infinity
+        && Engine.now t.engine -. s.fresh_at > t.cfg.stale_read_after
+      in
+      if stale && not t.cfg.serve_stale_reads then begin
+        t.stale_refused <- t.stale_refused + 1;
+        refuse Zerror.ZCONNECTIONLOSS
+      end
+      else begin
+        if stale then t.stale_served <- t.stale_served + 1;
+        s.reads <- s.reads + 1;
+        exec s.tree
+      end
     end
   | Write { txn; rid; origin; reply; span } ->
-    if s.role = Leader then
-      leader_handle_batch t s (drain_batch t s (txn, rid, origin, reply, span))
+    if s.role = Leader then begin
+      if failing_fast t s then refuse_fast t s ~origin ~reply
+      else
+        leader_handle_batch t s (drain_batch t s (txn, rid, origin, reply, span, None))
+    end
     else begin
       Process.sleep (svc t t.cfg.rpc_cpu);
-      send t ~dst:t.leader (Write { txn; rid; origin; reply; span })
+      send t ~src:s.id ~dst:t.leader (Write { txn; rid; origin; reply; span })
     end
   | Close_session { owner; rid; origin; reply; span } ->
-    if s.role = Leader then
-      let txn = build_session_cleanup s owner in
-      leader_handle_batch t s (drain_batch t s (txn, rid, origin, reply, span))
+    if s.role = Leader then begin
+      if failing_fast t s then refuse_fast t s ~origin ~reply
+      else
+        let txn = build_session_cleanup s owner in
+        leader_handle_batch t s
+          (drain_batch t s (txn, rid, origin, reply, span, Some owner))
+    end
     else begin
       Process.sleep (svc t t.cfg.rpc_cpu);
-      send t ~dst:t.leader (Close_session { owner; rid; origin; reply; span })
+      send t ~src:s.id ~dst:t.leader (Close_session { owner; rid; origin; reply; span })
     end
   | Propose_batch { epoch; entries } ->
     if epoch = s.epoch && s.role = Follower then begin
       (* one persist + one reply RPC covers the whole batch *)
       Process.sleep (svc t (t.cfg.persist +. t.cfg.rpc_cpu));
       if s.role = Follower && epoch = s.epoch then begin
+        s.fresh_at <- Engine.now t.engine;
         List.iter
-          (fun (zxid, txn, time, rid) ->
-            Hashtbl.replace s.proposals zxid (txn, time, rid))
+          (fun (zxid, txn, time, rid, close) ->
+            Hashtbl.replace s.proposals zxid (txn, time, rid, close))
           entries;
-        let zxids = List.map (fun (zxid, _, _, _) -> zxid) entries in
-        send t ~dst:t.leader (Ack_batch { epoch; zxids; from = s.id })
+        let zxids = List.map (fun (zxid, _, _, _, _) -> zxid) entries in
+        send t ~src:s.id ~dst:t.leader (Ack_batch { epoch; zxids; from = s.id });
+        (* A lossy link can strand an earlier proposal: if every
+           follower missed that batch, it never gathers a quorum, and
+           since commits are in zxid order the uncommitted head blocks
+           every later write. Any proposal arriving past a hole in this
+           follower's log is evidence of exactly that — fetch the
+           missing range. Repair rides on whatever traffic still flows
+           (client retries re-propose), so a quiet network stays quiet
+           and the simulation still quiesces. *)
+        let hi =
+          List.fold_left (fun acc z -> Int64.max acc z) 0L zxids
+        in
+        let missing = ref false in
+        let z = ref s.next_apply in
+        while (not !missing) && Int64.compare !z hi < 0 do
+          if not (Hashtbl.mem s.proposals !z) then missing := true;
+          z := Int64.add !z 1L
+        done;
+        if !missing then
+          send t ~src:s.id ~dst:t.leader
+            (Fetch
+               { epoch = s.epoch; from_zxid = s.next_apply; upto = hi;
+                 who = s.id });
+        (* a retransmitted proposal may fill the gap a held-back commit
+           is waiting on *)
+        follower_apply_ready t s;
+        flush_deferred s
       end
     end
-  | Ack_batch { epoch; zxids; from = _ } ->
+  | Ack_batch { epoch; zxids; from } ->
     if epoch = s.epoch && s.role = Leader then begin
       Process.sleep (svc t t.cfg.rpc_cpu);
       List.iter
         (fun zxid ->
           match Hashtbl.find_opt s.pending zxid with
-          | Some pw -> pw.p_acks <- pw.p_acks + 1
+          | Some pw ->
+            if not (List.mem from pw.p_acked) then pw.p_acked <- from :: pw.p_acked
           | None -> ())
         zxids;
-      try_commit t s
+      try_commit t s;
+      (* An Ack_batch lost on a lossy link can strand the commit head:
+         every follower holds the proposal (so no log gap to repair) and
+         none will re-ack unprompted, while the leader waits for a
+         quorum that never completes — and commits are zxid-ordered, so
+         everything behind the head stalls too. *)
+      if s.role = Leader then repropose_stalled_head t s
     end
   | Commit_batch { epoch; zxids } ->
     if epoch = s.epoch && s.role = Follower then begin
@@ -481,8 +768,11 @@ let handle t (s : server) msg =
       Process.sleep
         (svc t (t.cfg.follower_apply *. float_of_int (List.length zxids)));
       if s.role = Follower && epoch = s.epoch then begin
+        s.fresh_at <- Engine.now t.engine;
         List.iter (fun zxid -> Hashtbl.replace s.committed zxid ()) zxids;
-        follower_apply_ready t s
+        follower_apply_ready t s;
+        flush_deferred s;
+        request_gap_repair t s
       end
     end
   | Inform_batch { epoch; entries } ->
@@ -490,20 +780,58 @@ let handle t (s : server) msg =
       Process.sleep
         (svc t (t.cfg.follower_apply *. float_of_int (List.length entries)));
       (* leader->observer channel is FIFO, so informs arrive in order *)
-      if s.role = Observer && epoch = s.epoch then
+      if s.role = Observer && epoch = s.epoch then begin
+        s.fresh_at <- Engine.now t.engine;
         List.iter
-          (fun (zxid, txn, time, rid) ->
+          (fun (zxid, txn, time, rid, close) ->
             if Ztree.last_zxid s.tree < zxid then begin
-              Hashtbl.replace s.applied rid (Ztree.apply s.tree ~zxid ~time txn);
-              Hashtbl.replace s.log zxid (txn, time, rid)
+              Hashtbl.replace s.applied rid (zxid, Ztree.apply s.tree ~zxid ~time txn);
+              note_close_applied t s ~rid close;
+              Hashtbl.replace s.log zxid (txn, time, rid, close)
             end)
           entries
+      end
     end
-  | Deliver_reply { zxid = _; result; reply } ->
-    (* FIFO channels mean the matching Commit was processed already, so
-       this server's tree reflects the write before the client resumes. *)
+  | Fetch { epoch; from_zxid; upto; who } ->
+    if epoch = s.epoch && s.role = Leader then begin
+      Process.sleep (svc t t.cfg.rpc_cpu);
+      if s.role = Leader && epoch = s.epoch then begin
+        let upto = Int64.min upto (Int64.sub s.next_zxid 1L) in
+        let entries = ref [] and commits = ref [] in
+        let z = ref upto in
+        while !z >= from_zxid do
+          (match Hashtbl.find_opt s.log !z with
+           | Some (txn, time, rid, close) ->
+             entries := (!z, txn, time, rid, close) :: !entries;
+             commits := !z :: !commits
+           | None -> (
+             match Hashtbl.find_opt s.pending !z with
+             | Some pw ->
+               entries := (!z, pw.p_txn, pw.p_time, pw.p_rid, pw.p_close) :: !entries
+             | None -> ()));
+          z := Int64.sub !z 1L
+        done;
+        if !entries <> [] then
+          send t ~src:s.id ~dst:who (Propose_batch { epoch; entries = !entries });
+        (* the commit marks ride behind the entries on the same FIFO
+           link, so the follower stores before it applies *)
+        if !commits <> [] then
+          send t ~src:s.id ~dst:who (Commit_batch { epoch; zxids = !commits })
+      end
+    end
+  | Deliver_reply { zxid; result; reply } ->
     Process.sleep (svc t t.cfg.rpc_cpu);
-    reply result
+    (* On a FIFO lossless link the matching Commit was processed already,
+       so this server's tree reflects the write before the client
+       resumes. A lossy link can break that: hold the reply until the
+       apply catches up (and ask the leader for the missing entries) so
+       read-your-own-writes survives message loss. *)
+    if s.role = Follower && zxid > 0L && s.next_apply <= zxid then begin
+      s.deferred <- (zxid, fun () -> reply result) :: s.deferred;
+      send t ~src:s.id ~dst:t.leader
+        (Fetch { epoch = s.epoch; from_zxid = s.next_apply; upto = zxid; who = s.id })
+    end
+    else reply result
 
 let server_loop t s =
   let rec loop () =
@@ -528,6 +856,8 @@ let make_server id =
     proposals = Hashtbl.create 64;
     committed = Hashtbl.create 64;
     next_apply = 1L;
+    fresh_at = 0.;
+    deferred = [];
     reads = 0 }
 
 let start ?(trace = Obs.Trace.null) ?(tag = "") engine cfg =
@@ -535,14 +865,31 @@ let start ?(trace = Obs.Trace.null) ?(tag = "") engine cfg =
   if cfg.observers < 0 then invalid_arg "Ensemble.start: observers < 0";
   if cfg.max_batch < 1 then invalid_arg "Ensemble.start: max_batch < 1";
   if cfg.batch_delay < 0. then invalid_arg "Ensemble.start: batch_delay < 0";
+  if cfg.retry_backoff < 0. then invalid_arg "Ensemble.start: retry_backoff < 0";
+  if cfg.session_timeout <= 0. then
+    invalid_arg "Ensemble.start: session_timeout <= 0";
   let members = Array.init (cfg.servers + cfg.observers) make_server in
   members.(0).role <- Leader;
   for i = cfg.servers to cfg.servers + cfg.observers - 1 do
     members.(i).role <- Observer
   done;
+  let master = Rng.create ~seed:cfg.seed in
+  let net =
+    Net.create ~default_latency:(Net.Fixed cfg.net_latency) ~seed:(Rng.next master)
+      engine
+  in
+  let prefix = if tag = "" then "" else tag ^ "/" in
+  let eps =
+    Array.init
+      (cfg.servers + cfg.observers)
+      (fun i -> Net.endpoint net (Printf.sprintf "%ss%d" prefix i))
+  in
   let t =
-    { engine; cfg; trace; tag; members; leader = 0; next_session = 1L; next_server = 0;
-      commits = 0; dedup_hits = 0; follower_peers = []; observer_peers = [] }
+    { engine; cfg; trace; tag; members; net; eps; session_rng = master;
+      leader = 0; next_session = 1L; next_server = 0;
+      commits = 0; last_commit_at = Engine.now engine; dedup_hits = 0;
+      dedup_evictions = 0; stale_served = 0; stale_refused = 0; failed_fast = 0;
+      sessions_expired = 0; follower_peers = []; observer_peers = [] }
   in
   refresh_peers t;
   Array.iter (fun s -> Process.spawn engine (fun () -> server_loop t s)) members;
@@ -582,12 +929,15 @@ let state_transfer t ~from ~target =
   let zxid = ref (Int64.add (Ztree.last_zxid dst.tree) 1L) in
   while !zxid <= Ztree.last_zxid src.tree do
     (match Hashtbl.find_opt src.log !zxid with
-     | Some (txn, time, rid) ->
-       Hashtbl.replace dst.applied rid (Ztree.apply dst.tree ~zxid:!zxid ~time txn);
-       Hashtbl.replace dst.log !zxid (txn, time, rid)
+     | Some (txn, time, rid, close) ->
+       Hashtbl.replace dst.applied rid
+         (!zxid, Ztree.apply dst.tree ~zxid:!zxid ~time txn);
+       note_close_applied t dst ~rid close;
+       Hashtbl.replace dst.log !zxid (txn, time, rid, close)
      | None -> ());
     zxid := Int64.add !zxid 1L
-  done
+  done;
+  dst.fresh_at <- Engine.now t.engine
 
 let elect t =
   let best = ref None in
@@ -619,11 +969,14 @@ let elect t =
             s.role <- (if is_observer_id t s.id then Observer else Follower);
             state_transfer t ~from:new_leader.id ~target:s.id
           end;
-          s.next_apply <- Int64.add (Ztree.last_zxid s.tree) 1L
+          s.next_apply <- Int64.add (Ztree.last_zxid s.tree) 1L;
+          s.fresh_at <- Engine.now t.engine;
+          flush_deferred s
         end)
       t.members;
     new_leader.next_zxid <- Int64.add (Ztree.last_zxid new_leader.tree) 1L;
     new_leader.next_commit <- new_leader.next_zxid;
+    t.last_commit_at <- Engine.now t.engine;
     refresh_peers t
 
 let crash t id =
@@ -633,6 +986,10 @@ let crash t id =
     s.role <- Down;
     Hashtbl.reset s.pending;
     Hashtbl.reset s.pending_rids;
+    (* a crash loses RAM: whatever sat unprocessed in the inbox is gone,
+       and held-back replies die with the connection state *)
+    Mailbox.clear s.inbox;
+    s.deferred <- [];
     refresh_peers t;
     if was_leader then
       Engine.schedule t.engine ~delay:t.cfg.election_timeout (fun () -> elect t)
@@ -661,30 +1018,35 @@ let restart t id =
         | [] -> ()
         | stalled ->
           let entries =
-            List.map (fun (zxid, pw) -> (zxid, pw.p_txn, pw.p_time, pw.p_rid)) stalled
+            List.map
+              (fun (zxid, pw) -> (zxid, pw.p_txn, pw.p_time, pw.p_rid, pw.p_close))
+              stalled
           in
-          send t ~dst:id (Propose_batch { epoch = leader.epoch; entries })
+          send t ~src:t.leader ~dst:id (Propose_batch { epoch = leader.epoch; entries })
       end
     end
     else if t.members.(t.leader).role <> Leader then
       (* the whole ensemble was down: this server seeds a new election *)
       elect t;
     s.next_apply <- Int64.add (Ztree.last_zxid s.tree) 1L;
+    s.fresh_at <- Engine.now t.engine;
     refresh_peers t
   end
 
 (* {2 Client side} *)
 
 (* Suspend the calling process until [reply] fires or [timeout] elapses;
-   late replies after a timeout are ignored. *)
-let await_reply t ~timeout issue =
+   late replies after a timeout are ignored. The reply crosses the
+   network from [from] back to the session's endpoint [cep], so it is
+   subject to the same partitions and loss as the request. *)
+let await_reply t ~timeout ~from ~cep issue =
   Process.suspend_v (fun resume ->
       let settled = ref false in
       let finish v = if not !settled then begin settled := true; resume v end in
       Engine.schedule t.engine ~delay:timeout (fun () ->
           finish (Error Zerror.ZOPERATIONTIMEOUT));
       issue (fun result ->
-          Engine.schedule t.engine ~delay:t.cfg.net_latency (fun () -> finish result)))
+          Net.send t.net ~src:t.eps.(from) ~dst:cep (fun () -> finish result)))
 
 let pick_alive t preferred =
   if t.members.(preferred).role <> Down then preferred
@@ -700,45 +1062,64 @@ let txn_label = function
   | [ Txn.Set_data _ ] -> "set"
   | _ -> "multi"
 
+(* Capped exponential backoff with full jitter between retry attempts;
+   [retry_backoff = 0.] (the default) retries immediately. *)
+let backoff_sleep t rng ~attempt =
+  if t.cfg.retry_backoff > 0. then begin
+    let base = t.cfg.retry_backoff *. (2. ** float_of_int attempt) in
+    let capped = Float.min base t.cfg.retry_backoff_cap in
+    Process.sleep (capped *. (0.5 +. (0.5 *. Rng.float rng)))
+  end
+
 (* The request id is fixed by the caller and reused verbatim across
    timeout retries: if the timed-out attempt actually committed, the
    leader's dedup table answers the retry with the original result
    instead of applying the transaction a second time. *)
-let rec submit_attempts t ~server ~attempts ~rid ~span txn =
+let rec submit_attempts t ~server ~cep ~rng ~attempt ~attempts ~rid ~span txn =
   let target = pick_alive t server in
   let result =
-    await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
-        send t ~dst:target (Write { txn; rid; origin = target; reply; span }))
+    await_reply t ~timeout:t.cfg.request_timeout ~from:target ~cep (fun reply ->
+        send_from t ~src_ep:cep ~dst:target
+          (Write { txn; rid; origin = target; reply; span }))
   in
   match result with
   | Error Zerror.ZOPERATIONTIMEOUT when attempts > 1 ->
-    submit_attempts t ~server ~attempts:(attempts - 1) ~rid ~span txn
+    backoff_sleep t rng ~attempt;
+    submit_attempts t ~server ~cep ~rng ~attempt:(attempt + 1)
+      ~attempts:(attempts - 1) ~rid ~span txn
   | result -> result
 
-let submit t ~server ~attempts ~rid txn =
+let submit t ~server ~cep ~rng ~attempts ~rid txn =
   let span = Obs.Trace.wspan t.trace ~now:(Engine.now t.engine) in
-  let result = submit_attempts t ~server ~attempts ~rid ~span txn in
+  let result =
+    submit_attempts t ~server ~cep ~rng ~attempt:0 ~attempts ~rid ~span txn
+  in
   (* finish_write rejects half-stamped spans, so a retried or failed-over
      write drops out of the breakdown instead of skewing it *)
   Obs.Trace.finish_write t.trace ~op:(txn_label txn) span
     ~now:(Engine.now t.engine);
   result
 
-let rec read_attempts t ~server ~attempts exec_read =
+let rec read_attempts t ~server ~cep ~rng ~attempt ~attempts exec_read =
   let target = pick_alive t server in
   let result =
-    await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
-        send t ~dst:target (Read { exec = (fun tree -> reply (Ok (exec_read tree))) }))
+    await_reply t ~timeout:t.cfg.request_timeout ~from:target ~cep (fun reply ->
+        send_from t ~src_ep:cep ~dst:target
+          (Read
+             { exec = (fun tree -> reply (Ok (exec_read tree)));
+               refuse = (fun e -> reply (Error e)) }))
   in
   match result with
   | Error Zerror.ZOPERATIONTIMEOUT when attempts > 1 ->
-    read_attempts t ~server ~attempts:(attempts - 1) exec_read
+    backoff_sleep t rng ~attempt;
+    read_attempts t ~server ~cep ~rng ~attempt:(attempt + 1)
+      ~attempts:(attempts - 1) exec_read
   | Error e -> Error e
   | Ok v -> Ok v
 
-let read t ~server ~attempts exec_read =
+let read t ~server ~cep ~rng ~attempts exec_read =
   let t0 = Engine.now t.engine in
-  let result = read_attempts t ~server ~attempts exec_read in
+  let result = read_attempts t ~server ~cep ~rng ~attempt:0 ~attempts exec_read in
   Obs.Trace.record_span t.trace "zk.read.total" (Engine.now t.engine -. t0);
   result
 
@@ -756,6 +1137,12 @@ let session t ?server () =
   in
   let session_id = t.next_session in
   t.next_session <- Int64.add session_id 1L;
+  (* the session's own network endpoint: it sits on its home server's
+     side of any partition, so cutting a server off strands its clients *)
+  let cep =
+    Net.endpoint ~follow:t.eps.(home) t.net (Printf.sprintf "c%Ld" session_id)
+  in
+  let rng = Rng.split t.session_rng in
   (* ZooKeeper's cxid: one monotone stamp per client request; retries of
      the same request keep the stamp *)
   let next_cxid = ref 0L in
@@ -764,31 +1151,78 @@ let session t ?server () =
     next_cxid := Int64.add cxid 1L;
     { rsession = session_id; rcxid = cxid }
   in
-  let submit txn = submit t ~server:home ~attempts:max_attempts ~rid:(fresh_rid ()) txn in
+  (* Session-expiry detection: a session whose every request has failed
+     for [session_timeout] seconds straight is declared expired — its
+     ops fail fast with ZSESSIONEXPIRED, and a best-effort Close_session
+     is fired so the server reaps its ephemerals (whose deletion events
+     fire the session's watches) and evicts its dedup entries. *)
+  let expired = ref false in
+  let failing_since = ref None in
+  let expire () =
+    if not !expired then begin
+      expired := true;
+      t.sessions_expired <- t.sessions_expired + 1;
+      let origin = pick_alive t home in
+      send_from t ~src_ep:cep ~dst:origin
+        (Close_session
+           { owner = session_id; rid = fresh_rid (); origin;
+             reply = ignore; span = Obs.Trace.no_wspan })
+    end
+  in
+  let track : 'a. ('a, Zerror.t) result -> ('a, Zerror.t) result =
+   fun result ->
+    match result with
+    | Error (Zerror.ZOPERATIONTIMEOUT | Zerror.ZCONNECTIONLOSS) -> (
+      let now = Engine.now t.engine in
+      match !failing_since with
+      | None ->
+        failing_since := Some now;
+        result
+      | Some since when now -. since >= t.cfg.session_timeout ->
+        expire ();
+        Error Zerror.ZSESSIONEXPIRED
+      | Some _ -> result)
+    | result ->
+      failing_since := None;
+      result
+  in
+  let submit txn =
+    if !expired then Error Zerror.ZSESSIONEXPIRED
+    else
+      track
+        (submit t ~server:home ~cep ~rng ~attempts:max_attempts
+           ~rid:(fresh_rid ()) txn)
+  in
   let submit_async txn callback =
     (* fire-and-callback: no retry; the deadline still bounds the wait *)
-    let settled = ref false in
-    let finish result =
-      if not !settled then begin
-        settled := true;
-        callback result
-      end
-    in
-    Engine.schedule t.engine ~delay:t.cfg.request_timeout (fun () ->
-        finish (Error Zerror.ZOPERATIONTIMEOUT));
-    let target = pick_alive t home in
-    send t ~dst:target
-      (Write
-         { txn;
-           rid = fresh_rid ();
-           origin = target;
-           span = Obs.Trace.no_wspan;
-           reply =
-             (fun result ->
-               Engine.schedule t.engine ~delay:t.cfg.net_latency (fun () ->
-                   finish result)) })
+    if !expired then callback (Error Zerror.ZSESSIONEXPIRED)
+    else begin
+      let settled = ref false in
+      let finish result =
+        if not !settled then begin
+          settled := true;
+          callback result
+        end
+      in
+      Engine.schedule t.engine ~delay:t.cfg.request_timeout (fun () ->
+          finish (Error Zerror.ZOPERATIONTIMEOUT));
+      let target = pick_alive t home in
+      send_from t ~src_ep:cep ~dst:target
+        (Write
+           { txn;
+             rid = fresh_rid ();
+             origin = target;
+             span = Obs.Trace.no_wspan;
+             reply =
+               (fun result ->
+                 Net.send t.net ~src:t.eps.(target) ~dst:cep (fun () ->
+                     finish result)) })
+    end
   in
-  let read exec = read t ~server:home ~attempts:max_attempts exec in
+  let read exec =
+    if !expired then Error Zerror.ZSESSIONEXPIRED
+    else track (read t ~server:home ~cep ~rng ~attempts:max_attempts exec)
+  in
   let or_loss = function Ok v -> v | Error e -> Error e in
   let create ?(ephemeral = false) ?(sequential = false) path ~data =
     let owner = if ephemeral then session_id else 0L in
@@ -804,14 +1238,16 @@ let session t ?server () =
     Result.map ignore (submit [ Zk_client.delete_op ~version path ])
   in
   let close () =
-    let rid = fresh_rid () in
-    ignore
-      (await_reply t ~timeout:t.cfg.request_timeout (fun reply ->
-           let origin = pick_alive t home in
-           send t ~dst:origin
-             (Close_session
-                { owner = session_id; rid; origin; reply;
-                  span = Obs.Trace.no_wspan })))
+    if not !expired then
+      let rid = fresh_rid () in
+      ignore
+        (await_reply t ~timeout:t.cfg.request_timeout
+           ~from:(pick_alive t home) ~cep (fun reply ->
+             let origin = pick_alive t home in
+             send_from t ~src_ep:cep ~dst:origin
+               (Close_session
+                  { owner = session_id; rid; origin; reply;
+                    span = Obs.Trace.no_wspan })))
   in
   { Zk_client.create;
     get = (fun path -> or_loss (read (fun tree -> Ztree.get tree path)));

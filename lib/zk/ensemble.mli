@@ -13,6 +13,16 @@
     writes share one persist and one proposal/ack/commit round, while
     per-txn results still reach each caller in submission order.
 
+    All traffic — server↔server and client↔server — crosses a
+    {!Simkit.Net} instance owned by the ensemble, so partitions, loss,
+    extra delay and duplication can be injected underneath the protocol
+    (see the fault-state controls below). The protocol repairs loss:
+    followers detect commit/proposal gaps and fetch the missing entries
+    from the leader, a retried write re-proposes its stalled zxid, acks
+    are deduplicated per server, and a reply that overtook its commit on
+    a lossy link is held at the origin server until the apply catches up
+    — preserving read-your-own-writes under message loss.
+
     All {!Zk_client.handle} calls must run inside a simulation process. *)
 
 type config = {
@@ -43,6 +53,34 @@ type config = {
   batch_delay : float;
       (** seconds the leader waits for stragglers when a drained batch is
           still short of [max_batch]; [0.] (the default) never waits. *)
+  seed : int64;
+      (** seeds the ensemble's network and the per-session retry-jitter
+          streams; identical seeds reproduce identical schedules *)
+  retry_backoff : float;
+      (** base for capped exponential backoff (with full jitter) between
+          client retry attempts; [0.] (the default) retries immediately *)
+  retry_backoff_cap : float;  (** upper bound on one backoff sleep, seconds *)
+  session_timeout : float;
+      (** a session whose requests have all failed for this long is
+          declared expired: its ops return ZSESSIONEXPIRED and a
+          best-effort close reaps its ephemerals *)
+  stale_read_after : float;
+      (** a follower that has not heard from its leader for this long
+          considers its reads stale; [infinity] (the default) disables
+          the check *)
+  serve_stale_reads : bool;
+      (** what a stale follower does with a read: [true] serves it and
+          counts it ({!stale_reads_served}); [false] refuses it with
+          ZCONNECTIONLOSS ({!stale_reads_refused}) *)
+  fail_fast_after : float;
+      (** leader-side graceful degradation under quorum loss: with
+          pending writes and no commit for this long, new writes are
+          refused immediately with ZCONNECTIONLOSS instead of queueing;
+          [infinity] (the default) queues forever *)
+  unsafe_no_dedup : bool;
+      (** disables the exactly-once dedup filter. Exists only so tests
+          can prove the linearizability checker catches the resulting
+          double-applies; never enable it otherwise. *)
 }
 
 val default_config : servers:int -> config
@@ -64,22 +102,54 @@ val start : ?trace:Obs.Trace.t -> ?tag:string -> Simkit.Engine.t -> config -> t
 val config : t -> config
 val trace : t -> Obs.Trace.t
 
+(** The ensemble's fault-injectable network (for counters and tests;
+    prefer the wrappers below for fault control). *)
+val net : t -> Simkit.Net.t
+
 (** [session t ()] opens a session, assigned round-robin (or to [server]).
     Handle calls must be made from inside a simulation process. *)
 val session : t -> ?server:int -> unit -> Zk_client.handle
 
 (** {2 Failure injection} *)
 
-(** [crash t id] stops server [id] immediately: its in-flight work and
-    un-replied requests are lost. If [id] was the leader, an election is
-    arranged after [election_timeout]. *)
+(** [crash t id] stops server [id] immediately: its in-flight work,
+    un-replied requests and queued inbox messages are lost (the mailbox
+    is flushed — the network does not buffer across a reboot). If [id]
+    was the leader, an election is arranged after [election_timeout]. *)
 val crash : t -> int -> unit
 
 (** [restart t id] brings a crashed server back as a follower; it
     state-transfers the log suffix it missed from the leader. *)
 val restart : t -> int -> unit
 
+(** {2 Network fault state}
+
+    These manipulate the ensemble's {!Simkit.Net} in terms of member
+    ids; client sessions ride on their home server's partition side. *)
+
+(** [partition t groups] installs a symmetric partition between the
+    listed groups of member ids; members not named form one implicit
+    extra group (so [partition t [[0; 1]]] cuts servers 0–1 and their
+    clients off from the rest). Replaces any previous partition. *)
+val partition : t -> int list list -> unit
+
+(** Block messages from [from]'s side to [to_]'s side only. *)
+val partition_oneway : t -> from:int -> to_:int -> unit
+
+(** Remove the partition and all one-way blocks (probabilistic faults
+    are separate knobs). *)
+val heal : t -> unit
+
+val set_drop : t -> float -> unit
+val set_extra_delay : t -> float -> unit
+val set_duplicate : t -> float -> unit
+val set_reorder : t -> p:float -> window:float -> unit
+
 val leader_id : t -> int option
+
+(** One line per member — role, epoch, zxid cursors, pending/proposal
+    counts, inbox depth — for diagnosing stalled pipelines in tests. *)
+val debug_dump : t -> string
 val alive_ids : t -> int list
 
 (** Every member id, voters then observers, alive or not. *)
@@ -104,6 +174,24 @@ val writes_committed : t -> int
     exactly once instead of failing with ZNODEEXISTS/ZNONODE or, worse,
     applying twice. *)
 val dedup_hits : t -> int
+
+(** Dedup-table entries evicted because their session closed or expired
+    (counted on the leader): the bound that keeps long chaos runs from
+    growing leader state without limit. *)
+val dedup_evictions : t -> int
+
+(** Reads served by a follower that had not heard from its leader for
+    [stale_read_after] (with [serve_stale_reads = true]). *)
+val stale_reads_served : t -> int
+
+(** Reads refused by such a follower (with [serve_stale_reads = false]). *)
+val stale_reads_refused : t -> int
+
+(** Writes refused immediately by a stalled leader ([fail_fast_after]). *)
+val writes_failed_fast : t -> int
+
+(** Sessions declared expired after [session_timeout] of solid failure. *)
+val sessions_expired : t -> int
 
 (** Messages waiting in the current leader's inbox (0 if leaderless). *)
 val leader_queue_depth : t -> int

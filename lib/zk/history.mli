@@ -1,0 +1,78 @@
+(** Client-visible history recording and linearizability checking.
+
+    [wrap] interposes on a {!Zk_client.handle} and records every
+    single-path register operation (create / set / delete / get /
+    exists) as an invoke/return interval with its observed outcome.
+    After a run, [check] verifies ZooKeeper's actual contract per path:
+
+    - {e Writes are linearizable.} There must be a total order of the
+      recorded writes (create/set/delete, error outcomes included —
+      the leader evaluated those against the committed tree) that
+      respects real time and register semantics: create succeeds iff
+      absent, set/delete succeed iff present.
+    - {e Reads are sequentially consistent.} get/exists are served from
+      a replica's local tree, and a replica that missed a commit
+      legally serves stale data to {e other} sessions — so a read may
+      linearize in the past relative to other clients' completed
+      writes. It must still return a value the register actually held
+      at its linearization point, and must respect its own
+      wrap-session's order (read-your-writes / monotonic reads within
+      the session).
+
+    The search is Wing–Gong style over write interleavings — pick any
+    minimal-in-real-time unlinearized write consistent with the current
+    state, apply it, backtrack on dead ends, memoizing visited
+    (state, done-set) pairs — with enabled matching reads linearized
+    greedily (sound and complete, since reads have no effect and
+    admitting one earlier only relaxes later constraints).
+
+    Operations that ended in ZOPERATIONTIMEOUT / ZCONNECTIONLOSS /
+    ZSESSIONEXPIRED are {e undetermined}: the service may or may not
+    have applied them (their effect may even land after the client gave
+    up). The checker gives undetermined writes an open-ended window and
+    branches on applied-vs-not — exactly the ambiguity exactly-once
+    retries are meant to collapse — and drops undetermined reads as
+    vacuous.
+
+    Checked: single-path register ops, and sequential creates (suffix
+    uniqueness + real-time order of suffixes per parent prefix).
+    Recorded-but-not-checked blind spots (see DESIGN.md §7): multi-op
+    transactions, version-conditioned set/delete, ephemeral creates
+    (their session-close cleanup would mutate registers outside the
+    recorded history), children listings, and watch deliveries. *)
+
+type t
+
+type violation = {
+  v_path : string;   (** the register (or sequential-prefix) at fault *)
+  v_kind : string;   (** "register" | "sequential" | "exhausted" *)
+  v_detail : string;
+}
+
+val create : Simkit.Engine.t -> t
+
+(** [wrap t ~client handle] records through to [handle]. [client] tags
+    the records (for the digest and diagnostics); each [wrap] call also
+    opens a fresh recorder session, the unit of the reads' session-order
+    guarantee — re-wrap after reopening an expired session. Must be
+    applied before the ops it should see. *)
+val wrap : t -> client:int -> Zk_client.handle -> Zk_client.handle
+
+(** Operations recorded so far. *)
+val recorded : t -> int
+
+(** Recorded operations whose outcome is undetermined. *)
+val undetermined : t -> int
+
+(** MD5 over the full recorded history (clients, intervals, outcomes):
+    two runs with the same seed must produce equal digests. *)
+val digest : t -> string
+
+(** Run the checker over everything recorded. Returns all violations
+    (empty = linearizable). [max_states] bounds the memoized search per
+    register; exhaustion reports a ["exhausted"] violation rather than
+    silently passing. *)
+val check : ?max_states:int -> t -> violation list
+
+(** Operations covered by the last [check] call. *)
+val checked_ops : t -> int

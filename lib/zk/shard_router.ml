@@ -354,6 +354,10 @@ let start ?trace engine ~shards cfg =
   let placement = make_placement ~shards () in
   let backends =
     Array.init shards (fun i ->
+        (* each shard owns its own network and jitter streams; distinct
+           seeds keep their randomness independent while the whole
+           deployment stays a pure function of cfg.seed *)
+        let cfg = { cfg with Ensemble.seed = Int64.add cfg.Ensemble.seed (Int64.of_int i) } in
         Ens (Ensemble.start ?trace ~tag:(Printf.sprintf "shard%d" i) engine cfg))
   in
   { placement; backends; stats = fresh_stats () }

@@ -696,6 +696,78 @@ let test_leader_crash_mid_batch_loses_no_committed_write () =
         (Ztree.exists tree path <> None))
     !acknowledged
 
+(* {2 Crash hygiene: dedup eviction and inbox flush} *)
+
+let test_close_session_evicts_dedup_entries () =
+  (* The exactly-once dedup table is keyed by (session, cxid); entries
+     for a closed session can never be hit again, so the applied
+     Close_session must reap them on every replica. *)
+  let engine, ensemble = make () in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble () in
+      for i = 0 to 4 do
+        ignore
+          (ok_or_fail "create"
+             (s.Zk_client.create (Printf.sprintf "/ev%d" i) ~data:""))
+      done;
+      check_int "no evictions while the session lives" 0
+        (Ensemble.dedup_evictions ensemble);
+      s.Zk_client.close ());
+  Engine.run engine;
+  check_bool "closing the session evicted its dedup entries" true
+    (Ensemble.dedup_evictions ensemble > 0);
+  check_bool "replicas agree after close" true
+    (all_trees_agree ensemble ~servers:3)
+
+let test_crash_flushes_queued_inbox () =
+  (* A crash loses RAM, including requests sitting unprocessed in the
+     server's inbox. Regression for the inbox flush: without it, the
+     restarted server would drain its stale pre-crash queue and writes
+     every client had long given up on would materialise in the tree. *)
+  let engine, ensemble =
+    make ~servers:3
+      ~config_adjust:(fun cfg ->
+        { (fast_faults cfg) with Ensemble.persist = 0.05 })
+      ()
+  in
+  let writes = 20 in
+  let acked = ref 0 and errs = ref 0 in
+  let post_restart = ref None in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:0 () in
+      for i = 0 to writes - 1 do
+        s.Zk_client.multi_async
+          [ Zk_client.create_op (Printf.sprintf "/q%d" i) ~data:"" ]
+          (function Ok _ -> incr acked | Error _ -> incr errs)
+      done);
+  (* 50 ms persist: at 10 ms the leader is mid-persist on the head
+     write and the rest of the burst is still queued in its inbox *)
+  Engine.schedule engine ~delay:0.01 (fun () -> Ensemble.crash ensemble 0);
+  Engine.schedule engine ~delay:0.5 (fun () -> Ensemble.restart ensemble 0);
+  Process.spawn engine (fun () ->
+      Process.sleep 1.0;
+      let s = Ensemble.session ensemble ~server:0 () in
+      post_restart := Some (s.Zk_client.create "/fresh" ~data:""));
+  Engine.run engine;
+  check_int "every async callback fired" writes (!acked + !errs);
+  check_bool "the crash failed the queued writes" true (!errs >= writes - 1);
+  (match !post_restart with
+  | Some (Ok _) -> ()
+  | Some (Error e) ->
+    Alcotest.failf "post-restart write failed: %s" (Zerror.to_string e)
+  | None -> Alcotest.fail "post-restart write never ran");
+  check_bool "replicas agree after restart" true
+    (all_trees_agree ensemble ~servers:3);
+  (* Exactly-once across the flush: a queued write either reached the
+     replicated log before the crash (and was acknowledged) or it
+     vanished with the inbox — never a third, resurrected, outcome. *)
+  let tree = Ensemble.tree_of ensemble 1 in
+  let present = ref 0 in
+  for i = 0 to writes - 1 do
+    if Ztree.exists tree (Printf.sprintf "/q%d" i) <> None then incr present
+  done;
+  check_int "tree holds exactly the acknowledged writes" !acked !present
+
 (* {2 Performance-model sanity (the shapes behind Fig. 7)} *)
 
 let measure_rate ~servers ~write =
@@ -774,7 +846,11 @@ let () =
           Alcotest.test_case "watches survive snapshot transfer" `Quick
             test_watches_survive_snapshot_transfer;
           Alcotest.test_case "snapshot catch-up after long outage" `Quick
-            test_snapshot_catch_up_after_long_outage ] );
+            test_snapshot_catch_up_after_long_outage;
+          Alcotest.test_case "close evicts dedup entries" `Quick
+            test_close_session_evicts_dedup_entries;
+          Alcotest.test_case "crash flushes queued inbox" `Quick
+            test_crash_flushes_queued_inbox ] );
       ( "observers",
         [ Alcotest.test_case "replicate state" `Quick test_observers_replicate_state;
           Alcotest.test_case "serve reads" `Quick test_observers_serve_reads;

@@ -88,6 +88,73 @@ let test_parse_shard_rejects_malformed () =
       "crash=-1/2@1"; "crash-leader@shard=@1"; "crash-leader@shard=x@dir-create";
       "crash-leader@shard=1/2@1" ]
 
+(* {2 Property: parse inverts to_string on generated plans}
+
+   Floats are drawn from literal grids (values "%g" prints exactly as
+   written), so structural equality of the re-parsed plan is exact —
+   the property exercises the whole grammar, including the network
+   actions and shard qualifiers, not float printing. *)
+
+let plan_gen =
+  let open QCheck2.Gen in
+  let shard = oneof [ return None; map Option.some (int_range 0 3) ] in
+  let probability = oneofl [ 0.05; 0.1; 0.25; 0.5; 0.75; 0.9; 1. ] in
+  let duration = oneofl [ 0.001; 0.005; 0.05; 0.25; 1.5 ] in
+  let groups =
+    list_size (int_range 1 3) (list_size (int_range 1 2) (int_range 0 4))
+  in
+  let action =
+    oneof
+      [ map (fun id -> Faultplan.Crash id) (int_range 0 4);
+        map (fun id -> Faultplan.Restart id) (int_range 0 4);
+        return Faultplan.Crash_leader;
+        return Faultplan.Restart_all_down;
+        map2 (fun s id -> Faultplan.Crash_on (s, id)) (int_range 0 3)
+          (int_range 0 4);
+        map2 (fun s id -> Faultplan.Restart_on (s, id)) (int_range 0 3)
+          (int_range 0 4);
+        map (fun s -> Faultplan.Crash_leader_of s) (int_range 0 3);
+        map2 (fun sh gs -> Faultplan.Partition (sh, gs)) shard groups;
+        map (fun sh -> Faultplan.Heal sh) shard;
+        map2 (fun sh p -> Faultplan.Drop (sh, p)) shard probability;
+        map2 (fun sh d -> Faultplan.Delay (sh, d)) shard duration;
+        map2 (fun sh p -> Faultplan.Duplicate (sh, p)) shard probability;
+        map3
+          (fun sh p w -> Faultplan.Reorder (sh, p, w))
+          shard probability duration ]
+  in
+  let anchor =
+    oneof
+      [ map (fun t -> Faultplan.At t) (oneofl [ 0.; 0.5; 1.; 2.5; 12.25 ]);
+        map2
+          (fun name off -> Faultplan.After_phase (name, off))
+          (oneofl [ "file-create"; "dir-stat"; "tree-walk"; "rm" ])
+          (oneofl [ 0.; 0.05; 0.25; 1.5 ]) ]
+  in
+  let event = map2 (fun action anchor -> { Faultplan.action; anchor }) action anchor in
+  list_size (int_range 1 8) event
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse inverts to_string on random plans" ~count:500
+    plan_gen (fun plan ->
+      let text = Faultplan.to_string plan in
+      match Faultplan.parse text with
+      | Ok plan' -> plan' = plan
+      | Error msg -> QCheck2.Test.fail_reportf "parse %S: %s" text msg)
+
+let prop_chaos_roundtrip =
+  QCheck2.Test.make ~name:"chaos plans survive the textual round trip" ~count:100
+    QCheck2.Gen.(pair int64 (int_range 1 4))
+    (fun (seed, shards) ->
+      let plan =
+        Faultplan.chaos ~seed ~servers:3 ~shards ~start:1. ~heal_at:6.
+          ~events:8 ()
+      in
+      match Faultplan.parse (Faultplan.to_string plan) with
+      | Ok plan' -> Faultplan.to_string plan' = Faultplan.to_string plan
+      | Error msg ->
+        QCheck2.Test.fail_reportf "parse %S: %s" (Faultplan.to_string plan) msg)
+
 let test_arm_shards_targets_the_right_shard () =
   let engine = Engine.create () in
   let router =
@@ -186,7 +253,9 @@ let () =
           Alcotest.test_case "unqualified plans unchanged" `Quick
             test_parse_unqualified_plans_unchanged;
           Alcotest.test_case "rejects malformed sharded plans" `Quick
-            test_parse_shard_rejects_malformed ] );
+            test_parse_shard_rejects_malformed;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_chaos_roundtrip ] );
       ( "arming",
         [ Alcotest.test_case "timed and phase-anchored events" `Quick
             test_arm_executes_timed_and_phase_events;

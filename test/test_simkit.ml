@@ -307,6 +307,17 @@ let test_mailbox_recv_opt () =
   Alcotest.(check (option int)) "nonempty" (Some 7) (Mailbox.recv_opt mb);
   check_bool "drained" true (Mailbox.is_empty mb)
 
+let test_mailbox_clear () =
+  let mb = Mailbox.create () in
+  Mailbox.send mb 1;
+  Mailbox.send mb 2;
+  Mailbox.clear mb;
+  check_bool "cleared" true (Mailbox.is_empty mb);
+  Alcotest.(check (option int)) "nothing left" None (Mailbox.recv_opt mb);
+  (* still usable afterwards *)
+  Mailbox.send mb 3;
+  Alcotest.(check (option int)) "post-clear send" (Some 3) (Mailbox.recv_opt mb)
+
 (* {2 Gates and barriers} *)
 
 let test_gate () =
@@ -614,6 +625,116 @@ let run_mini_sim () =
 let test_whole_sim_deterministic () =
   Alcotest.(check string) "identical traces" (run_mini_sim ()) (run_mini_sim ())
 
+(* {2 Fault-injectable network} *)
+
+module Net = Simkit.Net
+
+let mk_net ?default_latency () =
+  let e = Engine.create () in
+  let n = Net.create ?default_latency ~seed:7L e in
+  let a = Net.endpoint n "a" and b = Net.endpoint n "b" in
+  (e, n, a, b)
+
+(* Count deliveries of [k] messages a->b after running to quiescence. *)
+let deliveries e n ~src ~dst k =
+  let got = ref 0 in
+  for _ = 1 to k do
+    Net.send n ~src ~dst (fun () -> incr got)
+  done;
+  Engine.run e;
+  !got
+
+let test_net_delivers_and_counts () =
+  let e, n, a, b = mk_net () in
+  check_int "all delivered" 5 (deliveries e n ~src:a ~dst:b 5);
+  check_int "sent" 5 (Net.sent n);
+  check_int "delivered" 5 (Net.delivered n);
+  check_int "dropped" 0 (Net.dropped n);
+  check_int "duplicated" 0 (Net.duplicated n)
+
+let test_net_partition_and_heal () =
+  let e, n, a, b = mk_net () in
+  Net.partition n [ [ a ]; [ b ] ];
+  check_int "partitioned: nothing crosses" 0 (deliveries e n ~src:a ~dst:b 3);
+  check_int "counted as dropped" 3 (Net.dropped n);
+  Net.heal n;
+  check_int "healed: delivers again" 3 (deliveries e n ~src:a ~dst:b 3)
+
+let test_net_partition_unnamed_reaches_everyone () =
+  let e, n, a, b = mk_net () in
+  let c = Net.endpoint n "c" in
+  Net.partition n [ [ a ]; [ b ] ];
+  (* [c] is in no group: it reaches (and is reached by) both sides,
+     while the named groups stay cut off from each other *)
+  check_int "c->a unaffected" 2 (deliveries e n ~src:c ~dst:a 2);
+  check_int "c->b unaffected" 2 (deliveries e n ~src:c ~dst:b 2);
+  check_int "a->b cut" 0 (deliveries e n ~src:a ~dst:b 2)
+
+let test_net_oneway_block () =
+  let e, n, a, b = mk_net () in
+  Net.block_oneway n ~src:a ~dst:b;
+  check_int "blocked direction" 0 (deliveries e n ~src:a ~dst:b 3);
+  check_int "reverse direction open" 3 (deliveries e n ~src:b ~dst:a 3);
+  Net.heal n;
+  check_int "heal removes the block" 3 (deliveries e n ~src:a ~dst:b 3)
+
+let test_net_follow_rides_partition () =
+  let e, n, a, b = mk_net () in
+  let client = Net.endpoint ~follow:a n "client" in
+  Net.partition n [ [ a ]; [ b ] ];
+  check_int "follower reaches its server" 2
+    (deliveries e n ~src:client ~dst:a 2);
+  check_int "follower cut from the far side" 0
+    (deliveries e n ~src:client ~dst:b 2)
+
+let test_net_drop_probability () =
+  let e, n, a, b = mk_net () in
+  Net.set_drop n 1.0;
+  check_int "p=1 drops all" 0 (deliveries e n ~src:a ~dst:b 4);
+  Net.set_drop n 0.0;
+  check_int "p=0 drops none" 4 (deliveries e n ~src:a ~dst:b 4);
+  Net.set_drop n 0.5;
+  let got = deliveries e n ~src:a ~dst:b 200 in
+  check_bool "p=0.5 drops some" true (got > 50 && got < 150);
+  check_int "sent = delivered + dropped" (Net.sent n)
+    (Net.delivered n + Net.dropped n)
+
+let test_net_duplicate () =
+  let e, n, a, b = mk_net () in
+  Net.set_duplicate n 1.0;
+  let got = deliveries e n ~src:a ~dst:b 3 in
+  check_int "each message delivered twice" 6 got;
+  check_int "duplicated counter" 3 (Net.duplicated n)
+
+let test_net_extra_delay () =
+  let e, n, a, b = mk_net ~default_latency:(Net.Fixed 0.001) () in
+  let at = ref 0. in
+  Net.set_extra_delay n 0.25;
+  Net.send n ~src:a ~dst:b (fun () -> at := Engine.now e);
+  Engine.run e;
+  check_bool "delay added on top of latency" true
+    (!at >= 0.251 -. 1e-9 && !at < 0.3)
+
+(* With every knob at rest, Net must not consume randomness: the RNG
+   draws (and hence any seeded behaviour downstream) are identical with
+   and without the Net in the path. *)
+let test_net_quiet_draws_no_randomness () =
+  let trace knobs =
+    let e = Engine.create () in
+    let n = Net.create ~seed:99L e in
+    let a = Net.endpoint n "a" and b = Net.endpoint n "b" in
+    if knobs then Net.set_drop n 0.0; (* setting a zero knob changes nothing *)
+    let log = Buffer.create 64 in
+    for i = 1 to 20 do
+      Net.send n ~src:a ~dst:b (fun () ->
+          Buffer.add_string log (Printf.sprintf "%d@%.9f;" i (Engine.now e)))
+    done;
+    Engine.run e;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "fault-free schedule is knob-independent"
+    (trace false) (trace true)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "simkit"
@@ -648,7 +769,24 @@ let () =
         [ Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
           Alcotest.test_case "blocks until send" `Quick test_mailbox_blocks_until_send;
           Alcotest.test_case "multiple receivers" `Quick test_mailbox_multiple_receivers;
-          Alcotest.test_case "recv_opt" `Quick test_mailbox_recv_opt ] );
+          Alcotest.test_case "recv_opt" `Quick test_mailbox_recv_opt;
+          Alcotest.test_case "clear" `Quick test_mailbox_clear ] );
+      ( "net",
+        [ Alcotest.test_case "delivers and counts" `Quick
+            test_net_delivers_and_counts;
+          Alcotest.test_case "partition and heal" `Quick
+            test_net_partition_and_heal;
+          Alcotest.test_case "unnamed endpoints unaffected" `Quick
+            test_net_partition_unnamed_reaches_everyone;
+          Alcotest.test_case "one-way block" `Quick test_net_oneway_block;
+          Alcotest.test_case "follower rides partition" `Quick
+            test_net_follow_rides_partition;
+          Alcotest.test_case "drop probability" `Quick
+            test_net_drop_probability;
+          Alcotest.test_case "duplicate delivery" `Quick test_net_duplicate;
+          Alcotest.test_case "extra delay" `Quick test_net_extra_delay;
+          Alcotest.test_case "quiet net draws no randomness" `Quick
+            test_net_quiet_draws_no_randomness ] );
       ( "gate",
         [ Alcotest.test_case "broadcast" `Quick test_gate;
           Alcotest.test_case "wait after open" `Quick test_gate_wait_after_open;
