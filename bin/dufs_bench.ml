@@ -52,6 +52,14 @@ let experiments =
     ("chaos-smoke", "chaos at 64 procs, 2 fixed seeds (CI; writes \
                      BENCH_pr5_smoke.json)",
      fun () -> Scenarios.Figures.chaos_smoke ~json_path:"BENCH_pr5_smoke.json" ());
+    ("engine", "simulator engine wall-clock throughput: 10^6-event \
+                timer/mailbox/net mixes (writes BENCH_pr6.json)",
+     fun () -> Scenarios.Figures.engine ~json_path:"BENCH_pr6.json" ());
+    ("engine-smoke", "engine throughput at 10^5 events (CI; writes \
+                      BENCH_pr6_smoke.json)",
+     fun () ->
+       Scenarios.Figures.engine ~events:100_000 ~quota_s:0.5
+         ~json_path:"BENCH_pr6_smoke.json" ());
     ("all", "every experiment in order", Scenarios.Figures.all) ]
 
 open Cmdliner

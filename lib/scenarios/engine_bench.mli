@@ -1,0 +1,49 @@
+(** Wall-clock throughput benchmark of the Simkit engine core.
+
+    Unlike every other experiment in this tree, which measures *virtual*
+    time, this one measures how fast the simulator itself burns through
+    events — the number that decides whether a 10^6-event chaos run is
+    routine or a coffee break. Three representative mixes drive the
+    engine hot paths:
+
+    - [timer]: thousands of always-armed exponential timers — stresses
+      the future-event queue (push/pop at high occupancy).
+    - [mailbox]: broadcast/gather rounds over parked process mailboxes —
+      every event is a [delay:0.] suspend/resume, the dominant event
+      class in the coordination protocol.
+    - [net]: seeded fault-active message flows (drop/dup/reorder/
+      partition churn) through {!Simkit.Net} — the chaos-run event
+      profile.
+
+    Each mix is fully seeded and allocation-profiled: [run_data] also
+    re-runs every mix once and fails if the replay digest (executed
+    events, final virtual clock) differs — engine speed work is gated on
+    determinism. Wall time comes from a [bechamel] monotonic-clock OLS
+    fit over whole-mix runs. *)
+
+type result = {
+  mix : string;              (** mix name: timer / mailbox / net *)
+  actors : int;              (** concurrent timers / workers / flows *)
+  events_executed : int;     (** engine events per run (deterministic) *)
+  virtual_s : float;         (** final virtual clock of one run *)
+  ns_per_event : float;      (** wall nanoseconds per engine event *)
+  events_per_sec : float;    (** wall-clock engine throughput *)
+  minor_words_per_event : float;
+      (** minor-heap allocation per event — the zero-alloc-quiet-path
+          regression meter *)
+}
+
+(** Mix names in execution order. *)
+val mix_names : string list
+
+(** Run every mix at [events] target events (default 1_000_000) with a
+    [quota_s]-second bechamel quota per mix (default 2.0).
+    @raise Failure if any mix's replay digest differs between runs. *)
+val run_data : ?events:int -> ?quota_s:float -> unit -> result list
+
+(** [run ()] prints the table; with [json_path] also writes the
+    BENCH_pr6.json artifact: one [engine-<mix>] point per mix whose
+    [ops_per_sec] is wall-clock events/sec and whose [phases] block
+    carries [events_executed], [ns_per_event], [virtual_s] and
+    [minor_words_per_event]. *)
+val run : ?events:int -> ?quota_s:float -> ?json_path:string -> unit -> unit

@@ -1351,6 +1351,9 @@ let chaos_smoke ?json_path () =
     ~runs:[ (1, 11L); (4, 12L) ]
     ~clients:64 ~registers:16 ~heal_at:8. ~post_heal:6. ~events:8 ?json_path ()
 
+let engine ?events ?quota_s ?json_path () =
+  Engine_bench.run ?events ?quota_s ?json_path ()
+
 let all () =
   fig7 ();
   fig8 ();
@@ -1370,4 +1373,5 @@ let all () =
   faults ();
   profile ();
   sharding ();
-  chaos ()
+  chaos ();
+  engine ()

@@ -190,5 +190,14 @@ val chaos :
     artifact. Same failure conditions as {!chaos}. *)
 val chaos_smoke : ?json_path:string -> unit -> unit
 
+(** {2 Engine throughput — wall-clock events/sec of the simulator core}
+
+    Delegates to {!Engine_bench.run}: three seeded mixes (timer-heavy,
+    mailbox-heavy, net-fault-heavy) of ~[events] engine events each,
+    timed with bechamel and replay-gated. With [json_path] writes the
+    BENCH_pr6.json artifact. *)
+val engine :
+  ?events:int -> ?quota_s:float -> ?json_path:string -> unit -> unit
+
 (** Run everything (the full bench suite). *)
 val all : unit -> unit

@@ -3,7 +3,14 @@
     An engine owns a virtual clock and a pending-event queue. Events are
     executed in nondecreasing timestamp order; events with equal timestamps
     run in scheduling (FIFO) order, which makes every simulation
-    deterministic for a fixed seed. *)
+    deterministic for a fixed seed.
+
+    Internally the queue is a calendar queue for strictly-future events
+    plus a dedicated FIFO ring for zero-delay events, and event records
+    are recycled through a free list, so the steady-state
+    schedule/dispatch path performs no allocation. None of this is
+    observable: the dispatch order is exactly the (time, scheduling
+    order) total order stated above. *)
 
 type t
 
@@ -20,9 +27,19 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
     @raise Invalid_argument if [time] is in the past. *)
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 
+(** [schedule_app t ~delay f x] runs [f x] at time [now t +. delay] —
+    same dispatch order as [schedule], without allocating a closure to
+    capture [x]. Hot paths that would otherwise build
+    [fun () -> f x] per event (process resume, message delivery) use
+    this to keep the event path allocation-free.
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+val schedule_app : t -> delay:float -> ('a -> unit) -> 'a -> unit
+
 (** [run t] executes events until the queue is empty or [stop] is called.
     [until] bounds the virtual clock: events scheduled strictly after
-    [until] remain pending and the clock is left at [until]. *)
+    [until] remain pending. When the run drains the queue or reaches the
+    horizon, the clock is left at [until]; when it exits via [stop], the
+    clock stays at the time of the last executed event. *)
 val run : ?until:float -> t -> unit
 
 (** [stop t] makes [run] return after the currently executing event. *)

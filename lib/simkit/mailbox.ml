@@ -1,28 +1,137 @@
+(* Ring-buffer mailboxes. Messages and parked receivers live in
+   power-of-two circular arrays, so the quiet path — send with a
+   receiver parked, recv with a message queued — touches no allocator
+   at all (compare the [Queue]-cell-per-message implementation this
+   replaced). Messages are stored as [Obj.t] in an array seeded with
+   [Obj.repr ()], which keeps the array from specializing to the flat
+   float representation when ['a = float]. *)
+
 type 'a t = {
-  messages : 'a Queue.t;
-  receivers : ('a -> unit) Queue.t;
+  mutable msgs : Obj.t array;
+  mutable m_head : int;
+  mutable m_size : int;
+  mutable rcvs : Obj.t array;  (* parked 'a Process.waiter values *)
+  mutable r_head : int;
+  mutable r_size : int;
 }
 
-let create () = { messages = Queue.create (); receivers = Queue.create () }
+let obj_unit = Obj.repr ()
+let initial_cap = 8
 
-let send t msg =
-  match Queue.take_opt t.receivers with
-  | Some resume -> resume msg
-  | None -> Queue.push msg t.messages
+(* Store [v] into the empty slot [arr.(i)] without the [caml_modify]
+   write barrier when [v] is an immediate. Sound only because BOTH
+   sides are immediate: the new value needs no minor remembered-set
+   entry, and the old value (empty slots always hold an immediate —
+   [obj_unit] or a stale popped immediate) needs no deletion-barrier
+   mark. Overwriting a pointer this way would break OCaml 5's
+   concurrent major GC; pointer clears below go through the normal
+   barriered store. *)
+let[@inline] set_empty_slot (arr : Obj.t array) i (v : Obj.t) =
+  if Obj.is_int v then
+    Array.unsafe_set (Obj.magic arr : int array) i (Obj.magic v : int)
+  else Array.unsafe_set arr i v
 
-let recv t =
-  match Queue.take_opt t.messages with
-  | Some msg -> msg
-  | None -> Process.suspend_v (fun resume -> Queue.push resume t.receivers)
+let create () =
+  { msgs = Array.make initial_cap obj_unit;
+    m_head = 0;
+    m_size = 0;
+    rcvs = Array.make initial_cap obj_unit;
+    r_head = 0;
+    r_size = 0 }
 
-let recv_opt t = Queue.take_opt t.messages
+let grow_msgs t =
+  let cap = Array.length t.msgs in
+  let arr = Array.make (2 * cap) obj_unit in
+  for k = 0 to t.m_size - 1 do
+    arr.(k) <- t.msgs.((t.m_head + k) land (cap - 1))
+  done;
+  t.msgs <- arr;
+  t.m_head <- 0
+
+let grow_rcvs t =
+  let cap = Array.length t.rcvs in
+  let arr = Array.make (2 * cap) obj_unit in
+  for k = 0 to t.r_size - 1 do
+    arr.(k) <- t.rcvs.((t.r_head + k) land (cap - 1))
+  done;
+  t.rcvs <- arr;
+  t.r_head <- 0
+
+let[@inline] push_msg t msg =
+  if t.m_size = Array.length t.msgs then grow_msgs t;
+  set_empty_slot t.msgs ((t.m_head + t.m_size) land (Array.length t.msgs - 1)) (Obj.repr msg);
+  t.m_size <- t.m_size + 1
+
+let[@inline] pop_msg t : 'a =
+  let i = t.m_head in
+  let r = Array.unsafe_get t.msgs i in
+  (* immediates can stay in the slot: clearing only matters to avoid
+     retaining heap blocks past their consumption *)
+  if not (Obj.is_int r) then Array.unsafe_set t.msgs i obj_unit;
+  t.m_head <- (i + 1) land (Array.length t.msgs - 1);
+  t.m_size <- t.m_size - 1;
+  Obj.obj r
+
+let[@inline] send t msg =
+  if t.r_size > 0 then begin
+    let i = t.r_head in
+    let w : 'a Process.waiter = Obj.obj (Array.unsafe_get t.rcvs i) in
+    Array.unsafe_set t.rcvs i obj_unit;
+    t.r_head <- (i + 1) land (Array.length t.rcvs - 1);
+    t.r_size <- t.r_size - 1;
+    Process.wake w msg
+  end
+  else push_msg t msg
+
+(* Static registrar for {!Process.suspend_with}: parking allocates no
+   closure over [t]. *)
+let[@inline] park t (w : 'a Process.waiter) =
+  if t.r_size = Array.length t.rcvs then grow_rcvs t;
+  Array.unsafe_set t.rcvs ((t.r_head + t.r_size) land (Array.length t.rcvs - 1)) (Obj.repr w);
+  t.r_size <- t.r_size + 1
+
+let[@inline] recv t =
+  if t.m_size > 0 then pop_msg t else Process.suspend_with park t
+
+let[@inline] recv_opt t = if t.m_size > 0 then Some (pop_msg t) else None
+
+let[@inline] take_head_if t pred =
+  if t.m_size > 0 && pred (Obj.obj (Array.unsafe_get t.msgs t.m_head)) then
+    Some (pop_msg t)
+  else None
 
 let take_if t pred =
-  match Queue.peek_opt t.messages with
-  | Some msg when pred msg ->
-      ignore (Queue.pop t.messages);
-      Some msg
-  | Some _ | None -> None
-let length t = Queue.length t.messages
-let is_empty t = Queue.is_empty t.messages
-let clear t = Queue.clear t.messages
+  let mask = Array.length t.msgs - 1 in
+  let n = t.m_size in
+  let rec find k =
+    if k = n then None
+    else
+      let i = (t.m_head + k) land mask in
+      let msg : 'a = Obj.obj t.msgs.(i) in
+      if pred msg then begin
+        (* shift the [k] older messages one slot toward the match,
+           freeing the head slot; their relative order is untouched *)
+        let j = ref i in
+        for _ = 1 to k do
+          let p = (!j - 1) land mask in
+          t.msgs.(!j) <- t.msgs.(p);
+          j := p
+        done;
+        t.msgs.(t.m_head) <- obj_unit;
+        t.m_head <- (t.m_head + 1) land mask;
+        t.m_size <- n - 1;
+        Some msg
+      end
+      else find (k + 1)
+  in
+  find 0
+
+let[@inline] length t = t.m_size
+let[@inline] is_empty t = t.m_size = 0
+
+let clear t =
+  if t.m_size > 0 then begin
+    Array.fill t.msgs 0 (Array.length t.msgs) obj_unit;
+    t.m_head <- 0;
+    t.m_size <- 0
+  end

@@ -19,10 +19,19 @@ val recv : 'a t -> 'a
 (** [recv_opt t] is [Some m] if a message is immediately available. *)
 val recv_opt : 'a t -> 'a option
 
-(** [take_if t pred] dequeues the head message only when one is queued and
-    satisfies [pred]; otherwise leaves the mailbox untouched. Never blocks.
-    FIFO order is preserved: the head is never skipped over. *)
+(** [take_if t pred] scans the queue front-to-back and dequeues the
+    {e oldest} message satisfying [pred]; [None] if no queued message
+    matches. Never blocks. The relative FIFO order of the remaining
+    messages is preserved. Cost is O(position of the match). *)
 val take_if : 'a t -> ('a -> bool) -> 'a option
+
+(** [take_head_if t pred] dequeues the head message only when one is
+    queued and satisfies [pred]; otherwise leaves the mailbox untouched
+    — unlike {!take_if} it never skips over a non-matching head. Never
+    blocks. Use when global FIFO order across message classes matters
+    (e.g. batch draining that must not reorder around unrelated
+    traffic). *)
+val take_head_if : 'a t -> ('a -> bool) -> 'a option
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool

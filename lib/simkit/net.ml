@@ -26,27 +26,48 @@ type t = {
   mutable n_delivered : int;
   mutable n_dropped : int;
   mutable n_duplicated : int;
+  (* Precomputed hop delay for the quiet state: no per-link overrides,
+     no partition/one-way blocks, every probabilistic knob at zero and a
+     [Fixed] default latency. [-1.] whenever any of that is untrue.
+     Lets [send] skip the link lookup (a tuple + option allocation per
+     message) and the whole fault-guard chain on the hot path. *)
+  mutable quiet_fixed : float;
 }
 
+let refresh_quiet t =
+  t.quiet_fixed <-
+    (match t.default_latency with
+     | Fixed d
+       when Hashtbl.length t.links = 0
+            && t.sides = None && t.oneway = []
+            && t.drop_p = 0. && t.dup_p = 0. && t.reorder_p = 0. ->
+       d +. t.extra_delay
+     | Fixed _ | Uniform_lat _ | Exp_lat _ -> -1.)
+
 let create ?(default_latency = Fixed 0.) ~seed engine =
-  { engine;
-    rng = Rng.create ~seed;
-    default_latency;
-    names = Array.make 8 "";
-    follows = Array.make 8 0;
-    count = 0;
-    links = Hashtbl.create 16;
-    sides = None;
-    oneway = [];
-    drop_p = 0.;
-    dup_p = 0.;
-    extra_delay = 0.;
-    reorder_p = 0.;
-    reorder_window = 0.;
-    n_sent = 0;
-    n_delivered = 0;
-    n_dropped = 0;
-    n_duplicated = 0 }
+  let t =
+    { engine;
+      rng = Rng.create ~seed;
+      default_latency;
+      names = Array.make 8 "";
+      follows = Array.make 8 0;
+      count = 0;
+      links = Hashtbl.create 16;
+      sides = None;
+      oneway = [];
+      drop_p = 0.;
+      dup_p = 0.;
+      extra_delay = 0.;
+      reorder_p = 0.;
+      reorder_window = 0.;
+      n_sent = 0;
+      n_delivered = 0;
+      n_dropped = 0;
+      n_duplicated = 0;
+      quiet_fixed = -1. }
+  in
+  refresh_quiet t;
+  t
 
 let endpoint ?follow t name =
   if t.count = Array.length t.names then begin
@@ -79,7 +100,8 @@ let name t e =
 let set_link_latency t ~src ~dst lat =
   check t src "set_link_latency";
   check t dst "set_link_latency";
-  Hashtbl.replace t.links (src, dst) lat
+  Hashtbl.replace t.links (src, dst) lat;
+  refresh_quiet t
 
 (* A follower chain is one hop deep by construction ([endpoint] only
    lets a fresh endpoint follow an existing one, and servers follow
@@ -98,33 +120,42 @@ let partition t groups =
           Hashtbl.replace sides e side)
         members)
     groups;
-  t.sides <- (if Hashtbl.length sides = 0 then None else Some sides)
+  t.sides <- (if Hashtbl.length sides = 0 then None else Some sides);
+  refresh_quiet t
 
 let block_oneway t ~src ~dst =
   check t src "block_oneway";
   check t dst "block_oneway";
-  t.oneway <- (resolve t src, resolve t dst) :: t.oneway
+  t.oneway <- (resolve t src, resolve t dst) :: t.oneway;
+  refresh_quiet t
 
 let heal t =
   t.sides <- None;
-  t.oneway <- []
+  t.oneway <- [];
+  refresh_quiet t
 
 let check_p op p =
   if not (p >= 0. && p <= 1.) then
     invalid_arg (Printf.sprintf "Net.%s: probability %g outside [0,1]" op p)
 
-let set_drop t p = check_p "set_drop" p; t.drop_p <- p
-let set_duplicate t p = check_p "set_duplicate" p; t.dup_p <- p
+let set_drop t p = check_p "set_drop" p; t.drop_p <- p; refresh_quiet t
+
+let set_duplicate t p =
+  check_p "set_duplicate" p;
+  t.dup_p <- p;
+  refresh_quiet t
 
 let set_extra_delay t d =
   if not (d >= 0.) then invalid_arg "Net.set_extra_delay: negative delay";
-  t.extra_delay <- d
+  t.extra_delay <- d;
+  refresh_quiet t
 
 let set_reorder t ~p ~window =
   check_p "set_reorder" p;
   if not (window >= 0.) then invalid_arg "Net.set_reorder: negative window";
   t.reorder_p <- p;
-  t.reorder_window <- window
+  t.reorder_window <- window;
+  refresh_quiet t
 
 let unreachable t src dst =
   let s = resolve t src and d = resolve t dst in
@@ -147,9 +178,13 @@ let sample_latency t lat =
 
 let hop_delay t ~src ~dst =
   let lat =
-    match Hashtbl.find_opt t.links (src, dst) with
-    | Some lat -> lat
-    | None -> t.default_latency
+    (* the tuple-keyed lookup allocates; skip it while no link has an
+       override, which is every run that never calls set_link_latency *)
+    if Hashtbl.length t.links = 0 then t.default_latency
+    else
+      match Hashtbl.find_opt t.links (src, dst) with
+      | Some lat -> lat
+      | None -> t.default_latency
   in
   let jitter =
     if t.reorder_p > 0. && Rng.float t.rng < t.reorder_p then
@@ -162,7 +197,13 @@ let send t ~src ~dst deliver =
   check t src "send";
   check t dst "send";
   t.n_sent <- t.n_sent + 1;
-  if unreachable t src dst then t.n_dropped <- t.n_dropped + 1
+  if t.quiet_fixed >= 0. then begin
+    (* quiet state: same delay the general path computes (Fixed default
+       plus extra_delay, zero jitter), no RNG draws, no lookups *)
+    t.n_delivered <- t.n_delivered + 1;
+    Engine.schedule t.engine ~delay:t.quiet_fixed deliver
+  end
+  else if unreachable t src dst then t.n_dropped <- t.n_dropped + 1
   else if t.drop_p > 0. && Rng.float t.rng < t.drop_p then
     t.n_dropped <- t.n_dropped + 1
   else begin

@@ -1,9 +1,42 @@
 exception Process_failure of exn
 
+(* A parked process, reified as a record instead of a resume closure:
+   the continuation rides in [w_k], the wake value in [w_v], and
+   {!wake} dispatches both through a single static trampoline. Parking
+   this way allocates one record; the closure-based {!suspend} path
+   allocates a register closure, a guard ref, and two resume closures
+   per park. *)
+type 'a waiter = {
+  w_eng : Engine.t;
+  mutable w_fired : bool;
+  mutable w_k : Obj.t;  (* the parked continuation *)
+  mutable w_v : Obj.t;  (* the value passed to {!wake} *)
+}
+
 type _ Effect.t +=
   | Sleep : float -> unit Effect.t
   | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Suspend_with : ('ctx -> 'a waiter -> unit) * 'ctx -> 'a Effect.t
   | Self_engine : Engine.t Effect.t
+
+(* Shared dispatch trampolines: the continuation itself rides as the
+   event argument ({!Engine.schedule_app}), so waking a process
+   allocates no per-event closure. *)
+let resume_sleep : (unit, unit) Effect.Deep.continuation -> unit =
+ fun k -> Effect.Deep.continue k ()
+
+let obj_unit = Obj.repr ()
+
+let wake_tramp (w : Obj.t waiter) =
+  let k : (Obj.t, unit) Effect.Deep.continuation = Obj.obj w.w_k in
+  w.w_k <- obj_unit;
+  Effect.Deep.continue k w.w_v
+
+let wake (type a) (w : a waiter) (v : a) =
+  if w.w_fired then invalid_arg "Process: double resume";
+  w.w_fired <- true;
+  w.w_v <- Obj.repr v;
+  Engine.schedule_app w.w_eng ~delay:0. wake_tramp (Obj.magic w : Obj.t waiter)
 
 let spawn eng f =
   let open Effect.Deep in
@@ -16,17 +49,26 @@ let spawn eng f =
           | Sleep d ->
             Some
               (fun (k : (a, unit) continuation) ->
-                Engine.schedule eng ~delay:d (fun () -> continue k ()))
+                Engine.schedule_app eng ~delay:d resume_sleep k)
           | Suspend register ->
             Some
               (fun (k : (a, unit) continuation) ->
                 let resumed = ref false in
+                let kont v = continue k v in
                 let resume v =
                   if !resumed then invalid_arg "Process: double resume";
                   resumed := true;
-                  Engine.schedule eng ~delay:0. (fun () -> continue k v)
+                  Engine.schedule_app eng ~delay:0. kont v
                 in
                 register resume)
+          | Suspend_with (register, ctx) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                register ctx
+                  { w_eng = eng;
+                    w_fired = false;
+                    w_k = Obj.repr k;
+                    w_v = obj_unit })
           | Self_engine -> Some (fun (k : (a, unit) continuation) -> continue k eng)
           | _ -> None) }
   in
@@ -35,5 +77,6 @@ let spawn eng f =
 let sleep d = Effect.perform (Sleep d)
 let suspend register = Effect.perform (Suspend register)
 let suspend_v register = Effect.perform (Suspend register)
+let suspend_with register ctx = Effect.perform (Suspend_with (register, ctx))
 let engine () = Effect.perform Self_engine
 let now () = Engine.now (engine ())

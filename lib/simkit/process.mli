@@ -26,6 +26,23 @@ val suspend : ((unit -> unit) -> unit) -> unit
     the value passed to [resume] becomes the result of [suspend_v]. *)
 val suspend_v : (('a -> unit) -> unit) -> 'a
 
+(** A parked process awaiting a value of type ['a]; see
+    {!suspend_with}. *)
+type 'a waiter
+
+(** [suspend_with register ctx] parks the calling process like
+    {!suspend_v}, but hands [register] a reified {!waiter} (plus [ctx],
+    so [register] can be a static function rather than a closure).
+    Resume with {!wake}. This is the allocation-lean parking primitive
+    for hot blocking structures ({!Mailbox}); semantics are identical
+    to [suspend_v]. *)
+val suspend_with : ('ctx -> 'a waiter -> unit) -> 'ctx -> 'a
+
+(** [wake w v] reschedules the process parked as [w] at the current
+    virtual time; [v] becomes the result of its [suspend_with].
+    @raise Invalid_argument on a second [wake] of the same waiter. *)
+val wake : 'a waiter -> 'a -> unit
+
 (** [engine ()] is the engine the calling process runs on. *)
 val engine : unit -> Engine.t
 

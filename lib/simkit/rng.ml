@@ -1,39 +1,112 @@
-type t = { mutable state : int64 }
+(* splitmix64, computed on native ints.
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+   The state is one 64-bit word held as two 32-bit limbs in native
+   (63-bit) ints, and the mix pipeline is written limb-wise, so drawing
+   consumes no allocation at all — the previous [int64]-typed
+   implementation boxed every intermediate (~8 boxes per draw), which
+   made the RNG the single hottest allocation site in fault-injected
+   runs. The sequence is bit-for-bit identical to textbook splitmix64
+   (and to the boxed implementation this replaced); [test_simkit]
+   pins it against an independent [Int64] reference.
 
-let mix z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+   Limb arithmetic notes: native-int multiplication wraps modulo 2^63,
+   and 2^32 divides 2^63, so [(a * b) land 0xFFFFFFFF] is exactly
+   [a * b mod 2^32] even when the product overflows. The upper half of
+   a 32x32 product is recovered from 16-bit sub-limbs, where every
+   intermediate stays below 2^49. *)
 
-let create ~seed = { state = seed }
+type t = {
+  mutable hi : int;  (* state bits 63..32 *)
+  mutable lo : int;  (* state bits 31..0 *)
+  (* mix output scratch (valid after [step]); avoids returning a pair *)
+  mutable out_hi : int;
+  mutable out_lo : int;
+}
+
+let mask32 = 0xFFFFFFFF
+
+(* golden gamma 0x9E3779B97F4A7C15 *)
+let gamma_hi = 0x9E3779B9
+let gamma_lo = 0x7F4A7C15
+
+(* mix multipliers 0xBF58476D1CE4E5B9 and 0x94D049BB133111EB *)
+let c1_hi = 0xBF58476D
+let c1_lo = 0x1CE4E5B9
+let c2_hi = 0x94D049BB
+let c2_lo = 0x133111EB
+
+let create ~seed =
+  { hi = Int64.to_int (Int64.shift_right_logical seed 32) land mask32;
+    lo = Int64.to_int (Int64.logand seed 0xFFFFFFFFL);
+    out_hi = 0;
+    out_lo = 0 }
+
+(* Advance the state by gamma and run the mix; the 64-bit result lands
+   in [out_hi]/[out_lo]. *)
+let step t =
+  let lo = t.lo + gamma_lo in
+  let hi = (t.hi + gamma_hi + (lo lsr 32)) land mask32 in
+  let lo = lo land mask32 in
+  t.hi <- hi;
+  t.lo <- lo;
+  (* z ^= z >>> 30; z *= c1 *)
+  let zhi = hi lxor (hi lsr 30) in
+  let zlo = lo lxor (((hi lsl 2) lor (lo lsr 30)) land mask32) in
+  let t0 = (zlo land 0xFFFF) * c1_lo in
+  let t1 = (zlo lsr 16) * c1_lo in
+  let upper = (t1 + (t0 lsr 16)) lsr 16 in
+  let plo = (zlo * c1_lo) land mask32 in
+  let phi = (upper + (zlo * c1_hi) + (zhi * c1_lo)) land mask32 in
+  (* z ^= z >>> 27; z *= c2 *)
+  let zhi = phi lxor (phi lsr 27) in
+  let zlo = plo lxor (((phi lsl 5) lor (plo lsr 27)) land mask32) in
+  let t0 = (zlo land 0xFFFF) * c2_lo in
+  let t1 = (zlo lsr 16) * c2_lo in
+  let upper = (t1 + (t0 lsr 16)) lsr 16 in
+  let plo = (zlo * c2_lo) land mask32 in
+  let phi = (upper + (zlo * c2_hi) + (zhi * c2_lo)) land mask32 in
+  (* z ^= z >>> 31 *)
+  t.out_hi <- phi lxor (phi lsr 31);
+  t.out_lo <- plo lxor (((phi lsl 1) lor (plo lsr 31)) land mask32)
 
 let next t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+  step t;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.out_hi) 32)
+    (Int64.of_int t.out_lo)
 
-let split t = { state = next t }
+let split t =
+  step t;
+  { hi = t.out_hi; lo = t.out_lo; out_hi = 0; out_lo = 0 }
 
 let float t =
   (* 53 high-quality bits -> [0,1) *)
-  let bits = Int64.shift_right_logical (next t) 11 in
-  Int64.to_float bits /. 9007199254740992.
+  step t;
+  let bits = (t.out_hi lsl 21) lor (t.out_lo lsr 11) in
+  float_of_int bits /. 9007199254740992.
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
-  (* Rejection sampling: [Int64.rem] over a non-power-of-two bound maps
-     the draw range unevenly onto [0, bound), biasing small residues.
-     Draw 62 bits and retry the (rare) draws at or above the largest
-     exact multiple of [bound]. *)
-  let b = Int64.of_int bound in
-  let range = 0x4000000000000000L (* 2^62 > max_int, so any bound fits *) in
-  let limit = Int64.mul b (Int64.div range b) in
-  let rec draw () =
-    let v = Int64.shift_right_logical (next t) 2 in
-    if v < limit then Int64.to_int (Int64.rem v b) else draw ()
-  in
-  draw ()
+  (* Rejection sampling: a plain modulo over a non-power-of-two bound
+     maps the draw range unevenly onto [0, bound), biasing small
+     residues. Draw 62 bits and retry the (rare) draws at or above the
+     largest exact multiple of [bound]. Power-of-two bounds divide 2^62
+     exactly, so they never reject. *)
+  if bound land (bound - 1) = 0 then begin
+    step t;
+    ((t.out_hi lsl 30) lor (t.out_lo lsr 2)) land (bound - 1)
+  end
+  else begin
+    (* max_int = 2^62 - 1 and bound does not divide 2^62, so
+       [max_int / bound] is exactly [2^62 / bound]. *)
+    let limit = bound * (max_int / bound) in
+    let rec draw () =
+      step t;
+      let v = (t.out_hi lsl 30) lor (t.out_lo lsr 2) in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  end
 
 let exponential t ~mean =
   let u = float t in

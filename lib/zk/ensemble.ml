@@ -452,7 +452,7 @@ let drain_batch t (s : server) first =
   let rec drain acc n =
     if n >= t.cfg.max_batch then (acc, n)
     else
-      match Mailbox.take_if s.inbox is_batchable with
+      match Mailbox.take_head_if s.inbox is_batchable with
       | None -> (acc, n)
       | Some (Write { txn; rid; origin; reply; span }) ->
         drain ((txn, rid, origin, reply, span, None) :: acc) (n + 1)

@@ -249,7 +249,11 @@ let apply_create t ~zxid ~time ~undo ~events
             Zpath.sequential_name (Zpath.basename path) parent.seq_counter
           else Zpath.basename path
         in
-        let actual_path = Zpath.concat parent_path name in
+        (* non-sequential: [concat parent name] would rebuild [path]
+           byte for byte — reuse it instead of allocating a copy *)
+        let actual_path =
+          if sequential then Zpath.concat parent_path name else path
+        in
         if Hashtbl.mem t.nodes actual_path then Error Zerror.ZNODEEXISTS
         else begin
           let node = make_node ~zxid ~time ~data ~ephemeral_owner in
@@ -263,15 +267,18 @@ let apply_create t ~zxid ~time ~undo ~events
           parent.pzxid <- zxid;
           record_ephemeral t ~owner:ephemeral_owner actual_path;
           t.bytes <- t.bytes + node_bytes actual_path node;
-          undo := (fun () ->
-              t.bytes <- t.bytes - node_bytes actual_path node;
-              forget_ephemeral t ~owner:ephemeral_owner actual_path;
-              Hashtbl.remove t.nodes actual_path;
-              Hashtbl.remove parent.children name;
-              parent.cversion <- saved_cversion;
-              parent.pzxid <- saved_pzxid;
-              parent.seq_counter <- saved_seq)
-            :: !undo;
+          (match undo with
+           | None -> ()
+           | Some undo ->
+             undo := (fun () ->
+                 t.bytes <- t.bytes - node_bytes actual_path node;
+                 forget_ephemeral t ~owner:ephemeral_owner actual_path;
+                 Hashtbl.remove t.nodes actual_path;
+                 Hashtbl.remove parent.children name;
+                 parent.cversion <- saved_cversion;
+                 parent.pzxid <- saved_pzxid;
+                 parent.seq_counter <- saved_seq)
+               :: !undo);
           events :=
             trigger
               (trigger !events t.data_watches Node_created actual_path)
@@ -301,14 +308,17 @@ let apply_delete t ~zxid ~time:_ ~undo ~events ~path ~expected_version =
         parent.pzxid <- zxid;
         forget_ephemeral t ~owner:node.ephemeral_owner path;
         t.bytes <- t.bytes - node_bytes path node;
-        undo := (fun () ->
-            t.bytes <- t.bytes + node_bytes path node;
-            record_ephemeral t ~owner:node.ephemeral_owner path;
-            Hashtbl.replace t.nodes path node;
-            Hashtbl.replace parent.children name ();
-            parent.cversion <- saved_cversion;
-            parent.pzxid <- saved_pzxid)
-          :: !undo;
+        (match undo with
+         | None -> ()
+         | Some undo ->
+           undo := (fun () ->
+               t.bytes <- t.bytes + node_bytes path node;
+               record_ephemeral t ~owner:node.ephemeral_owner path;
+               Hashtbl.replace t.nodes path node;
+               Hashtbl.replace parent.children name ();
+               parent.cversion <- saved_cversion;
+               parent.pzxid <- saved_pzxid)
+             :: !undo);
         events :=
           trigger
             (trigger
@@ -334,13 +344,17 @@ let apply_set t ~zxid ~time ~undo ~events ~path ~data ~expected_version =
       node.version <- node.version + 1;
       node.mzxid <- zxid;
       node.mtime <- time;
-      undo := (fun () ->
-          t.bytes <- t.bytes + String.length saved_data - String.length node.data;
-          node.data <- saved_data;
-          node.version <- saved_version;
-          node.mzxid <- saved_mzxid;
-          node.mtime <- saved_mtime)
-        :: !undo;
+      (match undo with
+       | None -> ()
+       | Some undo ->
+         undo := (fun () ->
+             t.bytes <- t.bytes + String.length saved_data
+                        - String.length node.data;
+             node.data <- saved_data;
+             node.version <- saved_version;
+             node.mzxid <- saved_mzxid;
+             node.mtime <- saved_mtime)
+           :: !undo);
       events := trigger !events t.data_watches Node_data_changed path;
       Ok Txn.Data_set
     end
@@ -357,7 +371,11 @@ let apply t ~zxid ~time txn =
   if zxid <= t.last_zxid then
     invalid_arg
       (Printf.sprintf "Ztree.apply: zxid %Ld not beyond %Ld" zxid t.last_zxid);
-  let undo = ref [] in
+  (* A failed op never mutates the tree, so a single-op transaction has
+     nothing to roll back: skip allocating its undo closure entirely.
+     Multi-op transactions record one closure per applied op. *)
+  let undo_log = ref [] in
+  let undo = match txn with [ _ ] -> None | _ -> Some undo_log in
   let events = ref [] in
   let rec run acc = function
     | [] -> Ok (List.rev acc)
@@ -385,7 +403,7 @@ let apply t ~zxid ~time txn =
     List.iter (fun (_, cb, event) -> cb event) (List.rev !events);
     Ok items
   | Error _ as e ->
-    List.iter (fun rollback -> rollback ()) !undo;
+    List.iter (fun rollback -> rollback ()) !undo_log;
     (* re-arm the watches the aborted ops had taken *)
     List.iter (fun (table, cb, event) -> add_watch table event.path cb) !events;
     e

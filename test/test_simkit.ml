@@ -117,6 +117,111 @@ let prop_heap_order =
       List.length ordered = List.length delays
       && List.for_all2 ( <= ) ordered (List.sort compare delays))
 
+(* [run ~until] + [stop] interplay: a horizon exit clamps the clock to
+   the horizon, a [stop] exit leaves it at the last executed event, and
+   a later [run] resumes cleanly from either. *)
+let test_stop_under_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule_at e ~time:(float_of_int i) (fun () ->
+        incr count;
+        if !count = 3 then Engine.stop e)
+  done;
+  Engine.run ~until:7.5 e;
+  check_int "stopped after third event" 3 !count;
+  check_float "stop leaves clock at last event, not horizon" 3. (Engine.now e);
+  Engine.run ~until:7.5 e;
+  check_int "resume runs up to horizon" 7 !count;
+  check_float "horizon exit clamps clock" 7.5 (Engine.now e);
+  Engine.run e;
+  check_int "all events eventually run" 10 !count;
+  check_float "clock at final event" 10. (Engine.now e)
+
+let test_run_until_empty_queue () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:1. ignore;
+  Engine.run ~until:5. e;
+  check_float "idle run still advances to horizon" 5. (Engine.now e);
+  Engine.run ~until:3. e;
+  check_float "earlier horizon does not rewind" 5. (Engine.now e)
+
+(* Dispatch-order oracle: a reference engine whose pending queue is an
+   explicit (time, seq)-sorted list — insertion keeps ties in schedule
+   order, exactly the binary-heap contract the calendar queue + FIFO
+   lane must preserve. Both engines execute the same two-level scenario
+   (roots at absolute times, children at relative offsets, many of them
+   exactly 0 to land in the zero-delay lane) and must produce identical
+   (time, tag) traces. *)
+module Ref_engine = struct
+  type ev = { time : float; seq : int; fire : unit -> unit }
+
+  type t = {
+    mutable now : float;
+    mutable seq : int;
+    mutable pending : ev list;  (* sorted by (time, seq) *)
+  }
+
+  let create () = { now = 0.; seq = 0; pending = [] }
+
+  let schedule_at t ~time fire =
+    let ev = { time; seq = t.seq; fire } in
+    t.seq <- t.seq + 1;
+    let rec insert = function
+      | [] -> [ ev ]
+      | e :: rest ->
+        if e.time > ev.time then ev :: e :: rest else e :: insert rest
+    in
+    t.pending <- insert t.pending
+
+  let rec run t =
+    match t.pending with
+    | [] -> ()
+    | ev :: rest ->
+      t.pending <- rest;
+      t.now <- ev.time;
+      ev.fire ();
+      run t
+end
+
+let prop_matches_reference_heap =
+  let gen_offset =
+    QCheck2.Gen.(
+      oneof [ return 0.; float_range 0. 1.; return 0.; float_range 0. 0.01 ])
+  in
+  let gen_scenario =
+    QCheck2.Gen.(
+      list_size (int_range 1 40)
+        (pair (float_range 0. 10.) (list_size (int_range 0 3) gen_offset)))
+  in
+  QCheck2.Test.make
+    ~name:"dispatch order identical to reference (time, seq) heap" ~count:200
+    gen_scenario
+    (fun scenario ->
+      let trace schedule_at now =
+        let log = ref [] in
+        List.iteri
+          (fun i (t0, kids) ->
+            schedule_at t0 (fun () ->
+                log := (now (), (i, -1)) :: !log;
+                List.iteri
+                  (fun j off ->
+                    schedule_at (now () +. off) (fun () ->
+                        log := (now (), (i, j)) :: !log))
+                  kids))
+          scenario;
+        log
+      in
+      let e = Engine.create () in
+      let log_e = trace (fun t f -> Engine.schedule_at e ~time:t f)
+          (fun () -> Engine.now e) in
+      Engine.run e;
+      let r = Ref_engine.create () in
+      let log_r = trace (fun t f -> Ref_engine.schedule_at r ~time:t f)
+          (fun () -> r.Ref_engine.now) in
+      Ref_engine.run r;
+      List.rev !log_e = List.rev !log_r)
+
 (* {2 Processes} *)
 
 let test_sleep_advances_time () =
@@ -317,6 +422,42 @@ let test_mailbox_clear () =
   (* still usable afterwards *)
   Mailbox.send mb 3;
   Alcotest.(check (option int)) "post-clear send" (Some 3) (Mailbox.recv_opt mb)
+
+let drain mb =
+  let rec go acc =
+    match Mailbox.recv_opt mb with None -> List.rev acc | Some v -> go (v :: acc)
+  in
+  go []
+
+let test_take_if_scans () =
+  let mb = Mailbox.create () in
+  List.iter (Mailbox.send mb) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (option int)) "first even, not head" (Some 2)
+    (Mailbox.take_if mb (fun x -> x mod 2 = 0));
+  Alcotest.(check (option int)) "no match leaves queue alone" None
+    (Mailbox.take_if mb (fun x -> x > 100));
+  Alcotest.(check (list int)) "rest keeps FIFO order" [ 1; 3; 4; 5 ] (drain mb)
+
+let test_take_if_wrapped_ring () =
+  let mb = Mailbox.create () in
+  (* rotate the ring so the live span wraps the end of the array
+     (initial capacity 8), then take from the wrapped region *)
+  for i = 1 to 8 do Mailbox.send mb i done;
+  for _ = 1 to 5 do ignore (Mailbox.recv_opt mb) done;
+  for i = 9 to 13 do Mailbox.send mb i done;
+  Alcotest.(check (option int)) "match deep in wrapped span" (Some 12)
+    (Mailbox.take_if mb (fun x -> x = 12));
+  Alcotest.(check (list int)) "survivors in order" [ 6; 7; 8; 9; 10; 11; 13 ]
+    (drain mb)
+
+let test_take_head_if () =
+  let mb = Mailbox.create () in
+  List.iter (Mailbox.send mb) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "non-matching head blocks" None
+    (Mailbox.take_head_if mb (fun x -> x = 2));
+  Alcotest.(check (option int)) "matching head pops" (Some 1)
+    (Mailbox.take_head_if mb (fun x -> x = 1));
+  Alcotest.(check (list int)) "rest untouched" [ 2; 3 ] (drain mb)
 
 (* {2 Gates and barriers} *)
 
@@ -749,7 +890,11 @@ let () =
           Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
           Alcotest.test_case "past schedule rejected" `Quick test_past_schedule_rejected;
           Alcotest.test_case "executed counter" `Quick test_executed_counter;
-          qc prop_heap_order ] );
+          Alcotest.test_case "stop under until" `Quick test_stop_under_until;
+          Alcotest.test_case "run until empty queue" `Quick
+            test_run_until_empty_queue;
+          qc prop_heap_order;
+          qc prop_matches_reference_heap ] );
       ( "process",
         [ Alcotest.test_case "sleep advances time" `Quick test_sleep_advances_time;
           Alcotest.test_case "interleaving" `Quick test_interleaving;
@@ -770,7 +915,12 @@ let () =
           Alcotest.test_case "blocks until send" `Quick test_mailbox_blocks_until_send;
           Alcotest.test_case "multiple receivers" `Quick test_mailbox_multiple_receivers;
           Alcotest.test_case "recv_opt" `Quick test_mailbox_recv_opt;
-          Alcotest.test_case "clear" `Quick test_mailbox_clear ] );
+          Alcotest.test_case "clear" `Quick test_mailbox_clear;
+          Alcotest.test_case "take_if scans past head" `Quick test_take_if_scans;
+          Alcotest.test_case "take_if wrapped ring" `Quick
+            test_take_if_wrapped_ring;
+          Alcotest.test_case "take_head_if head only" `Quick
+            test_take_head_if ] );
       ( "net",
         [ Alcotest.test_case "delivers and counts" `Quick
             test_net_delivers_and_counts;
