@@ -60,6 +60,14 @@ let experiments =
      fun () ->
        Scenarios.Figures.engine ~events:100_000 ~quota_s:0.5
          ~json_path:"BENCH_pr6_smoke.json" ());
+    ("sessions", "client-cache coherence at 1k-100k sessions: leases vs \
+                  per-znode watches, observer read scaling (writes \
+                  BENCH_pr7.json)",
+     fun () -> Scenarios.Figures.sessions ~json_path:"BENCH_pr7.json" ());
+    ("sessions-smoke", "sessions at 1k, both coherence modes (CI; writes \
+                        BENCH_pr7_smoke.json)",
+     fun () ->
+       Scenarios.Figures.sessions_smoke ~json_path:"BENCH_pr7_smoke.json" ());
     ("all", "every experiment in order", Scenarios.Figures.all) ]
 
 open Cmdliner

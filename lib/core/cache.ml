@@ -2,17 +2,41 @@ module Zk_client = Zk.Zk_client
 module Zerror = Zk.Zerror
 module Zpath = Zk.Zpath
 
+type coherence = Watches | Leases
+
+(* Every cached value carries its coherence bookkeeping: the fire-once
+   watch callback that guards it (so eviction can release the server-side
+   registration — [Watches] mode only) and the lease deadline before
+   which it may be served locally ([infinity] in [Watches] mode, where
+   entries stay valid until invalidated). *)
+type 'a entry = {
+  value : 'a;
+  watch : (Zk.Ztree.watch_event -> unit) option;
+  lease_until : float;
+}
+
 (* Lazy LRU: entries carry a generation; the eviction queue may hold
-   stale (path, generation) pairs which are skipped when popping. *)
+   stale (path, generation) pairs which are skipped when popping.
+   [on_drop] fires when the store itself drops a live entry — LRU
+   eviction or overwrite by a fresh fill — so the owner can release the
+   entry's server-side watch. It deliberately does NOT fire on
+   [store_remove] (invalidation): a fired watch is already consumed. *)
 type 'a store = {
   capacity : int;
-  table : (string, 'a * int) Hashtbl.t;
+  table : (string, 'a entry * int) Hashtbl.t;
   order : (string * int) Queue.t;
   mutable generation : int;
+  mutable on_drop : string -> 'a entry -> unit;
 }
 
 let store_create capacity =
-  { capacity; table = Hashtbl.create 256; order = Queue.create (); generation = 0 }
+  { capacity;
+    (* small initial tables: a 100k-session sweep allocates two stores
+       per session, so pre-sizing for the capacity would be ~100x waste *)
+    table = Hashtbl.create (max 8 (min capacity 64));
+    order = Queue.create ();
+    generation = 0;
+    on_drop = (fun _ _ -> ()) }
 
 let store_find store path = Option.map fst (Hashtbl.find_opt store.table path)
 
@@ -22,7 +46,9 @@ let rec store_evict store =
     | None -> ()
     | Some (path, generation) ->
       (match Hashtbl.find_opt store.table path with
-       | Some (_, g) when g = generation -> Hashtbl.remove store.table path
+       | Some (entry, g) when g = generation ->
+         Hashtbl.remove store.table path;
+         store.on_drop path entry
        | Some _ | None -> ());
       store_evict store
 
@@ -42,9 +68,12 @@ let store_compact store =
     Queue.transfer live store.order
   end
 
-let store_put store path value =
+let store_put store path entry =
+  (match Hashtbl.find_opt store.table path with
+   | Some (old, _) -> store.on_drop path old
+   | None -> ());
   store.generation <- store.generation + 1;
-  Hashtbl.replace store.table path (value, store.generation);
+  Hashtbl.replace store.table path (entry, store.generation);
   Queue.push (path, store.generation) store.order;
   store_evict store;
   store_compact store
@@ -52,9 +81,9 @@ let store_put store path value =
 let store_touch store path =
   match Hashtbl.find_opt store.table path with
   | None -> ()
-  | Some (value, _) ->
+  | Some (entry, _) ->
     store.generation <- store.generation + 1;
-    Hashtbl.replace store.table path (value, store.generation);
+    Hashtbl.replace store.table path (entry, store.generation);
     Queue.push (path, store.generation) store.order;
     store_compact store
 
@@ -66,27 +95,65 @@ type data_entry =
 
 type t = {
   inner : Zk_client.handle;
+  mode : coherence;
+  now : unit -> float;
   data : data_entry store;
   kids : string list store;
+  (* Fill fences (the stale re-fill fix): one counter per path, bumped on
+     EVERY invalidation — including when no entry is cached, because the
+     race window is precisely "watch event consumed while the fill's
+     reply is still in flight", when the table has nothing under the
+     path. A fill snapshots the counter before going to the server and
+     stores only if it is unchanged on return. [epoch] is the global sum,
+     fencing bulk fills whose child set is unknown before the reply. *)
+  data_gen : (string, int) Hashtbl.t;
+  kids_gen : (string, int) Hashtbl.t;
+  mutable epoch : int;
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable watch_releases : int;
+  mutable lease_expired_hits : int;
+  released_counter : Simkit.Stat.Counter.t option;
+  expired_counter : Simkit.Stat.Counter.t option;
   mutable wrapped : Zk_client.handle option;
 }
 
 let hits t = t.hits
 let misses t = t.misses
 let invalidations t = t.invalidations
+let watch_releases t = t.watch_releases
+let lease_expired_hits t = t.lease_expired_hits
 let size t = Hashtbl.length t.data.table + Hashtbl.length t.kids.table
 let queue_length t = Queue.length t.data.order + Queue.length t.kids.order
 
+let gen_of tbl path = Option.value ~default:0 (Hashtbl.find_opt tbl path)
+
+let bump t tbl path =
+  Hashtbl.replace tbl path (gen_of tbl path + 1);
+  t.epoch <- t.epoch + 1
+
+let count_release t =
+  t.watch_releases <- t.watch_releases + 1;
+  Option.iter Simkit.Stat.Counter.incr t.released_counter
+
+let release_data t path cb =
+  t.inner.Zk_client.release_data_watch path cb;
+  count_release t
+
+let release_kids t path cb =
+  t.inner.Zk_client.release_child_watch path cb;
+  count_release t
+
 let invalidate_data t path =
+  bump t t.data_gen path;
   if Hashtbl.mem t.data.table path then begin
     t.invalidations <- t.invalidations + 1;
     store_remove t.data path
   end
 
 let invalidate_children t path =
+  bump t t.kids_gen path;
   if Hashtbl.mem t.kids.table path then begin
     t.invalidations <- t.invalidations + 1;
     store_remove t.kids path
@@ -99,102 +166,268 @@ let invalidate_mutation t path =
   invalidate_children t path;
   invalidate_children t (Zpath.parent path)
 
+(* The lease revocation channel: one aggregated callback per session,
+   dispatching on the changed path — the bulk replacement for the
+   per-znode watch fan-in. *)
+let on_revocation t (ev : Zk.Ztree.watch_event) =
+  match ev.kind with
+  | Zk.Ztree.Node_data_changed -> invalidate_data t ev.path
+  | Zk.Ztree.Node_created | Zk.Ztree.Node_deleted ->
+    (* creation also kills leased negative entries; deletion also kills
+       any cached listing of the node itself *)
+    invalidate_data t ev.path;
+    invalidate_children t ev.path;
+    invalidate_children t (Zpath.parent ev.path)
+  | Zk.Ztree.Node_children_changed -> invalidate_children t ev.path
+
+(* A leased entry is served locally only before its deadline; at or past
+   it the entry no longer carries any coherence guarantee (the serving
+   replica may have died with the lease table) and must be re-fetched —
+   which re-grants the lease in the same round trip. *)
+let entry_live t entry =
+  match t.mode with
+  | Watches -> true
+  | Leases -> t.now () < entry.lease_until
+
+let note_expired t =
+  t.lease_expired_hits <- t.lease_expired_hits + 1;
+  Option.iter Simkit.Stat.Counter.incr t.expired_counter
+
+(* {2 Fills}
+
+   Each fill snapshots the path's fence before the server visit and
+   stores only if no invalidation arrived while the reply was in flight.
+   A skipped fill releases the watch it armed (best-effort — if the
+   invalidation consumed it server-side, the release finds nothing). *)
+
+let fill_get_watches t path =
+  let cb (_ : Zk.Ztree.watch_event) = invalidate_data t path in
+  let fence = gen_of t.data_gen path in
+  let result = t.inner.Zk_client.get_watch path cb in
+  (match result with
+   | Ok (data, stat) ->
+     if gen_of t.data_gen path = fence then
+       store_put t.data path
+         { value = Present (data, stat); watch = Some cb; lease_until = infinity }
+     else release_data t path cb
+   | Error Zerror.ZNONODE ->
+     (* negative entry; the armed exists-watch fires on creation *)
+     if gen_of t.data_gen path = fence then
+       store_put t.data path
+         { value = Absent; watch = Some cb; lease_until = infinity }
+     else release_data t path cb
+   | Error _ ->
+     (* transport failure: nothing was cached, so the armed watch would
+        fire into nothing — release it instead of leaking it *)
+     release_data t path cb);
+  result
+
+let fill_get_leases t path =
+  let fence = gen_of t.data_gen path in
+  match t.inner.Zk_client.lease_get path with
+  | Ok (value, deadline) ->
+    let value = match value with
+      | Some (data, stat) -> Present (data, stat)
+      | None -> Absent
+    in
+    if gen_of t.data_gen path = fence then
+      store_put t.data path { value; watch = None; lease_until = deadline };
+    (match value with
+     | Present (data, stat) -> Ok (data, stat)
+     | Absent -> Error Zerror.ZNONODE)
+  | Error e -> Error e
+
 let cached_get t path =
   match store_find t.data path with
-  | Some (Present (data, stat)) ->
+  | Some entry when entry_live t entry -> (
     t.hits <- t.hits + 1;
     store_touch t.data path;
-    Ok (data, stat)
-  | Some Absent ->
-    t.hits <- t.hits + 1;
-    store_touch t.data path;
-    Error Zerror.ZNONODE
-  | None ->
+    match entry.value with
+    | Present (data, stat) -> Ok (data, stat)
+    | Absent -> Error Zerror.ZNONODE)
+  | stale ->
+    if Option.is_some stale then note_expired t;
     t.misses <- t.misses + 1;
-    (* one server visit: read + arm the invalidation watch *)
-    let result = t.inner.Zk_client.get_watch path (fun _ -> invalidate_data t path) in
-    (match result with
-     | Ok (data, stat) -> store_put t.data path (Present (data, stat))
-     | Error Zerror.ZNONODE ->
-       (* negative entry; the armed exists-watch fires on creation *)
-       store_put t.data path Absent
-     | Error _ -> ());
-    result
+    (match t.mode with
+     | Watches -> fill_get_watches t path
+     | Leases -> fill_get_leases t path)
+
+let fill_children_watches t path =
+  let cb (_ : Zk.Ztree.watch_event) = invalidate_children t path in
+  let fence = gen_of t.kids_gen path in
+  let result = t.inner.Zk_client.children_watch path cb in
+  (match result with
+   | Ok names ->
+     if gen_of t.kids_gen path = fence then
+       store_put t.kids path
+         { value = names; watch = Some cb; lease_until = infinity }
+     else release_kids t path cb
+   | Error _ -> release_kids t path cb);
+  result
+
+let fill_children_leases t path =
+  let fence = gen_of t.kids_gen path in
+  match t.inner.Zk_client.lease_children path with
+  | Ok (names, deadline) ->
+    if gen_of t.kids_gen path = fence then
+      store_put t.kids path { value = names; watch = None; lease_until = deadline };
+    Ok names
+  | Error e -> Error e
 
 let cached_children t path =
   match store_find t.kids path with
-  | Some names ->
+  | Some entry when entry_live t entry ->
     t.hits <- t.hits + 1;
     store_touch t.kids path;
-    Ok names
-  | None ->
+    Ok entry.value
+  | stale ->
+    if Option.is_some stale then note_expired t;
     t.misses <- t.misses + 1;
-    let result =
-      t.inner.Zk_client.children_watch path (fun _ -> invalidate_children t path)
-    in
-    (match result with
-     | Ok names -> store_put t.kids path names
-     | Error _ -> ());
-    result
+    (match t.mode with
+     | Watches -> fill_children_watches t path
+     | Leases -> fill_children_leases t path)
 
 (* Bulk readdir. A hit assembles the listing from the cached child-name
    list plus per-child data entries; a miss fetches everything in one
    server visit and warms those same entries, so a later [get] of any
-   child is already cached. The piggybacked watches (child watch on the
-   parent, data watch per child) keep the warmed entries coherent. *)
-let cached_children_with_data t path =
-  let bulk_watch (ev : Zk.Ztree.watch_event) =
+   child is already cached. In [Watches] mode the piggybacked watches
+   (child watch on the parent, data watch per child) keep the warmed
+   entries coherent; in [Leases] mode one lease deadline covers the
+   listing and every warmed child. *)
+let fill_bulk_watches t path =
+  let cb (ev : Zk.Ztree.watch_event) =
     match ev.kind with
     | Zk.Ztree.Node_children_changed -> invalidate_children t ev.path
-    | Zk.Ztree.Node_created | Zk.Ztree.Node_deleted
-    | Zk.Ztree.Node_data_changed ->
-      invalidate_data t ev.path
+    | Zk.Ztree.Node_data_changed -> invalidate_data t ev.path
+    | Zk.Ztree.Node_created | Zk.Ztree.Node_deleted ->
+      (* the path may be the listed parent (its own deletion reaches us
+         through the child watch) or a warmed child: drop both shapes *)
+      invalidate_data t ev.path;
+      invalidate_children t ev.path
   in
-  let fill () =
-    t.misses <- t.misses + 1;
-    let result = t.inner.Zk_client.children_with_data_watch path bulk_watch in
-    (match result with
-     | Ok entries ->
-       store_put t.kids path (List.map (fun (name, _, _) -> name) entries);
+  let fence = t.epoch in
+  let result = t.inner.Zk_client.children_with_data_watch path cb in
+  (match result with
+   | Ok entries ->
+     if t.epoch = fence then begin
+       store_put t.kids path
+         { value = List.map (fun (name, _, _) -> name) entries;
+           watch = Some cb;
+           lease_until = infinity };
        List.iter
          (fun (name, data, stat) ->
-           store_put t.data (Zpath.concat path name) (Present (data, stat)))
+           store_put t.data (Zpath.concat path name)
+             { value = Present (data, stat); watch = Some cb;
+               lease_until = infinity })
          entries
-     | Error _ -> ());
-    result
+     end
+     else begin
+       (* an invalidation raced the reply: drop the whole warm-up and
+          release every registration this fill armed (consumed ones
+          cancel to nothing) *)
+       release_kids t path cb;
+       List.iter
+         (fun (name, _, _) -> release_data t (Zpath.concat path name) cb)
+         entries
+     end
+   | Error _ ->
+     (* the parent child-watch was armed before the listing was read;
+        per-child data watches (armed only on success, and unknown to a
+        timed-out client) are left to their fire-once consumption *)
+     release_kids t path cb);
+  result
+
+let fill_bulk_leases t path =
+  let fence = t.epoch in
+  match t.inner.Zk_client.lease_children_with_data path with
+  | Ok (entries, deadline) ->
+    if t.epoch = fence then begin
+      store_put t.kids path
+        { value = List.map (fun (name, _, _) -> name) entries;
+          watch = None;
+          lease_until = deadline };
+      List.iter
+        (fun (name, data, stat) ->
+          store_put t.data (Zpath.concat path name)
+            { value = Present (data, stat); watch = None;
+              lease_until = deadline })
+        entries
+    end;
+    Ok entries
+  | Error e -> Error e
+
+let cached_children_with_data t path =
+  let fill () =
+    t.misses <- t.misses + 1;
+    match t.mode with
+    | Watches -> fill_bulk_watches t path
+    | Leases -> fill_bulk_leases t path
   in
   let assemble names =
     let rec go acc = function
       | [] -> Some (List.rev acc)
       | name :: rest ->
         (match store_find t.data (Zpath.concat path name) with
-         | Some (Present (data, stat)) -> go ((name, data, stat) :: acc) rest
-         | Some Absent | None -> None)
+         | Some ({ value = Present (data, stat); _ } as e) when entry_live t e ->
+           go ((name, data, stat) :: acc) rest
+         | Some _ | None -> None)
     in
     go [] names
   in
   match store_find t.kids path with
+  | Some entry when entry_live t entry -> (
+    match assemble entry.value with
+    | None -> fill ()  (* a child's data entry was evicted or expired *)
+    | Some entries ->
+      t.hits <- t.hits + 1;
+      store_touch t.kids path;
+      List.iter
+        (fun name -> store_touch t.data (Zpath.concat path name))
+        entry.value;
+      Ok entries)
+  | Some _ -> note_expired t; fill ()
   | None -> fill ()
-  | Some names ->
-    (match assemble names with
-     | None -> fill ()  (* some child's data entry was evicted *)
-     | Some entries ->
-       t.hits <- t.hits + 1;
-       store_touch t.kids path;
-       List.iter (fun name -> store_touch t.data (Zpath.concat path name)) names;
-       Ok entries)
 
-let wrap ?(capacity = 4096) inner =
+let wrap ?(capacity = 4096) ?(coherence = Watches) ?(now = fun () -> 0.)
+    ?metrics inner =
   if capacity < 1 then invalid_arg "Cache.wrap: capacity < 1";
   let t =
     { inner;
+      mode = coherence;
+      now;
       data = store_create capacity;
       kids = store_create capacity;
+      data_gen = Hashtbl.create 16;
+      kids_gen = Hashtbl.create 16;
+      epoch = 0;
       hits = 0;
       misses = 0;
       invalidations = 0;
+      watch_releases = 0;
+      lease_expired_hits = 0;
+      released_counter =
+        Option.map (fun m -> Obs.Metrics.counter m "cache.watch.released") metrics;
+      expired_counter =
+        Option.map (fun m -> Obs.Metrics.counter m "cache.lease.expired_hit")
+          metrics;
       wrapped = None }
   in
+  (* LRU eviction (and overwrite of a live entry) drops state the server
+     still guards with an armed watch: release it, or the server's watch
+     tables grow with every entry this cache has ever held. *)
+  t.data.on_drop <-
+    (fun path entry ->
+      match entry.watch with
+      | Some cb -> release_data t path cb
+      | None -> ());
+  t.kids.on_drop <-
+    (fun path entry ->
+      match entry.watch with
+      | Some cb -> release_kids t path cb
+      | None -> ());
+  (* one aggregated revocation channel per session (lease mode) *)
+  if coherence = Leases then
+    inner.Zk_client.set_invalidation (fun ev -> on_revocation t ev);
   let create ?ephemeral ?sequential path ~data =
     let result = inner.Zk_client.create ?ephemeral ?sequential path ~data in
     (match result with
@@ -256,6 +489,12 @@ let wrap ?(capacity = 4096) inner =
       watch_children = inner.Zk_client.watch_children;
       get_watch = inner.Zk_client.get_watch;
       children_watch = inner.Zk_client.children_watch;
+      lease_get = inner.Zk_client.lease_get;
+      lease_children = inner.Zk_client.lease_children;
+      lease_children_with_data = inner.Zk_client.lease_children_with_data;
+      set_invalidation = inner.Zk_client.set_invalidation;
+      release_data_watch = inner.Zk_client.release_data_watch;
+      release_child_watch = inner.Zk_client.release_child_watch;
       sync = inner.Zk_client.sync;
       close = inner.Zk_client.close;
       session_id = inner.Zk_client.session_id }

@@ -1354,6 +1354,9 @@ let chaos_smoke ?json_path () =
 let engine ?events ?quota_s ?json_path () =
   Engine_bench.run ?events ?quota_s ?json_path ()
 
+let sessions ?json_path () = ignore (Sessions_bench.run ?json_path ())
+let sessions_smoke ?json_path () = Sessions_bench.smoke ?json_path ()
+
 let all () =
   fig7 ();
   fig8 ();
@@ -1374,4 +1377,5 @@ let all () =
   profile ();
   sharding ();
   chaos ();
-  engine ()
+  engine ();
+  sessions ()

@@ -199,5 +199,18 @@ val chaos_smoke : ?json_path:string -> unit -> unit
 val engine :
   ?events:int -> ?quota_s:float -> ?json_path:string -> unit -> unit
 
+(** {2 Sessions — client-cache coherence at 1k-100k sessions}
+
+    Delegates to {!Sessions_bench.run}: lease vs per-znode-watch
+    coherence over mdtest-stat and readdir-storm read sweeps with a
+    mid-sweep writer, observer read scaling, and the server-state
+    accounting (watch tables vs lease tables). With [json_path] writes
+    the BENCH_pr7.json artifact. *)
+val sessions : ?json_path:string -> unit -> unit
+
+(** The CI variant: 1k sessions, both coherence modes — the
+    BENCH_pr7_smoke.json artifact. *)
+val sessions_smoke : ?json_path:string -> unit -> unit
+
 (** Run everything (the full bench suite). *)
 val all : unit -> unit

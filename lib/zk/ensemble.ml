@@ -28,6 +28,7 @@ type config = {
   serve_stale_reads : bool;
   fail_fast_after : float;
   unsafe_no_dedup : bool;
+  lease_ttl : float;
 }
 
 let default_config ~servers =
@@ -53,7 +54,8 @@ let default_config ~servers =
     stale_read_after = infinity;
     serve_stale_reads = true;
     fail_fast_after = infinity;
-    unsafe_no_dedup = false }
+    unsafe_no_dedup = false;
+    lease_ttl = 5.0 }
 
 type reply = (Txn.result_item list, Zerror.t) result -> unit
 
@@ -72,39 +74,6 @@ type rid = {
    also evicts that session's dedup entries (the session can never retry
    again, so keeping its results would grow leader state without bound). *)
 type entry = int64 * Txn.t * float * rid * int64 option
-
-type msg =
-  | Write of {
-      txn : Txn.t;
-      rid : rid;
-      origin : int;
-      reply : reply;
-      span : Obs.Trace.wspan;
-    }
-  | Read of { exec : Ztree.t -> unit; refuse : Zerror.t -> unit }
-  | Propose_batch of { epoch : int; entries : entry list }
-    (* one leader->follower round carries a whole group-committed batch;
-       a singleton batch is exactly the classic per-txn PROPOSAL *)
-  | Ack_batch of { epoch : int; zxids : int64 list; from : int }
-  | Commit_batch of { epoch : int; zxids : int64 list }
-  | Inform_batch of { epoch : int; entries : entry list }
-    (* ZAB INFORM: commit + payload, sent to non-voting observers *)
-  | Deliver_reply of {
-      zxid : int64;
-      result : (Txn.result_item list, Zerror.t) result;
-      reply : reply;
-    }
-  | Close_session of {
-      owner : int64;
-      rid : rid;
-      origin : int;
-      reply : reply;
-      span : Obs.Trace.wspan;
-    }
-  | Fetch of { epoch : int; from_zxid : int64; upto : int64; who : int }
-    (* follower->leader gap repair: a lossy link dropped a proposal or
-       commit; the leader answers with the missing entries (as a
-       Propose_batch) followed by the commit marks it already holds *)
 
 type role = Leader | Follower | Observer | Down
 
@@ -129,7 +98,49 @@ type pending_write = {
 
 type applied_result = (Txn.result_item list, Zerror.t) result
 
-type server = {
+(* [Read]/[Release] execute against the serving replica itself, not just
+   its tree: lease reads must grant an interest in the server's lease
+   table in the same atomic step as the read, and watch releases must
+   reach the tree's watch registries. *)
+type msg =
+  | Write of {
+      txn : Txn.t;
+      rid : rid;
+      origin : int;
+      reply : reply;
+      span : Obs.Trace.wspan;
+    }
+  | Read of { exec : server -> unit; refuse : Zerror.t -> unit }
+  | Release of { exec : server -> unit }
+    (* fire-and-forget cancellation of a still-armed fire-once watch
+       (failed fill, cache eviction): no reply, best-effort on faults *)
+  | Propose_batch of { epoch : int; entries : entry list }
+    (* one leader->follower round carries a whole group-committed batch;
+       a singleton batch is exactly the classic per-txn PROPOSAL *)
+  | Ack_batch of { epoch : int; zxids : int64 list; from : int }
+  | Commit_batch of { epoch : int; zxids : int64 list }
+  | Inform_batch of { epoch : int; entries : entry list }
+    (* ZAB INFORM: commit + payload, sent to non-voting observers *)
+  | Deliver_reply of {
+      zxid : int64;
+      result : (Txn.result_item list, Zerror.t) result;
+      reply : reply;
+    }
+  | Close_session of {
+      owner : int64;
+      rid : rid;
+      origin : int;
+      reply : reply;
+      span : Obs.Trace.wspan;
+    }
+  | Fetch of { epoch : int; from_zxid : int64; upto : int64; who : int }
+    (* follower->leader gap repair: a lossy link dropped a proposal or
+       commit; the leader answers with the missing entries (as a
+       Propose_batch) followed by the commit marks it already holds.
+       Observers use the same message and are answered with an
+       Inform_batch of the committed range instead. *)
+
+and server = {
   id : int;
   mutable role : role;
   mutable epoch : int;
@@ -158,6 +169,9 @@ type server = {
      the zxid they answer for (a dropped commit broke the usual
      FIFO commit-before-reply ordering); flushed as applies catch up *)
   mutable deferred : (int64 * (unit -> unit)) list;
+  (* session-level lease interests this replica granted on its reads;
+     lost (cleared) when the server crashes — the TTL covers that hole *)
+  leases : Lease.t;
   (* counters *)
   mutable reads : int;
 }
@@ -221,6 +235,19 @@ let stale_reads_served t = t.stale_served
 let stale_reads_refused t = t.stale_refused
 let writes_failed_fast t = t.failed_fast
 let sessions_expired t = t.sessions_expired
+
+(* {2 Lease / watch-table introspection} *)
+
+let lease_entries t id = Lease.entries t.members.(id).leases
+let watch_table_size t id = Ztree.watch_count t.members.(id).tree
+
+let sum_leases f t =
+  Array.fold_left (fun acc (s : server) -> acc + f s.leases) 0 t.members
+
+let leases_granted t = sum_leases Lease.granted t
+let leases_renewed t = sum_leases Lease.renewed t
+let leases_revoked t = sum_leases Lease.revoked t
+let leases_expired t = sum_leases Lease.expired t
 
 let debug_dump t =
   String.concat "\n"
@@ -320,7 +347,22 @@ let evict_session_applied t (s : server) ~keep owner =
 let note_close_applied t (s : server) ~rid close_of =
   match close_of with
   | None -> ()
-  | Some owner -> evict_session_applied t s ~keep:rid owner
+  | Some owner ->
+    Lease.drop_session s.leases owner;
+    evict_session_applied t s ~keep:rid owner
+
+(* {2 State-machine apply}
+
+   Every replica applies committed transactions through this helper so
+   the lease revocation channel fires wherever the apply happens —
+   leader commit, follower apply, observer inform, state transfer. *)
+
+let apply_txn (s : server) ~zxid ~time txn =
+  let result = Ztree.apply s.tree ~zxid ~time txn in
+  (match result with
+   | Ok items -> Lease.revoke_txn s.leases txn items
+   | Error _ -> ());
+  result
 
 (* {2 Deferred replies} *)
 
@@ -372,7 +414,7 @@ let try_commit t (s : server) =
                neighbours (and does not consume the zxid in the tree) *)
             let result =
               if Ztree.last_zxid s.tree < zxid then
-                Ztree.apply s.tree ~zxid ~time:pw.p_time pw.p_txn
+                apply_txn s ~zxid ~time:pw.p_time pw.p_txn
               else
                 (* already applied (state transfer raced ahead): answer
                    from the dedup table rather than re-applying *)
@@ -647,11 +689,29 @@ let rec follower_apply_ready t (s : server) =
       Hashtbl.remove s.proposals zxid;
       s.next_apply <- Int64.add zxid 1L;
       if Ztree.last_zxid s.tree < zxid then begin
-        Hashtbl.replace s.applied rid (zxid, Ztree.apply s.tree ~zxid ~time txn);
+        Hashtbl.replace s.applied rid (zxid, apply_txn s ~zxid ~time txn);
         note_close_applied t s ~rid close
       end;
       Hashtbl.replace s.log zxid (txn, time, rid, close);
       follower_apply_ready t s
+
+(* Observers buffer informs in [proposals] and apply strictly in zxid
+   order from [next_apply] — an inform lost on the wire leaves a gap
+   that must be repaired, never skipped (skipping silently diverges the
+   observer's tree forever while it keeps serving reads). *)
+let rec observer_apply_ready t (s : server) =
+  match Hashtbl.find_opt s.proposals s.next_apply with
+  | None -> ()
+  | Some (txn, time, rid, close) ->
+    let zxid = s.next_apply in
+    Hashtbl.remove s.proposals zxid;
+    s.next_apply <- Int64.add zxid 1L;
+    if Ztree.last_zxid s.tree < zxid then begin
+      Hashtbl.replace s.applied rid (zxid, apply_txn s ~zxid ~time txn);
+      note_close_applied t s ~rid close;
+      Hashtbl.replace s.log zxid (txn, time, rid, close)
+    end;
+    observer_apply_ready t s
 
 (* Commit marks this follower cannot apply yet mean a proposal or an
    earlier commit was lost on the wire: ask the leader to resend. *)
@@ -679,9 +739,12 @@ let handle t (s : server) msg =
       else begin
         if stale then t.stale_served <- t.stale_served + 1;
         s.reads <- s.reads + 1;
-        exec s.tree
+        exec s
       end
     end
+  | Release { exec } ->
+    Process.sleep (svc t t.cfg.rpc_cpu);
+    if s.role <> Down then exec s
   | Write { txn; rid; origin; reply; span } ->
     if s.role = Leader then begin
       if failing_fast t s then refuse_fast t s ~origin ~reply
@@ -779,17 +842,32 @@ let handle t (s : server) msg =
     if epoch = s.epoch && s.role = Observer then begin
       Process.sleep
         (svc t (t.cfg.follower_apply *. float_of_int (List.length entries)));
-      (* leader->observer channel is FIFO, so informs arrive in order *)
       if s.role = Observer && epoch = s.epoch then begin
-        s.fresh_at <- Engine.now t.engine;
+        (* The leader->observer channel is FIFO but not lossless: an
+           inform dropped during a partition leaves a zxid gap. Buffer
+           out-of-order entries and apply strictly from [next_apply] —
+           an observer that skipped the gap would diverge silently and
+           keep serving reads from the wrong tree. *)
         List.iter
           (fun (zxid, txn, time, rid, close) ->
-            if Ztree.last_zxid s.tree < zxid then begin
-              Hashtbl.replace s.applied rid (zxid, Ztree.apply s.tree ~zxid ~time txn);
-              note_close_applied t s ~rid close;
-              Hashtbl.replace s.log zxid (txn, time, rid, close)
-            end)
-          entries
+            if zxid >= s.next_apply then
+              Hashtbl.replace s.proposals zxid (txn, time, rid, close))
+          entries;
+        observer_apply_ready t s;
+        let hi =
+          List.fold_left
+            (fun acc (zxid, _, _, _, _) -> Int64.max acc zxid)
+            0L entries
+        in
+        if s.next_apply <= hi then
+          (* gap: fetch the missing committed range; freshness must NOT
+             advance — a behind observer is exactly what the stale-read
+             gate exists to catch *)
+          send t ~src:s.id ~dst:t.leader
+            (Fetch
+               { epoch = s.epoch; from_zxid = s.next_apply; upto = hi;
+                 who = s.id })
+        else s.fresh_at <- Engine.now t.engine
       end
     end
   | Fetch { epoch; from_zxid; upto; who } ->
@@ -811,12 +889,24 @@ let handle t (s : server) msg =
              | None -> ()));
           z := Int64.sub !z 1L
         done;
-        if !entries <> [] then
-          send t ~src:s.id ~dst:who (Propose_batch { epoch; entries = !entries });
-        (* the commit marks ride behind the entries on the same FIFO
-           link, so the follower stores before it applies *)
-        if !commits <> [] then
-          send t ~src:s.id ~dst:who (Commit_batch { epoch; zxids = !commits })
+        if is_observer_id t who then begin
+          (* observers only ever see committed state: answer with the
+             committed entries of the range as an Inform_batch (the
+             pending tail is not committed and must not reach them) *)
+          let committed =
+            List.filter (fun (zxid, _, _, _, _) -> List.mem zxid !commits) !entries
+          in
+          if committed <> [] then
+            send t ~src:s.id ~dst:who (Inform_batch { epoch; entries = committed })
+        end
+        else begin
+          if !entries <> [] then
+            send t ~src:s.id ~dst:who (Propose_batch { epoch; entries = !entries });
+          (* the commit marks ride behind the entries on the same FIFO
+             link, so the follower stores before it applies *)
+          if !commits <> [] then
+            send t ~src:s.id ~dst:who (Commit_batch { epoch; zxids = !commits })
+        end
       end
     end
   | Deliver_reply { zxid; result; reply } ->
@@ -841,7 +931,7 @@ let server_loop t s =
   in
   loop ()
 
-let make_server id =
+let make_server ~now ~lease_ttl id =
   { id;
     role = Follower;
     epoch = 0;
@@ -858,6 +948,7 @@ let make_server id =
     next_apply = 1L;
     fresh_at = 0.;
     deferred = [];
+    leases = Lease.create ~now ~ttl:lease_ttl;
     reads = 0 }
 
 let start ?(trace = Obs.Trace.null) ?(tag = "") engine cfg =
@@ -868,7 +959,11 @@ let start ?(trace = Obs.Trace.null) ?(tag = "") engine cfg =
   if cfg.retry_backoff < 0. then invalid_arg "Ensemble.start: retry_backoff < 0";
   if cfg.session_timeout <= 0. then
     invalid_arg "Ensemble.start: session_timeout <= 0";
-  let members = Array.init (cfg.servers + cfg.observers) make_server in
+  if cfg.lease_ttl <= 0. then invalid_arg "Ensemble.start: lease_ttl <= 0";
+  let members =
+    Array.init (cfg.servers + cfg.observers)
+      (make_server ~now:(fun () -> Engine.now engine) ~lease_ttl:cfg.lease_ttl)
+  in
   members.(0).role <- Leader;
   for i = cfg.servers to cfg.servers + cfg.observers - 1 do
     members.(i).role <- Observer
@@ -931,7 +1026,7 @@ let state_transfer t ~from ~target =
     (match Hashtbl.find_opt src.log !zxid with
      | Some (txn, time, rid, close) ->
        Hashtbl.replace dst.applied rid
-         (!zxid, Ztree.apply dst.tree ~zxid:!zxid ~time txn);
+         (!zxid, apply_txn dst ~zxid:!zxid ~time txn);
        note_close_applied t dst ~rid close;
        Hashtbl.replace dst.log !zxid (txn, time, rid, close)
      | None -> ());
@@ -987,9 +1082,11 @@ let crash t id =
     Hashtbl.reset s.pending;
     Hashtbl.reset s.pending_rids;
     (* a crash loses RAM: whatever sat unprocessed in the inbox is gone,
-       and held-back replies die with the connection state *)
+       held-back replies die with the connection state, and so does the
+       lease-interest table — clients ride out the hole on the TTL *)
     Mailbox.clear s.inbox;
     s.deferred <- [];
+    Lease.clear s.leases;
     refresh_peers t;
     if was_leader then
       Engine.schedule t.engine ~delay:t.cfg.election_timeout (fun () -> elect t)
@@ -1106,7 +1203,7 @@ let rec read_attempts t ~server ~cep ~rng ~attempt ~attempts exec_read =
     await_reply t ~timeout:t.cfg.request_timeout ~from:target ~cep (fun reply ->
         send_from t ~src_ep:cep ~dst:target
           (Read
-             { exec = (fun tree -> reply (Ok (exec_read tree)));
+             { exec = (fun srv -> reply (Ok (exec_read srv)));
                refuse = (fun e -> reply (Error e)) }))
   in
   match result with
@@ -1249,49 +1346,101 @@ let session t ?server () =
                   { owner = session_id; rid; origin; reply;
                     span = Obs.Trace.no_wspan })))
   in
+  (* The session's single revocation channel: lease reads register this
+     callback in the serving replica's lease table, and every committed
+     change to a leased directory is pushed through it — one aggregated
+     subscription per session, not one watch per cached znode. *)
+  let invalidation = ref (fun (_ : Ztree.watch_event) -> ()) in
+  let notify event = !invalidation event in
+  let lease (srv : server) dir =
+    Lease.grant srv.leases ~session:session_id ~dir ~notify
+  in
+  (* Fire-and-forget watch cancellation, aimed where reads are served
+     (the home server, or its stand-in while it is down). Best-effort: a
+     watch armed on a different replica by a timed-out retry stays until
+     it fires once — safe, because fire-once callbacks are no-ops after
+     the entry is gone. *)
+  let release exec =
+    if not !expired then begin
+      let target = pick_alive t home in
+      send_from t ~src_ep:cep ~dst:target (Release { exec })
+    end
+  in
   { Zk_client.create;
-    get = (fun path -> or_loss (read (fun tree -> Ztree.get tree path)));
+    get = (fun path -> or_loss (read (fun srv -> Ztree.get srv.tree path)));
     set;
     delete;
-    exists = (fun path -> read (fun tree -> Ztree.exists tree path));
-    children = (fun path -> or_loss (read (fun tree -> Ztree.children tree path)));
+    exists = (fun path -> read (fun srv -> Ztree.exists srv.tree path));
+    children =
+      (fun path -> or_loss (read (fun srv -> Ztree.children srv.tree path)));
     children_with_data =
       (fun path ->
         (* one Read message — one coordination round trip for the whole
            listing, names and payloads together *)
-        or_loss (read (fun tree -> Ztree.children_with_data tree path)));
+        or_loss (read (fun srv -> Ztree.children_with_data srv.tree path)));
     children_with_data_watch =
       (fun path cb ->
         or_loss
-          (read (fun tree ->
-               Ztree.watch_children tree path cb;
-               match Ztree.children_with_data tree path with
+          (read (fun srv ->
+               Ztree.watch_children srv.tree path cb;
+               match Ztree.children_with_data srv.tree path with
                | Ok entries ->
                  List.iter
                    (fun (name, _, _) ->
-                     Ztree.watch_data tree (Zpath.concat path name) cb)
+                     Ztree.watch_data srv.tree (Zpath.concat path name) cb)
                    entries;
                  Ok entries
                | Error _ as e -> e)));
     multi = submit;
     multi_async = submit_async;
     watch_data =
-      (fun path cb -> ignore (read (fun tree -> Ztree.watch_data tree path cb)));
+      (fun path cb -> ignore (read (fun srv -> Ztree.watch_data srv.tree path cb)));
     watch_children =
-      (fun path cb -> ignore (read (fun tree -> Ztree.watch_children tree path cb)));
+      (fun path cb ->
+        ignore (read (fun srv -> Ztree.watch_children srv.tree path cb)));
     get_watch =
       (fun path cb ->
         (* one server visit arms the watch and reads *)
         or_loss
-          (read (fun tree ->
-               Ztree.watch_data tree path cb;
-               Ztree.get tree path)));
+          (read (fun srv ->
+               Ztree.watch_data srv.tree path cb;
+               Ztree.get srv.tree path)));
     children_watch =
       (fun path cb ->
         or_loss
-          (read (fun tree ->
-               Ztree.watch_children tree path cb;
-               Ztree.children tree path)));
+          (read (fun srv ->
+               Ztree.watch_children srv.tree path cb;
+               Ztree.children srv.tree path)));
+    lease_get =
+      (fun path ->
+        or_loss
+          (read (fun srv ->
+               let deadline = lease srv (Zpath.parent path) in
+               match Ztree.get srv.tree path with
+               | Ok (data, stat) -> Ok (Some (data, stat), deadline)
+               | Error Zerror.ZNONODE -> Ok (None, deadline)
+               | Error _ as e -> e)));
+    lease_children =
+      (fun path ->
+        or_loss
+          (read (fun srv ->
+               match Ztree.children srv.tree path with
+               | Ok names -> Ok (names, lease srv path)
+               | Error _ as e -> e)));
+    lease_children_with_data =
+      (fun path ->
+        or_loss
+          (read (fun srv ->
+               match Ztree.children_with_data srv.tree path with
+               | Ok entries -> Ok (entries, lease srv path)
+               | Error _ as e -> e)));
+    set_invalidation = (fun cb -> invalidation := cb);
+    release_data_watch =
+      (fun path cb ->
+        release (fun srv -> ignore (Ztree.cancel_data_watch srv.tree path cb)));
+    release_child_watch =
+      (fun path cb ->
+        release (fun srv -> ignore (Ztree.cancel_child_watch srv.tree path cb)));
     sync = (fun () -> ignore (submit []));
     close;
     session_id }

@@ -81,6 +81,12 @@ type config = {
       (** disables the exactly-once dedup filter. Exists only so tests
           can prove the linearizability checker catches the resulting
           double-applies; never enable it otherwise. *)
+  lease_ttl : float;
+      (** duration (virtual seconds) of the leases granted by the
+          handle's [lease_*] reads: within it a client may serve the
+          read locally; committed changes revoke early through the
+          session's invalidation channel, and the TTL bounds staleness
+          when the serving replica (and its lease table) is lost *)
 }
 
 val default_config : servers:int -> config
@@ -195,3 +201,25 @@ val sessions_expired : t -> int
 
 (** Messages waiting in the current leader's inbox (0 if leaderless). *)
 val leader_queue_depth : t -> int
+
+(** {2 Lease / watch-table introspection}
+
+    The sessions bench's server-state argument: with watch coherence the
+    per-server watch table grows O(cached znodes); with lease coherence
+    the lease table stays O(sessions × working directories). *)
+
+(** Live + not-yet-purged lease interests on server [id]. *)
+val lease_entries : t -> int -> int
+
+(** Armed fire-once watch registrations on server [id]'s tree. *)
+val watch_table_size : t -> int -> int
+
+(** Ensemble-wide lease counters (summed over members). A read that
+    refreshes a live interest counts as renewed, not granted; revoked
+    counts early invalidations pushed to clients; expired counts
+    interests observed past their deadline. *)
+val leases_granted : t -> int
+
+val leases_renewed : t -> int
+val leases_revoked : t -> int
+val leases_expired : t -> int

@@ -1,0 +1,62 @@
+(** Server-side lease tables for time-bounded client cache coherence.
+
+    The per-znode watch protocol costs one server-side registration per
+    cached entry — O(cached znodes) server state, fatal at 10k+ sessions.
+    A lease instead registers one *session-level interest per directory*
+    a session is actively reading under: the table is
+    O(sessions x working directories), and every lease read implicitly
+    refreshes the interest, so there is no separate subscribe/renew
+    traffic and the table self-cleans as deadlines pass (lazy purge — no
+    sweeper process, no timer events).
+
+    Coherence contract: while an interest is live, any committed change
+    to a path in that directory is pushed synchronously through the
+    session's notify callback (zero-latency, same channel semantics as
+    watches — sequentially consistent fault-free). If the serving replica
+    crashes, its lease table is lost with its RAM and clients can serve
+    stale reads for at most the lease TTL; that TTL is the protocol's
+    staleness bound (DESIGN.md §9). *)
+
+type t
+
+(** [create ~now ~ttl] — [now] is the sim clock; [ttl] the lease duration
+    in virtual seconds. *)
+val create : now:(unit -> float) -> ttl:float -> t
+
+val ttl : t -> float
+
+(** [grant t ~session ~dir ~notify] records (or refreshes) [session]'s
+    interest in directory [dir] and returns the new deadline
+    [now () +. ttl]. Counted as a renewal when a live interest existed,
+    as a grant otherwise. [notify] must be stable per session — the
+    latest registration wins only for brand-new interests; renewals keep
+    the existing callback. *)
+val grant :
+  t -> session:int64 -> dir:string -> notify:(Ztree.watch_event -> unit) ->
+  float
+
+(** [revoke_txn t txn results] pushes revocations for one successfully
+    applied transaction: each mutation notifies live interests in the
+    touched path's parent directory (entry fills) and in the path itself
+    (listing fills). Call with the op list and the matching
+    {!Txn.result_item} list from {!Ztree.apply}. *)
+val revoke_txn : t -> Txn.t -> Txn.result_item list -> unit
+
+(** Remove every interest held by [session] (session close/expiry). *)
+val drop_session : t -> int64 -> unit
+
+(** Drop the whole table — a server crash loses its RAM. *)
+val clear : t -> unit
+
+(** Live + not-yet-purged interest entries — the server-state figure the
+    sessions bench tracks against {!Ztree.watch_count}. *)
+val entries : t -> int
+
+(** {2 Counters} *)
+
+val granted : t -> int
+val renewed : t -> int
+val revoked : t -> int
+
+(** Interests observed past their deadline (purged lazily or re-granted). *)
+val expired : t -> int

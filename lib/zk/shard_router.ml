@@ -334,6 +334,18 @@ let wrap ?(stats = fresh_stats ()) ~placement (h : Zk_client.handle array) =
     watch_children = (fun path cb -> h.(kids path).Zk_client.watch_children path cb);
     get_watch = (fun path cb -> h.(home path).Zk_client.get_watch path cb);
     children_watch;
+    lease_get = (fun path -> h.(home path).Zk_client.lease_get path);
+    lease_children = (fun path -> h.(kids path).Zk_client.lease_children path);
+    lease_children_with_data =
+      (fun path -> h.(kids path).Zk_client.lease_children_with_data path);
+    set_invalidation =
+      (* one channel per shard session; the client's callback hears
+         revocations from every shard its working set spans *)
+      (fun cb -> Array.iter (fun s -> s.Zk_client.set_invalidation cb) h);
+    release_data_watch =
+      (fun path cb -> h.(home path).Zk_client.release_data_watch path cb);
+    release_child_watch =
+      (fun path cb -> h.(kids path).Zk_client.release_child_watch path cb);
     sync = (fun () -> Array.iter (fun s -> s.Zk_client.sync ()) h);
     close = (fun () -> Array.iter (fun s -> s.Zk_client.close ()) h);
     session_id = h.(0).Zk_client.session_id }

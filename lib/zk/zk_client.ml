@@ -20,6 +20,22 @@ type handle = {
     string -> (Ztree.watch_event -> unit) -> (string * Ztree.stat, Zerror.t) result;
   children_watch :
     string -> (Ztree.watch_event -> unit) -> (string list, Zerror.t) result;
+  (* {2 Lease coherence} — reads that grant a time-bounded lease instead
+     of arming a per-znode watch. The [float] is the lease deadline on
+     the sim clock; [None] from [lease_get] is a leased negative result
+     (node absent). Revocations before the deadline arrive through the
+     session's single [set_invalidation] callback. *)
+  lease_get :
+    string -> ((string * Ztree.stat) option * float, Zerror.t) result;
+  lease_children : string -> (string list * float, Zerror.t) result;
+  lease_children_with_data :
+    string -> ((string * string * Ztree.stat) list * float, Zerror.t) result;
+  set_invalidation : (Ztree.watch_event -> unit) -> unit;
+  (* {2 Watch release} — cancel a still-armed fire-once watch this
+     session registered (failed fills, cache evictions). Matched by
+     callback identity; best-effort on a faulty network. *)
+  release_data_watch : string -> (Ztree.watch_event -> unit) -> unit;
+  release_child_watch : string -> (Ztree.watch_event -> unit) -> unit;
   sync : unit -> unit;
   close : unit -> unit;
   session_id : int64;

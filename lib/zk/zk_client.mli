@@ -48,6 +48,35 @@ type handle = {
   children_watch :
     string -> (Ztree.watch_event -> unit) -> (string list, Zerror.t) result;
       (** List children and arm a child watch in one server visit. *)
+  lease_get :
+    string -> ((string * Ztree.stat) option * float, Zerror.t) result;
+      (** Read [path] under lease coherence: the server registers (or
+          refreshes) this session's interest in [path]'s parent
+          directory and stamps the reply with a lease deadline on the
+          sim clock. Until that deadline the client may serve the value
+          locally; committed changes to the directory revoke early via
+          the {!field-set_invalidation} channel. [Ok (None, d)] is a
+          leased negative result (node absent). One session-level
+          interest per directory — zero per-znode server state. *)
+  lease_children : string -> (string list * float, Zerror.t) result;
+      (** Leased listing: interest registered on the directory itself. *)
+  lease_children_with_data :
+    string -> ((string * string * Ztree.stat) list * float, Zerror.t) result;
+      (** Leased bulk readdir: one server visit returns every child's
+          [(name, data, stat)] plus one lease deadline covering the
+          listing and all per-child entries warmed from it. *)
+  set_invalidation : (Ztree.watch_event -> unit) -> unit;
+      (** Install the session's single aggregated invalidation callback:
+          every early lease revocation (any committed change under a
+          leased directory) is delivered through it, tagged with the
+          changed path and event kind. Client-side only; replaces the
+          per-znode watch fan-in. *)
+  release_data_watch : string -> (Ztree.watch_event -> unit) -> unit;
+      (** Fire-and-forget cancellation of a still-armed fire-once data
+          watch this session registered (failed fill, cache eviction) —
+          matched server-side by callback identity. Best-effort under
+          faults: an unreleased duplicate fires once and is then gone. *)
+  release_child_watch : string -> (Ztree.watch_event -> unit) -> unit;
   sync : unit -> unit;
       (** Flush the leader→replica pipeline for this session's server. *)
   close : unit -> unit;

@@ -1,21 +1,29 @@
 type t = {
   tree : Ztree.t;
   clock : unit -> float;
+  leases : Lease.t;
   mutable next_zxid : int64;
   mutable next_session : int64;
 }
 
-let create ?(clock = fun () -> 0.) () =
-  { tree = Ztree.create (); clock; next_zxid = 1L; next_session = 1L }
+let create ?(clock = fun () -> 0.) ?(lease_ttl = 5.0) () =
+  let tree = Ztree.create () in
+  { tree;
+    clock;
+    leases = Lease.create ~now:clock ~ttl:lease_ttl;
+    next_zxid = 1L;
+    next_session = 1L }
 
 let tree t = t.tree
+let leases t = t.leases
 let server_resident_bytes t = Memory_model.server_resident_bytes t.tree
 
 let submit t txn =
   let zxid = t.next_zxid in
   match Ztree.apply t.tree ~zxid ~time:(t.clock ()) txn with
-  | Ok _ as ok ->
+  | Ok results as ok ->
     t.next_zxid <- Int64.add zxid 1L;
+    Lease.revoke_txn t.leases txn results;
     ok
   | Error _ as e -> e
 
@@ -36,10 +44,17 @@ let session t =
     Result.map ignore (submit t [ Zk_client.delete_op ~version path ])
   in
   let close () =
+    Lease.drop_session t.leases session_id;
     List.iter
       (fun path -> ignore (submit t [ Zk_client.delete_op path ]))
       (Ztree.ephemerals_of t.tree ~owner:session_id)
   in
+  (* One revocation callback per session; lease reads route through it.
+     The indirection lets the client install its handler after the
+     handle is built. *)
+  let invalidation = ref (fun (_ : Ztree.watch_event) -> ()) in
+  let notify event = !invalidation event in
+  let lease dir = Lease.grant t.leases ~session:session_id ~dir ~notify in
   { Zk_client.create;
     get = (fun path -> Ztree.get t.tree path);
     set;
@@ -70,6 +85,28 @@ let session t =
       (fun path cb ->
         Ztree.watch_children t.tree path cb;
         Ztree.children t.tree path);
+    lease_get =
+      (fun path ->
+        let deadline = lease (Zpath.parent path) in
+        match Ztree.get t.tree path with
+        | Ok (data, stat) -> Ok (Some (data, stat), deadline)
+        | Error Zerror.ZNONODE -> Ok (None, deadline)
+        | Error _ as e -> e);
+    lease_children =
+      (fun path ->
+        match Ztree.children t.tree path with
+        | Ok names -> Ok (names, lease path)
+        | Error _ as e -> e);
+    lease_children_with_data =
+      (fun path ->
+        match Ztree.children_with_data t.tree path with
+        | Ok entries -> Ok (entries, lease path)
+        | Error _ as e -> e);
+    set_invalidation = (fun cb -> invalidation := cb);
+    release_data_watch =
+      (fun path cb -> ignore (Ztree.cancel_data_watch t.tree path cb));
+    release_child_watch =
+      (fun path cb -> ignore (Ztree.cancel_child_watch t.tree path cb));
     sync = (fun () -> ());
     close;
     session_id }

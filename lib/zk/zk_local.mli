@@ -7,13 +7,18 @@
 
 type t
 
-val create : ?clock:(unit -> float) -> unit -> t
+(** [lease_ttl] is the duration (in [clock] seconds) of leases granted
+    through the handle's [lease_*] reads; default 5.0. *)
+val create : ?clock:(unit -> float) -> ?lease_ttl:float -> unit -> t
 
 (** Open a session. Ephemeral nodes created through it are deleted by
     [close]. *)
 val session : t -> Zk_client.handle
 
 val tree : t -> Ztree.t
+
+(** The server-side lease-interest table behind the [lease_*] reads. *)
+val leases : t -> Lease.t
 
 (** Modelled resident size of the (single) server process. *)
 val server_resident_bytes : t -> int

@@ -1,0 +1,522 @@
+(* The client cache's coherence machinery: the three watch-lifecycle
+   bugfixes (stale re-fill fencing, watch release on failed reads,
+   watch cancellation on LRU eviction), lease-mode coherence — expiry
+   on the sim clock, the aggregated revocation channel, the TTL
+   staleness bound after a lease-table loss — the observer gap-repair
+   fix, and a qcheck property pinning lease mode to watch mode over
+   random interleavings. *)
+
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+module Ensemble = Zk.Ensemble
+module Zk_local = Zk.Zk_local
+module Zk_client = Zk.Zk_client
+module Ztree = Zk.Ztree
+module Zerror = Zk.Zerror
+module Cache = Dufs.Cache
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let zk_ok label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected %s" label (Zk.Zerror.to_string e)
+
+let get_data label h path = fst (zk_ok label (h.Zk_client.get path))
+
+(* {2 Satellite 1: the stale re-fill race}
+
+   The window: a fill's read reply is in flight when the entry's watch
+   event is consumed (a concurrent writer committed). The fix fences
+   every fill with a per-path generation snapshot, so the stale reply
+   is dropped instead of being cached with no watch guarding it.
+
+   Zk_local is synchronous, so the race is staged by interposing on the
+   wire: the read completes server-side (arming the watch), then the
+   concurrent write lands — firing the just-armed watch — before the
+   old value is handed back to the cache. *)
+
+let test_stale_refill_race_fenced () =
+  let service = Zk_local.create () in
+  let writer = Zk_local.session service in
+  let raw = Zk_local.session service in
+  ignore (zk_ok "seed" (writer.Zk_client.create "/hot" ~data:"v1"));
+  let raced = ref false in
+  let coord =
+    { raw with
+      Zk_client.get_watch =
+        (fun path cb ->
+          let result = raw.Zk_client.get_watch path cb in
+          if (not !raced) && path = "/hot" then begin
+            raced := true;
+            ignore (zk_ok "racing set" (writer.Zk_client.set "/hot" ~data:"v2"))
+          end;
+          result) }
+  in
+  let cache = Cache.wrap coord in
+  let cached = Cache.handle cache in
+  (* the racing fill itself may legally return the old value... *)
+  check_string "racing fill returns what the server read" "v1"
+    (get_data "racing fill" cached "/hot");
+  (* ...but it must NOT have cached it: the next read refetches *)
+  check_string "next read sees the concurrent write" "v2"
+    (get_data "re-read" cached "/hot");
+  check_string "and the fresh fill is cached normally" "v2"
+    (get_data "cached" cached "/hot")
+
+let test_stale_bulk_refill_race_fenced () =
+  (* same race against the bulk readdir fill: the listing's reply is
+     overtaken by a create under the directory *)
+  let service = Zk_local.create () in
+  let writer = Zk_local.session service in
+  let raw = Zk_local.session service in
+  ignore (zk_ok "mkdir" (writer.Zk_client.create "/d" ~data:""));
+  ignore (zk_ok "seed" (writer.Zk_client.create "/d/a" ~data:""));
+  let raced = ref false in
+  let coord =
+    { raw with
+      Zk_client.children_with_data_watch =
+        (fun path cb ->
+          let result = raw.Zk_client.children_with_data_watch path cb in
+          if (not !raced) && path = "/d" then begin
+            raced := true;
+            ignore (zk_ok "racing create" (writer.Zk_client.create "/d/b" ~data:""))
+          end;
+          result) }
+  in
+  let cache = Cache.wrap coord in
+  let cached = Cache.handle cache in
+  check_int "racing listing returns what the server read" 1
+    (List.length (zk_ok "racing fill" (cached.Zk_client.children_with_data "/d")));
+  check_int "next listing sees the concurrent create" 2
+    (List.length (zk_ok "re-list" (cached.Zk_client.children_with_data "/d")))
+
+(* {2 Satellite 2: failed reads release their armed watch}
+
+   The server arms the piggybacked watch before the reply is sent; if
+   the reply is lost (timeout, connection loss) the old code cached
+   nothing and leaked the registration forever. *)
+
+let test_failed_read_releases_watch () =
+  let service = Zk_local.create () in
+  let writer = Zk_local.session service in
+  let raw = Zk_local.session service in
+  ignore (zk_ok "mkdir" (writer.Zk_client.create "/d" ~data:""));
+  ignore (zk_ok "seed" (writer.Zk_client.create "/d/f" ~data:"x"));
+  let coord =
+    { raw with
+      Zk_client.get_watch =
+        (fun path cb ->
+          (* server armed the watch, reply lost on the way back *)
+          ignore (raw.Zk_client.get_watch path cb);
+          Error Zerror.ZCONNECTIONLOSS);
+      children_watch =
+        (fun path cb ->
+          ignore (raw.Zk_client.children_watch path cb);
+          Error Zerror.ZCONNECTIONLOSS) }
+  in
+  let metrics = Obs.Metrics.create () in
+  let cache = Cache.wrap ~metrics coord in
+  let cached = Cache.handle cache in
+  (match cached.Zk_client.get "/d/f" with
+  | Error Zerror.ZCONNECTIONLOSS -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected the injected transport failure");
+  (match cached.Zk_client.children "/d" with
+  | Error Zerror.ZCONNECTIONLOSS -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected the injected transport failure");
+  check_int "no watch left registered server-side" 0
+    (Ztree.watch_count (Zk_local.tree service));
+  check_int "both releases counted" 2 (Cache.watch_releases cache);
+  check_int "and mirrored into the metrics registry" 2
+    (Simkit.Stat.Counter.value (Obs.Metrics.counter metrics "cache.watch.released"))
+
+(* {2 Satellite 3: LRU eviction cancels the evicted entry's watch}
+
+   Without cancellation the server's watch tables grow with every znode
+   the cache has EVER held — O(workload), not O(capacity). *)
+
+let test_eviction_keeps_server_watch_table_bounded () =
+  let service = Zk_local.create () in
+  let writer = Zk_local.session service in
+  ignore (zk_ok "mkdir" (writer.Zk_client.create "/d" ~data:""));
+  for i = 0 to 199 do
+    ignore
+      (zk_ok "seed" (writer.Zk_client.create (Printf.sprintf "/d/f%03d" i) ~data:""))
+  done;
+  let capacity = 8 in
+  let cache = Cache.wrap ~capacity (Zk_local.session service) in
+  let cached = Cache.handle cache in
+  for i = 0 to 199 do
+    ignore (zk_ok "read" (cached.Zk_client.get (Printf.sprintf "/d/f%03d" i)))
+  done;
+  check_int "server watch table tracks live cache contents" capacity
+    (Ztree.watch_count (Zk_local.tree service));
+  check_int "every eviction released its watch" (200 - capacity)
+    (Cache.watch_releases cache);
+  (* overwrite path: re-filling a present entry must not stack watches *)
+  let writer_cache = Cache.wrap ~capacity (Zk_local.session service) in
+  let wc = Cache.handle writer_cache in
+  for _round = 0 to 4 do
+    for i = 0 to 3 do
+      let p = Printf.sprintf "/d/f%03d" i in
+      ignore (zk_ok "read" (wc.Zk_client.get p));
+      ignore (zk_ok "set" (wc.Zk_client.set p ~data:"w"))
+    done
+  done;
+  check_bool "no watch accumulation across refills" true
+    (Ztree.watch_count (Zk_local.tree service) <= 2 * capacity + 4)
+
+(* {2 Lease mode: zero per-znode server state}
+
+   The server-state shape the sessions bench measures: watch coherence
+   is O(cached znodes); lease coherence is O(session working dirs). *)
+
+let test_lease_mode_server_state_is_per_directory () =
+  let service = Zk_local.create () in
+  let writer = Zk_local.session service in
+  for d = 0 to 3 do
+    ignore
+      (zk_ok "mkdir" (writer.Zk_client.create (Printf.sprintf "/d%d" d) ~data:""));
+    for i = 0 to 49 do
+      ignore
+        (zk_ok "seed"
+           (writer.Zk_client.create (Printf.sprintf "/d%d/f%02d" d i) ~data:""))
+    done
+  done;
+  let cache = Cache.wrap ~coherence:Cache.Leases (Zk_local.session service) in
+  let cached = Cache.handle cache in
+  for d = 0 to 3 do
+    for i = 0 to 49 do
+      ignore (zk_ok "read" (cached.Zk_client.get (Printf.sprintf "/d%d/f%02d" d i)))
+    done
+  done;
+  check_int "no per-znode watches at all" 0
+    (Ztree.watch_count (Zk_local.tree service));
+  check_bool "lease table holds one interest per working directory" true
+    (Zk.Lease.entries (Zk_local.leases service) <= 4);
+  check_int "200 reads cost 4 grants" 4 (Zk.Lease.granted (Zk_local.leases service));
+  check_int "and 196 renewals" 196 (Zk.Lease.renewed (Zk_local.leases service))
+
+let test_lease_revocation_channel () =
+  (* committed changes reach the leased cache synchronously through the
+     session's single aggregated invalidation callback *)
+  let service = Zk_local.create () in
+  let writer = Zk_local.session service in
+  ignore (zk_ok "mkdir" (writer.Zk_client.create "/d" ~data:""));
+  ignore (zk_ok "seed" (writer.Zk_client.create "/d/f" ~data:"v1"));
+  let cache = Cache.wrap ~coherence:Cache.Leases (Zk_local.session service) in
+  let cached = Cache.handle cache in
+  check_string "warm" "v1" (get_data "warm" cached "/d/f");
+  check_int "listing warm" 1
+    (List.length (zk_ok "list" (cached.Zk_client.children "/d")));
+  ignore (zk_ok "set" (writer.Zk_client.set "/d/f" ~data:"v2"));
+  check_string "set revokes the data lease" "v2" (get_data "reread" cached "/d/f");
+  ignore (zk_ok "create" (writer.Zk_client.create "/d/g" ~data:""));
+  check_int "create revokes the listing lease" 2
+    (List.length (zk_ok "relist" (cached.Zk_client.children "/d")));
+  ignore (zk_ok "delete" (writer.Zk_client.delete "/d/g"));
+  check_int "delete revokes it again" 1
+    (List.length (zk_ok "relist2" (cached.Zk_client.children "/d")));
+  (* negative caching: a leased ZNONODE answer is revoked by creation *)
+  (match cached.Zk_client.get "/d/new" with
+  | Error Zerror.ZNONODE -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected ZNONODE");
+  ignore (zk_ok "create new" (writer.Zk_client.create "/d/new" ~data:"born"));
+  check_string "creation revokes the negative entry" "born"
+    (get_data "negative revoked" cached "/d/new");
+  check_bool "revocations were pushed, not polled" true
+    (Zk.Lease.revoked (Zk_local.leases service) >= 4)
+
+let test_lease_expiry_on_sim_clock () =
+  let now = ref 0.0 in
+  let service = Zk_local.create ~clock:(fun () -> !now) ~lease_ttl:5.0 () in
+  let writer = Zk_local.session service in
+  ignore (zk_ok "mkdir" (writer.Zk_client.create "/d" ~data:""));
+  ignore (zk_ok "seed" (writer.Zk_client.create "/d/f" ~data:"x"));
+  let cache =
+    Cache.wrap ~coherence:Cache.Leases ~now:(fun () -> !now)
+      (Zk_local.session service)
+  in
+  let cached = Cache.handle cache in
+  ignore (zk_ok "fill" (cached.Zk_client.get "/d/f"));
+  let misses_after_fill = Cache.misses cache in
+  now := 4.9;
+  ignore (zk_ok "hit" (cached.Zk_client.get "/d/f"));
+  check_int "within the lease: served locally" misses_after_fill
+    (Cache.misses cache);
+  check_int "no expiry yet" 0 (Cache.lease_expired_hits cache);
+  now := 5.0;
+  ignore (zk_ok "refill" (cached.Zk_client.get "/d/f"));
+  check_int "at the deadline: entry expired, refetched" (misses_after_fill + 1)
+    (Cache.misses cache);
+  check_int "expired hit counted" 1 (Cache.lease_expired_hits cache);
+  (* the refill re-granted: the server saw the first interest expire *)
+  check_int "server observed the expired interest" 1
+    (Zk.Lease.expired (Zk_local.leases service));
+  check_int "and granted twice in total" 2
+    (Zk.Lease.granted (Zk_local.leases service));
+  now := 9.9;
+  ignore (zk_ok "hit2" (cached.Zk_client.get "/d/f"));
+  check_int "the new lease serves locally again" (misses_after_fill + 1)
+    (Cache.misses cache)
+
+let test_lease_staleness_bounded_by_ttl () =
+  (* the protocol's staleness bound: a crashed replica loses its lease
+     table with its RAM, so revocations stop — but only until the
+     deadline, after which every entry self-expires *)
+  let now = ref 0.0 in
+  let service = Zk_local.create ~clock:(fun () -> !now) ~lease_ttl:5.0 () in
+  let writer = Zk_local.session service in
+  ignore (zk_ok "mkdir" (writer.Zk_client.create "/d" ~data:""));
+  ignore (zk_ok "seed" (writer.Zk_client.create "/d/f" ~data:"old"));
+  let cache =
+    Cache.wrap ~coherence:Cache.Leases ~now:(fun () -> !now)
+      (Zk_local.session service)
+  in
+  let cached = Cache.handle cache in
+  check_string "warm" "old" (get_data "warm" cached "/d/f");
+  (* the serving replica crashes: its lease table is gone *)
+  Zk.Lease.clear (Zk_local.leases service);
+  ignore (zk_ok "unrevoked write" (writer.Zk_client.set "/d/f" ~data:"new"));
+  now := 1.0;
+  check_string "within the TTL the client may serve the stale value" "old"
+    (get_data "stale window" cached "/d/f");
+  now := 5.0;
+  check_string "past the deadline it must refetch" "new"
+    (get_data "bounded" cached "/d/f")
+
+(* {2 Satellite 4: observers repair Inform gaps before serving}
+
+   An observer that misses Inform messages (partition, loss) must not
+   skip the gap: it buffers, fetches the missing committed entries from
+   the leader, applies strictly in zxid order, and only then advances
+   its freshness stamp. The old code skipped the gap — silently
+   diverging the observer's tree while its reads stayed "fresh". *)
+
+let observer_cfg ~seed =
+  { (Ensemble.default_config ~servers:3) with
+    Ensemble.observers = 1;
+    seed;
+    election_timeout = 0.3;
+    request_timeout = 0.2;
+    retry_backoff = 0.02;
+    retry_backoff_cap = 0.05;
+    session_timeout = 30.;
+    stale_read_after = 0.5;
+    serve_stale_reads = false }
+
+let test_partitioned_observer_reconverges () =
+  let engine = Engine.create () in
+  (* no freshness gate here: an idle observer hears nothing between
+     writes, and this test reads well after the last commit — the gate
+     has its own history-checked test below *)
+  let ensemble =
+    Ensemble.start engine
+      { (observer_cfg ~seed:11L) with
+        Ensemble.stale_read_after = infinity;
+        serve_stale_reads = true }
+  in
+  let observer = 3 in
+  Process.spawn engine (fun () ->
+      let writer = Ensemble.session ensemble ~server:0 () in
+      ignore (zk_ok "seed" (writer.Zk_client.create "/a" ~data:"v0"));
+      Process.sleep 0.5;
+      (* the observer is cut off while three writes commit *)
+      Ensemble.partition ensemble [ [ observer ] ];
+      ignore (zk_ok "b" (writer.Zk_client.create "/b" ~data:""));
+      ignore (zk_ok "c" (writer.Zk_client.create "/c" ~data:""));
+      ignore (zk_ok "set a" (writer.Zk_client.set "/a" ~data:"v1"));
+      Process.sleep 0.5;
+      Ensemble.heal ensemble;
+      (* the next Inform carries a zxid gap: the observer must fetch
+         the missed committed entries instead of skipping them *)
+      ignore (zk_ok "d" (writer.Zk_client.create "/d" ~data:""));
+      Process.sleep 1.0;
+      let leader =
+        match Ensemble.leader_id ensemble with
+        | Some id -> id
+        | None -> Alcotest.fail "no leader"
+      in
+      check_bool "observer tree reconverged with the leader's" true
+        (Ztree.equal_state
+           (Ensemble.tree_of ensemble observer)
+           (Ensemble.tree_of ensemble leader));
+      (* and a session homed on the observer reads repaired state *)
+      let reader = Ensemble.session ensemble ~server:observer () in
+      check_string "observer serves the write it was partitioned through" "v1"
+        (get_data "observer read" reader "/a"));
+  Engine.run engine
+
+let test_partitioned_observer_history_checked () =
+  (* the same scenario under the linearizability oracle: writes against
+     a register while its observer-homed readers are partitioned away
+     and healed; the freshness gate must refuse stale observer reads
+     rather than serve diverged state as fresh *)
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (observer_cfg ~seed:23L) in
+  let history = Zk.History.create engine in
+  let observer = 3 in
+  let attempts = ref 0 and completed = ref 0 in
+  let client ~id ~server ops =
+    Process.spawn engine (fun () ->
+        let h =
+          Zk.History.wrap history ~client:id
+            (Ensemble.session ensemble ~server ())
+        in
+        List.iter
+          (fun op ->
+            incr attempts;
+            (op h : unit);
+            incr completed;
+            Process.sleep 0.15)
+          ops)
+  in
+  let w data h =
+    match h.Zk_client.exists "/r" with
+    | Ok None -> ignore (h.Zk_client.create "/r" ~data)
+    | Ok (Some _) | Error _ -> ignore (h.Zk_client.set "/r" ~data)
+  in
+  let r h = ignore (h.Zk_client.get "/r") in
+  client ~id:0 ~server:0 [ w "a"; w "b"; w "c"; w "d"; w "e"; w "f" ];
+  client ~id:1 ~server:observer [ r; r; r; r; r; r ];
+  Process.spawn engine (fun () ->
+      Process.sleep 0.25;
+      Ensemble.partition ensemble [ [ observer ] ];
+      Process.sleep 0.6;
+      Ensemble.heal ensemble);
+  Engine.run engine;
+  check_int "every client op completed or timed out cleanly" !attempts !completed;
+  let violations = Zk.History.check history in
+  List.iter
+    (fun (v : Zk.History.violation) ->
+      Printf.printf "OBSERVER VIOLATION [%s] %s: %s\n%!" v.Zk.History.v_kind
+        v.Zk.History.v_path v.Zk.History.v_detail)
+    violations;
+  check_int "observer reads are linearizable across the partition" 0
+    (List.length violations);
+  check_bool "the history actually recorded both clients" true
+    (Zk.History.recorded history >= 10)
+
+(* {2 Lease-mode ≡ watch-mode (qcheck)}
+
+   Fault-free, both coherence protocols deliver invalidations
+   synchronously at commit time, so a lease-mode cache and a watch-mode
+   cache over the same service must return identical results for every
+   read — across random writes by a third session and clock advances
+   that expire leases mid-sequence. *)
+
+type step =
+  | St_create of string * string
+  | St_set of string * string
+  | St_delete of string
+  | St_get of string
+  | St_children of string
+  | St_readdir of string
+  | St_advance of float
+
+let gen_path =
+  QCheck2.Gen.(
+    let dir = oneofl [ "/a"; "/b" ] in
+    oneof [ dir; map2 (fun d leaf -> d ^ "/" ^ leaf) dir (oneofl [ "x"; "y"; "z" ]) ])
+
+let gen_step =
+  QCheck2.Gen.(
+    oneof
+      [ map2 (fun p d -> St_create (p, d)) gen_path (string_size (return 2));
+        map2 (fun p d -> St_set (p, d)) gen_path (string_size (return 2));
+        map (fun p -> St_delete p) gen_path;
+        map (fun p -> St_get p) gen_path;
+        map (fun p -> St_children p) gen_path;
+        map (fun p -> St_readdir p) gen_path;
+        map (fun dt -> St_advance dt) (float_range 0.5 4.0) ])
+
+let show_step = function
+  | St_create (p, d) -> Printf.sprintf "create %s %S" p d
+  | St_set (p, d) -> Printf.sprintf "set %s %S" p d
+  | St_delete p -> "delete " ^ p
+  | St_get p -> "get " ^ p
+  | St_children p -> "children " ^ p
+  | St_readdir p -> "readdir " ^ p
+  | St_advance dt -> Printf.sprintf "advance %.2f" dt
+
+let read_repr label = function
+  | Ok s -> label ^ ":" ^ s
+  | Error e -> label ^ ":" ^ Zerror.to_string e
+
+let prop_lease_equals_watch =
+  QCheck2.Test.make
+    ~name:"lease-mode cache ≡ watch-mode cache over random interleavings"
+    ~count:300
+    ~print:(fun steps -> String.concat "; " (List.map show_step steps))
+    QCheck2.Gen.(list_size (int_range 1 40) gen_step)
+    (fun steps ->
+      let now = ref 0.0 in
+      let service = Zk_local.create ~clock:(fun () -> !now) ~lease_ttl:3.0 () in
+      let writer = Zk_local.session service in
+      let watch_cache = Cache.wrap (Zk_local.session service) in
+      let lease_cache =
+        Cache.wrap ~coherence:Cache.Leases ~now:(fun () -> !now)
+          (Zk_local.session service)
+      in
+      let wh = Cache.handle watch_cache and lh = Cache.handle lease_cache in
+      let read_both label f =
+        let a = f wh and b = f lh in
+        if a <> b then
+          QCheck2.Test.fail_reportf "divergence on %s: watch=%s lease=%s" label a b
+      in
+      List.iter
+        (fun step ->
+          match step with
+          | St_create (p, d) -> ignore (writer.Zk_client.create p ~data:d)
+          | St_set (p, d) -> ignore (writer.Zk_client.set p ~data:d)
+          | St_delete p -> ignore (writer.Zk_client.delete p)
+          | St_advance dt -> now := !now +. dt
+          | St_get p ->
+            read_both (show_step step) (fun h ->
+                read_repr "get"
+                  (Result.map (fun (d, _) -> d) (h.Zk_client.get p)))
+          | St_children p ->
+            read_both (show_step step) (fun h ->
+                read_repr "children"
+                  (Result.map (String.concat ",") (h.Zk_client.children p)))
+          | St_readdir p ->
+            read_both (show_step step) (fun h ->
+                read_repr "readdir"
+                  (Result.map
+                     (fun entries ->
+                       String.concat ","
+                         (List.map
+                            (fun (n, d, _) -> n ^ "=" ^ d)
+                            entries))
+                     (h.Zk_client.children_with_data p))))
+        steps;
+      true)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cache-coherence"
+    [ ( "refill-fence",
+        [ Alcotest.test_case "stale re-fill race is fenced" `Quick
+            test_stale_refill_race_fenced;
+          Alcotest.test_case "stale bulk re-fill race is fenced" `Quick
+            test_stale_bulk_refill_race_fenced ] );
+      ( "watch-lifecycle",
+        [ Alcotest.test_case "failed read releases its watch" `Quick
+            test_failed_read_releases_watch;
+          Alcotest.test_case "eviction bounds the server watch table" `Quick
+            test_eviction_keeps_server_watch_table_bounded ] );
+      ( "leases",
+        [ Alcotest.test_case "server state is per working directory" `Quick
+            test_lease_mode_server_state_is_per_directory;
+          Alcotest.test_case "revocation channel" `Quick test_lease_revocation_channel;
+          Alcotest.test_case "expiry on the sim clock" `Quick
+            test_lease_expiry_on_sim_clock;
+          Alcotest.test_case "staleness bounded by the TTL" `Quick
+            test_lease_staleness_bounded_by_ttl ] );
+      ( "observers",
+        [ Alcotest.test_case "partitioned observer reconverges" `Quick
+            test_partitioned_observer_reconverges;
+          Alcotest.test_case "observer reads stay linearizable" `Quick
+            test_partitioned_observer_history_checked ] );
+      ("equivalence", [ qc prop_lease_equals_watch ]) ]
