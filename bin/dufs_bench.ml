@@ -68,6 +68,14 @@ let experiments =
                         BENCH_pr7_smoke.json)",
      fun () ->
        Scenarios.Figures.sessions_smoke ~json_path:"BENCH_pr7_smoke.json" ());
+    ("reshard", "elastic resharding: live 2->4 shard split (and 4->2 merge) \
+                 during mdtest file creates, linearizability-checked (writes \
+                 BENCH_pr8.json)",
+     fun () -> Scenarios.Figures.reshard ~json_path:"BENCH_pr8.json" ());
+    ("reshard-smoke", "resharding at 64 procs (CI; writes \
+                       BENCH_pr8_smoke.json)",
+     fun () ->
+       Scenarios.Figures.reshard_smoke ~json_path:"BENCH_pr8_smoke.json" ());
     ("all", "every experiment in order", Scenarios.Figures.all) ]
 
 open Cmdliner

@@ -12,6 +12,7 @@ type issue =
       actual : int;
     }
   | Orphan_physical of { backend : int; path : string }
+  | Double_presence of { vpath : string; fid : Fid.t; expected : int; extra : int }
   | Undecodable_meta of { vpath : string; data : string }
 
 type report = {
@@ -30,6 +31,10 @@ let pp_issue fmt = function
       vpath Fid.pp fid actual expected
   | Orphan_physical { backend; path } ->
     Format.fprintf fmt "orphan physical: backend %d %s" backend path
+  | Double_presence { vpath; fid; expected; extra } ->
+    Format.fprintf fmt
+      "double presence: %s (fid %a) on backend %d and its home %d" vpath Fid.pp
+      fid extra expected
   | Undecodable_meta { vpath; data } ->
     Format.fprintf fmt "undecodable metadata at %s: %S" vpath data
 
@@ -104,9 +109,16 @@ let scan ~coord ~backends ?(layout = Physical.default_layout)
             incr physicals;
             match Hashtbl.find_opt claimed (Fid.to_hex fid) with
             | Some (_, _, expected) when expected = backend -> ()
-            | Some _ ->
-              (* already reported as misplaced from the namespace side *)
-              ()
+            | Some (vpath, fid, expected) ->
+              (* A claimed file on the wrong back-end. If its home copy
+                 is missing, the namespace pass already reported it as
+                 misplaced; if the home copy is also present — a
+                 rebalance that died between the dst write and the src
+                 unlink — nothing else will report it. *)
+              if Vfs.exists backends.(expected) (Physical.path layout fid) then
+                issues :=
+                  Double_presence { vpath; fid; expected; extra = backend }
+                  :: !issues
             | None -> issues := Orphan_physical { backend; path } :: !issues)
           (physical_files ops layout))
       backends;
@@ -120,6 +132,7 @@ type repair_stats = {
   recreated : int;
   moved : int;
   deleted : int;
+  deduplicated : int;
   unrepairable : int;
 }
 
@@ -137,7 +150,9 @@ let copy_file (src : Vfs.ops) (dst : Vfs.ops) path =
   dst.Vfs.chmod path ~mode:attr.Inode.mode
 
 let repair ~backends ?(layout = Physical.default_layout) report =
-  let stats = ref { recreated = 0; moved = 0; deleted = 0; unrepairable = 0 } in
+  let stats =
+    ref { recreated = 0; moved = 0; deleted = 0; deduplicated = 0; unrepairable = 0 }
+  in
   let bump f = stats := f !stats in
   List.iter
     (fun issue ->
@@ -157,6 +172,11 @@ let repair ~backends ?(layout = Physical.default_layout) report =
       | Orphan_physical { backend; path } ->
         (match backends.(backend).Vfs.unlink path with
          | Ok () -> bump (fun s -> { s with deleted = s.deleted + 1 })
+         | Error _ -> bump (fun s -> { s with unrepairable = s.unrepairable + 1 }))
+      | Double_presence { fid; extra; _ } ->
+        (* the home copy is authoritative; drop the stale one *)
+        (match backends.(extra).Vfs.unlink (Physical.path layout fid) with
+         | Ok () -> bump (fun s -> { s with deduplicated = s.deduplicated + 1 })
          | Error _ -> bump (fun s -> { s with unrepairable = s.unrepairable + 1 }))
       | Undecodable_meta _ ->
         bump (fun s -> { s with unrepairable = s.unrepairable + 1 }))

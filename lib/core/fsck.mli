@@ -17,6 +17,10 @@ type issue =
     }  (** physical file found, but on the wrong back-end *)
   | Orphan_physical of { backend : int; path : string }
       (** physical file not referenced by any znode *)
+  | Double_presence of { vpath : string; fid : Fid.t; expected : int; extra : int }
+      (** physical file present on its mapped back-end {e and} a second
+          one — a rebalance that died between the destination write and
+          the source unlink (see {!Rebalancer.execute}'s [note]) *)
   | Undecodable_meta of { vpath : string; data : string }
       (** znode data field is not a valid DUFS payload *)
 
@@ -41,17 +45,19 @@ val scan :
   (report, Zk.Zerror.t) result
 
 type repair_stats = {
-  recreated : int;   (** empty physical files created for missing ones *)
-  moved : int;       (** misplaced physical files moved home *)
-  deleted : int;     (** orphan physical files removed *)
+  recreated : int;    (** empty physical files created for missing ones *)
+  moved : int;        (** misplaced physical files moved home *)
+  deleted : int;      (** orphan physical files removed *)
+  deduplicated : int; (** stale double-presence copies removed *)
   unrepairable : int;
 }
 
 (** [repair ~coord ~backends report] applies mechanical fixes:
     missing physicals are recreated empty (the contents are gone),
     misplaced physicals are copied to the mapped back-end and removed from
-    the wrong one, orphans are deleted. Undecodable metadata is left for a
-    human. *)
+    the wrong one, orphans are deleted, the stale copy of a double
+    presence is unlinked (the home copy is authoritative). Undecodable
+    metadata is left for a human. *)
 val repair :
   backends:Fuselike.Vfs.ops array ->
   ?layout:Physical.layout ->

@@ -25,17 +25,26 @@ let plan ~coord ~old_locate ~new_locate ?(zroot = "/dufs") () =
         files)
     (Namespace.files coord ~zroot)
 
-let execute ~backends ?(layout = Physical.default_layout) moves =
+let execute ~backends ?(layout = Physical.default_layout) ?(note = fun _ -> ())
+    moves =
   let ( let* ) = Result.bind in
   let examined = List.length moves in
   let rec go moved bytes_moved = function
     | [] -> Ok { examined; moved; bytes_moved }
-    | { fid; src; dst; _ } :: rest ->
+    | { vpath; fid; src; dst } :: rest ->
       let path = Physical.path layout fid in
       let src_ops = backends.(src) and dst_ops = backends.(dst) in
       let* attr = src_ops.Vfs.getattr path in
       let size = Int64.to_int attr.Inode.size in
       let* contents = src_ops.Vfs.read path ~off:0 ~len:size in
+      (* Write-ahead intent: from the first dst mutation until the src
+         unlink commits, the file exists on both back-ends. A crash (or
+         error exit) inside that window would otherwise leave the double
+         presence with no record anywhere — this note is what points
+         Fsck at it. *)
+      note
+        (Printf.sprintf "move in flight: %s (fid %s) backend %d -> %d" vpath
+           (Fid.to_hex fid) src dst);
       let* () =
         match dst_ops.Vfs.create path ~mode:attr.Inode.mode with
         | Ok () | Error Errno.EEXIST -> Ok ()
@@ -47,8 +56,15 @@ let execute ~backends ?(layout = Physical.default_layout) moves =
       in
       let* _n = dst_ops.Vfs.write path ~off:0 contents in
       let* () = dst_ops.Vfs.chmod path ~mode:attr.Inode.mode in
-      let* () = src_ops.Vfs.unlink path in
-      go (moved + 1) (Int64.add bytes_moved attr.Inode.size) rest
+      (match src_ops.Vfs.unlink path with
+       | Ok () -> go (moved + 1) (Int64.add bytes_moved attr.Inode.size) rest
+       | Error e ->
+         note
+           (Printf.sprintf
+              "double presence: %s (fid %s) committed to backend %d but unlink \
+               on %d failed (%s)"
+              vpath (Fid.to_hex fid) dst src (Errno.to_string e));
+         Error e)
   in
   go 0 0L moves
 

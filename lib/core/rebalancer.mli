@@ -33,10 +33,18 @@ val plan :
 
 (** [execute ~backends moves] copies and deletes; [backends] must cover
     every [src] and [dst] index and be formatted with [layout]. Stops at
-    the first filesystem error. *)
+    the first filesystem error.
+
+    [note] receives a write-ahead intent line before each move's first
+    destination mutation and a "double presence" line if the source
+    unlink fails after the destination copy committed — the window in
+    which a crash leaves the file on both back-ends with nothing else
+    recording it (wire it to {!Zk.Shard_router.note} or any durable
+    log; {!Fsck.scan} finds and {!Fsck.repair} dedups the leftovers). *)
 val execute :
   backends:Fuselike.Vfs.ops array ->
   ?layout:Physical.layout ->
+  ?note:(string -> unit) ->
   move list ->
   (stats, Fuselike.Errno.t) result
 

@@ -1357,6 +1357,153 @@ let engine ?events ?quota_s ?json_path () =
 let sessions ?json_path () = ignore (Sessions_bench.run ?json_path ())
 let sessions_smoke ?json_path () = Sessions_bench.smoke ?json_path ()
 
+(* {2 Elastic resharding — live shard split / merge under mdtest}
+
+   One controller changes the shard count while the file-create phase
+   runs (Systems.mdtest_reshard). Three configurations per process
+   count: the no-split baseline (to_shards = shards, exactly
+   comparable), the live 2->4 split, and — at the smallest process
+   count — a 4->2 merge. The driver enforces the run's own invariants
+   (zero client errors, exact logical census, zero linearizability
+   violations, remainder-only migration) so a regression fails the
+   bench run itself, not just the CI gate downstream. *)
+
+let reshard_servers = 4 (* per shard; the 2-shard baseline matches the
+                           (2, 4) sharding topology above *)
+
+let reshard_config_label ~shards ~to_shards ~max_batch =
+  Printf.sprintf "reshard=%d->%d|servers=%d|max_batch=%d|backends=8xLustre"
+    shards to_shards reshard_servers max_batch
+
+let reshard_shard_stats (r : Systems.reshard_run) =
+  let writes = Zk.Shard_router.writes_committed_by_shard r.Systems.router
+  and hits = Zk.Shard_router.dedup_hits_by_shard r.Systems.router in
+  Array.to_list
+    (Array.mapi
+       (fun i znodes ->
+         { Report.shard = i;
+           znodes;
+           writes_committed = writes.(i);
+           dedup_hits = hits.(i);
+           queue_wait_mean_s = None })
+       r.Systems.per_shard_znodes)
+
+let reshard ?(procs_list = [ 64; 256 ]) ?(max_batch = 16) ?json_path () =
+  Report.print_header
+    "Elastic resharding: live shard split/merge during mdtest file creates";
+  let spec = sharding_spec ~servers:reshard_servers in
+  let runs =
+    List.concat_map
+      (fun procs ->
+        let go ~shards ~to_shards =
+          ( (shards, to_shards, procs),
+            Systems.mdtest_reshard ~max_batch ~spec ~shards ~to_shards ~procs
+              () )
+        in
+        [ go ~shards:2 ~to_shards:2 (* no-split baseline *);
+          go ~shards:2 ~to_shards:4 (* the live split *) ]
+        @
+        if procs = List.hd procs_list then [ go ~shards:4 ~to_shards:2 ]
+        else [])
+      procs_list
+  in
+  Printf.printf "%-14s %5s %12s %12s %9s %13s %7s %5s\n" "config" "procs"
+    "create/s" "p99 (ms)" "window" "migrated" "stubs" "viol";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun ((shards, to_shards, procs), (r : Systems.reshard_run)) ->
+      let label = Printf.sprintf "%d->%d shards" shards to_shards in
+      let p99_ms =
+        match Runner.latency_of r.Systems.results Runner.File_create with
+        | Some l -> l.Runner.p99 *. 1e3
+        | None -> 0.
+      in
+      let migrated =
+        match r.Systems.reshard with
+        | Some st ->
+          Printf.sprintf "%d/%d" st.Zk.Reshard.keys_migrated
+            st.Zk.Reshard.keys_total
+        | None -> "-"
+      in
+      Printf.printf "%-14s %5d %12.0f %12.2f %8.2fs %13s %7d %5d\n" label procs
+        (Runner.rate r.Systems.results Runner.File_create)
+        p99_ms r.Systems.reshard_window migrated r.Systems.live_stubs_at_stat
+        (List.length r.Systems.violations);
+      let ctx = Printf.sprintf "reshard %s @%d procs" label procs in
+      if r.Systems.results.Runner.errors > 0 then
+        fail "%s: %d client op errors" ctx r.Systems.results.Runner.errors;
+      if r.Systems.logical_znodes_at_stat <> r.Systems.expected_logical_znodes
+      then
+        fail "%s: census %d <> expected %d" ctx r.Systems.logical_znodes_at_stat
+          r.Systems.expected_logical_znodes;
+      if r.Systems.violations <> [] then
+        fail "%s: %d linearizability violations" ctx
+          (List.length r.Systems.violations);
+      if r.Systems.history_checked = 0 then fail "%s: oracle checked 0 ops" ctx;
+      match r.Systems.reshard with
+      | None ->
+        if to_shards <> shards then fail "%s: controller never finished" ctx
+      | Some st ->
+        if st.Zk.Reshard.errors > 0 then
+          fail "%s: %d controller errors" ctx st.Zk.Reshard.errors;
+        if not (st.keys_migrated > 0 && st.keys_migrated < st.keys_total) then
+          fail "%s: migrated %d of %d keys — not a bounded-load remainder" ctx
+            st.keys_migrated st.keys_total)
+    runs;
+  flush stdout;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let points =
+      List.concat_map
+        (fun ((shards, to_shards, procs), (r : Systems.reshard_run)) ->
+          let config = reshard_config_label ~shards ~to_shards ~max_batch in
+          let mdtest_points =
+            List.filter_map
+              (fun phase ->
+                match Runner.latency_of r.Systems.results phase with
+                | None -> None
+                | Some l ->
+                  Some
+                    (Report.point
+                       ~experiment:("mdtest-" ^ Runner.phase_to_string phase)
+                       ~procs ~config
+                       ~ops_per_sec:(Runner.rate r.Systems.results phase)
+                       ~latency:(Report.latency_of_runner l) ()))
+              Runner.all_phases
+          in
+          let keys_total, keys_migrated, controller_errors =
+            match r.Systems.reshard with
+            | Some st ->
+              (st.Zk.Reshard.keys_total, st.keys_migrated, st.Zk.Reshard.errors)
+            | None -> (0, 0, 0)
+          in
+          let accounting =
+            [ Report.point ~experiment:"reshard-accounting" ~procs
+                ~config:
+                  (Printf.sprintf
+                     "%s|expected_logical=%d|logical=%d|live_stubs=%d|keys_total=%d|keys_migrated=%d|violations=%d|history_checked=%d|history_recorded=%d|window_s=%.4f|controller_errors=%d|client_errors=%d"
+                     config r.Systems.expected_logical_znodes
+                     r.Systems.logical_znodes_at_stat
+                     r.Systems.live_stubs_at_stat keys_total keys_migrated
+                     (List.length r.Systems.violations) r.Systems.history_checked
+                     r.Systems.history_recorded r.Systems.reshard_window
+                     controller_errors r.Systems.results.Runner.errors)
+                ~ops_per_sec:0.0
+                ~shards:(reshard_shard_stats r) () ]
+          in
+          mdtest_points @ accounting)
+        runs
+    in
+    Report.emit_json ~path points;
+    Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points));
+  match !failures with
+  | [] -> ()
+  | fs -> failwith ("reshard: " ^ String.concat "; " (List.rev fs))
+
+let reshard_smoke ?json_path () = reshard ~procs_list:[ 64 ] ?json_path ()
+
 let all () =
   fig7 ();
   fig8 ();
@@ -1378,4 +1525,5 @@ let all () =
   sharding ();
   chaos ();
   engine ();
-  sessions ()
+  sessions ();
+  reshard ()

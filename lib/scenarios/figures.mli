@@ -212,5 +212,22 @@ val sessions : ?json_path:string -> unit -> unit
     BENCH_pr7_smoke.json artifact. *)
 val sessions_smoke : ?json_path:string -> unit -> unit
 
+(** {2 Elastic resharding — live shard split/merge under mdtest}
+
+    At each process count: the no-split 2-shard baseline, the live
+    2->4 split fired at the file-create barrier, and (at the smallest
+    process count) a 4->2 merge — all through
+    {!Systems.mdtest_reshard}, with the linearizability oracle on a
+    slice of the client sessions. Fails if any run reports client
+    errors, an inexact logical census, oracle violations, or a
+    migration that is not a proper bounded-load remainder. With
+    [json_path] writes the BENCH_pr8.json artifact. *)
+val reshard :
+  ?procs_list:int list -> ?max_batch:int -> ?json_path:string -> unit -> unit
+
+(** The CI variant: 64 processes only — the BENCH_pr8_smoke.json
+    artifact. Same failure conditions as {!reshard}. *)
+val reshard_smoke : ?json_path:string -> unit -> unit
+
 (** Run everything (the full bench suite). *)
 val all : unit -> unit

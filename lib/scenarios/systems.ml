@@ -376,6 +376,94 @@ let mdtest_sharded_faulted ?(dirs_per_proc = 60) ?(files_per_proc = 60)
     expected_logical_znodes = expected_logical_znodes cfg ~procs ~files_per_proc;
     router_stats = Zk.Shard_router.stats router }
 
+(* {2 Live resharding under mdtest (elastic split / merge)}
+
+   The controller fires at the file-create barrier, so the split runs
+   while every process is writing: routed ops to migrating keys park at
+   the router and resume against the new owner after the flip. A slice
+   of the client sessions records through {!Zk.History}, so the flip
+   itself is subject to the linearizability oracle. The census is still
+   sampled at the file-stat barrier — proc 0 waits there for the
+   controller to finish first, so the exactness invariant sees the
+   post-split tree. *)
+
+type reshard_run = {
+  results : Mdtest.Runner.results;
+  router : Zk.Shard_router.t;
+  reshard : Zk.Reshard.stats option;  (* [None] on the no-split baseline *)
+  reshard_window : float;             (* sim-seconds, controller start -> done *)
+  history_recorded : int;
+  history_checked : int;
+  violations : Zk.History.violation list;
+  per_shard_znodes : int array;
+  live_stubs_at_stat : int;
+  logical_znodes_at_stat : int;
+  expected_logical_znodes : int;
+}
+
+let mdtest_reshard ?(dirs_per_proc = 60) ?(files_per_proc = 60) ?(max_batch = 1)
+    ?(history_clients = 8) ~spec ~shards ~to_shards ~procs () =
+  let engine = Engine.create () in
+  let config = zk_config ~max_batch ~servers:spec.zk_servers ~procs () in
+  let router = Zk.Shard_router.start engine ~shards config in
+  let backend_clients, _ = build_backends engine ~spec in
+  let hist = Zk.History.create engine in
+  let next_client = ref 0 in
+  (* one session per process (dufs_ops_for_proc calls this once per
+     proc); the first [history_clients] of them record *)
+  let session_of () =
+    let s = Zk.Shard_router.session router () in
+    let id = !next_client in
+    incr next_client;
+    if id < history_clients then Zk.History.wrap hist ~client:id s else s
+  in
+  let ops_for_proc =
+    dufs_ops_for_proc ~trace:Obs.Trace.null engine ~session_of ~backend_clients
+      ~cached:false
+  in
+  let cfg = Mdtest.Workload.config ~dirs_per_proc ~files_per_proc ~procs () in
+  let reshard_done = ref (to_shards = shards) in
+  let reshard_stats = ref None in
+  let t0 = ref 0. and t1 = ref 0. in
+  let per_shard_znodes = ref [||] and live_stubs_at_stat = ref 0 in
+  let on_phase phase =
+    (match phase with
+     | Mdtest.Runner.File_create when to_shards <> shards ->
+       Process.spawn engine (fun () ->
+           t0 := Engine.now engine;
+           let st =
+             if to_shards > shards then Zk.Reshard.split router ~to_shards ()
+             else Zk.Reshard.merge router ~to_shards ()
+           in
+           t1 := Engine.now engine;
+           reshard_stats := Some st;
+           reshard_done := true)
+     | _ -> ());
+    if phase = Mdtest.Runner.File_stat then begin
+      while not !reshard_done do
+        Process.sleep 0.005
+      done;
+      per_shard_znodes := Zk.Shard_router.node_counts router;
+      live_stubs_at_stat :=
+        Zk.Shard_router.live_stubs (Zk.Shard_router.stats router)
+    end
+  in
+  let results = Mdtest.Runner.run ~on_phase engine cfg ~ops_for_proc in
+  let violations = Zk.History.check hist in
+  { results;
+    router;
+    reshard = !reshard_stats;
+    reshard_window = !t1 -. !t0;
+    history_recorded = Zk.History.recorded hist;
+    history_checked = Zk.History.checked_ops hist;
+    violations;
+    per_shard_znodes = !per_shard_znodes;
+    live_stubs_at_stat = !live_stubs_at_stat;
+    logical_znodes_at_stat =
+      Array.fold_left (fun acc n -> acc + (n - 1)) 0 !per_shard_znodes
+      - !live_stubs_at_stat;
+    expected_logical_znodes = expected_logical_znodes cfg ~procs ~files_per_proc }
+
 (* {2 Chaos: randomized network-fault schedules with a linearizability
       oracle}
 

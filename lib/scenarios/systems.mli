@@ -193,6 +193,49 @@ val mdtest_sharded_faulted :
   unit ->
   sharded_fault_run
 
+(** {2 Live resharding under mdtest}
+
+    One mdtest run over a sharded deployment whose shard count changes
+    {e while the file-create phase runs}: a controller process spawned
+    at the file-create barrier executes {!Zk.Reshard.split} (or
+    [merge], when [to_shards < shards]), migrating the bounded-load
+    remainder of directory keys under full write traffic. The first
+    [history_clients] client sessions record through {!Zk.History}
+    (wrapped below the DUFS client, so every routed coordination op the
+    oracle can check is checked across the flip). Census fields carry
+    the same exactness contract as the other sharded runs — sampled at
+    the file-stat barrier {e after} the controller finished.
+    [to_shards = shards] is the exactly-comparable no-split baseline
+    ([reshard = None], [reshard_window = 0]). Not memoized. *)
+
+type reshard_run = {
+  results : Mdtest.Runner.results;
+  router : Zk.Shard_router.t;
+  reshard : Zk.Reshard.stats option;
+      (** controller counters; [None] on the no-split baseline *)
+  reshard_window : float;
+      (** sim-seconds from controller start to completion *)
+  history_recorded : int;
+  history_checked : int;
+  violations : Zk.History.violation list;
+  per_shard_znodes : int array;
+  live_stubs_at_stat : int;
+  logical_znodes_at_stat : int;
+  expected_logical_znodes : int;
+}
+
+val mdtest_reshard :
+  ?dirs_per_proc:int ->
+  ?files_per_proc:int ->
+  ?max_batch:int ->
+  ?history_clients:int ->
+  spec:dufs_spec ->
+  shards:int ->
+  to_shards:int ->
+  procs:int ->
+  unit ->
+  reshard_run
+
 (** {2 Chaos runs — randomized network faults + linearizability oracle}
 
     One seeded schedule: [clients] processes hammer [registers]

@@ -249,6 +249,28 @@ let leases_renewed t = sum_leases Lease.renewed t
 let leases_revoked t = sum_leases Lease.revoked t
 let leases_expired t = sum_leases Lease.expired t
 
+(* Ownership flip (online resharding): this ensemble is no longer the
+   owner of [dir]'s contents, so any coherence state its live members
+   still hold for [dir] — armed child watches on [dir], data watches on
+   its immediate children (present or absent), lease interests in [dir]
+   — must fire now: the writes they wait for will commit on another
+   shard and never reach these tables. Crashed members already lost
+   their tables; the resync/TTL paths cover them as usual. *)
+let revoke_dir t dir =
+  Array.iter
+    (fun (s : server) ->
+      if s.role <> Down then begin
+        ignore (Ztree.fire_data_watches_under s.tree ~dir);
+        ignore (Ztree.fire_child_watches s.tree dir);
+        let children =
+          match Ztree.children s.tree dir with
+          | Ok names -> List.map (Zpath.concat dir) names
+          | Error _ -> []
+        in
+        ignore (Lease.revoke_dir s.leases ~children dir)
+      end)
+    t.members
+
 let debug_dump t =
   String.concat "\n"
     (Array.to_list

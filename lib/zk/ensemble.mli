@@ -223,3 +223,11 @@ val leases_granted : t -> int
 val leases_renewed : t -> int
 val leases_revoked : t -> int
 val leases_expired : t -> int
+
+(** [revoke_dir t dir] fires, on every live member, the coherence state
+    still parked on [dir]: armed child watches on [dir], data watches on
+    its immediate children (present or absent), and lease interests in
+    [dir]. The ownership-flip step of online resharding — after [dir]
+    migrates to another shard, no write on this ensemble will ever again
+    invalidate entries cached under it. *)
+val revoke_dir : t -> string -> unit

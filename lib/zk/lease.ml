@@ -115,6 +115,36 @@ let revoke_txn t txn results =
       | _ -> ())
     txn results
 
+(* Ownership flip: every interest in [dir] is notified (the directory's
+   contents now live on another shard, so nothing here will ever again
+   invalidate them) and dropped — a grant after the flip belongs to the
+   new owner's table. Each live interest gets one data event per child
+   (the caller enumerates them from its tree — the table itself only
+   knows directories) so per-entry caches drop the children too, then
+   the children event for the listing. Negative entries for {e absent}
+   children cannot be enumerated and stay TTL-bounded (DESIGN.md §10). *)
+let revoke_dir t ?(children = []) dir =
+  match Hashtbl.find_opt t.interests dir with
+  | None -> 0
+  | Some sessions ->
+    let now = t.now () in
+    let fired = ref 0 in
+    Hashtbl.iter
+      (fun _session (i : interest) ->
+        if i.deadline > now then begin
+          t.revoked <- t.revoked + 1;
+          incr fired;
+          List.iter
+            (fun child ->
+              i.notify { Ztree.kind = Ztree.Node_data_changed; path = child })
+            children;
+          i.notify { Ztree.kind = Ztree.Node_children_changed; path = dir }
+        end
+        else t.expired <- t.expired + 1)
+      sessions;
+    Hashtbl.remove t.interests dir;
+    !fired
+
 let drop_session t session =
   let empty = ref [] in
   Hashtbl.iter

@@ -42,6 +42,19 @@ val grant :
     {!Txn.result_item} list from {!Ztree.apply}. *)
 val revoke_txn : t -> Txn.t -> Txn.result_item list -> unit
 
+(** [revoke_dir t ~children dir] notifies and drops every live interest
+    in [dir] — the ownership-flip revocation: after a reshard moves
+    [dir] to another shard, nothing on this server will ever again
+    invalidate entries cached under it, so the interests must not
+    outlive the flip. Each live interest receives one
+    [Node_data_changed] per path in [children] (the caller enumerates
+    [dir]'s children from its tree; the table only knows directories)
+    so per-entry caches drop child data too, then [Node_children_changed]
+    on [dir] for the listing. Negative entries for absent children
+    cannot be enumerated and stay TTL-bounded. Expired interests are
+    purged silently. Returns the number of interests notified. *)
+val revoke_dir : t -> ?children:string list -> string -> int
+
 (** Remove every interest held by [session] (session close/expiry). *)
 val drop_session : t -> int64 -> unit
 

@@ -1,0 +1,62 @@
+(** Online resharding: change a {!Shard_router} deployment's shard
+    count while client traffic flows.
+
+    Only the bounded-load remainder moves: {!Shard_router.prepare_reshard}
+    replays the assigned directory keys over the new ring and the
+    controller migrates exactly the keys whose owner changed, each
+    through a prepare / copy / flip / retire state machine (DESIGN.md
+    §10). While a key migrates, routed writes to it park at the router;
+    once the copy freezes, reads park too, the old owner's watch and
+    lease state for the directory is revoked, and the placement flips —
+    parked ops resume against the new owner. Stub accounting stays
+    exact throughout, so {!Shard_router.logical_population} is an
+    invariant of the procedure.
+
+    On a simulated deployment ({!Shard_router.start}) the controller
+    must run inside a simulation process — its per-shard sessions block
+    on RPCs and it sleeps [drain] between the write barrier and the
+    copy. On an immediate-mode deployment ({!Shard_router.local}) pass
+    [~drain:0.] and it runs synchronously. *)
+
+type stats = {
+  mutable shards_before : int;
+  mutable shards_after : int;
+  mutable keys_total : int;      (** keys assigned when the plan was cut *)
+  mutable keys_migrated : int;   (** the bounded-load remainder *)
+  mutable batches : int;
+  mutable znodes_copied : int;   (** fresh creates on the new owners *)
+  mutable znodes_retired : int;  (** deletes on the old owners *)
+  mutable stubs_promoted : int;  (** dst stub became the primary *)
+  mutable stubs_demoted : int;   (** src primary became a stub *)
+  mutable reconciled : int;      (** straggler fixes after freeze *)
+  mutable ephemerals_flattened : int;
+      (** ephemeral children copied as persistent (logged as orphan
+          notes for Fsck-style review) *)
+  mutable errors : int;          (** unexpected per-node failures (also
+                                     noted via [note_failure]) *)
+}
+
+val fresh_stats : unit -> stats
+val pp : Format.formatter -> stats -> unit
+
+(** [run ?drain ?batch t ~to_shards ()] moves the deployment to
+    [to_shards] shards, booting new backends as needed (a merge leaves
+    the drained backends in place, empty). [drain] (default 0.02 sim
+    seconds) is slept once per batch after the write barrier so writes
+    issued before it commit on the old owner; [batch] (default 64)
+    bounds how many keys share one drain — keys still migrate one at a
+    time.
+    @raise Invalid_argument if [to_shards < 1] or a migration is open. *)
+val run :
+  ?drain:float -> ?batch:int -> Shard_router.t -> to_shards:int -> unit ->
+  stats
+
+(** {!run} that insists the count grows. *)
+val split :
+  ?drain:float -> ?batch:int -> Shard_router.t -> to_shards:int -> unit ->
+  stats
+
+(** {!run} that insists the count shrinks. *)
+val merge :
+  ?drain:float -> ?batch:int -> Shard_router.t -> to_shards:int -> unit ->
+  stats

@@ -36,7 +36,18 @@
     deletes of a stubbed directory are an ordered two-phase write
     (stub first — it holds the children, so ZNOTEMPTY semantics are
     preserved — then primary, recreating the stub if the primary
-    delete refuses). All occurrences are counted in {!stats}. *)
+    delete refuses). All occurrences are counted in {!stats}.
+
+    {2 Online resharding}
+
+    The shard count is dynamic: {!Reshard} migrates directory keys one
+    at a time through a prepare/copy/flip/retire state machine built on
+    {!prepare_reshard}, {!begin_migration}, {!freeze_migration} and
+    {!finish_migration}. While a key migrates, the router parks writes
+    to it (and, once frozen, reads too) in a poll loop driven by the
+    {!set_block_hook} callback, so in-flight client ops are routed to
+    the old owner pre-flip and to the new one post-flip. DESIGN.md §10
+    documents the protocol and its flip-ordering guarantees. *)
 
 type stats = {
   mutable cross_shard_multis : int;
@@ -45,7 +56,14 @@ type stats = {
   mutable stub_deletes : int;
   mutable rollbacks : int;            (** undo transactions that succeeded *)
   mutable rollback_failures : int;    (** partial commits left in place *)
-  mutable orphan_notes : string list; (** newest first; repair work items *)
+  mutable orphan_notes : string list;
+      (** newest first; repair work items {e and} informational
+          bookkeeping (migration stub promotions, flattened
+          ephemerals). Capped at 200 entries — the overflow count is
+          [orphan_notes_dropped]; only [rollback_failures] (not the
+          log length) counts unrecoverable partial commits. *)
+  mutable orphan_notes_total : int;   (** every note ever taken *)
+  mutable orphan_notes_dropped : int; (** rotated out of the capped log *)
 }
 
 val fresh_stats : unit -> stats
@@ -53,6 +71,14 @@ val fresh_stats : unit -> stats
 (** Live stubs currently standing in for cross-shard directories
     ([stub_creates - stub_deletes]). *)
 val live_stubs : stats -> int
+
+(** Append an informational note (capped/rotated; never touches
+    [rollback_failures]). *)
+val note : stats -> string -> unit
+
+(** Append a note that records an unrecoverable partial commit; bumps
+    [rollback_failures] as well. *)
+val note_failure : stats -> string -> unit
 
 (** {2 Placement — consistent hashing with bounded loads}
 
@@ -64,9 +90,9 @@ val live_stubs : stats -> int
     keys — then the next shard id (wrapping) under the cap takes it.
     With [eps = 0] (the default) per-shard key counts never differ by
     more than one. Assignments are memoized and therefore stable for
-    the placement's lifetime; the table models the durable
-    directory-placement map a real deployment would keep in a small,
-    cacheable coordination namespace (IndexFS-style). *)
+    the placement's lifetime unless a reshard migrates them; the table
+    models the durable directory-placement map a real deployment would
+    keep in a small, cacheable coordination namespace (IndexFS-style). *)
 
 type placement
 
@@ -77,6 +103,52 @@ val make_placement : ?eps:float -> shards:int -> unit -> placement
 val place : placement -> string -> int
 
 val placement_ring : placement -> Consistent_hash.t
+
+(** Current shard count of the placement (grows/shrinks on reshard). *)
+val placement_shards : placement -> int
+
+(** Copy of the per-shard key loads. *)
+val placement_loads : placement -> int array
+
+(** Keys ever assigned (stable across resharding — keys move, they are
+    never forgotten). *)
+val keys_assigned : placement -> int
+
+(** The key's current shard without assigning it — [None] if the key
+    was never placed. *)
+val assigned_shard : placement -> string -> int option
+
+(** {2 Online resharding primitives — used by {!Reshard}} *)
+
+(** [prepare_reshard p ~shards] replays every assigned key (sorted, so
+    the plan is deterministic) through the bounded-load algorithm over
+    a fresh [shards]-point ring and returns the migration remainder as
+    [(key, src, dst)] moves. The new ring, shard count and (planned)
+    loads are committed immediately — new keys place under the new
+    regime — while each existing key keeps its old assignment (and its
+    old routing) until {!finish_migration} flips it.
+    @raise Invalid_argument if [shards < 1] or a migration is open. *)
+val prepare_reshard : placement -> shards:int -> (string * int * int) list
+
+(** Open a migration for [key]: routed writes to paths keyed by it park
+    at the router until the flip. *)
+val begin_migration : placement -> string -> unit
+
+(** Freeze [key]: reads park too (the copy is being verified/retired —
+    neither owner can safely serve them).
+    @raise Invalid_argument if [key] is not migrating. *)
+val freeze_migration : placement -> string -> unit
+
+(** Flip [key] to [dst] and release every parked op. *)
+val finish_migration : placement -> string -> dst:int -> unit
+
+val migrating : placement -> string -> bool
+
+(** Install the poll hook parked ops spin on (a simulation deployment
+    installs a short [Process.sleep]; {!start} does this itself). The
+    default hook raises — an immediate-mode deployment must never leave
+    a migration open across a client call. *)
+val set_block_hook : placement -> (string -> unit) -> unit
 
 (** {2 Deployments} *)
 
@@ -92,9 +164,31 @@ val start : ?trace:Obs.Trace.t -> Simkit.Engine.t -> shards:int -> Ensemble.conf
     router logic, no simulation required). *)
 val local : ?clock:(unit -> float) -> shards:int -> unit -> t
 
-(** [session t ()] opens one sub-session per shard and returns the
-    routed handle. [close] closes every sub-session (per-shard ephemeral
-    cleanup); [sync] syncs every shard; [session_id] is shard 0's. *)
+(** Boot [count] additional shards (same config, seeds continuing the
+    [cfg.seed + i] sequence, tags [shardN..]). Existing sessions reach
+    the new shards lazily; the placement does not use them until a
+    {!prepare_reshard} widens the ring.
+    @raise Invalid_argument if [count < 1]. *)
+val add_shards : t -> int -> unit
+
+(** A raw (un-routed) session on shard [i] — the reshard controller's
+    direct line to one shard. *)
+val backend_session : t -> int -> Zk_client.handle
+
+(** [revoke_dir t ~shard dir] discards every piece of coherence state
+    shard [shard] still holds for directory [dir]: armed child watches
+    on [dir], armed data watches on [dir]'s immediate children
+    (existing or absent), and lease interests in [dir] — each fired
+    with the corresponding invalidation event. Called on the old owner
+    right before an ownership flip, so clients cannot keep serving
+    local reads the old shard will never again invalidate. *)
+val revoke_dir : t -> shard:int -> string -> unit
+
+(** [session t ()] opens one sub-session per current shard and returns
+    the routed handle; shards added by a later reshard are opened
+    lazily on first routed op. [close] closes every opened sub-session
+    (per-shard ephemeral cleanup); [sync] syncs them; [session_id] is
+    shard 0's. *)
 val session : t -> unit -> Zk_client.handle
 
 (** Route an explicit handle array (shard [i] = [handles.(i)]) — the
@@ -133,7 +227,9 @@ val node_counts : t -> int array
 
 (** Logical znode population: total nodes minus the per-shard roots and
     minus live stubs — the number a single-ensemble deployment would
-    report minus its root. Exact iff no write was lost or doubled. *)
+    report minus its root. Exact iff no write was lost or doubled
+    (including across a reshard: migration copies, retires and stub
+    promotions/demotions all balance). *)
 val logical_population : t -> int
 
 val writes_committed : t -> int
@@ -147,5 +243,5 @@ val dedup_hits_by_shard : t -> int array
     [zk.router.cross_shard_multis], [zk.router.cross_shard_deletes],
     [zk.router.stub_creates], [zk.router.stub_deletes],
     [zk.router.rollbacks], [zk.router.rollback_failures],
-    [zk.router.live_stubs]. *)
+    [zk.router.orphan_notes_total], [zk.router.live_stubs]. *)
 val publish : t -> Obs.Metrics.t -> unit

@@ -18,6 +18,18 @@ let tree t = t.tree
 let leases t = t.leases
 let server_resident_bytes t = Memory_model.server_resident_bytes t.tree
 
+(* Ownership flip (online resharding): [dir]'s contents now live on
+   another backend, so coherence state parked here for it is stale. *)
+let revoke_dir t dir =
+  ignore (Ztree.fire_data_watches_under t.tree ~dir);
+  ignore (Ztree.fire_child_watches t.tree dir);
+  let children =
+    match Ztree.children t.tree dir with
+    | Ok names -> List.map (Zpath.concat dir) names
+    | Error _ -> []
+  in
+  ignore (Lease.revoke_dir t.leases ~children dir)
+
 let submit t txn =
   let zxid = t.next_zxid in
   match Ztree.apply t.tree ~zxid ~time:(t.clock ()) txn with

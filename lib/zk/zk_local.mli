@@ -22,3 +22,8 @@ val leases : t -> Lease.t
 
 (** Modelled resident size of the (single) server process. *)
 val server_resident_bytes : t -> int
+
+(** Fire the coherence state (child watches on [dir], data watches on
+    its immediate children, lease interests in [dir]) — the
+    ownership-flip step of online resharding. See {!Ensemble.revoke_dir}. *)
+val revoke_dir : t -> string -> unit

@@ -214,6 +214,44 @@ let migrate_watches ~from ~into =
       | None, Some _ | Some _, Some _ -> fire callbacks Node_children_changed path)
     (drain_watch_table from.child_watches)
 
+(* {2 Ownership-flip revocation}
+
+   When a directory's placement migrates to another shard, watches this
+   tree still holds for it will never fire again from here — the writes
+   they wait for now commit elsewhere. The reshard controller fires
+   them on the old owner right before the flip: child watches on the
+   directory itself (a cached listing, possibly of an {e empty}
+   directory the retire step touched nothing in), and data watches on
+   its immediate children — including watches on {e absent} child
+   paths, which back clients' cached negative entries (the registries
+   accept absent paths, so only a table sweep finds them). *)
+
+let fire_child_watches t path =
+  match take_watches t.child_watches path with
+  | [] -> 0
+  | callbacks ->
+    let event = { kind = Node_children_changed; path } in
+    List.iter (fun cb -> cb event) callbacks;
+    List.length callbacks
+
+let fire_data_watches_under t ~dir =
+  let paths =
+    Hashtbl.fold
+      (fun path _ acc ->
+        if path <> dir && Zpath.parent path = dir then path :: acc else acc)
+      t.data_watches []
+  in
+  List.fold_left
+    (fun acc path ->
+      match take_watches t.data_watches path with
+      | [] -> acc
+      | callbacks ->
+        let event = { kind = Node_data_changed; path } in
+        List.iter (fun cb -> cb event) callbacks;
+        acc + List.length callbacks)
+    0
+    (List.sort String.compare paths)
+
 (* {2 Ephemeral bookkeeping} *)
 
 let record_ephemeral t ~owner path =

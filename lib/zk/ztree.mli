@@ -91,6 +91,20 @@ val watch_count : t -> int
     event. [from]'s registries are emptied. *)
 val migrate_watches : from:t -> into:t -> unit
 
+(** [fire_child_watches t dir] consumes and fires (as
+    [Node_children_changed]) every armed child watch on [dir]. Used on
+    an ownership flip: listings of a migrated directory will never
+    again change on this tree, so watches waiting here are stale.
+    Returns the number of callbacks fired. *)
+val fire_child_watches : t -> string -> int
+
+(** [fire_data_watches_under t ~dir] consumes and fires (as
+    [Node_data_changed]) every armed data watch on an immediate child
+    path of [dir] — including watches on {e absent} children, which
+    back cached negative entries. Deterministic (paths are visited in
+    sorted order). Returns the number of callbacks fired. *)
+val fire_data_watches_under : t -> dir:string -> int
+
 (** {2 Sessions} *)
 
 (** All paths currently owned by [owner], deepest first (safe to delete in

@@ -49,6 +49,65 @@ let test_placement_loose_eps_follows_the_ring () =
         (Router.place p k))
     (List.init 50 (Printf.sprintf "/k%d"))
 
+(* The cap is the ceil formula alone, checked after every placement —
+   including placements replayed over a widened ring by a reshard and
+   fresh keys placed after the flip. *)
+let prop_bounded_load =
+  let gen =
+    QCheck2.Gen.(
+      triple (int_range 1 8) (float_range 0. 2.)
+        (list_size (int_range 1 150) (int_range 0 999)))
+  in
+  QCheck2.Test.make
+    ~name:"per-shard load never exceeds ceil((1+eps)*total/shards)" ~count:200
+    gen (fun (shards, eps, keys) ->
+      let p = Router.make_placement ~eps ~shards () in
+      let ok = ref true in
+      let check_cap () =
+        let total = Router.keys_assigned p in
+        let n = Router.placement_shards p in
+        let cap =
+          int_of_float (ceil ((1. +. eps) *. float_of_int total /. float_of_int n))
+        in
+        Array.iter (fun l -> if l > cap then ok := false) (Router.placement_loads p)
+      in
+      List.iter
+        (fun k ->
+          ignore (Router.place p (Printf.sprintf "/d%03d" k));
+          check_cap ())
+        keys;
+      (* widen the ring: the migration plan commits new loads that must
+         respect the new cap, before and after the per-key flips *)
+      let moves = Router.prepare_reshard p ~shards:(shards + 2) in
+      check_cap ();
+      List.iter (fun (key, _src, dst) -> Router.finish_migration p key ~dst) moves;
+      List.iter
+        (fun k ->
+          ignore (Router.place p (Printf.sprintf "/e%03d" k));
+          check_cap ())
+        keys;
+      !ok)
+
+let test_note_log_capped_and_counters_split () =
+  let s = Router.fresh_stats () in
+  Router.note s "first";
+  check_int "informational note is not a failure" 0 s.Router.rollback_failures;
+  check_int "total counts it" 1 s.Router.orphan_notes_total;
+  for i = 2 to 250 do
+    Router.note s (Printf.sprintf "n%d" i)
+  done;
+  check_int "log capped at 200" 200 (List.length s.Router.orphan_notes);
+  check_int "overflow counted" 50 s.Router.orphan_notes_dropped;
+  check_int "total keeps counting" 250 s.Router.orphan_notes_total;
+  (match s.Router.orphan_notes with
+  | newest :: _ -> Alcotest.(check string) "newest kept" "n250" newest
+  | [] -> Alcotest.fail "note log empty");
+  check_bool "oldest rotated out" true
+    (not (List.mem "first" s.Router.orphan_notes));
+  Router.note_failure s "partial commit";
+  check_int "failure note bumps the counter" 1 s.Router.rollback_failures;
+  check_int "and lands in the log too" 251 s.Router.orphan_notes_total
+
 let test_placement_rejects_bad_args () =
   let raises f =
     match f () with
@@ -499,7 +558,11 @@ let () =
           Alcotest.test_case "loose eps follows the ring" `Quick
             test_placement_loose_eps_follows_the_ring;
           Alcotest.test_case "rejects bad arguments" `Quick
-            test_placement_rejects_bad_args ] );
+            test_placement_rejects_bad_args;
+          QCheck_alcotest.to_alcotest prop_bounded_load ] );
+      ( "notes",
+        [ Alcotest.test_case "log capped, counters split" `Quick
+            test_note_log_capped_and_counters_split ] );
       ( "routing",
         [ Alcotest.test_case "siblings co-locate" `Quick test_sibling_colocation ] );
       ( "parity",

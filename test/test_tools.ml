@@ -322,6 +322,57 @@ let test_rebalance_empty_plan () =
   let stats = ok_fs "execute" (Rebalancer.execute ~backends:mount_ops moves) in
   check_int "nothing moved" 0 stats.Rebalancer.moved
 
+let test_rebalance_crash_window_is_recorded_and_repaired () =
+  (* regression: a move that dies between the destination write and the
+     source unlink used to leave the file on both back-ends with no
+     record anywhere — execute noted nothing and fsck's physicals pass
+     skipped claimed-but-elsewhere files as "already reported" even when
+     the home copy was present too *)
+  let _, coord, _, fs, mount_ops = make ~backends:2 () in
+  populate fs;
+  let moves, _ =
+    ok_zk "plan"
+      (Rebalancer.plan_add_backend ~coord ~strategy:Mapping.Md5_mod ~backends_before:2 ())
+  in
+  check_bool "plan is non-empty" true (moves <> []);
+  let extra = Memfs.ops (Memfs.create ~clock:(fun () -> 0.) ()) in
+  ok_fs "format extra" (Physical.format Physical.default_layout extra);
+  (* the source back-ends refuse the unlink: the copy commits on dst,
+     the delete never happens — the crash window made permanent *)
+  let failing ops = { ops with Vfs.unlink = (fun _ -> Error Errno.EIO) } in
+  let crippled = Array.append (Array.map failing mount_ops) [| extra |] in
+  let notes = ref [] in
+  (match
+     Rebalancer.execute ~backends:crippled ~note:(fun m -> notes := m :: !notes)
+       moves
+   with
+  | Ok _ -> Alcotest.fail "execute should stop on the unlink error"
+  | Error Errno.EIO -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errno.to_string e));
+  let mentions needle m =
+    let nl = String.length needle and ml = String.length m in
+    let rec go i = i + nl <= ml && (String.sub m i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "write-ahead intent noted" true
+    (List.exists (mentions "move in flight") !notes);
+  check_bool "double presence noted" true
+    (List.exists (mentions "double presence") !notes);
+  (* fsck over the healthy mounts sees exactly one doubled file (the
+     remaining planned moves never started, so they are merely
+     misplaced under the new mapping) *)
+  let all = Array.append mount_ops [| extra |] in
+  let report = ok_zk "scan" (Fsck.scan ~coord ~backends:all ()) in
+  let doubled =
+    List.filter (function Fsck.Double_presence _ -> true | _ -> false)
+      report.Fsck.issues
+  in
+  check_int "one double presence" 1 (List.length doubled);
+  let stats = Fsck.repair ~backends:all report in
+  check_int "stale copy removed" 1 stats.Fsck.deduplicated;
+  check_bool "clean after repair" true
+    (Fsck.is_clean (ok_zk "rescan" (Fsck.scan ~coord ~backends:all ())))
+
 (* {2 Client-side cache} *)
 
 module Cache = Dufs.Cache
@@ -520,7 +571,9 @@ let () =
           Alcotest.test_case "consistent hashing moves less" `Quick
             test_rebalance_consistent_moves_less;
           Alcotest.test_case "data survives" `Quick test_rebalance_data_survives;
-          Alcotest.test_case "empty plan" `Quick test_rebalance_empty_plan ] );
+          Alcotest.test_case "empty plan" `Quick test_rebalance_empty_plan;
+          Alcotest.test_case "crash window recorded and repaired" `Quick
+            test_rebalance_crash_window_is_recorded_and_repaired ] );
       ( "cache",
         [ Alcotest.test_case "hits and misses" `Quick test_cache_hits_and_misses;
           Alcotest.test_case "remote invalidation" `Quick test_cache_remote_invalidation;
