@@ -76,6 +76,14 @@ let experiments =
                        BENCH_pr8_smoke.json)",
      fun () ->
        Scenarios.Figures.reshard_smoke ~json_path:"BENCH_pr8_smoke.json" ());
+    ("pipeline", "pipelined ZAB write path: windowed proposals vs \
+                  stop-and-wait, traced breakdown + chaos sweep with the \
+                  window open (writes BENCH_pr9.json)",
+     fun () -> Scenarios.Figures.pipeline ~json_path:"BENCH_pr9.json" ());
+    ("pipeline-smoke", "pipeline at 64 procs, 2 chaos seeds (CI; writes \
+                        BENCH_pr9_smoke.json)",
+     fun () ->
+       Scenarios.Figures.pipeline_smoke ~json_path:"BENCH_pr9_smoke.json" ());
     ("all", "every experiment in order", Scenarios.Figures.all) ]
 
 open Cmdliner

@@ -1504,6 +1504,286 @@ let reshard ?(procs_list = [ 64; 256 ]) ?(max_batch = 16) ?json_path () =
 
 let reshard_smoke ?json_path () = reshard ~procs_list:[ 64 ] ?json_path ()
 
+(* {2 Write pipeline — windowed ZAB proposals vs stop-and-wait}
+
+   The PR 9 bench: the same traced mdtest profile as [profile], once per
+   leader write-path configuration — classic unbatched stop-and-wait,
+   group commit alone, and group commit plus a pipelined proposal
+   window — and then a chaos sweep with the window open, because a
+   faster write path that loses linearizability under faults is
+   worthless. The driver enforces the PR's acceptance bar itself: every
+   phase finite and non-negative, phase sums telescoping within 5%, the
+   queue-wait + ack share of a create at the largest scale improving at
+   least [min_improvement] percent over the window = 1 group-commit
+   baseline in the very same run, zero history violations across the
+   chaos schedules, every schedule recovering, and the first schedule
+   bit-identical on re-run. *)
+
+let pipeline_batch = 16
+let pipeline_window = 8
+let pipeline_chaos_window = 4
+
+let pipeline_variants =
+  [ ("batch1-w1", 1, 1) (* classic one-txn-per-round ZAB *);
+    ("batch16-w1", pipeline_batch, 1) (* group commit, stop-and-wait *);
+    ("batch16-w8", pipeline_batch, pipeline_window) (* + proposal window *) ]
+
+let pipeline_config_label name =
+  Printf.sprintf "pipeline=%s|zk=8|backends=2xLustre" name
+
+let pipeline ?(procs_list = [ 64; 128; 256 ])
+    ?(chaos_runs = chaos_runs_default) ?(min_improvement = 30.) ?json_path ()
+    =
+  Report.print_header
+    (Printf.sprintf
+       "Write pipeline — windowed ZAB proposals (window=%d) vs stop-and-wait, \
+        traced mdtest over DUFS 2xLustre/8zk"
+       pipeline_window);
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let runs =
+    List.concat_map
+      (fun procs ->
+        List.map
+          (fun (name, max_batch, window) ->
+            let config_adjust c =
+              { c with
+                Zk.Ensemble.max_batch;
+                max_inflight_batches = window }
+            in
+            ( (name, procs),
+              Systems.mdtest_profiled ~config_adjust ~spec:profile_spec ~procs
+                () ))
+          pipeline_variants)
+      procs_list
+  in
+  Printf.printf "%-12s %5s %10s %9s" "config" "procs" "create/s" "total_s";
+  List.iter (fun p -> Printf.printf " %9s" p) Obs.Trace.phases;
+  Printf.printf " %9s %9s\n" "qw+ack" "coverage";
+  let qw_ack = Hashtbl.create 16 in
+  List.iter
+    (fun ((name, procs), (r : Systems.profile_run)) ->
+      let trace = r.Systems.trace in
+      List.iter
+        (fun op ->
+          match quorum_breakdown trace op with
+          | None -> ()
+          | Some (_count, total, phases) ->
+            let sum = List.fold_left (fun acc (_, m) -> acc +. m) 0. phases in
+            if Float.abs (sum -. total) > 0.05 *. total then
+              fail "%s @%d procs, zk.%s: phase sum %.6g vs total %.6g" name
+                procs op sum total;
+            List.iter
+              (fun (p, m) ->
+                if not (Float.is_finite m) || m < 0. then
+                  fail "%s @%d procs, zk.%s: phase %s = %g" name procs op p m)
+              phases)
+        zk_write_ops;
+      match quorum_breakdown trace "create" with
+      | None -> fail "%s @%d procs: no traced creates" name procs
+      | Some (_count, total, phases) ->
+        let sum = List.fold_left (fun acc (_, m) -> acc +. m) 0. phases in
+        let qa =
+          List.fold_left
+            (fun acc (p, m) ->
+              if p = "queue-wait" || p = "ack" then acc +. m else acc)
+            0. phases
+        in
+        Hashtbl.replace qw_ack (name, procs) qa;
+        Printf.printf "%-12s %5d %10.0f %9.3g" name procs
+          (Runner.rate r.Systems.results Runner.File_create)
+          total;
+        List.iter (fun (_, m) -> Printf.printf " %9.3g" m) phases;
+        Printf.printf " %9.3g %8.2f%%\n%!" qa (100. *. sum /. total))
+    runs;
+  let max_procs = List.fold_left max 0 procs_list in
+  let qa_of name = Hashtbl.find_opt qw_ack (name, max_procs) in
+  let improvement = ref Float.nan in
+  let qa_base = ref Float.nan and qa_piped = ref Float.nan in
+  (match (qa_of "batch16-w1", qa_of "batch16-w8") with
+   | Some base, Some piped when base > 0. ->
+     let impr = 100. *. (base -. piped) /. base in
+     improvement := impr;
+     qa_base := base;
+     qa_piped := piped;
+     Printf.printf
+       "\n  create queue-wait+ack @%d procs: stop-and-wait %.3g s -> \
+        pipelined %.3g s (%.1f%% better; gate: >= %.0f%%)\n"
+       max_procs base piped impr min_improvement;
+     if impr < min_improvement then
+       fail "queue-wait+ack improved only %.1f%% (< %.0f%%)" impr
+         min_improvement
+   | _ ->
+     fail "missing the %d-proc batch16 runs for the improvement gate"
+       max_procs);
+  (* The chaos sweep: the same seeded schedules as the PR 5 oracle, but
+     with the proposal window open on every shard's ensemble. *)
+  Printf.printf
+    "\n  chaos sweep, max_inflight_batches = %d, max_batch = 8 (%d \
+     schedules):\n"
+    pipeline_chaos_window (List.length chaos_runs);
+  let chaos_adjust c =
+    { c with
+      Zk.Ensemble.max_batch = 8;
+      max_inflight_batches = pipeline_chaos_window }
+  in
+  let chaos_go ~shards ~seed =
+    Systems.chaos_run ~servers:chaos_servers ~shards ~clients:chaos_clients
+      ~registers:6 ~heal_at:15. ~post_heal:10. ~events:12
+      ~config_adjust:chaos_adjust ~seed ()
+  in
+  let chaos_results =
+    List.map
+      (fun (shards, seed) ->
+        let r = chaos_go ~shards ~seed in
+        Printf.printf
+          "    shards=%d seed=%-4Ld checked=%-6d violations=%d \
+           recovery=%.2fs\n%!"
+          shards seed r.Systems.checked
+          (List.length r.Systems.violations)
+          r.Systems.recovery_s;
+        List.iter
+          (fun (v : Zk.History.violation) ->
+            Printf.printf "      VIOLATION [%s] %s: %s\n" v.Zk.History.v_kind
+              v.Zk.History.v_path v.Zk.History.v_detail)
+          r.Systems.violations;
+        if r.Systems.violations <> [] then
+          fail "chaos shards=%d seed=%Ld: %d violations" shards seed
+            (List.length r.Systems.violations);
+        if not (Float.is_finite r.Systems.recovery_s) then
+          fail "chaos shards=%d seed=%Ld never recovered" shards seed;
+        r)
+      chaos_runs
+  in
+  let shards0, seed0 = List.hd chaos_runs in
+  let again = chaos_go ~shards:shards0 ~seed:seed0 in
+  let deterministic =
+    again.Systems.digest = (List.hd chaos_results).Systems.digest
+  in
+  if not deterministic then
+    fail "chaos seed %Ld re-run digest differs under the pipeline" seed0;
+  let total_violations =
+    List.fold_left
+      (fun acc r -> acc + List.length r.Systems.violations)
+      0 chaos_results
+  in
+  Printf.printf
+    "  chaos total: %d schedules, %d violations; seed %Ld re-run digest %s\n%!"
+    (List.length chaos_results)
+    total_violations seed0
+    (if deterministic then "identical" else "DIFFERS (nondeterminism!)");
+  (match json_path with
+   | None -> ()
+   | Some path ->
+     let mdtest_points =
+       List.concat_map
+         (fun ((name, procs), (r : Systems.profile_run)) ->
+           let config = pipeline_config_label name in
+           let client_points =
+             List.filter_map
+               (fun phase ->
+                 match Runner.latency_of r.Systems.results phase with
+                 | None -> None
+                 | Some l ->
+                   Some
+                     (Report.point
+                        ~experiment:("mdtest-" ^ Runner.phase_to_string phase)
+                        ~procs ~config
+                        ~ops_per_sec:(Runner.rate r.Systems.results phase)
+                        ~latency:(Report.latency_of_runner l) ()))
+               Runner.all_phases
+           in
+           let trace = r.Systems.trace in
+           let wall = r.Systems.results.Runner.wall in
+           let breakdown_points =
+             List.filter_map
+               (fun op ->
+                 match quorum_breakdown trace op with
+                 | None -> None
+                 | Some (count, total, phases) ->
+                   let base = "zk." ^ op in
+                   let q p =
+                     Option.value ~default:total
+                       (Obs.Trace.span_quantile trace (base ^ ".total") p)
+                   in
+                   Some
+                     (Report.point
+                        ~experiment:("zk-" ^ op ^ "-breakdown")
+                        ~procs ~config
+                        ~ops_per_sec:
+                          (if wall > 0. then float_of_int count /. wall
+                           else 0.)
+                        ~latency:
+                          { Report.samples = count;
+                            mean_s = total;
+                            p50_s = q 0.5;
+                            p95_s = q 0.95;
+                            p99_s = q 0.99;
+                            max_s =
+                              Option.value ~default:total
+                                (Obs.Trace.span_max trace (base ^ ".total")) }
+                        ~phases ()))
+               zk_write_ops
+           in
+           client_points @ breakdown_points)
+         runs
+     in
+     let chaos_points =
+       List.map
+         (fun (r : Systems.chaos_run) ->
+           Report.point ~experiment:"pipeline-chaos" ~procs:chaos_clients
+             ~config:
+               (Printf.sprintf "seed=%Ld|shards=%d|zk=%d|window=%d"
+                  r.Systems.seed r.Systems.shards chaos_servers
+                  pipeline_chaos_window)
+             ~ops_per_sec:(float_of_int r.Systems.ops_ok /. 25.)
+             ~phases:
+               [ ( "violations",
+                   float_of_int (List.length r.Systems.violations) );
+                 ("ops_checked", float_of_int r.Systems.checked);
+                 ("undetermined", float_of_int r.Systems.undetermined_ops);
+                 ( "recovery_s",
+                   if Float.is_finite r.Systems.recovery_s then
+                     r.Systems.recovery_s
+                   else -1. );
+                 ("dedup_hits", float_of_int r.Systems.dedup_hits) ]
+             ())
+         chaos_results
+     in
+     let summary =
+       Report.point ~experiment:"pipeline-summary" ~procs:max_procs
+         ~config:
+           (Printf.sprintf
+              "baseline=batch16-w1|pipelined=batch16-w%d|chaos_window=%d|zk=8"
+              pipeline_window pipeline_chaos_window)
+         ~ops_per_sec:0.
+         ~phases:
+           [ ("qw_ack_baseline_s", !qa_base);
+             ("qw_ack_pipelined_s", !qa_piped);
+             ("improvement_pct", !improvement);
+             ("min_improvement_pct", min_improvement);
+             ("chaos_runs", float_of_int (List.length chaos_results));
+             ("violations_total", float_of_int total_violations);
+             ("deterministic", if deterministic then 1. else 0.) ]
+         ()
+     in
+     let points = mdtest_points @ chaos_points @ [ summary ] in
+     Report.emit_json ~path points;
+     Printf.printf "\nwrote %s (%d bench points)\n%!" path
+       (List.length points));
+  match !failures with
+  | [] -> ()
+  | fs -> failwith ("pipeline: " ^ String.concat "; " (List.rev fs))
+
+(* The CI variant: one scale, two chaos schedules. The 30% acceptance
+   bar is measured on the full run's 256-proc point; the smoke run keeps
+   a softer 10% floor so a genuinely broken pipeline still fails fast
+   without making CI sensitive to the smaller scale's exact split. *)
+let pipeline_smoke ?json_path () =
+  pipeline ~procs_list:[ 64 ]
+    ~chaos_runs:[ (1, 11L); (4, 12L) ]
+    ~min_improvement:10. ?json_path ()
+
 let all () =
   fig7 ();
   fig8 ();
@@ -1526,4 +1806,5 @@ let all () =
   chaos ();
   engine ();
   sessions ();
-  reshard ()
+  reshard ();
+  pipeline ()

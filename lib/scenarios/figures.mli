@@ -229,5 +229,36 @@ val reshard :
     artifact. Same failure conditions as {!reshard}. *)
 val reshard_smoke : ?json_path:string -> unit -> unit
 
+(** {2 Write pipeline — windowed ZAB proposals vs stop-and-wait}
+
+    The traced mdtest profile of {!profile}, run once per leader
+    write-path configuration — classic unbatched stop-and-wait
+    ([batch1-w1]), group commit alone ([batch16-w1]), and group commit
+    plus a pipelined proposal window ([batch16-w8],
+    [max_inflight_batches = 8]) — followed by a chaos sweep (the PR 5
+    seeded schedules) with [max_inflight_batches = 4] on every shard.
+    With [json_path] writes the BENCH_pr9.json artifact: [mdtest-*]
+    points with latency blocks and [zk-<op>-breakdown] points with
+    phase durations per configuration, one [pipeline-chaos] point per
+    schedule, and a [pipeline-summary] point carrying the
+    queue-wait + ack improvement of the pipelined configuration over
+    the window = 1 baseline at the largest scale.
+    @raise Failure if any phase is non-finite or negative, any op's
+    phase sum diverges more than 5% from its measured mean latency, the
+    improvement falls short of [min_improvement] percent (default 30),
+    any chaos schedule reports a violation or fails to recover, or the
+    re-run schedule's digest differs. *)
+val pipeline :
+  ?procs_list:int list ->
+  ?chaos_runs:(int * int64) list ->
+  ?min_improvement:float ->
+  ?json_path:string ->
+  unit ->
+  unit
+
+(** The CI variant: 64 processes, 2 chaos schedules, 10% improvement
+    floor — the BENCH_pr9_smoke.json artifact. *)
+val pipeline_smoke : ?json_path:string -> unit -> unit
+
 (** Run everything (the full bench suite). *)
 val all : unit -> unit

@@ -260,11 +260,12 @@ type profile_run = {
   backend_stations : (Simkit.Stat.Summary.t * Simkit.Stat.Summary.t) array;
 }
 
-let mdtest_profiled ?(dirs_per_proc = 60) ?(files_per_proc = 60) ~spec ~procs () =
+let mdtest_profiled ?(dirs_per_proc = 60) ?(files_per_proc = 60)
+    ?(config_adjust = fun c -> c) ~spec ~procs () =
   let engine = Engine.create () in
   let trace = Obs.Trace.create () in
   Obs.Trace.enable trace;
-  let config = zk_config ~servers:spec.zk_servers ~procs () in
+  let config = config_adjust (zk_config ~servers:spec.zk_servers ~procs ()) in
   let _ensemble, ops_for_proc, backend_stations =
     build_dufs ~trace engine ~spec ~config ~cached:false
   in
@@ -502,19 +503,20 @@ let chaos_seq_dir = "/dseq"
 
 let chaos_run ?(servers = 5) ?(shards = 1) ?(clients = 8) ?(registers = 6)
     ?(heal_at = 15.) ?(post_heal = 10.) ?(events = 12) ?(think = 0.05)
-    ?(unsafe_no_dedup = false) ?plan ~seed () =
+    ?(unsafe_no_dedup = false) ?(config_adjust = fun c -> c) ?plan ~seed () =
   let engine = Engine.create () in
   let config =
-    { (zk_config ~servers ~procs:clients ()) with
-      Zk.Ensemble.seed;
-      request_timeout = 0.5;
-      retry_backoff = 0.05;
-      retry_backoff_cap = 1.0;
-      session_timeout = 6.0;
-      stale_read_after = 1.0;
-      serve_stale_reads = true;
-      fail_fast_after = 2.0;
-      unsafe_no_dedup }
+    config_adjust
+      { (zk_config ~servers ~procs:clients ()) with
+        Zk.Ensemble.seed;
+        request_timeout = 0.5;
+        retry_backoff = 0.05;
+        retry_backoff_cap = 1.0;
+        session_timeout = 6.0;
+        stale_read_after = 1.0;
+        serve_stale_reads = true;
+        fail_fast_after = 2.0;
+        unsafe_no_dedup }
   in
   let router = Zk.Shard_router.start engine ~shards config in
   let hist = Zk.History.create engine in

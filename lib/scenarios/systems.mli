@@ -121,10 +121,13 @@ type profile_run = {
 
 (** [mdtest_profiled ~spec ~procs ()] — mdtest over DUFS with tracing
     on. Not memoized; the trace belongs to this run alone. Tracing never
-    sleeps or schedules, so throughput equals the untraced run's. *)
+    sleeps or schedules, so throughput equals the untraced run's.
+    [config_adjust] tweaks the ensemble configuration (the write-pipeline
+    bench turns on group commit and proposal pipelining with it). *)
 val mdtest_profiled :
   ?dirs_per_proc:int ->
   ?files_per_proc:int ->
+  ?config_adjust:(Zk.Ensemble.config -> Zk.Ensemble.config) ->
   spec:dufs_spec ->
   procs:int ->
   unit ->
@@ -280,6 +283,7 @@ val chaos_run :
   ?events:int ->
   ?think:float ->
   ?unsafe_no_dedup:bool ->
+  ?config_adjust:(Zk.Ensemble.config -> Zk.Ensemble.config) ->
   ?plan:Faults.Faultplan.t ->
   seed:int64 ->
   unit ->

@@ -29,6 +29,7 @@ type config = {
   fail_fast_after : float;
   unsafe_no_dedup : bool;
   lease_ttl : float;
+  max_inflight_batches : int;
 }
 
 let default_config ~servers =
@@ -55,7 +56,8 @@ let default_config ~servers =
     serve_stale_reads = true;
     fail_fast_after = infinity;
     unsafe_no_dedup = false;
-    lease_ttl = 5.0 }
+    lease_ttl = 5.0;
+    max_inflight_batches = 1 }
 
 type reply = (Txn.result_item list, Zerror.t) result -> unit
 
@@ -92,11 +94,32 @@ type pending_write = {
   (* when this entry last went out as a Propose_batch: rate-limits the
      stalled-head re-propose so a lossy burst cannot snowball *)
   mutable p_proposed_at : float;
+  (* whether the leader's own txn-log append for this entry has landed.
+     The stop-and-wait path persists before proposing, so it is born
+     true; the pipelined path proposes first and persists concurrently,
+     so the leader's vote only counts once the overlapped persist
+     completes. *)
+  mutable p_self_acked : bool;
   p_close : int64 option;
   p_span : Obs.Trace.wspan;
 }
 
 type applied_result = (Txn.result_item list, Zerror.t) result
+
+(* One not-yet-proposed batch queued for the pipelined leader's proposer
+   process. While a batch [b_open] (still queued, not yet picked up),
+   freshly drained writes coalesce into it up to [max_batch] — the
+   adaptive group commit: a write waits exactly as long as the pipeline
+   is busy ahead of it and not a tick longer. Entry and span lists are
+   kept reversed (append at head) and reversed once at fan-out. *)
+type pbatch = {
+  mutable b_entries : entry list;        (* reversed *)
+  mutable b_spans : Obs.Trace.wspan list; (* reversed, parallel to b_entries *)
+  mutable b_cpu : float;                 (* summed leader CPU for the batch *)
+  mutable b_count : int;
+  mutable b_hi : int64;                  (* highest zxid in the batch *)
+  mutable b_open : bool;                 (* still coalescing? *)
+}
 
 (* [Read]/[Release] execute against the serving replica itself, not just
    its tree: lease reads must grant an interest in the server's lease
@@ -114,17 +137,28 @@ type msg =
   | Release of { exec : server -> unit }
     (* fire-and-forget cancellation of a still-armed fire-once watch
        (failed fill, cache eviction): no reply, best-effort on faults *)
-  | Propose_batch of { epoch : int; entries : entry list }
+  | Propose_batch of { epoch : int; entries : entry list; committed_upto : int64 }
     (* one leader->follower round carries a whole group-committed batch;
-       a singleton batch is exactly the classic per-txn PROPOSAL *)
+       a singleton batch is exactly the classic per-txn PROPOSAL.
+       [committed_upto] piggybacks the leader's commit frontier (every
+       zxid <= it is committed) so a busy pipeline learns commits
+       without a separate Commit_batch round; [0L] carries no frontier
+       — the stop-and-wait leader and the repair paths always send 0L,
+       leaving the standalone Commit_batch in charge there. *)
   | Ack_batch of { epoch : int; zxids : int64 list; from : int }
   | Commit_batch of { epoch : int; zxids : int64 list }
   | Inform_batch of { epoch : int; entries : entry list }
     (* ZAB INFORM: commit + payload, sent to non-voting observers *)
   | Deliver_reply of {
+      epoch : int;
       zxid : int64;
       result : (Txn.result_item list, Zerror.t) result;
       reply : reply;
+      committed_upto : int64;
+        (* the frontier also rides on replies: when the pipelined leader
+           suppresses Commit_batch, the origin follower still learns the
+           commit with (FIFO-before) the reply, preserving
+           read-your-own-writes without a Fetch round *)
     }
   | Close_session of {
       owner : int64;
@@ -158,9 +192,28 @@ and server = {
   pending_rids : (rid, int64) Hashtbl.t;  (* in-flight request ids *)
   mutable next_zxid : int64;
   mutable next_commit : int64;
+  (* pipelined-leader state (max_inflight_batches > 1; inert otherwise).
+     [prop_queue] holds batches awaiting the proposer process, newest
+     last; [prop_unsent] counts queued-or-picked-up batches whose
+     Propose_batch has not left yet — while it is positive, a commit's
+     frontier is guaranteed to ride out on a future proposal, so the
+     standalone Commit_batch fan-out can be skipped. [inflight_his] is
+     the hi-zxid of each proposed-but-not-fully-committed batch in
+     ascending order; its length is the in-flight window occupancy.
+     [persist_until] serializes the leader's overlapped txn-log appends
+     on the single WAL device. *)
+  prop_queue : pbatch Queue.t;
+  mutable prop_unsent : int;
+  mutable inflight_his : int64 list;
+  mutable persist_until : float;
+  mutable proposer_wake : unit Simkit.Process.waiter option;
   (* follower state *)
   proposals : (int64, Txn.t * float * rid * int64 option) Hashtbl.t;
   committed : (int64, unit) Hashtbl.t;
+  (* highest zxid this follower knows committed via a piggybacked
+     frontier (0L = none this epoch); zxids <= it apply without an
+     explicit Commit_batch mark *)
+  mutable commit_frontier : int64;
   mutable next_apply : int64;
   (* when this replica last heard from its leader (proposal, commit,
      inform, or sync): the freshness clock behind stale-read detection *)
@@ -195,6 +248,11 @@ type t = {
   mutable next_server : int;
   mutable commits : int;
   mutable last_commit_at : float;
+  (* pipelined-commit accounting: standalone Commit_batch rounds fanned
+     out vs commit rounds whose fan-out was suppressed because the
+     frontier rides on a queued proposal *)
+  mutable commit_fanouts : int;
+  mutable piggybacked_commits : int;
   mutable dedup_hits : int;
   mutable dedup_evictions : int;
   mutable stale_served : int;
@@ -229,6 +287,8 @@ let server_resident_bytes t id =
 
 let reads_served t id = t.members.(id).reads
 let writes_committed t = t.commits
+let commit_fanouts t = t.commit_fanouts
+let piggybacked_commits t = t.piggybacked_commits
 let dedup_hits t = t.dedup_hits
 let dedup_evictions t = t.dedup_evictions
 let stale_reads_served t = t.stale_served
@@ -292,6 +352,33 @@ let debug_dump t =
           t.members))
 
 let quorum t = (t.cfg.servers / 2) + 1
+
+(* [max_inflight_batches = 1] (the default) takes the stop-and-wait
+   leader path bit-for-bit: no proposer process is spawned, frontiers
+   stay 0L, and every event fires exactly as it did before the pipeline
+   existed — which is what keeps recorded replays byte-identical. *)
+let pipelined t = t.cfg.max_inflight_batches > 1
+
+let wake_proposer (s : server) =
+  match s.proposer_wake with
+  | None -> ()
+  | Some w ->
+    s.proposer_wake <- None;
+    Simkit.Process.wake w ()
+
+(* Forget all pipelined-leader progress and the follower's piggybacked
+   frontier: called on election, crash and restart, where zxid
+   numbering restarts relative to a new epoch and any queued batch or
+   frontier mark would apply stale state. The proposer (if parked) is
+   woken so it re-reads the emptied queue instead of sleeping on a
+   window slot that no longer exists. *)
+let reset_pipeline_state (s : server) =
+  Queue.clear s.prop_queue;
+  s.prop_unsent <- 0;
+  s.inflight_his <- [];
+  s.persist_until <- 0.;
+  s.commit_frontier <- 0L;
+  wake_proposer s
 let is_observer_id t id = id >= t.cfg.servers
 let member_count t = t.cfg.servers + t.cfg.observers
 let member_ids t = List.init (member_count t) Fun.id
@@ -407,10 +494,13 @@ let flush_deferred (s : server) =
 let try_commit t (s : server) =
   if s.role = Leader then begin
     (* drain every consecutive quorum-acked zxid starting at next_commit;
-       the leader's own persisted copy counts toward the quorum *)
+       the leader's own persisted copy counts toward the quorum (in the
+       pipelined path only once its overlapped persist has landed) *)
     let rec take acc =
       match Hashtbl.find_opt s.pending s.next_commit with
-      | Some pw when List.length pw.p_acked + 1 >= quorum t ->
+      | Some pw
+        when List.length pw.p_acked + (if pw.p_self_acked then 1 else 0)
+             >= quorum t ->
         let zxid = s.next_commit in
         Hashtbl.remove s.pending zxid;
         s.next_commit <- Int64.add zxid 1L;
@@ -421,6 +511,14 @@ let try_commit t (s : server) =
     | [] -> ()
     | ready ->
       t.last_commit_at <- Engine.now t.engine;
+      (* retire fully committed batches from the in-flight window and
+         let the proposer claim the freed slots *)
+      (match s.inflight_his with
+       | hi :: _ when hi < s.next_commit ->
+         s.inflight_his <-
+           List.filter (fun hi -> hi >= s.next_commit) s.inflight_his;
+         wake_proposer s
+       | _ -> ());
       (if Obs.Trace.enabled t.trace then
          let now = Engine.now t.engine in
          List.iter
@@ -453,10 +551,20 @@ let try_commit t (s : server) =
           ready
       in
       let zxids = List.map (fun (zxid, _, _) -> zxid) results in
-      List.iter
-        (fun (peer : server) ->
-          send t ~src:s.id ~dst:peer.id (Commit_batch { epoch = s.epoch; zxids }))
-        t.follower_peers;
+      (* Commit piggybacking: while a proposal is still queued to go
+         out, its Propose_batch will carry a frontier >= this commit on
+         the same FIFO links — the standalone fan-out would be pure
+         duplicate traffic. A quiescent pipeline (nothing queued) still
+         fans out, so the tail of a burst always commits everywhere. *)
+      if pipelined t && s.prop_unsent > 0 then
+        t.piggybacked_commits <- t.piggybacked_commits + 1
+      else begin
+        t.commit_fanouts <- t.commit_fanouts + 1;
+        List.iter
+          (fun (peer : server) ->
+            send t ~src:s.id ~dst:peer.id (Commit_batch { epoch = s.epoch; zxids }))
+          t.follower_peers
+      end;
       (match t.observer_peers with
        | [] -> ()
        | observers ->
@@ -472,12 +580,17 @@ let try_commit t (s : server) =
       (* replies go out after the commits: the FIFO channel back to each
          origin then delivers Commit_batch first, preserving
          read-your-own-writes on the origin server *)
+      let committed_upto =
+        if pipelined t then Int64.sub s.next_commit 1L else 0L
+      in
       List.iter
         (fun (zxid, pw, result) ->
           if pw.p_origin = s.id then pw.p_reply result
           else
             send t ~src:s.id ~dst:pw.p_origin
-              (Deliver_reply { zxid; result; reply = pw.p_reply }))
+              (Deliver_reply
+                 { epoch = s.epoch; zxid; result; reply = pw.p_reply;
+                   committed_upto }))
         results
   end
 
@@ -512,7 +625,7 @@ let is_batchable = function
   | Write _ | Close_session _ -> true
   | _ -> false
 
-let drain_batch t (s : server) first =
+let drain_batch ?(wait = true) t (s : server) first =
   let rec drain acc n =
     if n >= t.cfg.max_batch then (acc, n)
     else
@@ -529,8 +642,12 @@ let drain_batch t (s : server) first =
   in
   let acc, n = drain [ first ] 1 in
   let acc, _ =
-    if n < t.cfg.max_batch && t.cfg.batch_delay > 0. then begin
-      (* wait a beat for stragglers to fill the batch *)
+    if wait && n < t.cfg.max_batch && t.cfg.batch_delay > 0. then begin
+      (* wait a beat for stragglers to fill the batch. The pipelined
+         leader never waits here ([wait = false]): sleeping would stall
+         the main loop that the pipeline exists to keep draining, and
+         under backlog the coalescing queue already gathers stragglers
+         for exactly as long as the window is busy. *)
       Process.sleep t.cfg.batch_delay;
       drain acc n
     end
@@ -556,7 +673,10 @@ let dedup_filter t (s : server) batch =
         | Some (zxid, result) ->
           t.dedup_hits <- t.dedup_hits + 1;
           if origin = s.id then reply result
-          else send t ~src:s.id ~dst:origin (Deliver_reply { zxid; result; reply });
+          else
+            send t ~src:s.id ~dst:origin
+              (Deliver_reply
+                 { epoch = s.epoch; zxid; result; reply; committed_upto = 0L });
           false
         | None -> (
           match Hashtbl.find_opt s.pending_rids rid with
@@ -577,7 +697,8 @@ let dedup_filter t (s : server) batch =
                     (Propose_batch
                        { epoch = s.epoch;
                          entries =
-                           [ (zxid, pw.p_txn, pw.p_time, pw.p_rid, pw.p_close) ] }))
+                           [ (zxid, pw.p_txn, pw.p_time, pw.p_rid, pw.p_close) ];
+                         committed_upto = 0L }))
                 t.follower_peers;
               false
             | None ->
@@ -613,21 +734,63 @@ let repropose_stalled_head t (s : server) =
     List.iter
       (fun (peer : server) ->
         send t ~src:s.id ~dst:peer.id
-          (Propose_batch { epoch = s.epoch; entries }))
+          (Propose_batch { epoch = s.epoch; entries; committed_upto = 0L }))
       t.follower_peers
   | _ -> ()
+
+(* With a multi-batch window the head is rarely the only casualty of a
+   lossy burst: every in-flight batch can lose its proposal or acks at
+   once, and repairing one entry per ack round trip turns recovery into
+   a serial cascade the length of the window. Resend *all* timed-out
+   pending entries in zxid order in one round; refreshing each entry's
+   [p_proposed_at] rate-limits the resend exactly like the head repair.
+   The stop-and-wait path keeps the head-only repair so its recorded
+   replays stay byte-identical. *)
+let repropose_stalled t (s : server) =
+  if not (pipelined t) then repropose_stalled_head t s
+  else begin
+    let now = Engine.now t.engine in
+    let stalled =
+      Hashtbl.fold
+        (fun zxid pw acc ->
+          if now -. pw.p_proposed_at > t.cfg.request_timeout then
+            (zxid, pw) :: acc
+          else acc)
+        s.pending []
+    in
+    match List.sort (fun (a, _) (b, _) -> Int64.compare a b) stalled with
+    | [] -> ()
+    | stalled ->
+      let entries =
+        List.map
+          (fun (zxid, pw) ->
+            pw.p_proposed_at <- now;
+            (zxid, pw.p_txn, pw.p_time, pw.p_rid, pw.p_close))
+          stalled
+      in
+      List.iter
+        (fun (peer : server) ->
+          send t ~src:s.id ~dst:peer.id
+            (Propose_batch
+               { epoch = s.epoch; entries;
+                 committed_upto = Int64.sub s.next_commit 1L }))
+        t.follower_peers
+  end
 
 let refuse_fast t (s : server) ~origin ~reply =
   t.failed_fast <- t.failed_fast + 1;
   let result = Error Zerror.ZCONNECTIONLOSS in
   (if origin = s.id then reply result
-   else send t ~src:s.id ~dst:origin (Deliver_reply { zxid = 0L; result; reply }));
+   else
+     send t ~src:s.id ~dst:origin
+       (Deliver_reply
+          { epoch = s.epoch; zxid = 0L; result; reply; committed_upto = 0L }));
   (* The stall that triggered fail-fast may itself be a stranded head
      (every follower missed the proposal during a partition, so no ack
      will ever arrive unprompted). Refusing every write would then also
      starve the repair that unwedges the commit path — so each refused
      write doubles as a repair attempt. *)
-  repropose_stalled_head t s
+  repropose_stalled t s
 
 let leader_handle_batch t (s : server) batch =
   match dedup_filter t s batch with
@@ -649,8 +812,12 @@ let leader_handle_batch t (s : server) batch =
        List.iter
          (fun (_, _, _, _, span, _) ->
            if Obs.Trace.is_real span then begin
-             (* per-shard queue wait, measured where the backlog lives:
-                client send -> leader batch start *)
+             (* queue wait, measured where the backlog lives: client
+                send -> leader batch start. Recorded untagged always
+                (single-ensemble profiles read this), plus per-shard
+                under the tag so a sharded deployment's balance shows. *)
+             Obs.Trace.observe t.trace "zk.queue_wait"
+               (time -. span.Obs.Trace.w_sent);
              if t.tag <> "" then
                Obs.Trace.observe t.trace
                  ("zk." ^ t.tag ^ ".queue_wait")
@@ -677,6 +844,7 @@ let leader_handle_batch t (s : server) batch =
             Hashtbl.replace s.pending zxid
               { p_txn = txn; p_time = time; p_rid = rid; p_origin = origin;
                 p_reply = reply; p_acked = []; p_proposed_at = time;
+                p_self_acked = true (* persist already paid above *);
                 p_close = close; p_span = span };
             Hashtbl.replace s.pending_rids rid zxid;
             (zxid, txn, time, rid, close))
@@ -693,16 +861,158 @@ let leader_handle_batch t (s : server) batch =
              batch);
         List.iter
           (fun (peer : server) ->
-            send t ~src:s.id ~dst:peer.id (Propose_batch { epoch = s.epoch; entries }))
+            send t ~src:s.id ~dst:peer.id
+              (Propose_batch { epoch = s.epoch; entries; committed_upto = 0L }))
           followers;
         try_commit t s
       end
     end
 
+(* {2 Pipelined leader path (max_inflight_batches > 1)}
+
+   The main server loop only assigns zxids and queues batches — it
+   never sleeps for a write, so the inbox keeps draining (and batching)
+   while earlier rounds are still in flight. A dedicated proposer
+   process pays the leader CPU and fan-out per batch, bounded by the
+   in-flight window; the leader's own persist is issued *after* the
+   proposal leaves and completes concurrently with the follower round
+   trip (serialized against other persists on [persist_until] — one WAL
+   device), and only then does the leader's vote count ([p_self_acked]).
+   Commits still advance strictly in zxid order through [try_commit]'s
+   [next_commit] cursor, so linearizability is untouched: the window
+   changes *when* rounds overlap, never the order in which they land. *)
+
+(* Queue [batch] (already dedup-filtered) for the proposer, coalescing
+   into the still-open tail batch while there is room. *)
+let leader_enqueue_batch t (s : server) batch =
+  match dedup_filter t s batch with
+  | [] -> ()
+  | batch ->
+    let time = Engine.now t.engine in
+    (if Obs.Trace.enabled t.trace then begin
+       let depth = float_of_int (Mailbox.length s.inbox) in
+       Obs.Trace.observe t.trace "zk.leader.queue_depth" depth;
+       if t.tag <> "" then
+         Obs.Trace.observe t.trace ("zk." ^ t.tag ^ ".leader.queue_depth") depth;
+       List.iter
+         (fun (_, _, _, _, span, _) ->
+           if Obs.Trace.is_real span then begin
+             Obs.Trace.observe t.trace "zk.queue_wait"
+               (time -. span.Obs.Trace.w_sent);
+             if t.tag <> "" then
+               Obs.Trace.observe t.trace
+                 ("zk." ^ t.tag ^ ".queue_wait")
+                 (time -. span.Obs.Trace.w_sent);
+             (* [w_persist] stays 0: the overlapped persist is off the
+                critical path — its residual cost surfaces inside the
+                ack phase, so the five phases still tile the latency *)
+             span.Obs.Trace.w_batch <- time
+           end)
+         batch
+     end);
+    List.iter
+      (fun (txn, rid, origin, reply, span, close) ->
+        let zxid = s.next_zxid in
+        s.next_zxid <- Int64.add zxid 1L;
+        Hashtbl.replace s.pending zxid
+          { p_txn = txn; p_time = time; p_rid = rid; p_origin = origin;
+            p_reply = reply; p_acked = []; p_proposed_at = time;
+            p_self_acked = false (* counts only after the overlapped persist *);
+            p_close = close; p_span = span };
+        Hashtbl.replace s.pending_rids rid zxid;
+        let entry = (zxid, txn, time, rid, close) in
+        let cpu = leader_service t txn in
+        (* Queue exposes no tail peek; fold to it — the queue is at most
+           a few batches deep (window + backlog) *)
+        match Queue.fold (fun _ b -> Some b) None s.prop_queue with
+        | Some b when b.b_open && b.b_count < t.cfg.max_batch ->
+          b.b_entries <- entry :: b.b_entries;
+          b.b_spans <- span :: b.b_spans;
+          b.b_cpu <- b.b_cpu +. cpu;
+          b.b_count <- b.b_count + 1;
+          b.b_hi <- zxid
+        | _ ->
+          Queue.push
+            { b_entries = [ entry ]; b_spans = [ span ]; b_cpu = cpu;
+              b_count = 1; b_hi = zxid; b_open = true }
+            s.prop_queue;
+          s.prop_unsent <- s.prop_unsent + 1)
+      batch;
+    wake_proposer s
+
+(* The proposer process: one per member (it idles unless that member
+   leads), spawned only when the ensemble is pipelined so the default
+   configuration replays byte-identically. *)
+let rec proposer_loop t (s : server) =
+  (match Queue.peek_opt s.prop_queue with
+   | Some b when List.length s.inflight_his < t.cfg.max_inflight_batches ->
+     ignore (Queue.pop s.prop_queue);
+     b.b_open <- false;
+     s.inflight_his <- s.inflight_his @ [ b.b_hi ];
+     let epoch0 = s.epoch in
+     Process.sleep (svc t b.b_cpu);
+     (* a crash or election may have landed mid-sleep: a deposed leader
+        must not propose with stale state (the reset already emptied
+        the queue and window) *)
+     if s.role = Leader && s.epoch = epoch0 then begin
+       let followers = t.follower_peers in
+       Process.sleep
+         (svc t (t.cfg.rpc_cpu *. float_of_int (List.length followers)));
+       if s.role = Leader && s.epoch = epoch0 then begin
+         let entries = List.rev b.b_entries in
+         s.prop_unsent <- s.prop_unsent - 1;
+         let committed_upto = Int64.sub s.next_commit 1L in
+         (if Obs.Trace.enabled t.trace then begin
+            let now = Engine.now t.engine in
+            let size = float_of_int b.b_count in
+            Obs.Trace.observe t.trace "zk.leader.batch_size" size;
+            if t.tag <> "" then
+              Obs.Trace.observe t.trace
+                ("zk." ^ t.tag ^ ".leader.batch_size") size;
+            List.iter
+              (fun (span : Obs.Trace.wspan) ->
+                if Obs.Trace.is_real span then span.Obs.Trace.w_proposed <- now)
+              b.b_spans
+          end);
+         List.iter
+           (fun (peer : server) ->
+             send t ~src:s.id ~dst:peer.id
+               (Propose_batch { epoch = s.epoch; entries; committed_upto }))
+           followers;
+         (* overlapped persist: issued now, completes after any earlier
+            append still holding the WAL; the completion flips the
+            leader's votes and retries the commit cursor *)
+         let now = Engine.now t.engine in
+         let done_at =
+           Float.max now s.persist_until +. svc t t.cfg.persist
+         in
+         s.persist_until <- done_at;
+         let zxids = List.map (fun (z, _, _, _, _) -> z) entries in
+         Engine.schedule t.engine ~delay:(done_at -. now) (fun () ->
+             if s.role = Leader && s.epoch = epoch0 then begin
+               List.iter
+                 (fun z ->
+                   match Hashtbl.find_opt s.pending z with
+                   | Some pw -> pw.p_self_acked <- true
+                   | None -> ())
+                 zxids;
+               try_commit t s
+             end)
+       end
+     end
+   | Some _ | None ->
+     Process.suspend_with
+       (fun (s : server) w -> s.proposer_wake <- Some w)
+       s);
+  proposer_loop t s
+
 (* {2 Follower apply path} *)
 
 let rec follower_apply_ready t (s : server) =
-  if Hashtbl.mem s.committed s.next_apply then
+  if
+    Hashtbl.mem s.committed s.next_apply
+    || s.next_apply <= s.commit_frontier
+  then
     match Hashtbl.find_opt s.proposals s.next_apply with
     | None -> ()  (* proposal not yet received (cleared by election) *)
     | Some (txn, time, rid, close) ->
@@ -744,6 +1054,41 @@ let request_gap_repair t (s : server) =
       (Fetch { epoch = s.epoch; from_zxid = s.next_apply; upto; who = s.id })
   end
 
+(* A piggybacked commit frontier arrived: every zxid <= [frontier] is
+   committed. Pays the same per-entry apply CPU a Commit_batch would
+   (only for marks not already learned), advances the frontier, applies
+   whatever proposals are now ready, and — like Commit_batch's gap
+   repair — fetches the range if the frontier points past a proposal
+   hole. Called from the handler process (it sleeps). [epoch] is the
+   frontier's epoch: a stale frontier from a deposed leader must not
+   mark the new epoch's proposals committed. *)
+let advance_frontier t (s : server) ~epoch frontier =
+  if epoch = s.epoch && s.role = Follower && frontier > s.commit_frontier then begin
+    let base = Int64.max s.commit_frontier (Int64.sub s.next_apply 1L) in
+    if frontier > base then begin
+      let fresh = ref 0 in
+      let z = ref (Int64.add base 1L) in
+      while !z <= frontier do
+        if not (Hashtbl.mem s.committed !z) then incr fresh;
+        z := Int64.add !z 1L
+      done;
+      if !fresh > 0 then
+        Process.sleep (svc t (t.cfg.follower_apply *. float_of_int !fresh));
+      if s.role = Follower && epoch = s.epoch then begin
+        s.commit_frontier <- Int64.max s.commit_frontier frontier;
+        s.fresh_at <- Engine.now t.engine;
+        follower_apply_ready t s;
+        flush_deferred s;
+        if s.next_apply <= s.commit_frontier then
+          send t ~src:s.id ~dst:t.leader
+            (Fetch
+               { epoch = s.epoch; from_zxid = s.next_apply;
+                 upto = s.commit_frontier; who = s.id })
+      end
+    end
+    else s.commit_frontier <- Int64.max s.commit_frontier frontier
+  end
+
 let handle t (s : server) msg =
   match msg with
   | Read { exec; refuse } ->
@@ -770,6 +1115,9 @@ let handle t (s : server) msg =
   | Write { txn; rid; origin; reply; span } ->
     if s.role = Leader then begin
       if failing_fast t s then refuse_fast t s ~origin ~reply
+      else if pipelined t then
+        leader_enqueue_batch t s
+          (drain_batch ~wait:false t s (txn, rid, origin, reply, span, None))
       else
         leader_handle_batch t s (drain_batch t s (txn, rid, origin, reply, span, None))
     end
@@ -782,14 +1130,18 @@ let handle t (s : server) msg =
       if failing_fast t s then refuse_fast t s ~origin ~reply
       else
         let txn = build_session_cleanup s owner in
-        leader_handle_batch t s
-          (drain_batch t s (txn, rid, origin, reply, span, Some owner))
+        if pipelined t then
+          leader_enqueue_batch t s
+            (drain_batch ~wait:false t s (txn, rid, origin, reply, span, Some owner))
+        else
+          leader_handle_batch t s
+            (drain_batch t s (txn, rid, origin, reply, span, Some owner))
     end
     else begin
       Process.sleep (svc t t.cfg.rpc_cpu);
       send t ~src:s.id ~dst:t.leader (Close_session { owner; rid; origin; reply; span })
     end
-  | Propose_batch { epoch; entries } ->
+  | Propose_batch { epoch; entries; committed_upto } ->
     if epoch = s.epoch && s.role = Follower then begin
       (* one persist + one reply RPC covers the whole batch *)
       Process.sleep (svc t (t.cfg.persist +. t.cfg.rpc_cpu));
@@ -826,7 +1178,11 @@ let handle t (s : server) msg =
         (* a retransmitted proposal may fill the gap a held-back commit
            is waiting on *)
         follower_apply_ready t s;
-        flush_deferred s
+        flush_deferred s;
+        (* the piggybacked commit frontier, if any, commits everything
+           it covers — the pipelined leader's substitute for the
+           standalone Commit_batch while rounds overlap *)
+        if committed_upto > 0L then advance_frontier t s ~epoch committed_upto
       end
     end
   | Ack_batch { epoch; zxids; from } ->
@@ -845,7 +1201,7 @@ let handle t (s : server) msg =
          none will re-ack unprompted, while the leader waits for a
          quorum that never completes — and commits are zxid-ordered, so
          everything behind the head stalls too. *)
-      if s.role = Leader then repropose_stalled_head t s
+      if s.role = Leader then repropose_stalled t s
     end
   | Commit_batch { epoch; zxids } ->
     if epoch = s.epoch && s.role = Follower then begin
@@ -923,7 +1279,11 @@ let handle t (s : server) msg =
         end
         else begin
           if !entries <> [] then
-            send t ~src:s.id ~dst:who (Propose_batch { epoch; entries = !entries });
+            send t ~src:s.id ~dst:who
+              (* frontier 0L: gap repair always ships explicit commit
+                 marks right behind on the same FIFO link *)
+              (Propose_batch
+                 { epoch; entries = !entries; committed_upto = 0L });
           (* the commit marks ride behind the entries on the same FIFO
              link, so the follower stores before it applies *)
           if !commits <> [] then
@@ -931,8 +1291,12 @@ let handle t (s : server) msg =
         end
       end
     end
-  | Deliver_reply { zxid; result; reply } ->
+  | Deliver_reply { epoch; zxid; result; reply; committed_upto } ->
     Process.sleep (svc t t.cfg.rpc_cpu);
+    (* a frontier riding on the reply commits the write it answers for
+       (and everything before it) at this origin — the pipelined happy
+       path applies here instead of deferring below *)
+    if committed_upto > 0L then advance_frontier t s ~epoch committed_upto;
     (* On a FIFO lossless link the matching Commit was processed already,
        so this server's tree reflects the write before the client
        resumes. A lossy link can break that: hold the reply until the
@@ -965,8 +1329,14 @@ let make_server ~now ~lease_ttl id =
     pending_rids = Hashtbl.create 64;
     next_zxid = 1L;
     next_commit = 1L;
+    prop_queue = Queue.create ();
+    prop_unsent = 0;
+    inflight_his = [];
+    persist_until = 0.;
+    proposer_wake = None;
     proposals = Hashtbl.create 64;
     committed = Hashtbl.create 64;
+    commit_frontier = 0L;
     next_apply = 1L;
     fresh_at = 0.;
     deferred = [];
@@ -977,6 +1347,8 @@ let start ?(trace = Obs.Trace.null) ?(tag = "") engine cfg =
   if cfg.servers < 1 then invalid_arg "Ensemble.start: servers < 1";
   if cfg.observers < 0 then invalid_arg "Ensemble.start: observers < 0";
   if cfg.max_batch < 1 then invalid_arg "Ensemble.start: max_batch < 1";
+  if cfg.max_inflight_batches < 1 then
+    invalid_arg "Ensemble.start: max_inflight_batches < 1";
   if cfg.batch_delay < 0. then invalid_arg "Ensemble.start: batch_delay < 0";
   if cfg.retry_backoff < 0. then invalid_arg "Ensemble.start: retry_backoff < 0";
   if cfg.session_timeout <= 0. then
@@ -1004,12 +1376,19 @@ let start ?(trace = Obs.Trace.null) ?(tag = "") engine cfg =
   let t =
     { engine; cfg; trace; tag; members; net; eps; session_rng = master;
       leader = 0; next_session = 1L; next_server = 0;
-      commits = 0; last_commit_at = Engine.now engine; dedup_hits = 0;
+      commits = 0; last_commit_at = Engine.now engine;
+      commit_fanouts = 0; piggybacked_commits = 0; dedup_hits = 0;
       dedup_evictions = 0; stale_served = 0; stale_refused = 0; failed_fast = 0;
       sessions_expired = 0; follower_peers = []; observer_peers = [] }
   in
   refresh_peers t;
   Array.iter (fun s -> Process.spawn engine (fun () -> server_loop t s)) members;
+  (* proposer processes exist only in pipelined mode, so the default
+     configuration's process/event schedule — and thus its recorded
+     replays — stay byte-identical. Every member gets one: any voter
+     may be elected later. *)
+  if pipelined t then
+    Array.iter (fun s -> Process.spawn engine (fun () -> proposer_loop t s)) members;
   t
 
 (* {2 Failure injection} *)
@@ -1081,6 +1460,8 @@ let elect t =
           Hashtbl.reset s.committed;
           Hashtbl.reset s.pending;
           Hashtbl.reset s.pending_rids;
+          (* queued batches and frontiers are epoch-relative state *)
+          reset_pipeline_state s;
           if s.id = new_leader.id then s.role <- Leader
           else begin
             s.role <- (if is_observer_id t s.id then Observer else Follower);
@@ -1103,6 +1484,7 @@ let crash t id =
     s.role <- Down;
     Hashtbl.reset s.pending;
     Hashtbl.reset s.pending_rids;
+    reset_pipeline_state s;
     (* a crash loses RAM: whatever sat unprocessed in the inbox is gone,
        held-back replies die with the connection state, and so does the
        lease-interest table — clients ride out the hole on the TTL *)
@@ -1121,6 +1503,7 @@ let restart t id =
     s.epoch <- t.members.(t.leader).epoch;
     Hashtbl.reset s.proposals;
     Hashtbl.reset s.committed;
+    s.commit_frontier <- 0L;
     if t.members.(t.leader).role = Leader && t.leader <> id then begin
       let leader = t.members.(t.leader) in
       state_transfer t ~from:t.leader ~target:id;
@@ -1141,7 +1524,9 @@ let restart t id =
               (fun (zxid, pw) -> (zxid, pw.p_txn, pw.p_time, pw.p_rid, pw.p_close))
               stalled
           in
-          send t ~src:t.leader ~dst:id (Propose_batch { epoch = leader.epoch; entries })
+          send t ~src:t.leader ~dst:id
+            (Propose_batch
+               { epoch = leader.epoch; entries; committed_upto = 0L })
       end
     end
     else if t.members.(t.leader).role <> Leader then

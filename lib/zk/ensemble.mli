@@ -87,6 +87,19 @@ type config = {
           read locally; committed changes revoke early through the
           session's invalidation channel, and the TTL bounds staleness
           when the serving replica (and its lease table) is lost *)
+  max_inflight_batches : int;
+      (** proposal pipelining: with [n > 1] the leader runs a dedicated
+          proposer process that keeps up to [n] Propose rounds
+          outstanding, overlaps its own txn-log append with the
+          follower fan-out (its vote counts only once the append
+          lands), piggybacks the commit frontier on later proposals and
+          replies instead of separate Commit rounds while the pipeline
+          is busy, and coalesces queued writes into open batches (up to
+          [max_batch]) for exactly as long as the window is full —
+          [batch_delay] is never slept. Commits still apply strictly in
+          zxid order. [1] (the default) is the classic stop-and-wait
+          leader, bit-for-bit: no proposer process is spawned and every
+          event fires exactly as without the pipeline. *)
 }
 
 val default_config : servers:int -> config
@@ -170,6 +183,14 @@ val server_resident_bytes : t -> int -> int
 val reads_served : t -> int -> int
 
 val writes_committed : t -> int
+
+(** Standalone Commit_batch rounds the leader fanned out, and commit
+    rounds whose fan-out was suppressed because the frontier rode out
+    piggybacked on a queued proposal instead ([max_inflight_batches >
+    1] only — the stop-and-wait path always fans out). *)
+val commit_fanouts : t -> int
+
+val piggybacked_commits : t -> int
 
 (** Retried writes answered from the dedup table instead of re-applied.
     Every session stamps each write with a session-scoped request id
