@@ -84,6 +84,15 @@ let experiments =
                         BENCH_pr9_smoke.json)",
      fun () ->
        Scenarios.Figures.pipeline_smoke ~json_path:"BENCH_pr9_smoke.json" ());
+    ("durability", "checksummed-WAL durability: whole-cluster power failures \
+                    + storage corruption under mdtest, durability oracle \
+                    (writes BENCH_pr10.json)",
+     fun () -> Scenarios.Figures.durability ~json_path:"BENCH_pr10.json" ());
+    ("durability-smoke", "durability at 16 procs, 4 schedules (CI; writes \
+                          BENCH_pr10_smoke.json)",
+     fun () ->
+       Scenarios.Figures.durability_smoke
+         ~json_path:"BENCH_pr10_smoke.json" ());
     ("all", "every experiment in order", Scenarios.Figures.all) ]
 
 open Cmdliner

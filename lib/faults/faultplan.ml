@@ -16,6 +16,13 @@ type action =
   | Delay of int option * float
   | Duplicate of int option * float
   | Reorder of int option * float * float  (* probability, window seconds *)
+  (* storage faults: one member's WAL device or media, shard-qualified
+     like the crash actions (None = shard 0) *)
+  | Torn_tail of int option * int
+  | Corrupt_wal of int option * int * float  (* fraction of records *)
+  | Corrupt_snap of int option * int
+  | Disk_stall of int option * int * float  (* fail-stop, seconds *)
+  | Fsync_delay of int option * int * float  (* fail-slow, seconds *)
 
 type anchor =
   | At of float
@@ -57,6 +64,15 @@ let action_to_string = function
   | Duplicate (sh, p) -> Printf.sprintf "dup=%s%g" (shard_prefix sh) p
   | Reorder (sh, p, w) ->
     Printf.sprintf "reorder=%s%g:%g" (shard_prefix sh) p w
+  | Torn_tail (sh, id) -> Printf.sprintf "torn-tail=%s%d" (shard_prefix sh) id
+  | Corrupt_wal (sh, id, p) ->
+    Printf.sprintf "corrupt-wal=%s%d:%g" (shard_prefix sh) id p
+  | Corrupt_snap (sh, id) ->
+    Printf.sprintf "corrupt-snap=%s%d" (shard_prefix sh) id
+  | Disk_stall (sh, id, d) ->
+    Printf.sprintf "disk-stall=%s%d:%g" (shard_prefix sh) id d
+  | Fsync_delay (sh, id, d) ->
+    Printf.sprintf "fsync-delay+=%s%d:%g" (shard_prefix sh) id d
 
 let anchor_to_string = function
   | At time -> Printf.sprintf "%g" time
@@ -128,6 +144,20 @@ let parse_groups str =
   | [] | [ "" ] -> Error (Printf.sprintf "empty partition spec %S" str)
   | groups -> go [] groups
 
+let parse_server_id str =
+  match int_of_string_opt str with
+  | Some id when id >= 0 -> Ok id
+  | _ -> Error (Printf.sprintf "bad server id %S" str)
+
+(* "<id>:<value>" — the shared shape of the parameterized storage
+   faults (corrupt-wal fraction, disk-stall / fsync-delay+ duration). *)
+let split_server_value verb str =
+  match String.index_opt str ':' with
+  | None -> Error (Printf.sprintf "%s wants <id>:<value>, got %S" verb str)
+  | Some j ->
+    let* id = parse_server_id (String.sub str 0 j) in
+    Ok (id, String.sub str (j + 1) (String.length str - j - 1))
+
 let parse_action str =
   match str with
   | "crash-leader" -> Ok Crash_leader
@@ -197,6 +227,31 @@ let parse_action str =
           with
           | Some w when w >= 0. -> Ok (Reorder (sh, p, w))
           | _ -> Error (Printf.sprintf "bad reorder window %S" arg)))
+      | "torn-tail" ->
+        let* sh, rest = split_shard arg in
+        let* id = parse_server_id rest in
+        Ok (Torn_tail (sh, id))
+      | "corrupt-snap" ->
+        let* sh, rest = split_shard arg in
+        let* id = parse_server_id rest in
+        Ok (Corrupt_snap (sh, id))
+      | "corrupt-wal" ->
+        let* sh, rest = split_shard arg in
+        let* id, value = split_server_value verb rest in
+        let* p = parse_probability value in
+        Ok (Corrupt_wal (sh, id, p))
+      | "disk-stall" -> (
+        let* sh, rest = split_shard arg in
+        let* id, value = split_server_value verb rest in
+        match parse_duration value with
+        | Some d when d >= 0. -> Ok (Disk_stall (sh, id, d))
+        | _ -> Error (Printf.sprintf "bad stall duration %S" arg))
+      | "fsync-delay+" -> (
+        let* sh, rest = split_shard arg in
+        let* id, value = split_server_value verb rest in
+        match parse_duration value with
+        | Some d when d >= 0. -> Ok (Fsync_delay (sh, id, d))
+        | _ -> Error (Printf.sprintf "bad fsync delay %S" arg))
       | _ -> Error (Printf.sprintf "unknown action %S" str)))
 
 let parse_anchor str =
@@ -297,6 +352,14 @@ let perform armed action =
   | Delay (sh, d) -> Zk.Ensemble.set_extra_delay (shard_opt armed sh) d
   | Duplicate (sh, p) -> Zk.Ensemble.set_duplicate (shard_opt armed sh) p
   | Reorder (sh, p, w) -> Zk.Ensemble.set_reorder (shard_opt armed sh) ~p ~window:w
+  | Torn_tail (sh, id) -> Zk.Ensemble.tear_wal_tail (shard_opt armed sh) id
+  | Corrupt_wal (sh, id, p) ->
+    Zk.Ensemble.corrupt_wal (shard_opt armed sh) id ~fraction:p
+  | Corrupt_snap (sh, id) -> Zk.Ensemble.corrupt_snapshot (shard_opt armed sh) id
+  | Disk_stall (sh, id, d) ->
+    Zk.Ensemble.disk_stall (shard_opt armed sh) id ~duration:d
+  | Fsync_delay (sh, id, d) ->
+    Zk.Ensemble.add_fsync_delay (shard_opt armed sh) id d
 
 let arm_shards engine ensembles plan =
   if Array.length ensembles = 0 then invalid_arg "Faultplan.arm_shards: no shards";

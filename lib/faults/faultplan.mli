@@ -23,6 +23,11 @@
              | "delay+=" [<shard> "/"] <duration>
              | "dup="   [<shard> "/"] <probability>
              | "reorder=" [<shard> "/"] <probability> ":" <duration>
+             | "torn-tail="    [<shard> "/"] <id>
+             | "corrupt-wal="  [<shard> "/"] <id> ":" <probability>
+             | "corrupt-snap=" [<shard> "/"] <id>
+             | "disk-stall="   [<shard> "/"] <id> ":" <duration>
+             | "fsync-delay+=" [<shard> "/"] <id> ":" <duration>
     group  ::= <id> ("," <id>)*
     anchor ::= <seconds> | <phase-name> | <phase-name> "+" <seconds>
     v}
@@ -34,6 +39,17 @@
     knobs, and [heal] restores the network completely — partition gone
     {e and} every probabilistic knob back to zero (["heal"] heals every
     shard; ["heal@shard=k"] just one).
+
+    Storage actions drive one member's {!Zk.Wal} fault state and are
+    deliberately per-server (a media fault hits one disk, not the
+    ensemble): [torn-tail] tears the newest WAL record, [corrupt-wal]
+    bit-rots roughly the given fraction of records (hash-selected, no
+    RNG draw), [corrupt-snap] corrupts the newest snapshot,
+    [disk-stall] fail-stops the WAL device for the duration, and
+    [fsync-delay+] permanently adds fail-slow latency to every fsync.
+    None of them is emitted by {!chaos} — storage schedules are built
+    explicitly by the durability experiment so the PR 5 chaos replays
+    stay byte-identical.
 
     The anchor follows the {e last} ["@"] of an event, so the sharded
     ["crash-leader@shard=2@file-create+0.05"] parses as expected; plans
@@ -62,6 +78,16 @@ type action =
   | Reorder of int option * float * float
       (** (probability, window): see {!Simkit.Net.set_reorder} — this
           knowingly violates the protocol's FIFO-link assumption *)
+  | Torn_tail of int option * int
+      (** tear server [id]'s newest WAL record *)
+  | Corrupt_wal of int option * int * float
+      (** bit-rot [fraction] of server [id]'s WAL records *)
+  | Corrupt_snap of int option * int
+      (** corrupt server [id]'s newest snapshot *)
+  | Disk_stall of int option * int * float
+      (** fail-stop server [id]'s WAL device for the duration *)
+  | Fsync_delay of int option * int * float
+      (** fail-slow: add seconds to every fsync of server [id] *)
 
 type anchor =
   | At of float                   (** absolute virtual time, seconds *)

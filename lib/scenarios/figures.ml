@@ -1784,6 +1784,235 @@ let pipeline_smoke ?json_path () =
     ~chaos_runs:[ (1, 11L); (4, 12L) ]
     ~min_improvement:10. ?json_path ()
 
+(* {2 Durability — whole-cluster power failures and storage corruption
+      over mdtest}
+
+   Every schedule power-fails the entire coordination ensemble in the
+   middle of the file-create phase; the flavors additionally damage one
+   member's disk (torn tail, WAL bit-rot, snapshot corruption,
+   fail-slow fsyncs plus a post-restart stall). The driver enforces the
+   run's own invariants: the service must recover (a probe write
+   commits), the recovered replicas must agree byte-for-byte, the
+   recorded register history must check linearizable, the durability
+   oracle must find every acknowledged write in the recovered tree, the
+   torn/bit-rot schedules must actually truncate records (teeth), and
+   recovery must be mostly local — WAL-replayed transactions strictly
+   dominate leader diff-syncs. *)
+
+let durability_servers = 5
+
+let durability_flavors =
+  [| "power-failure"; "torn-tail"; "wal-bit-rot"; "snap-rot";
+     "torn+snap-rot"; "fail-slow" |]
+
+let durability_plan ~servers ~seed ~flavor =
+  let open Faults.Faultplan in
+  (* seed-deterministic crash point / outage length / disk victim *)
+  let rng = Simkit.Rng.create ~seed:(Int64.add seed 977L) in
+  let t_crash = 0.3 +. (Simkit.Rng.float rng *. 0.4) in
+  let outage = 0.6 +. (Simkit.Rng.float rng *. 0.6) in
+  let victim = Simkit.Rng.int rng servers in
+  let ev off action = { anchor = After_phase ("file-create", off); action } in
+  let mid = t_crash +. (outage /. 2.) in
+  let storage =
+    (* at most one member's disk is damaged, so quorum copies survive
+       and every acknowledged write must still be recoverable *)
+    match flavor with
+    | "power-failure" -> []
+    | "torn-tail" -> [ ev mid (Torn_tail (None, victim)) ]
+    | "wal-bit-rot" -> [ ev mid (Corrupt_wal (None, victim, 0.08)) ]
+    | "snap-rot" -> [ ev mid (Corrupt_snap (None, victim)) ]
+    | "torn+snap-rot" ->
+      [ ev mid (Torn_tail (None, victim));
+        ev mid (Corrupt_snap (None, victim)) ]
+    | "fail-slow" ->
+      [ ev 0.05 (Fsync_delay (None, victim, 2e-4));
+        ev (t_crash +. outage +. 0.1) (Disk_stall (None, victim, 0.15)) ]
+    | f -> invalid_arg ("durability_plan: unknown flavor " ^ f)
+  in
+  List.init servers (fun id -> ev t_crash (Crash id))
+  @ storage
+  @ [ ev (t_crash +. outage) Restart_all_down ]
+
+let durability ?(seeds = List.map Int64.of_int [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ])
+    ?(procs = 64) ?(reg_clients = 8) ?(ops_per_client = 50)
+    ?(dirs_per_proc = 12) ?(files_per_proc = 12) ?json_path () =
+  Report.print_header
+    (Printf.sprintf
+       "Durability — %d whole-cluster power-failure schedules (plus torn \
+        tails, WAL bit-rot, snapshot corruption, fail-slow disks) under \
+        %d-proc mdtest over %d-server ensembles; checksummed-WAL recovery \
+        + durability oracle"
+       (List.length seeds) procs durability_servers);
+  Printf.printf "%5s %14s %9s %7s %6s %7s %8s %9s %6s %6s %6s %7s %5s %5s\n"
+    "seed" "flavor" "recorded" "audited" "undet" "mderr" "replayed" "truncated"
+    "snaps" "falls" "diff" "rectime" "lin" "dur";
+  let run_one i seed =
+    let label = durability_flavors.(i mod Array.length durability_flavors) in
+    let plan = durability_plan ~servers:durability_servers ~seed ~flavor:label in
+    let r =
+      Systems.durability_run ~servers:durability_servers ~procs ~reg_clients
+        ~ops_per_client ~dirs_per_proc ~files_per_proc ~plan ~label ~seed ()
+    in
+    Printf.printf
+      "%5Ld %14s %9d %7d %6d %7d %8d %9d %6d %6d %6d %6.3fs %5d %5d%s\n%!"
+      seed label r.Systems.d_recorded r.Systems.d_audited
+      r.Systems.d_undetermined r.Systems.d_mdtest_errors
+      r.Systems.d_wal_replayed r.Systems.d_wal_truncated
+      r.Systems.d_snap_loads r.Systems.d_snap_fallbacks
+      r.Systems.d_transfer_diff_txns r.Systems.d_recovery_time_max
+      (List.length r.Systems.d_violations)
+      (List.length r.Systems.d_durability_violations)
+      ((if r.Systems.d_recovered then "" else "  NOT-RECOVERED")
+       ^ if r.Systems.d_trees_agree then "" else "  REPLICAS-DISAGREE");
+    List.iter
+      (fun (v : Zk.History.violation) ->
+        Printf.printf "    VIOLATION [%s] %s: %s\n" v.Zk.History.v_kind
+          v.Zk.History.v_path v.Zk.History.v_detail)
+      (r.Systems.d_violations @ r.Systems.d_durability_violations);
+    r
+  in
+  let results = List.mapi run_one seeds in
+  (* Determinism: the first schedule again, bit-identical history. *)
+  let again = run_one 0 (List.hd seeds) in
+  let deterministic =
+    again.Systems.d_digest = (List.hd results).Systems.d_digest
+  in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let lin_violations =
+    total (fun (r : Systems.durability_run) -> List.length r.Systems.d_violations)
+  in
+  let dur_violations =
+    total (fun (r : Systems.durability_run) ->
+        List.length r.Systems.d_durability_violations)
+  in
+  let recovered_runs =
+    List.length (List.filter (fun (r : Systems.durability_run) -> r.Systems.d_recovered) results)
+  in
+  let agree_runs =
+    List.length
+      (List.filter (fun (r : Systems.durability_run) -> r.Systems.d_trees_agree) results)
+  in
+  let truncating_flavor (r : Systems.durability_run) =
+    match r.Systems.d_label with
+    | "torn-tail" | "wal-bit-rot" | "torn+snap-rot" -> true
+    | _ -> false
+  in
+  let truncated_torn =
+    List.fold_left
+      (fun acc r ->
+        if truncating_flavor r then acc + r.Systems.d_wal_truncated else acc)
+      0 results
+  in
+  let replayed_total = total (fun r -> r.Systems.d_wal_replayed) in
+  let diff_total = total (fun r -> r.Systems.d_transfer_diff_txns) in
+  let recoveries_total = total (fun r -> r.Systems.d_recoveries) in
+  let rec_time_total =
+    List.fold_left
+      (fun acc (r : Systems.durability_run) -> acc +. r.Systems.d_recovery_time_total)
+      0. results
+  in
+  let rec_time_max =
+    List.fold_left
+      (fun acc (r : Systems.durability_run) -> Float.max acc r.Systems.d_recovery_time_max)
+      0. results
+  in
+  Printf.printf
+    "\ntotal: %d runs (%d recovered, %d replicas-agree), %d lin + %d \
+     durability violations; %d recoveries, per-restart recovery mean=%.3fs \
+     max=%.3fs; wal replayed %d vs leader diff-sync %d txns (+%d SNAP); \
+     truncated %d under torn/bit-rot; seed %Ld re-run digest %s\n%!"
+    (List.length results) recovered_runs agree_runs lin_violations
+    dur_violations recoveries_total
+    (if recoveries_total > 0 then rec_time_total /. float_of_int recoveries_total
+     else 0.)
+    rec_time_max replayed_total diff_total
+    (total (fun r -> r.Systems.d_transfer_snaps))
+    truncated_torn (List.hd seeds)
+    (if deterministic then "identical" else "DIFFERS (nondeterminism!)");
+  (match json_path with
+   | None -> ()
+   | Some path ->
+     let points =
+       List.map
+         (fun (r : Systems.durability_run) ->
+           Report.point ~experiment:"durability" ~procs
+             ~config:
+               (Printf.sprintf "seed=%Ld|flavor=%s|zk=%d" r.Systems.d_seed
+                  r.Systems.d_label durability_servers)
+             ~ops_per_sec:
+               (Mdtest.Runner.rate r.Systems.d_results Mdtest.Runner.File_create)
+             ~phases:
+               [ ("violations", float_of_int (List.length r.Systems.d_violations));
+                 ( "durability_violations",
+                   float_of_int (List.length r.Systems.d_durability_violations) );
+                 ("ops_recorded", float_of_int r.Systems.d_recorded);
+                 ("registers_audited", float_of_int r.Systems.d_audited);
+                 ("undetermined", float_of_int r.Systems.d_undetermined);
+                 ("mdtest_errors", float_of_int r.Systems.d_mdtest_errors);
+                 ("power_failure_recovered", if r.Systems.d_recovered then 1. else 0.);
+                 ("replicas_agree", if r.Systems.d_trees_agree then 1. else 0.);
+                 ("faults_fired", float_of_int r.Systems.d_faults_fired);
+                 ("wal.appended", float_of_int r.Systems.d_wal_appended);
+                 ("wal.replayed", float_of_int r.Systems.d_wal_replayed);
+                 ("wal.truncated_records", float_of_int r.Systems.d_wal_truncated);
+                 ("wal.tail_dropped", float_of_int r.Systems.d_wal_tail_dropped);
+                 ("wal.tail_commits", float_of_int r.Systems.d_wal_tail_commits);
+                 ("snap.loads", float_of_int r.Systems.d_snap_loads);
+                 ( "snap.corrupt_fallbacks",
+                   float_of_int r.Systems.d_snap_fallbacks );
+                 ("recovery.count", float_of_int r.Systems.d_recoveries);
+                 ("recovery.time_total_s", r.Systems.d_recovery_time_total);
+                 ("recovery.time_max_s", r.Systems.d_recovery_time_max);
+                 ("transfer.diff_txns", float_of_int r.Systems.d_transfer_diff_txns);
+                 ("transfer.snaps", float_of_int r.Systems.d_transfer_snaps) ]
+             ())
+         results
+       @ [ Report.point ~experiment:"durability-summary" ~procs
+             ~config:
+               (Printf.sprintf "runs=%d|zk=%d|reg_clients=%d"
+                  (List.length results) durability_servers reg_clients)
+             ~ops_per_sec:0.
+             ~phases:
+               [ ("runs", float_of_int (List.length results));
+                 ("violations_total", float_of_int lin_violations);
+                 ("durability_violations_total", float_of_int dur_violations);
+                 ("power_failures_recovered", float_of_int recovered_runs);
+                 ("replicas_agree_runs", float_of_int agree_runs);
+                 ("wal.replayed_total", float_of_int replayed_total);
+                 ("wal.truncated_torn_total", float_of_int truncated_torn);
+                 ("transfer.diff_txns_total", float_of_int diff_total);
+                 ("recovery.count_total", float_of_int recoveries_total);
+                 ( "recovery.per_restart_mean_s",
+                   if recoveries_total > 0 then
+                     rec_time_total /. float_of_int recoveries_total
+                   else 0. );
+                 ("recovery.max_s", rec_time_max);
+                 ("deterministic", if deterministic then 1. else 0.) ]
+             () ]
+     in
+     Report.emit_json ~path points;
+     Printf.printf "\nwrote %s (%d bench points)\n%!" path (List.length points));
+  if recovered_runs < List.length results then
+    failwith "durability: a power-failure schedule never recovered";
+  if agree_runs < List.length results then
+    failwith "durability: recovered replicas disagree";
+  if lin_violations > 0 then
+    failwith "durability: linearizability violations found";
+  if dur_violations > 0 then
+    failwith "durability: acked writes lost or unacked writes resurrected";
+  if truncated_torn = 0 then
+    failwith "durability: torn/bit-rot schedules truncated nothing (no teeth)";
+  if diff_total >= replayed_total then
+    failwith "durability: recovery not mostly local (diff-sync >= WAL replay)";
+  if not deterministic then
+    failwith "durability: identical seed produced a different history"
+
+let durability_smoke ?json_path () =
+  durability
+    ~seeds:(List.map Int64.of_int [ 1; 2; 3; 4 ])
+    ~procs:16 ~ops_per_client:30 ~dirs_per_proc:6 ~files_per_proc:6 ?json_path ()
+
 let all () =
   fig7 ();
   fig8 ();
@@ -1807,4 +2036,5 @@ let all () =
   engine ();
   sessions ();
   reshard ();
-  pipeline ()
+  pipeline ();
+  durability ()

@@ -260,5 +260,37 @@ val pipeline :
     floor — the BENCH_pr9_smoke.json artifact. *)
 val pipeline_smoke : ?json_path:string -> unit -> unit
 
+(** {2 Durability — power failures and storage corruption over mdtest}
+
+    Seeded schedules that power-fail the whole coordination ensemble in
+    the middle of the file-create phase, cycling through storage-damage
+    flavors on one member's disk (none, torn tail, WAL bit-rot,
+    snapshot corruption, torn+snapshot, fail-slow + post-restart
+    stall). Each run is a {!Systems.durability_run}; with [json_path]
+    writes the BENCH_pr10.json artifact: one [durability] point per
+    schedule (WAL/snapshot/recovery counters in [phases], dotted
+    [wal.*]/[snap.*]/[recovery.*]/[transfer.*] keys) plus a
+    [durability-summary] point.
+    @raise Failure if any schedule fails to recover, recovered replicas
+    disagree, any linearizability or durability-oracle violation is
+    found, the torn/bit-rot schedules truncate nothing, leader
+    diff-syncs ship at least as many transactions as local WAL replay
+    recovered, or the re-run digest differs. *)
+val durability :
+  ?seeds:int64 list ->
+  ?procs:int ->
+  ?reg_clients:int ->
+  ?ops_per_client:int ->
+  ?dirs_per_proc:int ->
+  ?files_per_proc:int ->
+  ?json_path:string ->
+  unit ->
+  unit
+
+(** The CI variant: 4 schedules (power-failure, torn-tail, WAL bit-rot,
+    snapshot-rot) at 16 processes — the BENCH_pr10_smoke.json artifact.
+    Same failure conditions as {!durability}. *)
+val durability_smoke : ?json_path:string -> unit -> unit
+
 (** Run everything (the full bench suite). *)
 val all : unit -> unit

@@ -659,6 +659,209 @@ let chaos_run ?(servers = 5) ?(shards = 1) ?(clients = 8) ?(registers = 6)
     stale_reads_served = sum Zk.Ensemble.stale_reads_served;
     writes_committed = sum Zk.Ensemble.writes_committed }
 
+(* {2 Durability: power-failure and storage-corruption schedules with a
+      durability oracle}
+
+   A 64-proc mdtest runs over the full DUFS stack while the fault plan
+   power-fails the whole coordination ensemble (optionally tearing,
+   bit-rotting or snapshot-corrupting one member's disk during the
+   outage). Alongside the mdtest load, a few register clients issue
+   {e unconditioned} writes with unique data values through a
+   {!Zk.History} recorder — mdtest's own rmdir is version-conditioned
+   and therefore outside the recorded-register model, so the audit runs
+   over the overlay registers the oracle can actually reason about.
+   After the run (engine fully drained: every restart has recovered and
+   re-elected), a probe write confirms the service is live again, the
+   Wing–Gong checker validates the recorded history, and the durability
+   oracle compares the leader's recovered tree against it: acked writes
+   must have survived the power failure, unacked ones may be lost but
+   must not resurrect inconsistently. *)
+
+type durability_run = {
+  d_seed : int64;
+  d_label : string;
+  d_results : Mdtest.Runner.results;
+  d_mdtest_errors : int;
+  d_recorded : int;
+  d_checked : int;
+  d_undetermined : int;
+  d_audited : int;
+  d_violations : Zk.History.violation list;   (* linearizability *)
+  d_durability_violations : Zk.History.violation list;
+  d_digest : string;
+  d_recovered : bool;      (* post-outage probe write committed *)
+  d_trees_agree : bool;    (* all live replicas fingerprint-equal *)
+  d_faults_fired : int;
+  d_reg_ok : int;
+  d_reg_err : int;
+  d_wal_appended : int;
+  d_wal_replayed : int;
+  d_wal_truncated : int;
+  d_wal_tail_dropped : int;
+  d_snap_loads : int;
+  d_snap_fallbacks : int;
+  d_recoveries : int;
+  d_recovery_time_total : float;
+  d_recovery_time_max : float;
+  d_wal_tail_commits : int;
+  d_transfer_diff_txns : int;
+  d_transfer_snaps : int;
+}
+
+let dur_reg_dir k = Printf.sprintf "/dur%d" k
+
+let durability_run ?(servers = 5) ?(procs = 64) ?(reg_clients = 8)
+    ?(registers = 8) ?(ops_per_client = 50) ?(dirs_per_proc = 12)
+    ?(files_per_proc = 12) ?(think = 0.02) ~plan ~label ~seed () =
+  let engine = Engine.create () in
+  let spec = { zk_servers = servers; backends = 4; backend_kind = Lustre } in
+  let config =
+    { (zk_config ~servers ~procs ()) with
+      Zk.Ensemble.seed;
+      request_timeout = 0.5;
+      retry_backoff = 0.05;
+      retry_backoff_cap = 1.0;
+      session_timeout = 8.0;
+      fail_fast_after = 2.0;
+      (* low cadence so schedules cross several snapshots: corrupt-snap
+         has something to corrupt and log pruning actually happens *)
+      snapshot_every = 384 }
+  in
+  let ensemble, ops_for_proc, _stations =
+    build_dufs engine ~spec ~config ~cached:false
+  in
+  let hist = Zk.History.create engine in
+  let armed = Faults.Faultplan.arm engine ensemble plan in
+  let reg_ok = ref 0 and reg_err = ref 0 in
+  (* Register directories, committed before any client op or fault. *)
+  Process.spawn engine (fun () ->
+      let s = Zk.Ensemble.session ensemble () in
+      for k = 0 to registers - 1 do
+        match s.Zk.Zk_client.create (dur_reg_dir k) ~data:"" with
+        | Ok _ -> ()
+        | Error e ->
+          failwith ("durability setup " ^ dur_reg_dir k ^ ": "
+                    ^ Zk.Zerror.to_string e)
+      done);
+  for i = 0 to reg_clients - 1 do
+    let rng =
+      Simkit.Rng.create ~seed:(Int64.add seed (Int64.of_int ((i + 1) * 6007)))
+    in
+    Process.spawn engine (fun () ->
+        let h =
+          ref (Zk.History.wrap hist ~client:i (Zk.Ensemble.session ensemble ()))
+        in
+        let n = ref 0 in
+        let fresh_data () =
+          incr n;
+          Printf.sprintf "%d.%d" i !n
+        in
+        Process.sleep (0.2 +. Simkit.Rng.exponential rng ~mean:think);
+        for _op = 1 to ops_per_client do
+          let reg = dur_reg_dir (Simkit.Rng.int rng registers) ^ "/r" in
+          let outcome =
+            match Simkit.Rng.int rng 100 with
+            | x when x < 40 ->
+              Result.map ignore
+                ((!h).Zk.Zk_client.create reg ~data:(fresh_data ()))
+            | x when x < 70 -> (!h).Zk.Zk_client.set reg ~data:(fresh_data ())
+            | x when x < 85 -> (!h).Zk.Zk_client.delete reg
+            | _ -> Result.map ignore ((!h).Zk.Zk_client.get reg)
+          in
+          (match outcome with
+           | Ok () -> incr reg_ok
+           | Error (Zk.Zerror.ZNONODE | Zk.Zerror.ZNODEEXISTS) -> incr reg_ok
+           | Error Zk.Zerror.ZSESSIONEXPIRED ->
+             incr reg_err;
+             h :=
+               Zk.History.wrap hist ~client:i (Zk.Ensemble.session ensemble ());
+             Process.sleep (Simkit.Rng.exponential rng ~mean:0.2)
+           | Error _ ->
+             incr reg_err;
+             Process.sleep (Simkit.Rng.exponential rng ~mean:0.3));
+          Process.sleep (Simkit.Rng.exponential rng ~mean:think)
+        done;
+        (!h).Zk.Zk_client.close ())
+  done;
+  let cfg = Mdtest.Workload.config ~dirs_per_proc ~files_per_proc ~procs () in
+  let results =
+    Mdtest.Runner.run
+      ~on_phase:(fun p ->
+        Faults.Faultplan.notify_phase armed (Mdtest.Runner.phase_to_string p))
+      engine cfg ~ops_for_proc
+  in
+  (* The run drained with every restart recovered; prove the service is
+     actually live again by committing one more write. *)
+  let recovered = ref false in
+  Process.spawn engine (fun () ->
+      let s = ref (Zk.Ensemble.session ensemble ()) in
+      let attempts = ref 0 in
+      let rec go () =
+        incr attempts;
+        if !attempts <= 200 then
+          match
+            (!s).Zk.Zk_client.create
+              (Printf.sprintf "/dur-probe%d" !attempts) ~data:""
+          with
+          | Ok _ -> recovered := true
+          | Error Zk.Zerror.ZSESSIONEXPIRED ->
+            s := Zk.Ensemble.session ensemble ();
+            Process.sleep 0.05;
+            go ()
+          | Error _ ->
+            Process.sleep 0.05;
+            go ()
+      in
+      go ());
+  Engine.run engine;
+  let violations = Zk.History.check ~max_states:2_000_000 hist in
+  let lookup path =
+    match Zk.Ensemble.leader_id ensemble with
+    | None -> None
+    | Some id -> (
+      match Zk.Ztree.get (Zk.Ensemble.tree_of ensemble id) path with
+      | Ok (data, _) -> Some data
+      | Error _ -> None)
+  in
+  let durability_violations = Zk.History.durability_audit hist ~lookup in
+  let trees_agree =
+    match Zk.Ensemble.alive_ids ensemble with
+    | [] -> false
+    | id0 :: rest ->
+      let f0 = Zk.Ztree.fingerprint (Zk.Ensemble.tree_of ensemble id0) in
+      List.for_all
+        (fun id -> Zk.Ztree.fingerprint (Zk.Ensemble.tree_of ensemble id) = f0)
+        rest
+  in
+  { d_seed = seed;
+    d_label = label;
+    d_results = results;
+    d_mdtest_errors = results.Mdtest.Runner.errors;
+    d_recorded = Zk.History.recorded hist;
+    d_checked = Zk.History.checked_ops hist;
+    d_undetermined = Zk.History.undetermined hist;
+    d_audited = Zk.History.audited_paths hist;
+    d_violations = violations;
+    d_durability_violations = durability_violations;
+    d_digest = Zk.History.digest hist;
+    d_recovered = !recovered;
+    d_trees_agree = trees_agree;
+    d_faults_fired = Faults.Faultplan.fired armed;
+    d_reg_ok = !reg_ok;
+    d_reg_err = !reg_err;
+    d_wal_appended = Zk.Ensemble.wal_appended ensemble;
+    d_wal_replayed = Zk.Ensemble.wal_replayed ensemble;
+    d_wal_truncated = Zk.Ensemble.wal_truncated ensemble;
+    d_wal_tail_dropped = Zk.Ensemble.wal_tail_dropped ensemble;
+    d_snap_loads = Zk.Ensemble.snap_loads ensemble;
+    d_snap_fallbacks = Zk.Ensemble.snap_fallbacks ensemble;
+    d_recoveries = Zk.Ensemble.recoveries ensemble;
+    d_recovery_time_total = Zk.Ensemble.recovery_time_total ensemble;
+    d_recovery_time_max = Zk.Ensemble.recovery_time_max ensemble;
+    d_wal_tail_commits = Zk.Ensemble.wal_tail_commits ensemble;
+    d_transfer_diff_txns = Zk.Ensemble.transfer_diff_txns ensemble;
+    d_transfer_snaps = Zk.Ensemble.transfer_snaps ensemble }
+
 let zk_raw ~servers ~procs ?(items = 80) () =
   let engine = Engine.create () in
   let ensemble = Zk.Ensemble.start engine (zk_config ~servers ~procs ()) in

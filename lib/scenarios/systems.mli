@@ -289,6 +289,66 @@ val chaos_run :
   unit ->
   chaos_run
 
+(** {2 Durability runs — power failures and storage corruption + oracle}
+
+    One seeded schedule: [procs]-process mdtest runs over the full DUFS
+    stack while [plan] power-fails the coordination ensemble (and
+    optionally tears / bit-rots / snapshot-corrupts one member's disk
+    during the outage — see the {!Faults.Faultplan} storage grammar).
+    Alongside, [reg_clients] processes issue unconditioned register
+    writes with unique data through a {!Zk.History} recorder; after the
+    drained run a probe write proves the service recovered, the
+    Wing–Gong checker validates the history, and
+    {!Zk.History.durability_audit} compares the leader's recovered tree
+    against it. WAL/recovery counters come from the ensemble's
+    stable-storage introspection. *)
+
+type durability_run = {
+  d_seed : int64;
+  d_label : string;              (** schedule flavor, for reports *)
+  d_results : Mdtest.Runner.results;
+  d_mdtest_errors : int;         (** VFS ops failed during the outage *)
+  d_recorded : int;
+  d_checked : int;
+  d_undetermined : int;
+  d_audited : int;               (** registers the oracle could audit *)
+  d_violations : Zk.History.violation list;  (** linearizability *)
+  d_durability_violations : Zk.History.violation list;
+  d_digest : string;
+  d_recovered : bool;            (** post-outage probe write committed *)
+  d_trees_agree : bool;          (** live replicas fingerprint-equal *)
+  d_faults_fired : int;
+  d_reg_ok : int;
+  d_reg_err : int;
+  d_wal_appended : int;
+  d_wal_replayed : int;
+  d_wal_truncated : int;
+  d_wal_tail_dropped : int;
+  d_snap_loads : int;
+  d_snap_fallbacks : int;
+  d_recoveries : int;
+  d_recovery_time_total : float;
+  d_recovery_time_max : float;
+  d_wal_tail_commits : int;
+  d_transfer_diff_txns : int;
+  d_transfer_snaps : int;
+}
+
+val durability_run :
+  ?servers:int ->
+  ?procs:int ->
+  ?reg_clients:int ->
+  ?registers:int ->
+  ?ops_per_client:int ->
+  ?dirs_per_proc:int ->
+  ?files_per_proc:int ->
+  ?think:float ->
+  plan:Faults.Faultplan.t ->
+  label:string ->
+  seed:int64 ->
+  unit ->
+  durability_run
+
 (** Raw coordination-service throughput (Fig. 7): closed loop of [items]
     ops per client for each of the four basic operations. Returns
     [(op name, ops/sec)] in order create, get, set, delete. *)

@@ -30,6 +30,7 @@ type config = {
   unsafe_no_dedup : bool;
   lease_ttl : float;
   max_inflight_batches : int;
+  snapshot_every : int;
 }
 
 let default_config ~servers =
@@ -57,7 +58,8 @@ let default_config ~servers =
     fail_fast_after = infinity;
     unsafe_no_dedup = false;
     lease_ttl = 5.0;
-    max_inflight_batches = 1 }
+    max_inflight_batches = 1;
+    snapshot_every = 4096 }
 
 type reply = (Txn.result_item list, Zerror.t) result -> unit
 
@@ -225,6 +227,24 @@ and server = {
   (* session-level lease interests this replica granted on its reads;
      lost (cleared) when the server crashes — the TTL covers that hole *)
   leases : Lease.t;
+  (* stable storage: what this server's disk holds at any instant.
+     [crash] materializes its power-off truth; [restart] rebuilds the
+     tree, committed log and dedup table from it. *)
+  wal : Wal.t;
+  (* readable-but-uncommitted WAL suffix found by local recovery: kept
+     only while parked leaderless after a whole-cluster power failure
+     (the recovery election's winner commits its tail); discarded the
+     moment a live leader resyncs this server *)
+  mutable recovered_tail : Wal.entry list;
+  (* (epoch, zxid) of the last readable WAL record after local
+     recovery: the recovery election compares log ends ZAB-style *)
+  mutable recovered_log_end : int * int64;
+  (* parked after restarting into a leaderless sub-quorum cluster;
+     cleared when a quorum forms and elects *)
+  mutable awaiting_quorum : bool;
+  (* [recovered_tail]/[recovered_log_end] reflect the current disk
+     (local recovery ran and no resync has superseded it since) *)
+  mutable disk_synced : bool;
   (* counters *)
   mutable reads : int;
 }
@@ -263,6 +283,13 @@ type t = {
      rebuild them; refreshed whenever any member changes role *)
   mutable follower_peers : server list;
   mutable observer_peers : server list;
+  (* recovery accounting *)
+  mutable recoveries : int;
+  mutable recovery_time_total : float;
+  mutable recovery_time_max : float;
+  mutable wal_tail_commits : int;
+  mutable transfer_diff_txns : int;
+  mutable transfer_snaps : int;
 }
 
 let config t = t.cfg
@@ -473,6 +500,39 @@ let apply_txn (s : server) ~zxid ~time txn =
    | Error _ -> ());
   result
 
+(* {2 Stable-storage hooks}
+
+   Everything that reaches a server's WAL goes through these helpers.
+   They are pure state updates — no events, no sleeps, no RNG — so
+   wiring them into the hot paths leaves fault-free schedules
+   bit-identical. *)
+
+let wal_entry ~zxid ~txn ~time ~(rid : rid) ~close : Wal.entry =
+  { Wal.e_zxid = zxid; e_txn = txn; e_time = time;
+    e_rsession = rid.rsession; e_rcxid = rid.rcxid; e_close = close }
+
+(* Append at a persist point; [start]/[done_at] bracket the device
+   write so a power-off inside the window loses or tears the record. *)
+let wal_append (s : server) ~start ~done_at ~zxid ~txn ~time ~rid ~close =
+  Wal.append s.wal ~epoch:s.epoch ~start ~done_at
+    (wal_entry ~zxid ~txn ~time ~rid ~close)
+
+(* Mark [zxid] durably applied and roll a snapshot once the replay
+   distance exceeds the configured cadence. Snapshot writing is modeled
+   as free: ZooKeeper serializes fuzzy snapshots from a background
+   thread off the commit path, and the simulated persist budget already
+   covers the log append that actually gates each ack. *)
+let wal_applied t (s : server) zxid =
+  Wal.note_commit s.wal zxid;
+  if
+    t.cfg.snapshot_every > 0
+    && Int64.to_int
+         (Int64.sub (Wal.frontier s.wal) (Wal.last_snapshot_zxid s.wal))
+       >= t.cfg.snapshot_every
+  then
+    Wal.snapshot s.wal ~zxid:(Ztree.last_zxid s.tree) ~epoch:s.epoch
+      (Ztree.serialize s.tree)
+
 (* {2 Deferred replies} *)
 
 (* Flush replies whose zxid this server has now processed, oldest first.
@@ -546,6 +606,7 @@ let try_commit t (s : server) =
             Hashtbl.remove s.pending_rids pw.p_rid;
             Hashtbl.replace s.log zxid (pw.p_txn, pw.p_time, pw.p_rid, pw.p_close);
             note_close_applied t s ~rid:pw.p_rid pw.p_close;
+            wal_applied t s zxid;
             t.commits <- t.commits + 1;
             (zxid, pw, result))
           ready
@@ -832,10 +893,15 @@ let leader_handle_batch t (s : server) batch =
         (fun acc (txn, _, _, _, _, _) -> acc +. leader_service t txn)
         0. batch
     in
-    Process.sleep (svc t (cpu +. t.cfg.persist));
+    (* [device_delay] is exactly 0. unless a storage fault (disk stall /
+       fail-slow) is armed, keeping the fault-free schedule untouched *)
+    Process.sleep
+      (svc t (cpu +. t.cfg.persist)
+       +. Wal.device_delay s.wal ~now:(Engine.now t.engine));
     (* a crash may have landed mid-sleep: a deposed leader must not
        propose with stale state *)
     if s.role = Leader then begin
+      let persisted_at = Engine.now t.engine in
       let entries =
         List.map
           (fun (txn, rid, origin, reply, span, close) ->
@@ -847,6 +913,8 @@ let leader_handle_batch t (s : server) batch =
                 p_self_acked = true (* persist already paid above *);
                 p_close = close; p_span = span };
             Hashtbl.replace s.pending_rids rid zxid;
+            wal_append s ~start:time ~done_at:persisted_at ~zxid ~txn ~time
+              ~rid ~close;
             (zxid, txn, time, rid, close))
           batch
       in
@@ -980,13 +1048,23 @@ let rec proposer_loop t (s : server) =
                (Propose_batch { epoch = s.epoch; entries; committed_upto }))
            followers;
          (* overlapped persist: issued now, completes after any earlier
-            append still holding the WAL; the completion flips the
-            leader's votes and retries the commit cursor *)
+            append still holding the WAL (and after any injected disk
+            stall / fail-slow surcharge — both exactly absent by
+            default); the completion flips the leader's votes and
+            retries the commit cursor *)
          let now = Engine.now t.engine in
          let done_at =
-           Float.max now s.persist_until +. svc t t.cfg.persist
+           Float.max (Float.max now s.persist_until) (Wal.stalled_until s.wal)
+           +. svc t t.cfg.persist +. Wal.fsync_extra s.wal
          in
          s.persist_until <- done_at;
+         (* the WAL records the overlapped window: a crash before
+            [done_at] loses these appends even though the batch was
+            already proposed (and possibly acked by followers) *)
+         List.iter
+           (fun (zxid, txn, time, rid, close) ->
+             wal_append s ~start:now ~done_at ~zxid ~txn ~time ~rid ~close)
+           entries;
          let zxids = List.map (fun (z, _, _, _, _) -> z) entries in
          Engine.schedule t.engine ~delay:(done_at -. now) (fun () ->
              if s.role = Leader && s.epoch = epoch0 then begin
@@ -1025,6 +1103,7 @@ let rec follower_apply_ready t (s : server) =
         note_close_applied t s ~rid close
       end;
       Hashtbl.replace s.log zxid (txn, time, rid, close);
+      wal_applied t s zxid;
       follower_apply_ready t s
 
 (* Observers buffer informs in [proposals] and apply strictly in zxid
@@ -1041,7 +1120,15 @@ let rec observer_apply_ready t (s : server) =
     if Ztree.last_zxid s.tree < zxid then begin
       Hashtbl.replace s.applied rid (zxid, apply_txn s ~zxid ~time txn);
       note_close_applied t s ~rid close;
-      Hashtbl.replace s.log zxid (txn, time, rid, close)
+      Hashtbl.replace s.log zxid (txn, time, rid, close);
+      (* observers have no ack round: the inform itself doubles as the
+         txn-log append (already committed, so it lands at the frontier) *)
+      (match Wal.epoch_at s.wal zxid with
+       | Some e when e = s.epoch -> ()
+       | _ ->
+         let now = Engine.now t.engine in
+         wal_append s ~start:now ~done_at:now ~zxid ~txn ~time ~rid ~close);
+      wal_applied t s zxid
     end;
     observer_apply_ready t s
 
@@ -1143,13 +1230,26 @@ let handle t (s : server) msg =
     end
   | Propose_batch { epoch; entries; committed_upto } ->
     if epoch = s.epoch && s.role = Follower then begin
-      (* one persist + one reply RPC covers the whole batch *)
-      Process.sleep (svc t (t.cfg.persist +. t.cfg.rpc_cpu));
+      let issued_at = Engine.now t.engine in
+      (* one persist + one reply RPC covers the whole batch; injected
+         storage faults (disk stall / fail-slow) stretch it *)
+      Process.sleep
+        (svc t (t.cfg.persist +. t.cfg.rpc_cpu)
+         +. Wal.device_delay s.wal ~now:issued_at);
       if s.role = Follower && epoch = s.epoch then begin
-        s.fresh_at <- Engine.now t.engine;
+        let persisted_at = Engine.now t.engine in
+        s.fresh_at <- persisted_at;
         List.iter
           (fun (zxid, txn, time, rid, close) ->
-            Hashtbl.replace s.proposals zxid (txn, time, rid, close))
+            Hashtbl.replace s.proposals zxid (txn, time, rid, close);
+            (* log the proposal before acking (ZAB's accept-then-ack);
+               re-proposals already logged this epoch are not re-appended
+               — the re-ack is idempotent and so is the disk *)
+            match Wal.epoch_at s.wal zxid with
+            | Some e when e = epoch -> ()
+            | _ ->
+              wal_append s ~start:issued_at ~done_at:persisted_at ~zxid ~txn
+                ~time ~rid ~close)
           entries;
         let zxids = List.map (fun (zxid, _, _, _, _) -> zxid) entries in
         send t ~src:s.id ~dst:t.leader (Ack_batch { epoch; zxids; from = s.id });
@@ -1341,6 +1441,11 @@ let make_server ~now ~lease_ttl id =
     fresh_at = 0.;
     deferred = [];
     leases = Lease.create ~now ~ttl:lease_ttl;
+    wal = Wal.create ();
+    recovered_tail = [];
+    recovered_log_end = (0, 0L);
+    awaiting_quorum = false;
+    disk_synced = false;
     reads = 0 }
 
 let start ?(trace = Obs.Trace.null) ?(tag = "") engine cfg =
@@ -1379,7 +1484,9 @@ let start ?(trace = Obs.Trace.null) ?(tag = "") engine cfg =
       commits = 0; last_commit_at = Engine.now engine;
       commit_fanouts = 0; piggybacked_commits = 0; dedup_hits = 0;
       dedup_evictions = 0; stale_served = 0; stale_refused = 0; failed_fast = 0;
-      sessions_expired = 0; follower_peers = []; observer_peers = [] }
+      sessions_expired = 0; follower_peers = []; observer_peers = [];
+      recoveries = 0; recovery_time_total = 0.; recovery_time_max = 0.;
+      wal_tail_commits = 0; transfer_diff_txns = 0; transfer_snaps = 0 }
   in
   refresh_peers t;
   Array.iter (fun s -> Process.spawn engine (fun () -> server_loop t s)) members;
@@ -1400,9 +1507,53 @@ let snapshot_transfer_threshold = 512L
 
 let state_transfer t ~from ~target =
   let src = t.members.(from) and dst = t.members.(target) in
-  let gap = Int64.sub (Ztree.last_zxid src.tree) (Ztree.last_zxid dst.tree) in
-  if gap > snapshot_transfer_threshold then begin
-    match Ztree.deserialize (Ztree.serialize src.tree) with
+  let now = Engine.now t.engine in
+  let src_z = Ztree.last_zxid src.tree and dst_z = Ztree.last_zxid dst.tree in
+  let gap = Int64.sub src_z dst_z in
+  (* A live leader resyncing this server overrules any readable-but-
+     uncommitted WAL tail local recovery was holding for a possible
+     recovery election. *)
+  dst.recovered_tail <- [];
+  dst.disk_synced <- false;
+  (* Two situations force a SNAP regardless of the gap size:
+     - divergence: [dst] is ahead of [src]'s tree, or what [dst]'s disk
+       holds at its own last zxid differs from committed history — a
+       server that replayed an uncommitted suffix from a dead epoch.
+       Its state must be overwritten wholesale (ZooKeeper's TRUNC,
+       folded into SNAP here: [Wal.install_snapshot] discards the local
+       log).
+     - missing history: [src]'s in-memory log no longer covers all of
+       (dst_z, src_z] because the leader itself recovered from a
+       snapshot and only holds its replay suffix — a DIFF would
+       silently skip transactions. *)
+  let diverged =
+    dst_z > src_z
+    || (dst_z > 0L
+        &&
+        match Hashtbl.find_opt src.log dst_z with
+        | Some (txn, _, _, _) -> (
+          match Wal.entry_at dst.wal dst_z with
+          | Some e -> e.Wal.e_txn <> txn
+          | None -> false (* snapshot-covered prefix: consistent *))
+        | None ->
+          (* unknown at src: fine if committed long ago (src pruned it),
+             divergent if it is beyond src's committed frontier *)
+          dst_z > Wal.frontier src.wal)
+  in
+  let missing_history () =
+    let missing = ref false in
+    let z = ref (Int64.add dst_z 1L) in
+    while (not !missing) && !z <= src_z do
+      if not (Hashtbl.mem src.log !z) then missing := true;
+      z := Int64.add !z 1L
+    done;
+    !missing
+  in
+  if gap > snapshot_transfer_threshold || diverged
+     || (gap > 0L && missing_history ())
+  then begin
+    let payload = Ztree.serialize src.tree in
+    match Ztree.deserialize payload with
     | Ok tree ->
       (* swapping in the snapshot must not orphan the watches armed on
          the old tree: still-connected sessions (e.g. client caches)
@@ -1417,7 +1568,11 @@ let state_transfer t ~from ~target =
       Hashtbl.reset dst.applied;
       Hashtbl.iter
         (fun rid result -> Hashtbl.replace dst.applied rid result)
-        src.applied
+        src.applied;
+      t.transfer_snaps <- t.transfer_snaps + 1;
+      (* write-through: the installed snapshot supersedes dst's whole
+         local log (TRUNC + SNAP) *)
+      Wal.install_snapshot dst.wal ~zxid:src_z ~epoch:dst.epoch payload
     | Error msg ->
       (* a snapshot failure must not lose the replica: fall back to replay *)
       ignore msg
@@ -1429,53 +1584,208 @@ let state_transfer t ~from ~target =
        Hashtbl.replace dst.applied rid
          (!zxid, apply_txn dst ~zxid:!zxid ~time txn);
        note_close_applied t dst ~rid close;
-       Hashtbl.replace dst.log !zxid (txn, time, rid, close)
+       Hashtbl.replace dst.log !zxid (txn, time, rid, close);
+       t.transfer_diff_txns <- t.transfer_diff_txns + 1;
+       (* write-through: a diff-synced txn lands on dst's disk too *)
+       (match Wal.epoch_at dst.wal !zxid with
+        | Some e when e = dst.epoch -> ()
+        | _ ->
+          wal_append dst ~start:now ~done_at:now ~zxid:!zxid ~txn ~time ~rid
+            ~close);
+       wal_applied t dst !zxid
      | None -> ());
     zxid := Int64.add !zxid 1L
   done;
   dst.fresh_at <- Engine.now t.engine
 
+(* Crown [new_leader] under [epoch]: reset epoch-relative state on every
+   live member, resync them from the leader, restart zxid numbering. *)
+let crown t (new_leader : server) ~epoch =
+  t.leader <- new_leader.id;
+  Array.iter
+    (fun s ->
+      if s.role <> Down then begin
+        s.epoch <- epoch;
+        Wal.note_epoch s.wal epoch;
+        s.awaiting_quorum <- false;
+        s.recovered_tail <- [];
+        s.disk_synced <- false;
+        Hashtbl.reset s.proposals;
+        Hashtbl.reset s.committed;
+        Hashtbl.reset s.pending;
+        Hashtbl.reset s.pending_rids;
+        (* queued batches and frontiers are epoch-relative state *)
+        reset_pipeline_state s;
+        if s.id = new_leader.id then s.role <- Leader
+        else begin
+          s.role <- (if is_observer_id t s.id then Observer else Follower);
+          state_transfer t ~from:new_leader.id ~target:s.id
+        end;
+        s.next_apply <- Int64.add (Ztree.last_zxid s.tree) 1L;
+        s.fresh_at <- Engine.now t.engine;
+        flush_deferred s
+      end)
+    t.members;
+  new_leader.next_zxid <- Int64.add (Ztree.last_zxid new_leader.tree) 1L;
+  new_leader.next_commit <- new_leader.next_zxid;
+  t.last_commit_at <- Engine.now t.engine;
+  refresh_peers t
+
+let alive_voters t =
+  let n = ref 0 in
+  Array.iter
+    (fun (s : server) ->
+      if s.role <> Down && not (is_observer_id t s.id) then incr n)
+    t.members;
+  !n
+
 let elect t =
+  (* servers parked by a whole-cluster power failure must not be crowned
+     into a minority leadership by a stale election timer: the recovery
+     election in [restart] runs once a quorum of voters is back *)
+  if
+    Array.exists (fun (s : server) -> s.awaiting_quorum) t.members
+    && alive_voters t < quorum t
+  then ()
+  else begin
+    let best = ref None in
+    Array.iter
+      (fun s ->
+        (* observers never lead *)
+        if s.role <> Down && not (is_observer_id t s.id) then
+          match !best with
+          | None -> best := Some s
+          | Some b ->
+            let key (x : server) = (Ztree.last_zxid x.tree, x.id) in
+            if key s > key b then best := Some s)
+      t.members;
+    match !best with
+    | None -> ()  (* total outage; a later restart re-elects *)
+    | Some new_leader -> crown t new_leader ~epoch:(new_leader.epoch + 1)
+  end
+
+(* {2 Whole-cluster power-failure recovery}
+
+   Every riser recovered locally from its own disk; once a quorum of
+   voters is back, ZAB elects the member with the most advanced durable
+   log — comparing (epoch, zxid) of the last readable WAL record, epoch
+   first — and the winner's log, readable-but-uncommitted tail
+   included, becomes history. Any election quorum intersects every ack
+   quorum, so each acknowledged write is on at least one riser's disk
+   and the epoch-first comparison guarantees the winner holds it. *)
+
+let commit_recovered_tail t (s : server) =
+  List.iter
+    (fun (e : Wal.entry) ->
+      let rid = { rsession = e.Wal.e_rsession; rcxid = e.Wal.e_rcxid } in
+      let zxid = e.Wal.e_zxid in
+      if Ztree.last_zxid s.tree < zxid then begin
+        Hashtbl.replace s.applied rid
+          (zxid, apply_txn s ~zxid ~time:e.Wal.e_time e.Wal.e_txn);
+        note_close_applied t s ~rid e.Wal.e_close
+      end;
+      Hashtbl.replace s.log zxid (e.Wal.e_txn, e.Wal.e_time, rid, e.Wal.e_close);
+      wal_applied t s zxid;
+      t.wal_tail_commits <- t.wal_tail_commits + 1)
+    s.recovered_tail;
+  s.recovered_tail <- []
+
+let recovery_elect t =
+  (* candidates that never lost power still vote with their durable
+     log: read it back now so every [recovered_log_end] is current *)
+  Array.iter
+    (fun (s : server) ->
+      if s.role <> Down && not (is_observer_id t s.id) && not s.disk_synced
+      then begin
+        let r = Wal.recover s.wal in
+        s.recovered_tail <- r.Wal.rc_tail;
+        s.recovered_log_end <- r.Wal.rc_log_end;
+        s.disk_synced <- true
+      end)
+    t.members;
   let best = ref None in
   Array.iter
     (fun s ->
-      (* observers never lead *)
       if s.role <> Down && not (is_observer_id t s.id) then
         match !best with
         | None -> best := Some s
         | Some b ->
-          let key (x : server) = (Ztree.last_zxid x.tree, x.id) in
+          let key (x : server) =
+            let e, z = x.recovered_log_end in
+            (e, z, x.id)
+          in
           if key s > key b then best := Some s)
     t.members;
   match !best with
-  | None -> ()  (* total outage; a later restart re-elects *)
+  | None -> ()
   | Some new_leader ->
-    t.leader <- new_leader.id;
-    let epoch = new_leader.epoch + 1 in
-    Array.iter
-      (fun s ->
-        if s.role <> Down then begin
-          s.epoch <- epoch;
-          Hashtbl.reset s.proposals;
-          Hashtbl.reset s.committed;
-          Hashtbl.reset s.pending;
-          Hashtbl.reset s.pending_rids;
-          (* queued batches and frontiers are epoch-relative state *)
-          reset_pipeline_state s;
-          if s.id = new_leader.id then s.role <- Leader
-          else begin
-            s.role <- (if is_observer_id t s.id then Observer else Follower);
-            state_transfer t ~from:new_leader.id ~target:s.id
-          end;
-          s.next_apply <- Int64.add (Ztree.last_zxid s.tree) 1L;
-          s.fresh_at <- Engine.now t.engine;
-          flush_deferred s
-        end)
-      t.members;
-    new_leader.next_zxid <- Int64.add (Ztree.last_zxid new_leader.tree) 1L;
-    new_leader.next_commit <- new_leader.next_zxid;
-    t.last_commit_at <- Engine.now t.engine;
-    refresh_peers t
+    commit_recovered_tail t new_leader;
+    let epoch =
+      1
+      + Array.fold_left
+          (fun acc (s : server) ->
+            if s.role <> Down then max acc (max s.epoch (Wal.epoch s.wal))
+            else acc)
+          0 t.members
+    in
+    crown t new_leader ~epoch
+
+(* Local crash recovery: rebuild the tree, the committed log and the
+   dedup table from stable storage — newest valid snapshot, then the
+   contiguous committed WAL suffix. RAM state from before the crash is
+   discarded wholesale; only armed watches migrate (still-connected
+   sessions rely on them for invalidation). The modeled recovery time
+   (snapshot load plus per-record replay at the configured device and
+   apply costs) is recorded as an observation, not slept: restarts were
+   instantaneous before this module existed and recorded schedules must
+   stay byte-identical. *)
+let recover_local t (s : server) =
+  let r = Wal.recover s.wal in
+  let stale = s.tree in
+  let tree =
+    match r.Wal.rc_snapshot with
+    | Some payload -> (
+      match Ztree.deserialize payload with
+      | Ok tree -> tree
+      | Error _ -> Ztree.create () (* unreachable: checksum-gated *))
+    | None -> Ztree.create ()
+  in
+  s.tree <- tree;
+  Hashtbl.reset s.log;
+  Hashtbl.reset s.applied;
+  List.iter
+    (fun (e : Wal.entry) ->
+      let rid = { rsession = e.Wal.e_rsession; rcxid = e.Wal.e_rcxid } in
+      let zxid = e.Wal.e_zxid in
+      if Ztree.last_zxid s.tree < zxid then begin
+        Hashtbl.replace s.applied rid
+          (zxid, apply_txn s ~zxid ~time:e.Wal.e_time e.Wal.e_txn);
+        note_close_applied t s ~rid e.Wal.e_close
+      end;
+      Hashtbl.replace s.log zxid (e.Wal.e_txn, e.Wal.e_time, rid, e.Wal.e_close))
+    r.Wal.rc_replay;
+  (* watches migrate only once the tree is fully rebuilt: comparing
+     against the half-replayed tree would fire spurious events for
+     every node the replay had not reached yet *)
+  Ztree.migrate_watches ~from:stale ~into:s.tree;
+  s.recovered_tail <- r.Wal.rc_tail;
+  s.recovered_log_end <- r.Wal.rc_log_end;
+  s.disk_synced <- true;
+  t.recoveries <- t.recoveries + 1;
+  let recovery_time =
+    (match r.Wal.rc_snapshot with
+     | Some p ->
+       (* snapshot load at device speed, one persist per 64 KiB page *)
+       float_of_int ((String.length p / 65536) + 1) *. t.cfg.persist
+     | None -> 0.)
+    +. (float_of_int r.Wal.rc_replayed
+        *. (t.cfg.persist +. t.cfg.follower_apply))
+  in
+  t.recovery_time_total <- t.recovery_time_total +. recovery_time;
+  if recovery_time > t.recovery_time_max then
+    t.recovery_time_max <- recovery_time;
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.observe t.trace "zk.wal.recovery_time" recovery_time
 
 let crash t id =
   let s = t.members.(id) in
@@ -1491,6 +1801,13 @@ let crash t id =
     Mailbox.clear s.inbox;
     s.deferred <- [];
     Lease.clear s.leases;
+    s.recovered_tail <- [];
+    s.awaiting_quorum <- false;
+    s.disk_synced <- false;
+    (* the disk keeps only what the WAL device finished before the power
+       died: un-fsynced appends are gone, the in-flight one is torn.
+       [restart] rebuilds all volatile state from this. *)
+    Wal.power_off s.wal ~now:(Engine.now t.engine);
     refresh_peers t;
     if was_leader then
       Engine.schedule t.engine ~delay:t.cfg.election_timeout (fun () -> elect t)
@@ -1504,6 +1821,10 @@ let restart t id =
     Hashtbl.reset s.proposals;
     Hashtbl.reset s.committed;
     s.commit_frontier <- 0L;
+    (* local recovery first, from disk alone: snapshot load + WAL replay.
+       Only the genuinely missing remainder is then diff-synced from a
+       live leader (if any). *)
+    recover_local t s;
     if t.members.(t.leader).role = Leader && t.leader <> id then begin
       let leader = t.members.(t.leader) in
       state_transfer t ~from:t.leader ~target:id;
@@ -1529,13 +1850,62 @@ let restart t id =
                { epoch = leader.epoch; entries; committed_upto = 0L })
       end
     end
-    else if t.members.(t.leader).role <> Leader then
-      (* the whole ensemble was down: this server seeds a new election *)
-      elect t;
+    else if t.members.(t.leader).role <> Leader then begin
+      (* No live leader anywhere. If any riser is parked awaiting quorum
+         (or this restart finds itself alone), the whole ensemble went
+         down: wait for a quorum of voters to recover, then run the
+         power-failure recovery election over durable log ends. With a
+         quorum already up and nobody parked, the old path — a plain
+         election among live trees — still applies (e.g. a follower
+         restarting inside the leader's election-timeout window). *)
+      let voters = alive_voters t in
+      let parked =
+        Array.exists (fun (x : server) -> x.awaiting_quorum) t.members
+      in
+      if voters < quorum t then
+        s.awaiting_quorum <- not (is_observer_id t id)
+      else if parked || s.awaiting_quorum then recovery_elect t
+      else elect t
+    end;
     s.next_apply <- Int64.add (Ztree.last_zxid s.tree) 1L;
     s.fresh_at <- Engine.now t.engine;
     refresh_peers t
   end
+
+(* {2 Storage-fault injection} *)
+
+let tear_wal_tail t id = ignore (Wal.tear_tail t.members.(id).wal)
+let corrupt_wal t id ~fraction = ignore (Wal.corrupt t.members.(id).wal ~fraction)
+let corrupt_snapshot t id = ignore (Wal.corrupt_snapshot t.members.(id).wal)
+
+let disk_stall t id ~duration =
+  Wal.stall t.members.(id).wal ~now:(Engine.now t.engine) ~duration
+
+let add_fsync_delay t id d = Wal.add_fsync_delay t.members.(id).wal d
+
+(* {2 Stable-storage introspection} *)
+
+let sum_wal f t =
+  Array.fold_left (fun acc (s : server) -> acc + f s.wal) 0 t.members
+
+let wal_appended t = sum_wal Wal.appended t
+let wal_replayed t = sum_wal Wal.replayed t
+let wal_truncated t = sum_wal Wal.truncated t
+let wal_tail_dropped t = sum_wal Wal.tail_dropped t
+let snap_loads t = sum_wal Wal.snap_loads t
+let snap_fallbacks t = sum_wal Wal.snap_fallbacks t
+let wal_records t id = Wal.records t.members.(id).wal
+let wal_snapshots t id = Wal.snapshots t.members.(id).wal
+
+let durable_zxid t id =
+  Wal.durable_zxid t.members.(id).wal ~now:(Engine.now t.engine)
+
+let recoveries t = t.recoveries
+let recovery_time_total t = t.recovery_time_total
+let recovery_time_max t = t.recovery_time_max
+let wal_tail_commits t = t.wal_tail_commits
+let transfer_diff_txns t = t.transfer_diff_txns
+let transfer_snaps t = t.transfer_snaps
 
 (* {2 Client side} *)
 

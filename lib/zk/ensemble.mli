@@ -100,6 +100,13 @@ type config = {
           zxid order. [1] (the default) is the classic stop-and-wait
           leader, bit-for-bit: no proposer process is spawned and every
           event fires exactly as without the pipeline. *)
+  snapshot_every : int;
+      (** snapshot cadence of the stable-storage model: each replica
+          serializes its tree into {!Zk.Wal} storage every
+          [snapshot_every] applied transactions (keeping the newest two
+          snapshots and pruning the log below the older one), bounding
+          both WAL replay length and log growth on recovery. [<= 0]
+          disables snapshots: recovery replays the whole log. *)
 }
 
 val default_config : servers:int -> config
@@ -133,13 +140,48 @@ val session : t -> ?server:int -> unit -> Zk_client.handle
 
 (** [crash t id] stops server [id] immediately: its in-flight work,
     un-replied requests and queued inbox messages are lost (the mailbox
-    is flushed — the network does not buffer across a reboot). If [id]
-    was the leader, an election is arranged after [election_timeout]. *)
+    is flushed — the network does not buffer across a reboot), and its
+    disk keeps only what the WAL device finished — appends whose fsync
+    had not completed are gone and the in-flight record is torn
+    ({!Wal.power_off}). If [id] was the leader, an election is arranged
+    after [election_timeout]. *)
 val crash : t -> int -> unit
 
-(** [restart t id] brings a crashed server back as a follower; it
-    state-transfers the log suffix it missed from the leader. *)
+(** [restart t id] brings a crashed server back as a follower. It first
+    recovers locally from stable storage — newest valid snapshot, WAL
+    suffix replay, truncating at the first bad checksum — then
+    diff-syncs only the genuinely missing remainder from a live leader.
+    With no live leader, the riser parks until a quorum of voters is
+    back, at which point a ZAB-style recovery election over durable
+    (epoch, zxid) log ends crowns a leader and commits its readable
+    uncommitted tail — making a whole-cluster power failure
+    survivable. *)
 val restart : t -> int -> unit
+
+(** {2 Storage fault state}
+
+    Per-member WAL-device faults; all are exactly inert until armed, so
+    fault-free schedules replay bit-identically. *)
+
+(** Tear server [id]'s newest WAL record: its checksum can never verify
+    again, so recovery truncates there. *)
+val tear_wal_tail : t -> int -> unit
+
+(** Deterministic bit-rot over server [id]'s WAL: flips a byte in
+    roughly [fraction] of the records (hash-selected — no RNG draw). *)
+val corrupt_wal : t -> int -> fraction:float -> unit
+
+(** Corrupt server [id]'s newest snapshot; recovery falls back to the
+    previous snapshot, then to a cold start plus leader transfer. *)
+val corrupt_snapshot : t -> int -> unit
+
+(** Fail-stop pause of server [id]'s WAL device: fsyncs issued during
+    the stall wait for its end (extends any ongoing stall). *)
+val disk_stall : t -> int -> duration:float -> unit
+
+(** Fail-slow disk on server [id]: permanently adds [d] seconds to
+    every fsync. *)
+val add_fsync_delay : t -> int -> float -> unit
 
 (** {2 Network fault state}
 
@@ -252,3 +294,52 @@ val leases_expired : t -> int
     migrates to another shard, no write on this ensemble will ever again
     invalidate entries cached under it. *)
 val revoke_dir : t -> string -> unit
+
+(** {2 Stable-storage introspection}
+
+    Ensemble-wide sums over the members' {!Zk.Wal} counters, plus
+    recovery accounting, for the durability experiment and tests. *)
+
+val wal_appended : t -> int
+val wal_replayed : t -> int
+
+(** Records lost to torn tails or failed checksums across recoveries. *)
+val wal_truncated : t -> int
+
+(** Un-fsynced appends dropped outright by power-offs. *)
+val wal_tail_dropped : t -> int
+
+val snap_loads : t -> int
+
+(** Recoveries whose newest snapshot failed its checksum and fell back
+    to the older one. *)
+val snap_fallbacks : t -> int
+
+(** Readable WAL records on server [id]'s disk right now. *)
+val wal_records : t -> int -> int
+
+val wal_snapshots : t -> int -> int
+
+(** Highest zxid on server [id] that would survive a power failure at
+    the current instant. *)
+val durable_zxid : t -> int -> int64
+
+(** Local recoveries run (one per [restart]). *)
+val recoveries : t -> int
+
+(** Modeled recovery time (snapshot load + WAL replay at the configured
+    device/apply costs), summed / worst-case per restart. *)
+val recovery_time_total : t -> float
+
+val recovery_time_max : t -> float
+
+(** Uncommitted-tail transactions committed by power-failure recovery
+    elections (the winner's log becomes history). *)
+val wal_tail_commits : t -> int
+
+(** Transactions shipped by leader diff-syncs, and whole-snapshot (SNAP)
+    transfers — the gate asserts recovery stays mostly local (diff txns
+    shipped < records replayed from local WALs). *)
+val transfer_diff_txns : t -> int
+
+val transfer_snaps : t -> int

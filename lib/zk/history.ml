@@ -39,9 +39,11 @@ type t = {
   mutable n : int;
   mutable sessions : int; (* next wrap-session id *)
   mutable last_checked : int;
+  mutable last_audited : int;
 }
 
-let create engine = { engine; recs = []; n = 0; sessions = 0; last_checked = 0 }
+let create engine =
+  { engine; recs = []; n = 0; sessions = 0; last_checked = 0; last_audited = 0 }
 
 let recorded t = t.n
 
@@ -49,6 +51,7 @@ let undetermined t =
   List.length (List.filter (fun r -> r.r_outcome = Undetermined) t.recs)
 
 let checked_ops t = t.last_checked
+let audited_paths t = t.last_audited
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
@@ -429,4 +432,105 @@ let check ?(max_states = 500_000) t =
       violations := check_sequential prefix ops @ !violations)
     seq_paths;
   t.last_checked <- !checked;
+  List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* Durability oracle                                                   *)
+
+(* The final value an effectful acknowledged write leaves behind
+   ([None] = node absent). Error outcomes changed nothing; reads never
+   do. A successful sequential create keys on its resolved path. *)
+let acked_write_value r =
+  match r.r_kind, r.r_outcome with
+  | (K_create d | K_create_seq d), Ok_created _ -> Some (Some d)
+  | K_set d, Ok_unit -> Some (Some d)
+  | K_delete, Ok_unit -> Some None
+  | _ -> None
+
+(* Value an undetermined write would leave if the service applied it
+   after all (its effect may land at any point, even after the client
+   gave up — the open-ended window of [check]). *)
+let undetermined_write_value r =
+  match r.r_kind, r.r_outcome with
+  | K_create d, Undetermined -> Some (Some d)
+  | K_set d, Undetermined -> Some (Some d)
+  | K_delete, Undetermined -> Some None
+  | _ -> None
+
+let value_to_string = function
+  | None -> "absent"
+  | Some d -> Printf.sprintf "%S" d
+
+let durability_audit t ~lookup =
+  let by_path : (string, record list) Hashtbl.t = Hashtbl.create 64 in
+  let add path r =
+    Hashtbl.replace by_path path
+      (r :: Option.value ~default:[] (Hashtbl.find_opt by_path path))
+  in
+  List.iter
+    (fun r ->
+      match r.r_kind with
+      | K_create _ | K_set _ | K_delete -> add r.r_path r
+      | K_create_seq _ -> (
+        (* the register only exists at the resolved path; an
+           undetermined sequential create has no knowable path *)
+        match r.r_outcome with
+        | Ok_created actual -> add actual r
+        | _ -> ())
+      | K_get | K_exists -> ())
+    t.recs;
+  let paths =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_path [])
+  in
+  let violations = ref [] in
+  List.iter
+    (fun path ->
+      let recs = Hashtbl.find by_path path in
+      let acked =
+        List.filter_map
+          (fun r -> Option.map (fun v -> (r, v)) (acked_write_value r))
+          recs
+      in
+      let undet = List.filter_map undetermined_write_value recs in
+      (* An acknowledged write can be the register's final state iff no
+         other acknowledged write certainly linearizes after it (began
+         after it returned). Undetermined writes have an open-ended
+         window, so nothing ever supersedes them with certainty. *)
+      let plausible_acked =
+        List.filter_map
+          (fun ((w, v) : record * string option) ->
+            if
+              List.exists
+                (fun ((w', _) : record * string option) ->
+                  w' != w && w'.r_invoke > w.r_return)
+                acked
+            then None
+            else Some v)
+          acked
+      in
+      (* With no acknowledged effectful write, the never-applied branch
+         of every undetermined write leaves the node absent. *)
+      let plausible =
+        plausible_acked @ undet @ (if acked = [] then [ None ] else [])
+      in
+      let observed = lookup path in
+      let matches = function
+        | None, None -> true
+        | Some a, Some b -> String.equal a b
+        | _ -> false
+      in
+      if not (List.exists (fun v -> matches (v, observed)) plausible) then
+        violations :=
+          { v_path = path; v_kind = "durability";
+            v_detail =
+              Printf.sprintf
+                "recovered %s but the %d acked + %d undetermined writes \
+                 only allow {%s}"
+                (value_to_string observed)
+                (List.length acked) (List.length undet)
+                (String.concat "; "
+                   (List.sort_uniq compare (List.map value_to_string plausible))) }
+          :: !violations)
+    paths;
+  t.last_audited <- List.length paths;
   List.rev !violations

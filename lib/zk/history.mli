@@ -76,3 +76,25 @@ val check : ?max_states:int -> t -> violation list
 
 (** Operations covered by the last [check] call. *)
 val checked_ops : t -> int
+
+(** {2 Durability oracle}
+
+    [durability_audit t ~lookup] compares the recovered service state
+    against the recorded history after a whole-cluster crash+restart:
+    [lookup path] must return the node's data in the recovered tree
+    ([None] = absent). Per register the oracle computes the plausible
+    final values — every {e acknowledged} effectful write that no other
+    acknowledged write certainly supersedes (real-time order), every
+    {e undetermined} write's value (its effect may land at any point,
+    so it may legally appear or not), and absence when no write was
+    ever acknowledged — and reports a ["durability"] violation when the
+    recovered value is outside that set. So: acked writes must survive
+    a power failure, unacked writes may be lost, but a lost-then-
+    resurrected value that contradicts the acknowledged history is a
+    violation. Paths only touched by reads, ephemeral creates or
+    unresolved sequential creates are not auditable and are skipped. *)
+val durability_audit :
+  t -> lookup:(string -> string option) -> violation list
+
+(** Registers covered by the last [durability_audit] call. *)
+val audited_paths : t -> int

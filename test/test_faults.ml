@@ -88,6 +88,76 @@ let test_parse_shard_rejects_malformed () =
       "crash=-1/2@1"; "crash-leader@shard=@1"; "crash-leader@shard=x@dir-create";
       "crash-leader@shard=1/2@1" ]
 
+(* {2 The storage-fault grammar extension} *)
+
+let test_parse_storage_roundtrip () =
+  let text =
+    "torn-tail=2@file-create+0.6;corrupt-wal=1:0.05@0.8;corrupt-snap=3@1;\
+     disk-stall=0:0.2@file-create+1.3;fsync-delay+=4:0.0002@0.05;\
+     torn-tail=1/2@2;corrupt-wal=0/1:0.1@2.5;corrupt-snap=2/3@dir-stat+0;\
+     disk-stall=2/0:0.25@3;fsync-delay+=3/1:0.001@3.5"
+  in
+  let plan = plan_of_string text in
+  check_int "ten events" 10 (List.length plan);
+  check_string "to_string inverts parse" text (Faultplan.to_string plan);
+  match plan with
+  | { Faultplan.action = Faultplan.Torn_tail (None, 2);
+      anchor = Faultplan.After_phase ("file-create", _) }
+    :: { Faultplan.action = Faultplan.Corrupt_wal (None, 1, fraction); _ }
+    :: { Faultplan.action = Faultplan.Corrupt_snap (None, 3); _ }
+    :: { Faultplan.action = Faultplan.Disk_stall (None, 0, stall); _ }
+    :: { Faultplan.action = Faultplan.Fsync_delay (None, 4, extra); _ }
+    :: { Faultplan.action = Faultplan.Torn_tail (Some 1, 2); _ }
+    :: { Faultplan.action = Faultplan.Corrupt_wal (Some 0, 1, _); _ }
+    :: { Faultplan.action = Faultplan.Corrupt_snap (Some 2, 3);
+         anchor = Faultplan.After_phase ("dir-stat", 0.) }
+    :: { Faultplan.action = Faultplan.Disk_stall (Some 2, 0, _); _ }
+    :: [ { Faultplan.action = Faultplan.Fsync_delay (Some 3, 1, _); _ } ] ->
+    check_bool "bit-rot fraction parsed" true (fraction = 0.05);
+    check_bool "stall duration parsed" true (stall = 0.2);
+    check_bool "fail-slow surcharge parsed" true (extra = 0.0002)
+  | _ -> Alcotest.fail "storage events decoded in the wrong shape"
+
+let test_parse_storage_rejects_malformed () =
+  List.iter
+    (fun text ->
+      match Faultplan.parse text with
+      | Ok _ -> Alcotest.failf "parse %S should fail" text
+      | Error _ -> ())
+    [ "torn-tail=@1"; "torn-tail=x@1"; "torn-tail=-1@1";
+      "corrupt-wal=1@1" (* missing :fraction *); "corrupt-wal=1:x@1";
+      "corrupt-wal=1:1.5@1" (* fraction > 1 *); "corrupt-wal=:0.5@1";
+      "corrupt-snap=1:0.5@1" (* takes no value *); "corrupt-snap=@1";
+      "disk-stall=1@1" (* missing :duration *); "disk-stall=1:x@1";
+      "disk-stall=1:-0.5@1"; "fsync-delay+=1@1"; "fsync-delay+=1:-0.001@1";
+      "torn-tail=1/2/3@1" ]
+
+(* A storage action armed through the plan must reach the named member's
+   WAL: tear the follower's log tail, power-cycle it, and the recovery
+   truncation counter has to show the lost record (the live leader then
+   diff-syncs the gap, so the replica converges anyway). *)
+let test_arm_storage_action_reaches_the_wal () =
+  let engine = Engine.create () in
+  let ensemble = Ensemble.start engine (Ensemble.default_config ~servers:3) in
+  let armed =
+    Faultplan.arm engine ensemble
+      (plan_of_string "torn-tail=2@0.3;crash=2@0.31;restart=2@0.5")
+  in
+  Simkit.Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble () in
+      for i = 1 to 8 do
+        match s.Zk.Zk_client.create (Printf.sprintf "/t%d" i) ~data:"x" with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "create /t%d: %s" i (Zk.Zerror.to_string e)
+      done);
+  Engine.run engine;
+  check_int "all three events fired" 3 (Faultplan.fired armed);
+  check_bool "torn record counted by recovery" true
+    (Ensemble.wal_truncated ensemble >= 1);
+  check_bool "replica converges after truncation" true
+    (Zk.Ztree.equal_state (Ensemble.tree_of ensemble 2)
+       (Ensemble.tree_of ensemble 0))
+
 (* {2 Property: parse inverts to_string on generated plans}
 
    Floats are drawn from literal grids (values "%g" prints exactly as
@@ -121,7 +191,18 @@ let plan_gen =
         map2 (fun sh p -> Faultplan.Duplicate (sh, p)) shard probability;
         map3
           (fun sh p w -> Faultplan.Reorder (sh, p, w))
-          shard probability duration ]
+          shard probability duration;
+        map2 (fun sh id -> Faultplan.Torn_tail (sh, id)) shard (int_range 0 4);
+        map3
+          (fun sh id p -> Faultplan.Corrupt_wal (sh, id, p))
+          shard (int_range 0 4) probability;
+        map2 (fun sh id -> Faultplan.Corrupt_snap (sh, id)) shard (int_range 0 4);
+        map3
+          (fun sh id d -> Faultplan.Disk_stall (sh, id, d))
+          shard (int_range 0 4) duration;
+        map3
+          (fun sh id d -> Faultplan.Fsync_delay (sh, id, d))
+          shard (int_range 0 4) duration ]
   in
   let anchor =
     oneof
@@ -254,6 +335,10 @@ let () =
             test_parse_unqualified_plans_unchanged;
           Alcotest.test_case "rejects malformed sharded plans" `Quick
             test_parse_shard_rejects_malformed;
+          Alcotest.test_case "storage-fault roundtrip" `Quick
+            test_parse_storage_roundtrip;
+          Alcotest.test_case "rejects malformed storage plans" `Quick
+            test_parse_storage_rejects_malformed;
           QCheck_alcotest.to_alcotest prop_roundtrip;
           QCheck_alcotest.to_alcotest prop_chaos_roundtrip ] );
       ( "arming",
@@ -262,7 +347,9 @@ let () =
           Alcotest.test_case "shard-qualified events target their shard" `Quick
             test_arm_shards_targets_the_right_shard;
           Alcotest.test_case "rejects bad deployments" `Quick
-            test_arm_shards_rejects_bad_deployments ] );
+            test_arm_shards_rejects_bad_deployments;
+          Alcotest.test_case "storage action reaches the member's WAL" `Quick
+            test_arm_storage_action_reaches_the_wal ] );
       ( "acceptance",
         [ Alcotest.test_case "mdtest 64 procs survives leader crash" `Slow
             test_mdtest_64_procs_survives_leader_crash ] ) ]

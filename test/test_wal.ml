@@ -1,0 +1,372 @@
+(* Tests for the stable-storage model (Zk.Wal) and crash-consistent
+   ensemble recovery built on it: power-off keeps exactly what the
+   device finished (the in-flight record torn), recovery truncates at
+   the first bad checksum, corrupt snapshots fall back down the ladder,
+   and — the two regression scenarios this PR exists for — a crash must
+   drop a pipelined leader's un-fsynced suffix, and a whole-cluster
+   power failure must be survivable from local disks alone. *)
+
+module Engine = Simkit.Engine
+module Process = Simkit.Process
+module Ensemble = Zk.Ensemble
+module Wal = Zk.Wal
+module Txn = Zk.Txn
+module Ztree = Zk.Ztree
+module Zerror = Zk.Zerror
+module Zk_client = Zk.Zk_client
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let ok_or_fail label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected %s" label (Zerror.to_string e)
+
+let make ?(servers = 3) ?(config_adjust = Fun.id) () =
+  let engine = Engine.create () in
+  let cfg = config_adjust (Ensemble.default_config ~servers) in
+  (engine, Ensemble.start engine cfg)
+
+(* {2 The log model alone} *)
+
+let entry z =
+  { Wal.e_zxid = z;
+    e_txn =
+      [ Txn.Create
+          { path = Printf.sprintf "/n%Ld" z; data = Printf.sprintf "d%Ld" z;
+            ephemeral_owner = 0L; sequential = false } ];
+    e_time = 0.;
+    e_rsession = 1L;
+    e_rcxid = z;
+    e_close = None }
+
+let replay_zxids r = List.map (fun e -> e.Wal.e_zxid) r.Wal.rc_replay
+
+let test_power_off_drops_unfsynced_tail () =
+  let w = Wal.create () in
+  (* four appends: two fsynced by t=0.3, one mid-write (torn), one still
+     queued behind it (dropped outright) *)
+  Wal.append w ~epoch:1 ~start:0.00 ~done_at:0.10 (entry 1L);
+  Wal.append w ~epoch:1 ~start:0.10 ~done_at:0.20 (entry 2L);
+  Wal.append w ~epoch:1 ~start:0.25 ~done_at:0.35 (entry 3L);
+  Wal.append w ~epoch:1 ~start:0.32 ~done_at:0.45 (entry 4L);
+  Wal.note_commit w 2L;
+  check_bool "durable zxid before the cut" true (Wal.durable_zxid w ~now:0.3 = 2L);
+  Wal.power_off w ~now:0.3;
+  check_int "queued append dropped outright" 1 (Wal.tail_dropped w);
+  let r = Wal.recover w in
+  check_int "torn in-flight record truncated" 1 r.Wal.rc_truncated;
+  check_bool "replay is the committed fsynced prefix" true
+    (replay_zxids r = [ 1L; 2L ]);
+  check_bool "no uncommitted tail survives the tear" true (r.Wal.rc_tail = []);
+  check_bool "log end is the durable prefix" true (snd r.Wal.rc_log_end = 2L)
+
+let test_truncate_at_first_bad_checksum () =
+  let w = Wal.create () in
+  for i = 1 to 20 do
+    let t = float_of_int i *. 0.01 in
+    Wal.append w ~epoch:1 ~start:t ~done_at:(t +. 0.005) (entry (Int64.of_int i))
+  done;
+  Wal.note_commit w 20L;
+  let rotted = Wal.corrupt w ~fraction:0.5 in
+  check_bool "bit-rot hit at least one record" true (rotted >= 1);
+  let r = Wal.recover w in
+  check_int "every record is replayed or truncated" 20
+    (r.Wal.rc_replayed + List.length r.Wal.rc_tail + r.Wal.rc_truncated);
+  (* truncate-at-first-bad: what survives is a contiguous prefix *)
+  check_bool "replay is a contiguous prefix from zxid 1" true
+    (replay_zxids r
+     = List.init r.Wal.rc_replayed (fun i -> Int64.of_int (i + 1)));
+  check_bool "nothing past the first bad checksum survives" true
+    (r.Wal.rc_replayed < 20 && r.Wal.rc_truncated >= 1)
+
+let test_full_rot_is_a_cold_start () =
+  let w = Wal.create () in
+  for i = 1 to 10 do
+    Wal.append w ~epoch:1 ~start:0. ~done_at:0. (entry (Int64.of_int i))
+  done;
+  Wal.note_commit w 10L;
+  check_int "every record rots at fraction 1" 10 (Wal.corrupt w ~fraction:1.);
+  let r = Wal.recover w in
+  check_int "nothing replayable" 0 r.Wal.rc_replayed;
+  check_int "whole log truncated" 10 r.Wal.rc_truncated;
+  check_bool "no snapshot to stand on" true (r.Wal.rc_snapshot = None)
+
+let test_snapshot_fallback_ladder () =
+  let w = Wal.create () in
+  for i = 1 to 10 do
+    Wal.append w ~epoch:1 ~start:0. ~done_at:0. (entry (Int64.of_int i))
+  done;
+  Wal.note_commit w 10L;
+  Wal.snapshot w ~zxid:5L ~epoch:1 "tree-at-5";
+  Wal.snapshot w ~zxid:8L ~epoch:1 "tree-at-8";
+  check_int "log pruned below the older snapshot" 5 (Wal.records w);
+  check_bool "newest snapshot corrupted" true (Wal.corrupt_snapshot w);
+  let r = Wal.recover w in
+  check_bool "fell back to the older snapshot" true r.Wal.rc_snap_fallback;
+  check_bool "older snapshot loaded" true (r.Wal.rc_snapshot = Some "tree-at-5");
+  check_bool "snapshot zxid is the fallback's" true (r.Wal.rc_snap_zxid = 5L);
+  check_bool "replay covers (5, 10] from the surviving log" true
+    (replay_zxids r = [ 6L; 7L; 8L; 9L; 10L ]);
+  check_int "fallback counted" 1 (Wal.snap_fallbacks w)
+
+let test_double_recover_is_idempotent () =
+  let w = Wal.create () in
+  for i = 1 to 12 do
+    Wal.append w ~epoch:1 ~start:0. ~done_at:0. (entry (Int64.of_int i))
+  done;
+  Wal.note_commit w 12L;
+  ignore (Wal.corrupt w ~fraction:0.5);
+  let r1 = Wal.recover w in
+  let r2 = Wal.recover w in
+  check_int "second recovery truncates nothing new" 0 r2.Wal.rc_truncated;
+  check_bool "same replay both times" true
+    (replay_zxids r1 = replay_zxids r2);
+  check_bool "same log end both times" true (r1.Wal.rc_log_end = r2.Wal.rc_log_end)
+
+let test_zxid_rewind_is_trunc () =
+  (* an epoch-2 record re-proposing zxid 4 overwrites epoch 1's
+     uncommitted 4..5 suffix — recovery must pop the stale tail *)
+  let w = Wal.create () in
+  for i = 1 to 5 do
+    Wal.append w ~epoch:1 ~start:0. ~done_at:0. (entry (Int64.of_int i))
+  done;
+  Wal.append w ~epoch:2 ~start:0. ~done_at:0. (entry 4L);
+  Wal.note_commit w 4L;
+  Wal.note_epoch w 2;
+  let r = Wal.recover w in
+  check_bool "replay ends at the epoch-2 rewrite" true
+    (replay_zxids r = [ 1L; 2L; 3L; 4L ]);
+  check_bool "log end reflects the new epoch" true (r.Wal.rc_log_end = (2, 4L));
+  check_bool "the re-proposed record wins its zxid" true
+    (Wal.epoch_at w 4L = Some 2)
+
+(* {2 Regression: crash must drop the un-persisted suffix}
+
+   The pipelined leader acks a proposal once a quorum is in — and two
+   followers are a quorum of three, so a write can commit (and the
+   client be told Ok) while the leader's own append still sits in a
+   stalled WAL device. Before this PR, [crash] kept the dead server's
+   RAM as its recovered state, silently including that suffix; now the
+   crash answers with the disk's truth, and the acked write survives
+   where it was actually persisted: on the followers. *)
+
+let test_crash_drops_unpersisted_suffix () =
+  let engine, ensemble =
+    make ~servers:3
+      ~config_adjust:(fun c ->
+        { c with Ensemble.max_inflight_batches = 4; election_timeout = 0.1 })
+      ()
+  in
+  let members = [ 0; 1; 2 ] in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:1 () in
+      ignore (ok_or_fail "warmup" (s.Zk_client.create "/pre" ~data:"p"));
+      Process.sleep 0.05;
+      let lid = Option.get (Ensemble.leader_id ensemble) in
+      Ensemble.disk_stall ensemble lid ~duration:10.;
+      ignore
+        (ok_or_fail "acked via the follower quorum"
+           (s.Zk_client.create "/w" ~data:"W"));
+      check_bool "leader's durable zxid lags a follower's" true
+        (Ensemble.durable_zxid ensemble lid
+         < Ensemble.durable_zxid ensemble ((lid + 1) mod 3));
+      List.iter (Ensemble.crash ensemble) members;
+      Process.sleep 0.1;
+      (* power returns to the old leader first: alone it has no quorum,
+         so it parks on its locally recovered state — which must hold
+         the fsynced prefix but NOT the never-persisted /w *)
+      Ensemble.restart ensemble lid;
+      Process.sleep 0.1;
+      let t = Ensemble.tree_of ensemble lid in
+      (match Ztree.get t "/pre" with
+       | Ok (d, _) -> check_string "fsynced prefix recovered" "p" d
+       | Error e -> Alcotest.failf "/pre lost: %s" (Zerror.to_string e));
+      (match Ztree.get t "/w" with
+       | Error _ -> ()
+       | Ok _ ->
+         Alcotest.fail "crash kept an un-fsynced suffix (RAM, not disk)");
+      (* the followers come back: the recovery election compares durable
+         log ends, a follower's longer log wins, and /w is restored
+         everywhere — including onto the old leader *)
+      List.iter
+        (fun id -> if id <> lid then Ensemble.restart ensemble id)
+        members);
+  Engine.run engine;
+  check_bool "a leader was re-elected" true (Ensemble.leader_id ensemble <> None);
+  List.iter
+    (fun id ->
+      let d, _ =
+        ok_or_fail
+          (Printf.sprintf "server %d" id)
+          (Ztree.get (Ensemble.tree_of ensemble id) "/w")
+      in
+      check_string (Printf.sprintf "server %d holds the acked write" id) "W" d)
+    members
+
+(* {2 Regression: whole-cluster power failure is survivable} *)
+
+let test_whole_cluster_power_failure () =
+  let engine, ensemble =
+    make ~servers:3
+      ~config_adjust:(fun c -> { c with Ensemble.election_timeout = 0.1 })
+      ()
+  in
+  let post = ref None in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble () in
+      for i = 0 to 9 do
+        ignore
+          (ok_or_fail "pre-outage write"
+             (s.Zk_client.create (Printf.sprintf "/a%d" i) ~data:"v"))
+      done;
+      Process.sleep 0.05;
+      List.iter (Ensemble.crash ensemble) [ 0; 1; 2 ];
+      Process.sleep 0.5;
+      (* the first riser parks (1 < quorum 2); the second completes the
+         quorum and triggers the recovery election; the third joins *)
+      Ensemble.restart ensemble 0;
+      Process.sleep 0.05;
+      check_bool "sub-quorum riser stays leaderless" true
+        (Ensemble.leader_id ensemble = None);
+      Ensemble.restart ensemble 1;
+      Ensemble.restart ensemble 2;
+      Process.sleep 0.2;
+      let s2 = Ensemble.session ensemble () in
+      post := Some (s2.Zk_client.create "/post" ~data:"alive"));
+  Engine.run engine;
+  (match !post with
+   | Some (Ok _) -> ()
+   | Some (Error e) ->
+     Alcotest.failf "write after full recovery: %s" (Zerror.to_string e)
+   | None -> Alcotest.fail "post-recovery write never ran");
+  check_bool "a leader exists after total outage" true
+    (Ensemble.leader_id ensemble <> None);
+  check_int "three local recoveries ran" 3 (Ensemble.recoveries ensemble);
+  List.iter
+    (fun id ->
+      let t = Ensemble.tree_of ensemble id in
+      for i = 0 to 9 do
+        ignore
+          (ok_or_fail
+             (Printf.sprintf "server %d /a%d" id i)
+             (Ztree.get t (Printf.sprintf "/a%d" i)))
+      done)
+    [ 0; 1; 2 ];
+  check_bool "replicas agree after recovery" true
+    (Ztree.equal_state (Ensemble.tree_of ensemble 0) (Ensemble.tree_of ensemble 1)
+     && Ztree.equal_state (Ensemble.tree_of ensemble 0)
+          (Ensemble.tree_of ensemble 2))
+
+(* {2 Recovery ladder, end to end on a member} *)
+
+let test_snapshot_corruption_falls_back_then_converges () =
+  let engine, ensemble =
+    make ~servers:3
+      ~config_adjust:(fun c ->
+        { c with Ensemble.snapshot_every = 8; election_timeout = 0.1 })
+      ()
+  in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:0 () in
+      for i = 0 to 29 do
+        ignore
+          (ok_or_fail "write" (s.Zk_client.create (Printf.sprintf "/s%d" i) ~data:"x"))
+      done;
+      Process.sleep 0.05;
+      check_bool "follower has two snapshots" true
+        (Ensemble.wal_snapshots ensemble 2 = 2);
+      Ensemble.corrupt_snapshot ensemble 2;
+      Ensemble.crash ensemble 2;
+      Process.sleep 0.1;
+      Ensemble.restart ensemble 2);
+  Engine.run engine;
+  check_bool "newest snapshot was skipped for the older one" true
+    (Ensemble.snap_fallbacks ensemble >= 1);
+  check_bool "replica converges despite the rotten snapshot" true
+    (Ztree.equal_state (Ensemble.tree_of ensemble 2) (Ensemble.tree_of ensemble 0))
+
+let test_rotten_log_resyncs_from_leader () =
+  (* the whole disk is bad: every WAL record rots and there are no
+     snapshots — local recovery comes up empty and the live leader must
+     supply everything by state transfer *)
+  let engine, ensemble =
+    make ~servers:3
+      ~config_adjust:(fun c ->
+        { c with Ensemble.snapshot_every = 0; election_timeout = 0.1 })
+      ()
+  in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:0 () in
+      for i = 0 to 19 do
+        ignore
+          (ok_or_fail "write" (s.Zk_client.create (Printf.sprintf "/r%d" i) ~data:"x"))
+      done;
+      Process.sleep 0.05;
+      Ensemble.corrupt_wal ensemble 2 ~fraction:1.;
+      Ensemble.crash ensemble 2;
+      Process.sleep 0.1;
+      Ensemble.restart ensemble 2);
+  Engine.run engine;
+  check_bool "the whole log was truncated" true
+    (Ensemble.wal_truncated ensemble >= 20);
+  check_bool "leader transfer filled the hole" true
+    (Ensemble.transfer_diff_txns ensemble > 0
+     || Ensemble.transfer_snaps ensemble > 0);
+  check_bool "replica converges from the transfer" true
+    (Ztree.equal_state (Ensemble.tree_of ensemble 2) (Ensemble.tree_of ensemble 0))
+
+let test_double_restart_is_idempotent () =
+  let engine, ensemble =
+    make ~servers:3
+      ~config_adjust:(fun c -> { c with Ensemble.election_timeout = 0.1 })
+      ()
+  in
+  Process.spawn engine (fun () ->
+      let s = Ensemble.session ensemble ~server:0 () in
+      for i = 0 to 14 do
+        ignore
+          (ok_or_fail "write" (s.Zk_client.create (Printf.sprintf "/i%d" i) ~data:"x"))
+      done;
+      Process.sleep 0.05;
+      Ensemble.crash ensemble 2;
+      Process.sleep 0.1;
+      Ensemble.restart ensemble 2;
+      Process.sleep 0.1;
+      Ensemble.crash ensemble 2;
+      Process.sleep 0.1;
+      Ensemble.restart ensemble 2);
+  Engine.run engine;
+  check_int "both restarts recovered" 2 (Ensemble.recoveries ensemble);
+  check_int "recovery invents no nodes" 16
+    (Ztree.node_count (Ensemble.tree_of ensemble 2));
+  check_bool "replica state is a fixed point of recovery" true
+    (Ztree.equal_state (Ensemble.tree_of ensemble 2) (Ensemble.tree_of ensemble 0))
+
+let () =
+  Alcotest.run "wal"
+    [ ( "log-model",
+        [ Alcotest.test_case "power-off drops the un-fsynced tail" `Quick
+            test_power_off_drops_unfsynced_tail;
+          Alcotest.test_case "truncate at the first bad checksum" `Quick
+            test_truncate_at_first_bad_checksum;
+          Alcotest.test_case "full rot is a cold start" `Quick
+            test_full_rot_is_a_cold_start;
+          Alcotest.test_case "snapshot fallback ladder" `Quick
+            test_snapshot_fallback_ladder;
+          Alcotest.test_case "double recovery is idempotent" `Quick
+            test_double_recover_is_idempotent;
+          Alcotest.test_case "zxid rewind pops the stale suffix" `Quick
+            test_zxid_rewind_is_trunc ] );
+      ( "recovery",
+        [ Alcotest.test_case "crash drops the un-persisted suffix" `Quick
+            test_crash_drops_unpersisted_suffix;
+          Alcotest.test_case "whole-cluster power failure survivable" `Quick
+            test_whole_cluster_power_failure;
+          Alcotest.test_case "corrupt snapshot falls back and converges" `Quick
+            test_snapshot_corruption_falls_back_then_converges;
+          Alcotest.test_case "rotten log resyncs from the leader" `Quick
+            test_rotten_log_resyncs_from_leader;
+          Alcotest.test_case "double restart is idempotent" `Quick
+            test_double_restart_is_idempotent ] ) ]
